@@ -1,0 +1,416 @@
+// Package photon's top-level benchmarks: one testing.B target per
+// reconstructed table/figure (see DESIGN.md's experiment index and
+// EXPERIMENTS.md for the recorded results). They reuse the same
+// measurement routines as cmd/photon-bench, so `go test -bench=.` and
+// the CLI harness report the same quantities.
+package photon_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"photon/internal/apps"
+	"photon/internal/bench"
+	"photon/internal/core"
+	"photon/internal/fabric"
+	"photon/internal/mem"
+	"photon/internal/msg"
+	"photon/internal/runtime"
+)
+
+// env caches one 2-rank environment per benchmark.
+func newBenchEnv(b *testing.B, n int, coreCfg core.Config, msgCfg msg.Config) *bench.Env {
+	b.Helper()
+	e, err := bench.NewEnv(n, fabric.Model{}, coreCfg, msgCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	return e
+}
+
+func sharedDescs(b *testing.B, e *bench.Env, size int) [][]mem.RemoteBuffer {
+	b.Helper()
+	_, descs, _, err := e.SharedBuffers(size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return descs
+}
+
+func reportLatency(b *testing.B, d time.Duration, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(d.Nanoseconds()), "ns/oneway")
+}
+
+// --- E1: put latency ------------------------------------------------
+
+func BenchmarkE1PutLatencyPWC8B(b *testing.B) {
+	e := newBenchEnv(b, 2, core.Config{}, msg.Config{})
+	descs := sharedDescs(b, e, 64*1024)
+	b.ResetTimer()
+	lat, err := bench.PingPongPWC(e.Phs, descs, 8, b.N)
+	reportLatency(b, lat, err)
+}
+
+func BenchmarkE1PutLatencyPWC64K(b *testing.B) {
+	e := newBenchEnv(b, 2, core.Config{}, msg.Config{})
+	descs := sharedDescs(b, e, 128*1024)
+	b.ResetTimer()
+	lat, err := bench.PingPongPWC(e.Phs, descs, 64*1024, b.N)
+	reportLatency(b, lat, err)
+}
+
+func BenchmarkE1PutLatencyBaseline8B(b *testing.B) {
+	e := newBenchEnv(b, 2, core.Config{}, msg.Config{})
+	b.ResetTimer()
+	lat, err := bench.PingPongBaseline(e.MsgJob, 8, b.N)
+	reportLatency(b, lat, err)
+}
+
+// --- E2: get latency ------------------------------------------------
+
+func BenchmarkE2GetLatencyGWC(b *testing.B) {
+	e := newBenchEnv(b, 2, core.Config{}, msg.Config{})
+	descs := sharedDescs(b, e, 64*1024)
+	b.ResetTimer()
+	lat, err := bench.GetLatencyGWC(e.Phs, descs, 4096, b.N)
+	reportLatency(b, lat, err)
+}
+
+func BenchmarkE2GetLatencyBaseline(b *testing.B) {
+	e := newBenchEnv(b, 2, core.Config{}, msg.Config{})
+	b.ResetTimer()
+	lat, err := bench.GetLatencyBaseline(e.MsgJob, 4096, b.N)
+	reportLatency(b, lat, err)
+}
+
+// --- E3: bandwidth --------------------------------------------------
+
+func BenchmarkE3BandwidthPWC64K(b *testing.B) {
+	e := newBenchEnv(b, 2, core.Config{LedgerSlots: 256}, msg.Config{})
+	descs := sharedDescs(b, e, 1<<20)
+	b.ResetTimer()
+	bw, err := bench.StreamBandwidthPWC(e.Phs, descs, 64*1024, 16, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(64 * 1024)
+	b.ReportMetric(bw/(1<<20), "MiB/s")
+}
+
+func BenchmarkE3BandwidthBaseline64K(b *testing.B) {
+	e := newBenchEnv(b, 2, core.Config{}, msg.Config{RecvSlots: 256})
+	b.ResetTimer()
+	bw, err := bench.StreamBandwidthBaseline(e.MsgJob, 64*1024, 16, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(64 * 1024)
+	b.ReportMetric(bw/(1<<20), "MiB/s")
+}
+
+// --- E4: message rate -----------------------------------------------
+
+func BenchmarkE4MessageRatePWC4T(b *testing.B) {
+	e := newBenchEnv(b, 2, core.Config{LedgerSlots: 512}, msg.Config{})
+	per := b.N/4 + 1
+	b.ResetTimer()
+	rate, err := bench.MessageRatePWC(e.Phs, 4, per)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rate, "msg/s")
+}
+
+func BenchmarkE4MessageRateBaseline4T(b *testing.B) {
+	e := newBenchEnv(b, 2, core.Config{}, msg.Config{RecvSlots: 512})
+	per := b.N/4 + 1
+	b.ResetTimer()
+	rate, err := bench.MessageRateBaseline(e.MsgJob, 4, per)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rate, "msg/s")
+}
+
+// --- E5: notification overhead ---------------------------------------
+
+func BenchmarkE5ProbeOverheadPWC(b *testing.B) {
+	e := newBenchEnv(b, 2, core.Config{}, msg.Config{})
+	descs := sharedDescs(b, e, 4096)
+	b.ResetTimer()
+	lat, err := bench.NotifyLatencyPWC(e.Phs, descs, b.N)
+	reportLatency(b, lat, err)
+}
+
+func BenchmarkE5ProbeOverheadBaseline(b *testing.B) {
+	e := newBenchEnv(b, 2, core.Config{}, msg.Config{})
+	b.ResetTimer()
+	lat, err := bench.PingPongBaseline(e.MsgJob, 1, b.N)
+	reportLatency(b, lat, err)
+}
+
+// --- E6: eager/rendezvous crossover ----------------------------------
+
+func BenchmarkE6Eager4K(b *testing.B) {
+	e, err := bench.NewPhotonOnly(2, fabric.Model{}, core.Config{EagerEntrySize: 64 * 1024, LedgerSlots: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	b.ResetTimer()
+	lat, err := bench.PingPongSend(e.Phs, 4096, b.N)
+	reportLatency(b, lat, err)
+}
+
+func BenchmarkE6Rendezvous4K(b *testing.B) {
+	e, err := bench.NewPhotonOnly(2, fabric.Model{}, core.Config{ForceRendezvous: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	b.ResetTimer()
+	lat, err := bench.PingPongSend(e.Phs, 4096, b.N)
+	reportLatency(b, lat, err)
+}
+
+// --- E7: ledger size -------------------------------------------------
+
+func BenchmarkE7LedgerSlots8(b *testing.B)   { benchLedgerSlots(b, 8) }
+func BenchmarkE7LedgerSlots64(b *testing.B)  { benchLedgerSlots(b, 64) }
+func BenchmarkE7LedgerSlots512(b *testing.B) { benchLedgerSlots(b, 512) }
+
+func benchLedgerSlots(b *testing.B, slots int) {
+	e, err := bench.NewPhotonOnly(2, fabric.Model{}, core.Config{LedgerSlots: slots})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	b.ResetTimer()
+	rate, err := bench.SaturatedSendThroughput(e.Phs, 8, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rate, "msg/s")
+}
+
+// --- E8: GUPS ---------------------------------------------------------
+
+func BenchmarkE8GUPSPhoton(b *testing.B) {
+	e := newBenchEnv(b, 4, core.Config{}, msg.Config{})
+	cfg := apps.GUPSConfig{TableWordsPerRank: 1 << 12, UpdatesPerRank: b.N/4 + 1, Seed: 42}
+	b.ResetTimer()
+	res, err := apps.RunGUPSPhoton(e.Phs, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.UpdatesPerSec, "updates/s")
+}
+
+func BenchmarkE8GUPSBaseline(b *testing.B) {
+	e := newBenchEnv(b, 4, core.Config{}, msg.Config{})
+	cfg := apps.GUPSConfig{TableWordsPerRank: 1 << 12, UpdatesPerRank: b.N/4 + 1, Seed: 42}
+	b.ResetTimer()
+	res, err := apps.RunGUPSBaseline(e.MsgJob, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.UpdatesPerSec, "updates/s")
+}
+
+// --- E9: stencil ------------------------------------------------------
+
+func BenchmarkE9StencilPhoton256(b *testing.B) {
+	e := newBenchEnv(b, 4, core.Config{EagerEntrySize: 16 * 1024}, msg.Config{})
+	b.ResetTimer()
+	res, err := apps.RunStencilPhoton(e.Phs, apps.StencilConfig{N: 256, Iterations: b.N})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(res.PerIter.Nanoseconds()), "ns/iter")
+}
+
+func BenchmarkE9StencilBaseline256(b *testing.B) {
+	e := newBenchEnv(b, 4, core.Config{}, msg.Config{EagerLimit: 16 * 1024})
+	b.ResetTimer()
+	res, err := apps.RunStencilBaseline(e.MsgJob, apps.StencilConfig{N: 256, Iterations: b.N})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(res.PerIter.Nanoseconds()), "ns/iter")
+}
+
+// --- E10: BFS ----------------------------------------------------------
+
+func BenchmarkE10BFS4Ranks(b *testing.B) {
+	e, err := bench.NewPhotonOnly(4, fabric.Model{}, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	locs := make([]*runtime.Locality, 4)
+	for r, ph := range e.Phs {
+		l := runtime.NewLocality(ph, runtime.Config{Timeout: 60 * time.Second})
+		if err := apps.RegisterBFSActions(l); err != nil {
+			b.Fatal(err)
+		}
+		l.Start()
+		locs[r] = l
+	}
+	b.Cleanup(func() {
+		for _, l := range locs {
+			l.Shutdown()
+		}
+	})
+	b.ResetTimer()
+	var teps float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := apps.RunBFSParcels(locs, apps.BFSConfig{Vertices: 1 << 10, Degree: 8, Seed: 13, Root: 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		teps = res.TEPS
+	}
+	b.ReportMetric(teps, "TEPS")
+}
+
+// --- E11: backends ------------------------------------------------------
+
+func BenchmarkE11BackendVsim(b *testing.B) {
+	e, err := bench.NewPhotonOnly(2, fabric.Model{}, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	b.ResetTimer()
+	lat, err := bench.PingPongSend(e.Phs, 8, b.N)
+	reportLatency(b, lat, err)
+}
+
+func BenchmarkE11BackendTCP(b *testing.B) {
+	phs, cleanup, err := bench.NewTCPPhotons(2, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cleanup)
+	b.ResetTimer()
+	lat, err := bench.PingPongSend(phs, 8, b.N)
+	reportLatency(b, lat, err)
+}
+
+// --- E12: atomics --------------------------------------------------------
+
+func BenchmarkE12FetchAddLatency(b *testing.B) {
+	e := newBenchEnv(b, 2, core.Config{}, msg.Config{})
+	descs := sharedDescs(b, e, 64)
+	b.ResetTimer()
+	lat, err := bench.AtomicLatency(e.Phs, descs, b.N)
+	reportLatency(b, lat, err)
+}
+
+func BenchmarkE12FetchAddRateW16(b *testing.B) {
+	e := newBenchEnv(b, 2, core.Config{}, msg.Config{})
+	descs := sharedDescs(b, e, 64)
+	b.ResetTimer()
+	rate, err := bench.AtomicRate(e.Phs, descs, 16, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rate, "ops/s")
+}
+
+func BenchmarkE12UpdateBaseline(b *testing.B) {
+	e := newBenchEnv(b, 2, core.Config{}, msg.Config{})
+	b.ResetTimer()
+	lat, err := bench.AtomicUpdateBaseline(e.MsgJob, b.N)
+	reportLatency(b, lat, err)
+}
+
+// --- microbenchmarks of hot internal paths -----------------------------
+
+func BenchmarkPackedSendThroughput(b *testing.B) {
+	e, err := bench.NewPhotonOnly(2, fabric.Model{}, core.Config{LedgerSlots: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	b.ResetTimer()
+	rate, err := bench.SaturatedSendThroughput(e.Phs, 64, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rate, "msg/s")
+}
+
+func BenchmarkProgressIdle(b *testing.B) {
+	e, err := bench.NewPhotonOnly(4, fabric.Model{}, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	ph := e.Phs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ph.Progress()
+	}
+}
+
+func BenchmarkParcelRoundTrip(b *testing.B) {
+	e, err := bench.NewPhotonOnly(2, fabric.Model{}, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	locs := make([]*runtime.Locality, 2)
+	for r, ph := range e.Phs {
+		l := runtime.NewLocality(ph, runtime.Config{})
+		l.RegisterAction("echo", func(ctx *runtime.Context) ([]byte, error) {
+			return ctx.Payload, nil
+		})
+		l.Start()
+		locs[r] = l
+	}
+	b.Cleanup(func() {
+		for _, l := range locs {
+			l.Shutdown()
+		}
+	})
+	payload := []byte("ping")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := locs[0].Call(1, runtime.ActionIDFor("echo"), payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Wait(30 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A sanity test so `go test ./` at the repo root has a test to run.
+func TestBenchmarkHarnessSmoke(t *testing.T) {
+	var wg sync.WaitGroup
+	e, err := bench.NewEnv(2, fabric.Model{}, core.Config{}, msg.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := e.Phs[0].SendBlocking(1, []byte("smoke"), 0, 1); err != nil {
+			t.Error(err)
+		}
+	}()
+	c, err := e.Phs[1].WaitRemote(1, 10*time.Second)
+	if err != nil || string(c.Data) != "smoke" {
+		t.Fatalf("smoke: %v %q", err, c.Data)
+	}
+	wg.Wait()
+}

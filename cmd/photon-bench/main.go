@@ -1,0 +1,76 @@
+// photon-bench regenerates the reconstructed evaluation: every table
+// and figure in EXPERIMENTS.md corresponds to one experiment ID here.
+//
+// Usage:
+//
+//	photon-bench                 # run everything at full scale
+//	photon-bench -exp E1,E5      # selected experiments
+//	photon-bench -scale 0.1      # quick pass (10% of the iterations)
+//	photon-bench -list           # print the experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"photon/internal/bench"
+)
+
+var descriptions = map[string]string{
+	"E1":  "Fig 1: put latency vs message size (PWC / send / two-sided)",
+	"E2":  "Fig 2: get latency vs message size (GWC / two-sided pull)",
+	"E3":  "Fig 3: streaming bandwidth vs message size",
+	"E4":  "Fig 4: 8-byte message rate vs injector threads",
+	"E5":  "Fig 5: completion-notification overhead (ledger vs matching)",
+	"E6":  "Table 1: eager/rendezvous crossover sweep",
+	"E7":  "Table 2: ledger-size sensitivity + credit-policy ablation",
+	"E8":  "Fig 6: GUPS scaling (atomics vs request/ack)",
+	"E9":  "Fig 7: stencil halo-exchange time per iteration",
+	"E10": "Fig 8: BFS TEPS on the parcel runtime",
+	"E11": "Table 3: backend comparison (simulated verbs vs TCP)",
+	"E12": "Fig 9: remote atomics latency and pipelined rate",
+}
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		scaleFlag = flag.Float64("scale", 1.0, "iteration scale factor (0 < s <= 1; smaller = faster)")
+		listFlag  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, id := range bench.Experiments() {
+			fmt.Printf("%-4s %s\n", id, descriptions[id])
+		}
+		return
+	}
+
+	var ids []string
+	if *expFlag == "all" {
+		ids = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := bench.Run(id, *scaleFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: FAILED: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Print(rep.Render())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,43 @@
+// photon-info prints the library's build configuration: effective
+// defaults, ledger geometry, backends, and experiment inventory — the
+// photon_info of this repository.
+package main
+
+import (
+	"flag"
+	"fmt"
+	goruntime "runtime"
+
+	"photon/internal/bench"
+	"photon/internal/core"
+	"photon/internal/fabric"
+)
+
+func main() {
+	slots := flag.Int("slots", 0, "ledger slots (0 = default)")
+	eager := flag.Int("eager", 0, "eager entry size (0 = default)")
+	flag.Parse()
+
+	cfg := core.Config{LedgerSlots: *slots, EagerEntrySize: *eager}
+	env, err := bench.NewPhotonOnly(2, fabric.Model{}, cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer env.Close()
+	eff := env.Phs[0].Config()
+
+	fmt.Println("photon-go: Remote Memory Access middleware (reconstruction)")
+	fmt.Printf("  go:                 %s on %s/%s (%d CPUs)\n",
+		goruntime.Version(), goruntime.GOOS, goruntime.GOARCH, goruntime.NumCPU())
+	fmt.Println("  backends:           vsim (simulated IB verbs), tcp (loopback sockets)")
+	fmt.Printf("  ledger slots:       %d (pwc/eager), %d (sys)\n", eff.LedgerSlots, eff.SysSlots)
+	fmt.Printf("  eager entry:        %d B (packed payload cap %d B)\n",
+		eff.EagerEntrySize, env.Phs[0].EagerThreshold())
+	fmt.Printf("  eager threshold:    %d B (larger sends rendezvous)\n", eff.EagerThreshold)
+	fmt.Printf("  rendezvous slab:    %d B\n", eff.RdzvSlabSize)
+	fmt.Printf("  credit batch:       %d entries\n", eff.CreditBatch)
+	fmt.Println("  operations:         put/get with completion, packed send, rendezvous send,")
+	fmt.Println("                      fetch-add, compare-swap, probe/test/wait, collectives")
+	fmt.Println("  experiments:        ", bench.Experiments())
+}

@@ -1,0 +1,117 @@
+// photon-pingpong is a standalone latency tool, the osu_latency of this
+// repository: it boots a 2-rank Photon job over the chosen backend and
+// prints a size/latency table for the selected operation.
+//
+// Usage:
+//
+//	photon-pingpong                         # PWC over simulated verbs
+//	photon-pingpong -op send -backend tcp   # message path over loopback TCP
+//	photon-pingpong -min 8 -max 65536 -iters 1000
+//	photon-pingpong -latency 2us            # model a 2us wire
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"photon/internal/bench"
+	"photon/internal/core"
+	"photon/internal/fabric"
+	"photon/internal/mem"
+	"photon/internal/stats"
+)
+
+func main() {
+	var (
+		op      = flag.String("op", "pwc", "operation: pwc | send | get")
+		backend = flag.String("backend", "vsim", "backend: vsim | tcp")
+		minSize = flag.Int("min", 8, "smallest message size (power of two)")
+		maxSize = flag.Int("max", 64*1024, "largest message size (power of two)")
+		iters   = flag.Int("iters", 500, "iterations per size")
+		latency = flag.Duration("latency", 0, "modeled one-way wire latency (vsim only)")
+	)
+	flag.Parse()
+
+	var phs []*core.Photon
+	switch *backend {
+	case "vsim":
+		env, err := bench.NewPhotonOnly(2, fabric.Model{Latency: *latency}, core.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		defer env.Close()
+		phs = env.Phs
+	case "tcp":
+		tphs, cleanup, err := bench.NewTCPPhotons(2, core.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		defer cleanup()
+		phs = tphs
+	default:
+		fatal(fmt.Errorf("unknown backend %q", *backend))
+	}
+
+	descs, err := shareBuffers(phs, *maxSize)
+	if err != nil {
+		fatal(err)
+	}
+
+	table := stats.NewSeries(fmt.Sprintf("photon-pingpong op=%s backend=%s", *op, *backend),
+		"size", "latency-us")
+	for size := *minSize; size <= *maxSize; size *= 2 {
+		var lat time.Duration
+		var err error
+		switch *op {
+		case "pwc":
+			lat, err = bench.PingPongPWC(phs, descs, size, *iters)
+		case "send":
+			lat, err = bench.PingPongSend(phs, size, *iters)
+		case "get":
+			lat, err = bench.GetLatencyGWC(phs, descs, size, *iters)
+		default:
+			err = fmt.Errorf("unknown op %q", *op)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		table.Row(float64(size), float64(lat.Nanoseconds())/1e3)
+	}
+	fmt.Print(table.Render())
+}
+
+// shareBuffers registers one buffer per rank and exchanges descriptors
+// collectively.
+func shareBuffers(phs []*core.Photon, size int) ([][]mem.RemoteBuffer, error) {
+	descs := make([][]mem.RemoteBuffer, len(phs))
+	errs := make([]error, len(phs))
+	done := make(chan struct{})
+	for r := range phs {
+		go func(r int) {
+			defer func() { done <- struct{}{} }()
+			buf := make([]byte, size)
+			rb, _, err := phs[r].RegisterBuffer(buf)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			descs[r], errs[r] = phs[r].ExchangeBuffers(rb)
+		}(r)
+	}
+	for range phs {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return descs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "photon-pingpong:", err)
+	os.Exit(1)
+}

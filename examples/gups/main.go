@@ -1,0 +1,60 @@
+// GUPS: random remote updates against a distributed table — the
+// irregular-access workload that motivates one-sided RMA with remote
+// atomics.
+//
+// The Photon variant issues NIC-level fetch-adds: the target CPU never
+// sees an update. The baseline variant routes every update through a
+// two-sided request/acknowledge pair that the owner must receive,
+// match, apply, and answer. Both produce an identical table checksum,
+// so the comparison is apples to apples.
+//
+//	go run ./examples/gups [-ranks 4] [-updates 5000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"photon/internal/apps"
+	"photon/internal/bench"
+	"photon/internal/core"
+	"photon/internal/fabric"
+	"photon/internal/msg"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 4, "job size")
+	updates := flag.Int("updates", 5000, "updates per rank")
+	words := flag.Int("words", 1<<12, "table words per rank")
+	flag.Parse()
+
+	cfg := apps.GUPSConfig{
+		TableWordsPerRank: *words,
+		UpdatesPerRank:    *updates,
+		Seed:              2016, // IPDRM vintage
+	}
+
+	env, err := bench.NewEnv(*ranks, fabric.Model{}, core.Config{}, msg.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+
+	photon, err := apps.RunGUPSPhoton(env.Phs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := apps.RunGUPSBaseline(env.MsgJob, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("GUPS: %d ranks x %d updates into %d-word tables\n", *ranks, *updates, *words)
+	fmt.Printf("  photon atomics:    %10.0f updates/s (checksum %d)\n", photon.UpdatesPerSec, photon.Checksum)
+	fmt.Printf("  baseline req/ack:  %10.0f updates/s (checksum %d)\n", baseline.UpdatesPerSec, baseline.Checksum)
+	if photon.Checksum != baseline.Checksum {
+		log.Fatal("checksum mismatch: an update was lost or duplicated")
+	}
+	fmt.Printf("  speedup: %.2fx, no updates lost ✔\n", photon.UpdatesPerSec/baseline.UpdatesPerSec)
+}

@@ -1,0 +1,100 @@
+// Quickstart: the smallest complete Photon program.
+//
+// It boots a two-rank job over the simulated-verbs backend, exchanges a
+// registered buffer, and performs one put-with-completion: rank 0
+// writes a greeting directly into rank 1's memory; rank 1 discovers the
+// arrival purely by probing its completion ledger — no receive was ever
+// posted.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"photon/internal/backend/vsim"
+	"photon/internal/core"
+	"photon/internal/fabric"
+	"photon/internal/mem"
+	"photon/internal/nicsim"
+)
+
+func main() {
+	// 1. A cluster: two simulated nodes on one in-process fabric.
+	cluster, err := vsim.NewCluster(2, fabric.Model{}, nicsim.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// 2. Photon on every rank. Init is collective, so ranks boot
+	// concurrently (in a real deployment each rank is its own process;
+	// here they are goroutines).
+	phs := make([]*core.Photon, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ph, err := core.Init(cluster.Backend(r), core.Config{})
+			if err != nil {
+				log.Fatalf("rank %d: %v", r, err)
+			}
+			phs[r] = ph
+		}(r)
+	}
+	wg.Wait()
+	defer phs[0].Close()
+	defer phs[1].Close()
+
+	// 3. Rank 1 registers a buffer; descriptors are exchanged (another
+	// collective) so every rank can address it.
+	target := make([]byte, 64)
+	rb, lk, err := phs[1].RegisterBuffer(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	descs := make([][]mem.RemoteBuffer, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			contrib := mem.RemoteBuffer{}
+			if r == 1 {
+				contrib = rb
+			}
+			ds, err := phs[r].ExchangeBuffers(contrib)
+			if err != nil {
+				log.Fatalf("rank %d exchange: %v", r, err)
+			}
+			descs[r] = ds
+		}(r)
+	}
+	wg.Wait()
+
+	// 4. Rank 0 puts with completion: localRID 1 fires here when the
+	// buffer is reusable; remoteRID 2 fires at rank 1 when the data is
+	// visible there.
+	msg := []byte("hello from rank 0 via RDMA")
+	if err := phs[0].PutBlocking(1, msg, descs[0][1], 0, 1, 2); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := phs[0].WaitLocal(1, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rank 0: local completion — buffer reusable")
+
+	// 5. Rank 1 probes its ledger: the remote completion carries RID 2.
+	comp, err := phs[1].WaitRemote(2, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lk.Lock()
+	got := string(target[:len(msg)])
+	lk.Unlock()
+	fmt.Printf("rank 1: remote completion RID=%d from rank %d\n", comp.RID, comp.Rank)
+	fmt.Printf("rank 1: memory now reads %q\n", got)
+}

@@ -1,0 +1,69 @@
+// Stencil: a 2-D Jacobi iteration with one-sided halo exchange — the
+// classic structured-grid workload an HPC runtime drives through RMA
+// middleware.
+//
+// Each of four ranks owns a row band of an N x N grid. Per iteration a
+// rank puts its boundary rows directly into its neighbors' halo rows;
+// the put's remote completion is the arrival notification, so there are
+// no receives and no barrier. The result is cross-checked against a
+// serial reference and against the two-sided baseline.
+//
+//	go run ./examples/stencil [-n 256] [-iters 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"photon/internal/apps"
+	"photon/internal/bench"
+	"photon/internal/core"
+	"photon/internal/fabric"
+	"photon/internal/msg"
+)
+
+func main() {
+	n := flag.Int("n", 256, "grid dimension (must divide by 4)")
+	iters := flag.Int("iters", 50, "Jacobi iterations")
+	flag.Parse()
+
+	cfg := apps.StencilConfig{N: *n, Iterations: *iters}
+
+	serial, err := apps.RunStencilSerial(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Eager resources sized so one halo row (N*8 bytes) packs into a
+	// single ledger write on the Photon side and a single eager message
+	// on the baseline side.
+	env, err := bench.NewEnv(4, fabric.Model{}, core.Config{EagerEntrySize: 16 * 1024}, msg.Config{EagerLimit: 16 * 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+
+	photon, err := apps.RunStencilPhoton(env.Phs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := apps.RunStencilBaseline(env.MsgJob, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("grid %dx%d, %d iterations, 4 ranks\n", *n, *n, *iters)
+	fmt.Printf("  serial reference: checksum %.6f\n", serial.Checksum)
+	fmt.Printf("  photon one-sided: %8v/iter  checksum %.6f\n", photon.PerIter, photon.Checksum)
+	fmt.Printf("  two-sided msgs:   %8v/iter  checksum %.6f\n", baseline.PerIter, baseline.Checksum)
+
+	if math.Abs(photon.Checksum-serial.Checksum) > 1e-9*math.Abs(serial.Checksum) {
+		log.Fatal("photon run diverged from the serial reference")
+	}
+	if math.Abs(baseline.Checksum-serial.Checksum) > 1e-9*math.Abs(serial.Checksum) {
+		log.Fatal("baseline run diverged from the serial reference")
+	}
+	fmt.Println("  all three agree ✔")
+}

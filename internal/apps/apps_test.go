@@ -1,0 +1,242 @@
+package apps_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"photon/internal/apps"
+	"photon/internal/backend/vsim"
+	"photon/internal/core"
+	"photon/internal/fabric"
+	"photon/internal/msg"
+	"photon/internal/nicsim"
+	"photon/internal/runtime"
+)
+
+func photonJob(t *testing.T, n int) []*core.Photon {
+	t.Helper()
+	cl, err := vsim.NewCluster(n, fabric.Model{}, nicsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	phs := make([]*core.Photon, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			phs[r], errs[r] = core.Init(cl.Backend(r), core.Config{})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return phs
+}
+
+func msgJob(t *testing.T, n int) *msg.Job {
+	t.Helper()
+	j, err := msg.NewJob(n, fabric.Model{}, nicsim.Config{}, msg.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(j.Close)
+	return j
+}
+
+func localities(t *testing.T, n int, reg func(l *runtime.Locality)) []*runtime.Locality {
+	t.Helper()
+	phs := photonJob(t, n)
+	locs := make([]*runtime.Locality, n)
+	for r, ph := range phs {
+		l := runtime.NewLocality(ph, runtime.Config{Timeout: 20 * time.Second})
+		if reg != nil {
+			reg(l)
+		}
+		l.Start()
+		locs[r] = l
+	}
+	t.Cleanup(func() {
+		for _, l := range locs {
+			l.Shutdown()
+		}
+	})
+	return locs
+}
+
+func TestGUPSPhotonChecksum(t *testing.T) {
+	phs := photonJob(t, 3)
+	cfg := apps.GUPSConfig{TableWordsPerRank: 128, UpdatesPerRank: 500, Seed: 7}
+	res, err := apps.RunGUPSPhoton(phs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 1500 {
+		t.Fatalf("updates = %d", res.Updates)
+	}
+	// Every update is a +1 fetch-add, so the table must sum to the
+	// update count exactly: atomicity check.
+	if res.Checksum != 1500 {
+		t.Fatalf("checksum = %d, want 1500 (lost or duplicated updates)", res.Checksum)
+	}
+	if res.UpdatesPerSec <= 0 {
+		t.Fatalf("rate = %v", res.UpdatesPerSec)
+	}
+}
+
+func TestGUPSBaselineChecksum(t *testing.T) {
+	j := msgJob(t, 3)
+	cfg := apps.GUPSConfig{TableWordsPerRank: 128, UpdatesPerRank: 300, Seed: 7}
+	res, err := apps.RunGUPSBaseline(j, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != 900 {
+		t.Fatalf("checksum = %d, want 900", res.Checksum)
+	}
+}
+
+func TestGUPSValidation(t *testing.T) {
+	phs := photonJob(t, 2)
+	if _, err := apps.RunGUPSPhoton(phs, apps.GUPSConfig{TableWordsPerRank: 0}); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+}
+
+func TestStencilPhotonMatchesBaselineAndSerial(t *testing.T) {
+	cfg := apps.StencilConfig{N: 32, Iterations: 10}
+	serial, err := apps.RunStencilSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phs := photonJob(t, 4)
+	ph, err := apps.RunStencilPhoton(phs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := msgJob(t, 4)
+	base, err := apps.RunStencilBaseline(j, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ph.Checksum-serial.Checksum) > 1e-9*math.Abs(serial.Checksum) {
+		t.Fatalf("photon checksum %v != serial %v", ph.Checksum, serial.Checksum)
+	}
+	if math.Abs(base.Checksum-serial.Checksum) > 1e-9*math.Abs(serial.Checksum) {
+		t.Fatalf("baseline checksum %v != serial %v", base.Checksum, serial.Checksum)
+	}
+	if ph.CellUpdates != int64(cfg.N)*int64(cfg.N)*int64(cfg.Iterations) {
+		t.Fatalf("cell updates = %d", ph.CellUpdates)
+	}
+}
+
+func TestStencilOddIterations(t *testing.T) {
+	cfg := apps.StencilConfig{N: 16, Iterations: 7}
+	serial, _ := apps.RunStencilSerial(cfg)
+	phs := photonJob(t, 2)
+	ph, err := apps.RunStencilPhoton(phs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ph.Checksum-serial.Checksum) > 1e-9*math.Abs(serial.Checksum)+1e-12 {
+		t.Fatalf("odd-iteration checksum %v != %v", ph.Checksum, serial.Checksum)
+	}
+}
+
+func TestStencilSingleRank(t *testing.T) {
+	cfg := apps.StencilConfig{N: 8, Iterations: 3}
+	serial, _ := apps.RunStencilSerial(cfg)
+	phs := photonJob(t, 1)
+	ph, err := apps.RunStencilPhoton(phs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Checksum != serial.Checksum {
+		t.Fatalf("single rank checksum %v != %v", ph.Checksum, serial.Checksum)
+	}
+}
+
+func TestStencilValidation(t *testing.T) {
+	phs := photonJob(t, 3)
+	if _, err := apps.RunStencilPhoton(phs, apps.StencilConfig{N: 32, Iterations: 1}); err == nil {
+		t.Fatal("N not divisible by ranks accepted")
+	}
+}
+
+func TestBFSMatchesSerial(t *testing.T) {
+	locs := localities(t, 4, func(l *runtime.Locality) {
+		if err := apps.RegisterBFSActions(l); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cfg := apps.BFSConfig{Vertices: 256, Degree: 4, Seed: 11, Root: 3}
+	res, dist, err := apps.RunBFSParcels(locs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := apps.BFSSerial(apps.GenGraph(cfg.Vertices, cfg.Degree, cfg.Seed), cfg.Root)
+	for v := range ref {
+		if dist[v] != ref[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], ref[v])
+		}
+	}
+	var wantVisited int64
+	for _, d := range ref {
+		if d >= 0 {
+			wantVisited++
+		}
+	}
+	if res.Visited != wantVisited {
+		t.Fatalf("visited = %d, want %d", res.Visited, wantVisited)
+	}
+	if res.TEPS <= 0 || res.ParcelsSent == 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestBFSIsolatedRoot(t *testing.T) {
+	// Degree 0: only the root is reached.
+	locs := localities(t, 2, func(l *runtime.Locality) {
+		apps.RegisterBFSActions(l)
+	})
+	cfg := apps.BFSConfig{Vertices: 64, Degree: 0, Seed: 1, Root: 9}
+	res, dist, err := apps.RunBFSParcels(locs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != 1 || dist[9] != 0 {
+		t.Fatalf("isolated root: %+v dist[9]=%d", res, dist[9])
+	}
+}
+
+func TestBFSValidation(t *testing.T) {
+	locs := localities(t, 3, func(l *runtime.Locality) { apps.RegisterBFSActions(l) })
+	if _, _, err := apps.RunBFSParcels(locs, apps.BFSConfig{Vertices: 64, Degree: 2, Root: 1}); err == nil {
+		t.Fatal("indivisible vertex count accepted")
+	}
+	if _, _, err := apps.RunBFSParcels(locs, apps.BFSConfig{Vertices: 63, Degree: 2, Root: 999}); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}
+
+func TestGenGraphDeterministic(t *testing.T) {
+	a := apps.GenGraph(100, 3, 42)
+	b := apps.GenGraph(100, 3, 42)
+	for v := range a {
+		if len(a[v]) != len(b[v]) {
+			t.Fatal("graph generation not deterministic")
+		}
+		for i := range a[v] {
+			if a[v][i] != b[v][i] {
+				t.Fatal("graph generation not deterministic")
+			}
+		}
+	}
+}

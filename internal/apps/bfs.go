@@ -1,0 +1,359 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"photon/internal/runtime"
+)
+
+// BFSResult reports one breadth-first-search run.
+type BFSResult struct {
+	Vertices    int
+	Edges       int64
+	Visited     int64
+	Depth       int
+	Elapsed     time.Duration
+	TEPS        float64 // traversed edges per second
+	ParcelsSent int64
+}
+
+// BFSConfig parameterizes the random graph and the traversal.
+type BFSConfig struct {
+	// Vertices is the global vertex count (must divide evenly by the
+	// rank count).
+	Vertices int
+	// Degree is the average out-degree of the random graph.
+	Degree int
+	// Seed fixes the graph.
+	Seed int64
+	// Root is the starting vertex.
+	Root int
+	// Batch caps vertices per relaxation parcel (default 64).
+	Batch int
+}
+
+func (c *BFSConfig) setDefaults(ranks int) error {
+	if c.Vertices <= 0 || c.Degree < 0 {
+		return fmt.Errorf("apps: bad BFS geometry %+v", *c)
+	}
+	if c.Vertices%ranks != 0 {
+		return fmt.Errorf("apps: %d vertices not divisible by %d ranks", c.Vertices, ranks)
+	}
+	if c.Root < 0 || c.Root >= c.Vertices {
+		return fmt.Errorf("apps: root %d out of range", c.Root)
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	return nil
+}
+
+// GenGraph deterministically generates the adjacency lists of the whole
+// random graph (Erdos-Renyi-ish with fixed per-vertex degree). Both the
+// distributed run and the serial reference call it, so they agree
+// exactly.
+func GenGraph(vertices, degree int, seed int64) [][]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]int32, vertices)
+	for v := range adj {
+		adj[v] = make([]int32, 0, degree)
+		for d := 0; d < degree; d++ {
+			w := int32(rng.Intn(vertices))
+			adj[v] = append(adj[v], w)
+		}
+	}
+	return adj
+}
+
+// BFSSerial computes reference distances.
+func BFSSerial(adj [][]int32, root int) []int32 {
+	dist := make([]int32, len(adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	frontier := []int32{int32(root)}
+	level := int32(0)
+	for len(frontier) > 0 {
+		var next []int32
+		for _, v := range frontier {
+			for _, w := range adj[v] {
+				if dist[w] == -1 {
+					dist[w] = level + 1
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+		level++
+	}
+	return dist
+}
+
+// bfsRankState is one rank's BFS state, mutated by the visit action.
+type bfsRankState struct {
+	mu      sync.Mutex
+	dist    []int32 // local vertices
+	next    []int32 // next frontier (global IDs)
+	perRank int
+	rank    int
+}
+
+// RunBFSParcels runs level-synchronous BFS as a parcel-driven
+// computation on the HPX-lite runtime: frontier expansion sends visit
+// parcels to vertex owners; level boundaries are runtime barriers plus
+// a frontier-count reduction via Call futures. Every rank's locality
+// must already be started. Returns each rank's result (identical
+// aggregates) plus the distance vector assembled at rank 0.
+func RunBFSParcels(locs []*runtime.Locality, cfg BFSConfig) (BFSResult, []int32, error) {
+	n := len(locs)
+	if err := cfg.setDefaults(n); err != nil {
+		return BFSResult{}, nil, err
+	}
+	perRank := cfg.Vertices / n
+	full := GenGraph(cfg.Vertices, cfg.Degree, cfg.Seed)
+	var edges int64
+	for _, a := range full {
+		edges += int64(len(a))
+	}
+
+	states := make([]*bfsRankState, n)
+	for r := 0; r < n; r++ {
+		st := &bfsRankState{dist: make([]int32, perRank), perRank: perRank, rank: r}
+		for i := range st.dist {
+			st.dist[i] = -1
+		}
+		states[r] = st
+	}
+
+	// The visit action: payload = [level4][count4][vertexIDs...].
+	const actVisit = "bfs_visit"
+	for r, l := range locs {
+		st := states[r]
+		if _, err := l.RegisterAction(actVisit, func(ctx *runtime.Context) ([]byte, error) {
+			p := ctx.Payload
+			if len(p) < 8 {
+				return nil, fmt.Errorf("short visit parcel")
+			}
+			level := int32(binary.LittleEndian.Uint32(p[0:]))
+			count := int(binary.LittleEndian.Uint32(p[4:]))
+			st.mu.Lock()
+			for i := 0; i < count; i++ {
+				v := int32(binary.LittleEndian.Uint32(p[8+i*4:]))
+				lv := int(v) - st.rank*st.perRank
+				if st.dist[lv] == -1 {
+					st.dist[lv] = level
+					st.next = append(st.next, v)
+				}
+			}
+			st.mu.Unlock()
+			return nil, nil
+		}); err != nil {
+			return BFSResult{}, nil, err
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			l := locs[r]
+			st := states[r]
+			visitID := runtime.ActionIDFor(actVisit)
+
+			// Seed the root.
+			var frontier []int32
+			if cfg.Root/perRank == r {
+				st.dist[cfg.Root%perRank] = 0
+				frontier = []int32{int32(cfg.Root)}
+			}
+			level := int32(0)
+			for {
+				// Expand: bucket neighbors by owner, flush batches
+				// with Call so we know they executed before the
+				// barrier.
+				buckets := make([][]int32, n)
+				var futs []*runtime.Future
+				flush := func(owner int) error {
+					b := buckets[owner]
+					if len(b) == 0 {
+						return nil
+					}
+					body := make([]byte, 8+4*len(b))
+					binary.LittleEndian.PutUint32(body[0:], uint32(level+1))
+					binary.LittleEndian.PutUint32(body[4:], uint32(len(b)))
+					for i, v := range b {
+						binary.LittleEndian.PutUint32(body[8+i*4:], uint32(v))
+					}
+					f, err := l.Call(owner, visitID, body)
+					if err != nil {
+						return err
+					}
+					futs = append(futs, f)
+					buckets[owner] = buckets[owner][:0]
+					return nil
+				}
+				for _, v := range frontier {
+					for _, w := range full[v] {
+						owner := int(w) / perRank
+						buckets[owner] = append(buckets[owner], w)
+						if len(buckets[owner]) >= cfg.Batch {
+							if err := flush(owner); err != nil {
+								errs[r] = err
+								return
+							}
+						}
+					}
+				}
+				for owner := range buckets {
+					if err := flush(owner); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+				for _, f := range futs {
+					if _, err := f.Wait(30 * time.Second); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+				if err := l.Barrier(); err != nil {
+					errs[r] = err
+					return
+				}
+				// Collect the next local frontier and agree on the
+				// global size.
+				st.mu.Lock()
+				frontier = st.next
+				st.next = nil
+				st.mu.Unlock()
+				total, err := allreduceCount(l, len(frontier))
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				if total == 0 {
+					return
+				}
+				level++
+			}
+		}(r)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return BFSResult{}, nil, err
+		}
+	}
+
+	// Assemble distances and aggregates.
+	dist := make([]int32, cfg.Vertices)
+	var visited int64
+	depth := int32(0)
+	for r := 0; r < n; r++ {
+		states[r].mu.Lock()
+		copy(dist[r*perRank:], states[r].dist)
+		states[r].mu.Unlock()
+	}
+	var traversed int64
+	for v, d := range dist {
+		if d >= 0 {
+			visited++
+			traversed += int64(len(full[v]))
+			if d > depth {
+				depth = d
+			}
+		}
+	}
+	var sent int64
+	for _, l := range locs {
+		sent += l.Counters().ParcelsSent
+	}
+	teps := 0.0
+	if elapsed > 0 {
+		teps = float64(traversed) / elapsed.Seconds()
+	}
+	return BFSResult{
+		Vertices:    cfg.Vertices,
+		Edges:       edges,
+		Visited:     visited,
+		Depth:       int(depth),
+		Elapsed:     elapsed,
+		TEPS:        teps,
+		ParcelsSent: sent,
+	}, dist, nil
+}
+
+// allreduceCount sums a per-rank count across the job using the
+// runtime's call machinery (a tiny tree would be overkill at these rank
+// counts; rank 0 accumulates and broadcasts through the barrier-style
+// blocking handler registered lazily below).
+func allreduceCount(l *runtime.Locality, count int) (int, error) {
+	body := make([]byte, 8)
+	binary.LittleEndian.PutUint64(body, uint64(count))
+	f, err := l.Call(0, runtime.ActionIDFor(actSum), body)
+	if err != nil {
+		return 0, err
+	}
+	out, err := f.Wait(30 * time.Second)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) < 8 {
+		return 0, fmt.Errorf("apps: short sum reply")
+	}
+	return int(binary.LittleEndian.Uint64(out)), nil
+}
+
+const actSum = "bfs_sum"
+
+// sumState implements a reusable blocking sum-reduction at rank 0.
+// Generations are implicit in arrival order: every rank calls exactly
+// once per level and cannot start the next level until the current sum
+// resolves, so arrivals pair up by count.
+type sumState struct {
+	mu       sync.Mutex
+	arrivals int
+	cur      *sumGen
+}
+
+type sumGen struct {
+	total uint64
+	done  chan struct{}
+}
+
+// RegisterBFSActions installs the reduction action; RunBFSParcels
+// requires it to have been registered on every locality before Start.
+func RegisterBFSActions(l *runtime.Locality) error {
+	st := &sumState{}
+	size := l.Size()
+	_, err := l.RegisterAction(actSum, func(ctx *runtime.Context) ([]byte, error) {
+		v := binary.LittleEndian.Uint64(ctx.Payload)
+		st.mu.Lock()
+		if st.cur == nil {
+			st.cur = &sumGen{done: make(chan struct{})}
+		}
+		g := st.cur
+		g.total += v
+		st.arrivals++
+		if st.arrivals == size {
+			st.arrivals = 0
+			st.cur = nil
+			close(g.done)
+		}
+		st.mu.Unlock()
+		<-g.done
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, g.total)
+		return out, nil
+	})
+	return err
+}

@@ -1,0 +1,456 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"photon/internal/core"
+)
+
+// replyQueue is the unbounded per-peer response queue. Readers append
+// (never blocking) and the writer loop drains it ahead of requests;
+// keeping the reader non-blocking breaks the bidirectional-saturation
+// deadlock that bounded reply channels would allow.
+type replyQueue struct {
+	mu   sync.Mutex
+	q    [][]byte
+	wake chan struct{}
+}
+
+func newReplyQueue() *replyQueue {
+	return &replyQueue{wake: make(chan struct{}, 1)}
+}
+
+func (r *replyQueue) push(f []byte) {
+	r.mu.Lock()
+	r.q = append(r.q, f)
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (r *replyQueue) pop() ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.q) == 0 {
+		return nil, false
+	}
+	f := r.q[0]
+	r.q = r.q[1:]
+	return f, true
+}
+
+// writer drains a peer's request channel (and reply queue) into the
+// socket; for the self rank it applies requests locally instead.
+func (b *Backend) writer(peer int) {
+	defer b.sendWG.Done()
+	rq := b.replyQueueFor(peer)
+	conn := b.conns[peer]
+	var sendBuf []byte
+	send := func(frame []byte) bool {
+		if peer == b.rank {
+			b.handleFrame(peer, frame)
+			return true
+		}
+		// One Write per frame: header and body together, so a frame
+		// is never split across TCP segments by our own syscalls.
+		if cap(sendBuf) < 4+len(frame) {
+			sendBuf = make([]byte, 0, 4+len(frame))
+		}
+		sendBuf = sendBuf[:4+len(frame)]
+		binary.LittleEndian.PutUint32(sendBuf, uint32(len(frame)))
+		copy(sendBuf[4:], frame)
+		_, err := conn.Write(sendBuf)
+		return err == nil
+	}
+	for {
+		// Replies first: they unblock the peer.
+		if f, ok := rq.pop(); ok {
+			if !send(f) {
+				return
+			}
+			continue
+		}
+		select {
+		case <-b.closed:
+			return
+		case <-rq.wake:
+			// loop; pop above
+		case of := <-b.outs[peer]:
+			if !send(of.data) {
+				// Connection lost: fail the op locally.
+				if of.signaled {
+					b.pushComp(core.BackendCompletion{Token: of.token, OK: false, Err: fmt.Errorf("tcp: connection to rank %d lost", peer)})
+				}
+				return
+			}
+		}
+	}
+}
+
+// replyQueueFor returns (building lazily) the reply queue toward peer.
+func (b *Backend) replyQueueFor(peer int) *replyQueue {
+	b.outMu.Lock()
+	defer b.outMu.Unlock()
+	if b.replyQs == nil {
+		b.replyQs = make([]*replyQueue, b.size)
+	}
+	if b.replyQs[peer] == nil {
+		b.replyQs[peer] = newReplyQueue()
+	}
+	return b.replyQs[peer]
+}
+
+// reader consumes frames arriving from peer.
+func (b *Backend) reader(peer int, conn net.Conn) {
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n > 1<<30 {
+			return // absurd frame; poisoned stream
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		b.handleFrame(peer, frame)
+	}
+}
+
+// handleFrame dispatches one inbound frame (requests are applied
+// against local memory; responses complete pending tokens).
+func (b *Backend) handleFrame(peer int, f []byte) {
+	if len(f) < 1 {
+		return
+	}
+	switch f[0] {
+	case opWrite:
+		if len(f) < 26 {
+			return
+		}
+		token := binary.LittleEndian.Uint64(f[1:])
+		signaled := f[9] == 1
+		raddr := binary.LittleEndian.Uint64(f[10:])
+		rkey := binary.LittleEndian.Uint32(f[18:])
+		n := int(binary.LittleEndian.Uint32(f[22:]))
+		payload := f[26:]
+		if n > len(payload) {
+			n = len(payload)
+		}
+		b.memMu.Lock()
+		reg, err := b.lookup(rkey, raddr, n)
+		if err == nil {
+			copy(reg.buf[raddr-reg.base:], payload[:n])
+		}
+		b.memMu.Unlock()
+		if err == nil {
+			b.writeAct.Add(1)
+		}
+		if signaled {
+			b.reply(peer, ackFrame(token, err))
+		}
+	case opRead:
+		if len(f) < 25 {
+			return
+		}
+		token := binary.LittleEndian.Uint64(f[1:])
+		raddr := binary.LittleEndian.Uint64(f[9:])
+		rkey := binary.LittleEndian.Uint32(f[17:])
+		n := int(binary.LittleEndian.Uint32(f[21:]))
+		resp := make([]byte, 1+8+1+n)
+		resp[0] = opReadResp
+		binary.LittleEndian.PutUint64(resp[1:], token)
+		b.memMu.RLock()
+		reg, err := b.lookup(rkey, raddr, n)
+		if err == nil {
+			copy(resp[10:], reg.buf[raddr-reg.base:raddr-reg.base+uint64(n)])
+		}
+		b.memMu.RUnlock()
+		if err != nil {
+			resp = resp[:10]
+			resp[9] = 1 // status: failed
+		}
+		b.reply(peer, resp)
+	case opFAdd, opCSwap:
+		b.handleAtomic(peer, f)
+	case opAck:
+		if len(f) < 10 {
+			return
+		}
+		token := binary.LittleEndian.Uint64(f[1:])
+		ok := f[9] == 0
+		var err error
+		if !ok {
+			err = fmt.Errorf("tcp: remote write failed")
+		}
+		b.pushComp(core.BackendCompletion{Token: token, OK: ok, Err: err})
+	case opReadResp:
+		if len(f) < 10 {
+			return
+		}
+		token := binary.LittleEndian.Uint64(f[1:])
+		failed := f[9] == 1
+		b.pendMu.Lock()
+		dst := b.pendBuf[token]
+		delete(b.pendBuf, token)
+		b.pendMu.Unlock()
+		if !failed && dst != nil {
+			copy(dst, f[10:])
+		}
+		var err error
+		if failed {
+			err = fmt.Errorf("tcp: remote read failed")
+		}
+		b.pushComp(core.BackendCompletion{Token: token, OK: !failed, Err: err})
+	case opAtomicResp:
+		if len(f) < 18 {
+			return
+		}
+		token := binary.LittleEndian.Uint64(f[1:])
+		failed := f[9] == 1
+		b.pendMu.Lock()
+		dst := b.pendBuf[token]
+		delete(b.pendBuf, token)
+		b.pendMu.Unlock()
+		if !failed && dst != nil {
+			copy(dst, f[10:18])
+		}
+		var err error
+		if failed {
+			err = fmt.Errorf("tcp: remote atomic failed")
+		}
+		b.pushComp(core.BackendCompletion{Token: token, OK: !failed, Err: err})
+	case opExg:
+		b.handleExg(peer, f[1:])
+	case opExgResp:
+		b.handleExgResp(f[1:])
+	}
+}
+
+func (b *Backend) handleAtomic(peer int, f []byte) {
+	if len(f) < 29 {
+		return
+	}
+	token := binary.LittleEndian.Uint64(f[1:])
+	raddr := binary.LittleEndian.Uint64(f[9:])
+	rkey := binary.LittleEndian.Uint32(f[17:])
+	operand := binary.LittleEndian.Uint64(f[21:])
+	var swap uint64
+	if f[0] == opCSwap {
+		if len(f) < 37 {
+			return
+		}
+		swap = binary.LittleEndian.Uint64(f[29:])
+	}
+	resp := make([]byte, 1+8+1+8)
+	resp[0] = opAtomicResp
+	binary.LittleEndian.PutUint64(resp[1:], token)
+	b.memMu.Lock()
+	reg, err := b.lookup(rkey, raddr, 8)
+	if err == nil && raddr%8 != 0 {
+		err = fmt.Errorf("tcp: misaligned atomic")
+	}
+	if err == nil {
+		off := raddr - reg.base
+		orig := binary.LittleEndian.Uint64(reg.buf[off:])
+		switch f[0] {
+		case opFAdd:
+			binary.LittleEndian.PutUint64(reg.buf[off:], orig+operand)
+		case opCSwap:
+			if orig == operand {
+				binary.LittleEndian.PutUint64(reg.buf[off:], swap)
+			}
+		}
+		binary.LittleEndian.PutUint64(resp[10:], orig)
+	}
+	b.memMu.Unlock()
+	if err != nil {
+		resp[9] = 1
+	} else {
+		b.writeAct.Add(1)
+	}
+	b.reply(peer, resp)
+}
+
+func ackFrame(token uint64, err error) []byte {
+	f := make([]byte, 10)
+	f[0] = opAck
+	binary.LittleEndian.PutUint64(f[1:], token)
+	if err != nil {
+		f[9] = 1
+	}
+	return f
+}
+
+// reply routes a response frame back to peer (loopback applies
+// directly).
+func (b *Backend) reply(peer int, f []byte) {
+	if peer == b.rank {
+		b.handleFrame(peer, f)
+		return
+	}
+	b.replyQueueFor(peer).push(f)
+}
+
+// ---------------------------------------------------------------------
+// Bootstrap exchange: star over rank 0.
+// ---------------------------------------------------------------------
+
+// Exchange implements the collective allgather.
+func (b *Backend) Exchange(local []byte) ([][]byte, error) {
+	if b.size == 1 {
+		return [][]byte{append([]byte(nil), local...)}, nil
+	}
+	if b.rank == 0 {
+		return b.exchangeRoot(local)
+	}
+	// Ship the blob to the root (blocking enqueue: exchange is a
+	// collective, so waiting is correct).
+	f := make([]byte, 1+4+len(local))
+	f[0] = opExg
+	binary.LittleEndian.PutUint32(f[1:], uint32(len(local)))
+	copy(f[5:], local)
+	select {
+	case b.outs[0] <- outFrame{data: f}:
+	case <-b.closed:
+		return nil, core.ErrClosed
+	}
+	// Wait for the root's broadcast.
+	b.exgMu.Lock()
+	defer b.exgMu.Unlock()
+	for len(b.exgResp) == 0 {
+		if b.isClosed() {
+			return nil, core.ErrClosed
+		}
+		b.exgCond.Wait()
+	}
+	out := b.exgResp[0]
+	b.exgResp = b.exgResp[1:]
+	return out, nil
+}
+
+func (b *Backend) isClosed() bool {
+	select {
+	case <-b.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+func (b *Backend) exchangeRoot(local []byte) ([][]byte, error) {
+	b.exgMu.Lock()
+	b.exgSelf = append(b.exgSelf, append([]byte(nil), local...))
+	// Wait until one blob from every peer (and self) is queued.
+	for {
+		if b.isClosed() {
+			b.exgMu.Unlock()
+			return nil, core.ErrClosed
+		}
+		ready := len(b.exgSelf) > 0
+		for r := 1; r < b.size; r++ {
+			if len(b.exgGather[r]) == 0 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		b.exgCond.Wait()
+	}
+	out := make([][]byte, b.size)
+	out[0] = b.exgSelf[0]
+	b.exgSelf = b.exgSelf[1:]
+	for r := 1; r < b.size; r++ {
+		out[r] = b.exgGather[r][0]
+		b.exgGather[r] = b.exgGather[r][1:]
+	}
+	b.exgMu.Unlock()
+	// Broadcast the result.
+	resp := encodeExgResp(out)
+	for r := 1; r < b.size; r++ {
+		select {
+		case b.outs[r] <- outFrame{data: resp}:
+		case <-b.closed:
+			return nil, core.ErrClosed
+		}
+	}
+	return out, nil
+}
+
+// handleExg queues a gathered blob at the root.
+func (b *Backend) handleExg(peer int, body []byte) {
+	if len(body) < 4 {
+		return
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	if n > len(body)-4 {
+		n = len(body) - 4
+	}
+	blob := append([]byte(nil), body[4:4+n]...)
+	b.exgMu.Lock()
+	b.exgGather[peer] = append(b.exgGather[peer], blob)
+	b.exgCond.Broadcast()
+	b.exgMu.Unlock()
+}
+
+// handleExgResp delivers the root's broadcast to the local waiter.
+func (b *Backend) handleExgResp(body []byte) {
+	out, err := decodeExgResp(body)
+	if err != nil {
+		return
+	}
+	b.exgMu.Lock()
+	b.exgResp = append(b.exgResp, out)
+	b.exgCond.Broadcast()
+	b.exgMu.Unlock()
+}
+
+func encodeExgResp(blobs [][]byte) []byte {
+	total := 1 + 4
+	for _, b := range blobs {
+		total += 4 + len(b)
+	}
+	f := make([]byte, total)
+	f[0] = opExgResp
+	binary.LittleEndian.PutUint32(f[1:], uint32(len(blobs)))
+	off := 5
+	for _, blob := range blobs {
+		binary.LittleEndian.PutUint32(f[off:], uint32(len(blob)))
+		off += 4
+		copy(f[off:], blob)
+		off += len(blob)
+	}
+	return f
+}
+
+func decodeExgResp(body []byte) ([][]byte, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("tcp: short exchange response")
+	}
+	count := int(binary.LittleEndian.Uint32(body))
+	out := make([][]byte, 0, count)
+	off := 4
+	for i := 0; i < count; i++ {
+		if off+4 > len(body) {
+			return nil, fmt.Errorf("tcp: truncated exchange response")
+		}
+		n := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if off+n > len(body) {
+			return nil, fmt.Errorf("tcp: truncated exchange blob")
+		}
+		out = append(out, append([]byte(nil), body[off:off+n]...))
+		off += n
+	}
+	return out, nil
+}

@@ -1,0 +1,448 @@
+// Package tcp is Photon's sockets backend: the same core.Backend
+// contract as the simulated-verbs backend, but over real TCP
+// connections, so a Photon job can span OS processes (or just exercise
+// a second transport, reproducing the original's backend-portability
+// claim: verbs / uGNI / libfabric / sockets behind one middleware).
+//
+// One-sided semantics are emulated the way Photon's TCP and UD backends
+// emulate them: each rank runs an agent loop per connection that
+// applies WRITE/READ/ATOMIC requests directly against the local
+// registration table and acknowledges signaled operations. Per
+// connection, TCP's in-order bytestream plays the role of the RC queue
+// pair: requests apply in posting order, and an ACK for operation k
+// implies operations 1..k-1 have been applied.
+//
+// Bootstrap exchange is a star over rank 0: every rank ships its blob
+// to the root, which gathers and rebroadcasts. Connections form a full
+// mesh at New time from a caller-supplied address book (the moral
+// equivalent of a launcher's hostfile).
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"photon/internal/core"
+	"photon/internal/mem"
+)
+
+// Errors specific to the TCP backend.
+var (
+	ErrBadAddress = errors.New("tcp: bad address configuration")
+	ErrHandshake  = errors.New("tcp: peer handshake failed")
+)
+
+// Config describes one rank of a TCP job.
+type Config struct {
+	// Rank of this process; Addrs[Rank] must be a listenable address.
+	Rank int
+	// Addrs is the full address book, indexed by rank.
+	Addrs []string
+	// DialTimeout bounds connection setup (default 10s).
+	DialTimeout time.Duration
+	// SendDepth bounds queued outbound requests per peer (default 1024);
+	// a full queue surfaces as ErrWouldBlock, like a full send queue.
+	SendDepth int
+	// Listener optionally supplies a pre-bound listener for this rank
+	// (port-0 setups and tests); when set, Addrs[Rank] is only used by
+	// peers to reach it.
+	Listener net.Listener
+}
+
+func (c *Config) setDefaults() error {
+	if len(c.Addrs) == 0 || c.Rank < 0 || c.Rank >= len(c.Addrs) {
+		return ErrBadAddress
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	if c.SendDepth <= 0 {
+		c.SendDepth = 1024
+	}
+	return nil
+}
+
+// Wire opcodes.
+const (
+	opWrite      = 1
+	opRead       = 2
+	opFAdd       = 3
+	opCSwap      = 4
+	opAck        = 5
+	opReadResp   = 6
+	opAtomicResp = 7
+	opExg        = 8
+	opExgResp    = 9
+)
+
+// registration is one pinned buffer.
+type registration struct {
+	buf  []byte
+	base uint64
+	rkey uint32
+}
+
+// outFrame is one queued outbound request.
+type outFrame struct {
+	data []byte
+	// completion bookkeeping for requests that expect a response
+	token    uint64
+	signaled bool
+}
+
+// Backend is one rank's TCP transport endpoint.
+type Backend struct {
+	cfg  Config
+	rank int
+	size int
+
+	ln    net.Listener
+	conns []net.Conn // nil at self rank
+
+	outMu   sync.Mutex
+	outs    []chan outFrame // per peer; self uses loopback dispatch
+	replyQs []*replyQueue   // per peer, lazily created
+	sendWG  sync.WaitGroup
+
+	memMu    sync.RWMutex  // guards all registered memory (the "DMA lock")
+	writeAct atomic.Uint64 // bumped after every applied remote write/atomic
+	regs     map[uint32]*registration
+	nextRKey uint32
+	nextBase uint64
+
+	compMu sync.Mutex
+	comps  []core.BackendCompletion
+
+	// pending read/atomic result buffers keyed by token.
+	pendMu  sync.Mutex
+	pendBuf map[uint64][]byte
+
+	// exchange state.
+	exgMu     sync.Mutex
+	exgCond   *sync.Cond
+	exgResp   [][][]byte       // queue of completed exchanges (non-root waits here)
+	exgGather map[int][][]byte // root: per-rank queues of received blobs
+	exgSelf   [][]byte         // root: own blobs queued per generation
+
+	closed  chan struct{}
+	closeMu sync.Mutex
+	done    bool
+}
+
+var _ core.Backend = (*Backend)(nil)
+
+// New builds the endpoint: it listens, forms the full mesh (lower rank
+// dials higher rank), and starts the agent loops. New is collective
+// across the job.
+func New(cfg Config) (*Backend, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	b := &Backend{
+		cfg:       cfg,
+		rank:      cfg.Rank,
+		size:      len(cfg.Addrs),
+		conns:     make([]net.Conn, len(cfg.Addrs)),
+		outs:      make([]chan outFrame, len(cfg.Addrs)),
+		regs:      make(map[uint32]*registration),
+		nextRKey:  1,
+		nextBase:  0x1000,
+		pendBuf:   make(map[uint64][]byte),
+		exgGather: make(map[int][][]byte),
+		closed:    make(chan struct{}),
+	}
+	b.exgCond = sync.NewCond(&b.exgMu)
+
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("tcp: listen %s: %w", cfg.Addrs[cfg.Rank], err)
+		}
+	}
+	b.ln = ln
+
+	// Accept from lower ranks, dial higher ranks, in parallel.
+	var wg sync.WaitGroup
+	var connErr error
+	var errMu sync.Mutex
+	setErr := func(err error) {
+		errMu.Lock()
+		if connErr == nil {
+			connErr = err
+		}
+		errMu.Unlock()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < b.rank; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				setErr(err)
+				return
+			}
+			// Handshake: dialer announces its rank.
+			var hdr [4]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				setErr(fmt.Errorf("%w: %v", ErrHandshake, err))
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hdr[:]))
+			if peer < 0 || peer >= b.rank {
+				setErr(fmt.Errorf("%w: rank %d dialed into slot for lower ranks", ErrHandshake, peer))
+				return
+			}
+			b.conns[peer] = conn
+		}
+	}()
+	for peer := b.rank + 1; peer < b.size; peer++ {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			deadline := time.Now().Add(cfg.DialTimeout)
+			for {
+				conn, err := net.DialTimeout("tcp", cfg.Addrs[peer], cfg.DialTimeout)
+				if err == nil {
+					var hdr [4]byte
+					binary.LittleEndian.PutUint32(hdr[:], uint32(b.rank))
+					if _, err := conn.Write(hdr[:]); err != nil {
+						setErr(err)
+						return
+					}
+					b.conns[peer] = conn
+					return
+				}
+				if time.Now().After(deadline) {
+					setErr(fmt.Errorf("tcp: dial rank %d (%s): %w", peer, cfg.Addrs[peer], err))
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}(peer)
+	}
+	wg.Wait()
+	if connErr != nil {
+		b.Close()
+		return nil, connErr
+	}
+
+	// Start per-peer writer and reader loops.
+	for peer := 0; peer < b.size; peer++ {
+		b.outs[peer] = make(chan outFrame, cfg.SendDepth)
+		b.sendWG.Add(1)
+		go b.writer(peer)
+		if peer != b.rank {
+			go b.reader(peer, b.conns[peer])
+		}
+	}
+	return b, nil
+}
+
+// Rank returns this backend's rank.
+func (b *Backend) Rank() int { return b.rank }
+
+// Size returns the job size.
+func (b *Backend) Size() int { return b.size }
+
+// Addr returns the actual listen address (useful with ":0" configs).
+func (b *Backend) Addr() string { return b.ln.Addr().String() }
+
+// Register pins buf into the local registration table.
+func (b *Backend) Register(buf []byte) (mem.RemoteBuffer, sync.Locker, error) {
+	if len(buf) == 0 {
+		return mem.RemoteBuffer{}, nil, fmt.Errorf("tcp: empty registration")
+	}
+	b.memMu.Lock()
+	defer b.memMu.Unlock()
+	rkey := b.nextRKey
+	b.nextRKey++
+	base := b.nextBase
+	sz := (uint64(len(buf)) + 0xFFF) &^ uint64(0xFFF)
+	b.nextBase += sz + 0x1000
+	b.regs[rkey] = &registration{buf: buf, base: base, rkey: rkey}
+	return mem.RemoteBuffer{Addr: base, RKey: rkey, Len: len(buf)}, b.memMu.RLocker(), nil
+}
+
+// Deregister removes a registration.
+func (b *Backend) Deregister(rb mem.RemoteBuffer) error {
+	b.memMu.Lock()
+	defer b.memMu.Unlock()
+	if _, ok := b.regs[rb.RKey]; !ok {
+		return fmt.Errorf("tcp: no registration with rkey %d", rb.RKey)
+	}
+	delete(b.regs, rb.RKey)
+	return nil
+}
+
+// lookup resolves (rkey, addr, n); caller must hold memMu (read or write).
+func (b *Backend) lookup(rkey uint32, addr uint64, n int) (*registration, error) {
+	r, ok := b.regs[rkey]
+	if !ok {
+		return nil, fmt.Errorf("tcp: unknown rkey %d", rkey)
+	}
+	if addr < r.base || addr+uint64(n) > r.base+uint64(len(r.buf)) || addr+uint64(n) < addr {
+		return nil, fmt.Errorf("tcp: address out of registration bounds")
+	}
+	return r, nil
+}
+
+// enqueue places a frame on a peer's writer queue, non-blocking.
+func (b *Backend) enqueue(rank int, f outFrame) error {
+	if rank < 0 || rank >= b.size {
+		return core.ErrBadRank
+	}
+	select {
+	case <-b.closed:
+		return core.ErrClosed
+	default:
+	}
+	select {
+	case b.outs[rank] <- f:
+		return nil
+	default:
+		return core.ErrWouldBlock
+	}
+}
+
+// PostWrite queues a one-sided write toward rank.
+func (b *Backend) PostWrite(rank int, local []byte, raddr uint64, rkey uint32, token uint64, signaled bool) error {
+	f := make([]byte, 1+8+1+8+4+4+len(local))
+	f[0] = opWrite
+	binary.LittleEndian.PutUint64(f[1:], token)
+	if signaled {
+		f[9] = 1
+	}
+	binary.LittleEndian.PutUint64(f[10:], raddr)
+	binary.LittleEndian.PutUint32(f[18:], rkey)
+	binary.LittleEndian.PutUint32(f[22:], uint32(len(local)))
+	copy(f[26:], local)
+	return b.enqueue(rank, outFrame{data: f, token: token, signaled: signaled})
+}
+
+// PostRead queues a one-sided read from rank.
+func (b *Backend) PostRead(rank int, local []byte, raddr uint64, rkey uint32, token uint64) error {
+	f := make([]byte, 1+8+8+4+4)
+	f[0] = opRead
+	binary.LittleEndian.PutUint64(f[1:], token)
+	binary.LittleEndian.PutUint64(f[9:], raddr)
+	binary.LittleEndian.PutUint32(f[17:], rkey)
+	binary.LittleEndian.PutUint32(f[21:], uint32(len(local)))
+	b.pendMu.Lock()
+	b.pendBuf[token] = local
+	b.pendMu.Unlock()
+	if err := b.enqueue(rank, outFrame{data: f, token: token, signaled: true}); err != nil {
+		b.pendMu.Lock()
+		delete(b.pendBuf, token)
+		b.pendMu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// PostFetchAdd queues a remote fetch-and-add.
+func (b *Backend) PostFetchAdd(rank int, result []byte, raddr uint64, rkey uint32, add uint64, token uint64) error {
+	f := make([]byte, 1+8+8+4+8)
+	f[0] = opFAdd
+	binary.LittleEndian.PutUint64(f[1:], token)
+	binary.LittleEndian.PutUint64(f[9:], raddr)
+	binary.LittleEndian.PutUint32(f[17:], rkey)
+	binary.LittleEndian.PutUint64(f[21:], add)
+	return b.postAtomic(rank, result, token, f)
+}
+
+// PostCompSwap queues a remote compare-and-swap.
+func (b *Backend) PostCompSwap(rank int, result []byte, raddr uint64, rkey uint32, compare, swap uint64, token uint64) error {
+	f := make([]byte, 1+8+8+4+8+8)
+	f[0] = opCSwap
+	binary.LittleEndian.PutUint64(f[1:], token)
+	binary.LittleEndian.PutUint64(f[9:], raddr)
+	binary.LittleEndian.PutUint32(f[17:], rkey)
+	binary.LittleEndian.PutUint64(f[21:], compare)
+	binary.LittleEndian.PutUint64(f[29:], swap)
+	return b.postAtomic(rank, result, token, f)
+}
+
+func (b *Backend) postAtomic(rank int, result []byte, token uint64, f []byte) error {
+	b.pendMu.Lock()
+	b.pendBuf[token] = result
+	b.pendMu.Unlock()
+	if err := b.enqueue(rank, outFrame{data: f, token: token, signaled: true}); err != nil {
+		b.pendMu.Lock()
+		delete(b.pendBuf, token)
+		b.pendMu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// ApplyLocal places data into this rank's own registered memory with
+// full validation (loopback DMA for packed-put payloads).
+func (b *Backend) ApplyLocal(raddr uint64, rkey uint32, data []byte) error {
+	b.memMu.Lock()
+	reg, err := b.lookup(rkey, raddr, len(data))
+	if err == nil {
+		copy(reg.buf[raddr-reg.base:], data)
+	}
+	b.memMu.Unlock()
+	if err == nil {
+		b.writeAct.Add(1)
+	}
+	return err
+}
+
+// WriteActivity implements core.ActivityBackend with one counter for
+// all registrations (the TCP agent applies every remote write).
+func (b *Backend) WriteActivity(rb mem.RemoteBuffer) (func() uint64, bool) {
+	return b.writeAct.Load, true
+}
+
+// Poll reaps completions.
+func (b *Backend) Poll(dst []core.BackendCompletion) int {
+	b.compMu.Lock()
+	defer b.compMu.Unlock()
+	n := len(b.comps)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	copy(dst, b.comps[:n])
+	b.comps = b.comps[n:]
+	return n
+}
+
+func (b *Backend) pushComp(c core.BackendCompletion) {
+	b.compMu.Lock()
+	b.comps = append(b.comps, c)
+	b.compMu.Unlock()
+}
+
+// Close tears down connections and loops.
+func (b *Backend) Close() error {
+	b.closeMu.Lock()
+	if b.done {
+		b.closeMu.Unlock()
+		return nil
+	}
+	b.done = true
+	close(b.closed)
+	b.closeMu.Unlock()
+	if b.ln != nil {
+		b.ln.Close()
+	}
+	for _, c := range b.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	b.exgMu.Lock()
+	b.exgCond.Broadcast()
+	b.exgMu.Unlock()
+	return nil
+}

@@ -1,0 +1,327 @@
+// Package vsim is Photon's simulated-verbs backend: it implements the
+// core.Backend transport contract over the software RNIC (nicsim) and
+// the in-process fabric, standing in for the IB-verbs backend of the
+// original system.
+//
+// A Cluster owns the fabric and one backend per rank, wiring a full
+// mesh of reliable-connected queue pairs (rank i's QP toward rank j is
+// connected to rank j's QP toward rank i, including the self pair) and
+// providing the collective bootstrap Exchange that Photon uses to
+// publish ledger arenas.
+package vsim
+
+import (
+	"fmt"
+	"sync"
+
+	"photon/internal/core"
+	"photon/internal/fabric"
+	"photon/internal/mem"
+	"photon/internal/nicsim"
+	"photon/internal/verbs"
+)
+
+// Cluster is a set of vsim backends sharing one fabric, one per rank.
+type Cluster struct {
+	fab      *fabric.Fabric
+	ownsFab  bool
+	backends []*Backend
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     int
+	arrived int
+	blobs   [][]byte
+	outs    map[int][][]byte
+	readers map[int]int
+}
+
+// NewCluster creates n ranks over a fresh fabric with the given delay
+// model and NIC configuration.
+func NewCluster(n int, fm fabric.Model, nc nicsim.Config) (*Cluster, error) {
+	fab := fabric.New(n, fm)
+	c, err := NewClusterOver(fab, nc)
+	if err != nil {
+		fab.Close()
+		return nil, err
+	}
+	c.ownsFab = true
+	return c, nil
+}
+
+// NewClusterOver creates one rank per fabric node on an existing
+// fabric (which the caller continues to own).
+func NewClusterOver(fab *fabric.Fabric, nc nicsim.Config) (*Cluster, error) {
+	n := fab.NumNodes()
+	c := &Cluster{
+		fab:     fab,
+		blobs:   make([][]byte, n),
+		outs:    make(map[int][][]byte),
+		readers: make(map[int]int),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.backends = make([]*Backend, n)
+	for r := 0; r < n; r++ {
+		dev, err := verbs.Open(fab, r, nc)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		b := &Backend{
+			cluster: c,
+			rank:    r,
+			dev:     dev,
+			cq:      dev.CreateCQ(8192),
+			qps:     make([]*verbs.QP, n),
+			mrs:     make(map[uint64]*verbs.MR),
+		}
+		c.backends[r] = b
+	}
+	// Full QP mesh: one QP at each rank toward every rank (self
+	// included), cross-connected.
+	for i := 0; i < n; i++ {
+		bi := c.backends[i]
+		for j := 0; j < n; j++ {
+			qp, err := bi.dev.CreateQP(bi.cq, bi.dev.CreateCQ(16))
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			bi.qps[j] = qp
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if err := c.backends[i].qps[j].Connect(j, c.backends[j].qps[i].QPN()); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// Backends returns the per-rank backends, indexed by rank.
+func (c *Cluster) Backends() []*Backend { return c.backends }
+
+// Backend returns the backend for one rank.
+func (c *Cluster) Backend(rank int) *Backend { return c.backends[rank] }
+
+// Fabric returns the underlying fabric (for stats and fault injection).
+func (c *Cluster) Fabric() *fabric.Fabric { return c.fab }
+
+// Close shuts down every backend and, if the cluster created it, the
+// fabric.
+func (c *Cluster) Close() {
+	for _, b := range c.backends {
+		if b != nil {
+			b.closeLocal()
+		}
+	}
+	if c.ownsFab {
+		c.fab.Close()
+	}
+}
+
+// exchange implements the collective allgather barrier.
+func (c *Cluster) exchange(rank int, blob []byte) ([][]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gen := c.gen
+	c.blobs[rank] = append([]byte(nil), blob...)
+	c.arrived++
+	n := len(c.backends)
+	if c.arrived == n {
+		out := make([][]byte, n)
+		copy(out, c.blobs)
+		c.outs[gen] = out
+		c.readers[gen] = n
+		c.blobs = make([][]byte, n)
+		c.arrived = 0
+		c.gen++
+		c.cond.Broadcast()
+	} else {
+		for c.gen == gen {
+			c.cond.Wait()
+		}
+	}
+	out := c.outs[gen]
+	c.readers[gen]--
+	if c.readers[gen] == 0 {
+		delete(c.outs, gen)
+		delete(c.readers, gen)
+	}
+	return out, nil
+}
+
+// Backend is one rank's transport endpoint.
+type Backend struct {
+	cluster *Cluster
+	rank    int
+	dev     *verbs.Device
+	cq      *verbs.CQ
+	qps     []*verbs.QP
+
+	mrMu sync.Mutex
+	mrs  map[uint64]*verbs.MR // keyed by base address
+
+	pollMu      sync.Mutex
+	pollScratch []verbs.CQE // reused across Poll calls (no per-call alloc)
+}
+
+var _ core.Backend = (*Backend)(nil)
+
+// Rank returns this backend's rank.
+func (b *Backend) Rank() int { return b.rank }
+
+// Size returns the job size.
+func (b *Backend) Size() int { return len(b.qps) }
+
+// Device exposes the verbs device (counters, ablation).
+func (b *Backend) Device() *verbs.Device { return b.dev }
+
+// Register pins buf with the NIC.
+func (b *Backend) Register(buf []byte) (mem.RemoteBuffer, sync.Locker, error) {
+	mr, err := b.dev.RegMR(buf, verbs.AccessAll)
+	if err != nil {
+		return mem.RemoteBuffer{}, nil, err
+	}
+	rb := mem.RemoteBuffer{Addr: mr.Base(), RKey: mr.RKey(), Len: mr.Len()}
+	b.mrMu.Lock()
+	b.mrs[rb.Addr] = mr
+	b.mrMu.Unlock()
+	return rb, mr.RLocker(), nil
+}
+
+// Deregister releases a registration by descriptor.
+func (b *Backend) Deregister(rb mem.RemoteBuffer) error {
+	b.mrMu.Lock()
+	mr, ok := b.mrs[rb.Addr]
+	if ok {
+		delete(b.mrs, rb.Addr)
+	}
+	b.mrMu.Unlock()
+	if !ok {
+		return fmt.Errorf("vsim: no registration at %#x", rb.Addr)
+	}
+	return b.dev.DeregMR(mr)
+}
+
+// translate maps transport errors to the core sentinel space.
+func translate(err error) error {
+	switch err {
+	case nil:
+		return nil
+	case nicsim.ErrSQFull:
+		return core.ErrWouldBlock
+	case nicsim.ErrClosed:
+		return core.ErrClosed
+	default:
+		return err
+	}
+}
+
+// PostWrite starts a one-sided RDMA write toward rank.
+func (b *Backend) PostWrite(rank int, local []byte, raddr uint64, rkey uint32, token uint64, signaled bool) error {
+	if rank < 0 || rank >= len(b.qps) {
+		return core.ErrBadRank
+	}
+	return translate(b.qps[rank].PostSend(verbs.SendWR{
+		WRID: token, Op: verbs.OpRDMAWrite, Local: local,
+		RemoteAddr: raddr, RKey: rkey, Signaled: signaled,
+	}))
+}
+
+// PostRead starts a one-sided RDMA read from rank.
+func (b *Backend) PostRead(rank int, local []byte, raddr uint64, rkey uint32, token uint64) error {
+	if rank < 0 || rank >= len(b.qps) {
+		return core.ErrBadRank
+	}
+	return translate(b.qps[rank].PostSend(verbs.SendWR{
+		WRID: token, Op: verbs.OpRDMARead, Local: local,
+		RemoteAddr: raddr, RKey: rkey, Signaled: true,
+	}))
+}
+
+// PostFetchAdd starts a remote fetch-and-add on rank.
+func (b *Backend) PostFetchAdd(rank int, result []byte, raddr uint64, rkey uint32, add uint64, token uint64) error {
+	if rank < 0 || rank >= len(b.qps) {
+		return core.ErrBadRank
+	}
+	return translate(b.qps[rank].PostSend(verbs.SendWR{
+		WRID: token, Op: verbs.OpAtomicFetchAdd, Local: result,
+		RemoteAddr: raddr, RKey: rkey, Add: add, Signaled: true,
+	}))
+}
+
+// PostCompSwap starts a remote compare-and-swap on rank.
+func (b *Backend) PostCompSwap(rank int, result []byte, raddr uint64, rkey uint32, compare, swap uint64, token uint64) error {
+	if rank < 0 || rank >= len(b.qps) {
+		return core.ErrBadRank
+	}
+	return translate(b.qps[rank].PostSend(verbs.SendWR{
+		WRID: token, Op: verbs.OpAtomicCompSwap, Local: result,
+		RemoteAddr: raddr, RKey: rkey, Compare: compare, Swap: swap, Signaled: true,
+	}))
+}
+
+// ApplyLocal places data into this rank's own registered memory with
+// full protection checks (loopback DMA for packed-put payloads).
+func (b *Backend) ApplyLocal(raddr uint64, rkey uint32, data []byte) error {
+	return b.dev.NIC().LocalWrite(raddr, rkey, data)
+}
+
+// WriteActivity exposes the registration's DMA write counter
+// (core.ActivityBackend).
+func (b *Backend) WriteActivity(rb mem.RemoteBuffer) (func() uint64, bool) {
+	b.mrMu.Lock()
+	mr, ok := b.mrs[rb.Addr]
+	b.mrMu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return mr.WriteActivity, true
+}
+
+// Poll reaps transport completions.
+func (b *Backend) Poll(dst []core.BackendCompletion) int {
+	if len(dst) == 0 || b.cq.FastLen() == 0 {
+		return 0
+	}
+	b.pollMu.Lock()
+	defer b.pollMu.Unlock()
+	if cap(b.pollScratch) < len(dst) {
+		b.pollScratch = make([]verbs.CQE, len(dst))
+	}
+	tmp := b.pollScratch[:len(dst)]
+	n := b.cq.PollInto(tmp)
+	for i := 0; i < n; i++ {
+		dst[i] = core.BackendCompletion{
+			Token: tmp[i].WRID,
+			OK:    tmp[i].Status == verbs.StatusOK,
+		}
+		if tmp[i].Status != verbs.StatusOK {
+			dst[i].Err = fmt.Errorf("vsim: completion status %v", tmp[i].Status)
+		}
+	}
+	return n
+}
+
+// Exchange performs the collective bootstrap allgather.
+func (b *Backend) Exchange(local []byte) ([][]byte, error) {
+	return b.cluster.exchange(b.rank, local)
+}
+
+// closeLocal tears down this rank's device without touching the
+// cluster.
+func (b *Backend) closeLocal() {
+	if b.dev != nil {
+		b.dev.Close()
+	}
+}
+
+// Close releases this rank's transport resources.
+func (b *Backend) Close() error {
+	b.closeLocal()
+	return nil
+}

@@ -1,0 +1,168 @@
+package vsim_test
+
+import (
+	"sync"
+	"testing"
+
+	"photon/internal/backend/vsim"
+	"photon/internal/core"
+	"photon/internal/fabric"
+	"photon/internal/nicsim"
+)
+
+func newCluster(t *testing.T, n int) *vsim.Cluster {
+	t.Helper()
+	cl, err := vsim.NewCluster(n, fabric.Model{}, nicsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestBackendIdentity(t *testing.T) {
+	cl := newCluster(t, 3)
+	for r, b := range cl.Backends() {
+		if b.Rank() != r || b.Size() != 3 {
+			t.Fatalf("backend %d: rank=%d size=%d", r, b.Rank(), b.Size())
+		}
+		if b.Device() == nil {
+			t.Fatal("nil device")
+		}
+	}
+	if cl.Fabric().NumNodes() != 3 {
+		t.Fatal("fabric size wrong")
+	}
+}
+
+func TestRegisterDeregister(t *testing.T) {
+	cl := newCluster(t, 2)
+	b := cl.Backend(0)
+	buf := make([]byte, 128)
+	rb, lk, err := b.Register(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Len != 128 || rb.Addr == 0 || lk == nil {
+		t.Fatalf("descriptor = %+v", rb)
+	}
+	if fn, ok := b.WriteActivity(rb); !ok || fn == nil {
+		t.Fatal("WriteActivity missing for live registration")
+	}
+	if err := b.Deregister(rb); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Deregister(rb); err == nil {
+		t.Fatal("double deregister accepted")
+	}
+	if _, ok := b.WriteActivity(rb); ok {
+		t.Fatal("WriteActivity should fail after deregister")
+	}
+}
+
+func TestApplyLocalValidates(t *testing.T) {
+	cl := newCluster(t, 1)
+	b := cl.Backend(0)
+	buf := make([]byte, 64)
+	rb, _, _ := b.Register(buf)
+	if err := b.ApplyLocal(rb.Addr, rb.RKey, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[2] != 3 {
+		t.Fatal("ApplyLocal did not place data")
+	}
+	if err := b.ApplyLocal(rb.Addr, 9999, []byte{1}); err == nil {
+		t.Fatal("bad rkey accepted")
+	}
+	if err := b.ApplyLocal(rb.Addr+100, rb.RKey, []byte{1}); err == nil {
+		t.Fatal("out-of-bounds accepted")
+	}
+}
+
+func TestWriteActivityCounts(t *testing.T) {
+	cl := newCluster(t, 2)
+	target := make([]byte, 64)
+	rb, _, _ := cl.Backend(1).Register(target)
+	act, ok := cl.Backend(1).WriteActivity(rb)
+	if !ok {
+		t.Fatal("no activity counter")
+	}
+	before := act()
+	if err := cl.Backend(0).PostWrite(1, []byte{7}, rb.Addr, rb.RKey, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	var comps [4]core.BackendCompletion
+	for {
+		if n := cl.Backend(0).Poll(comps[:]); n > 0 {
+			if !comps[0].OK {
+				t.Fatalf("write failed: %v", comps[0].Err)
+			}
+			break
+		}
+	}
+	if act() != before+1 {
+		t.Fatalf("activity = %d, want %d", act(), before+1)
+	}
+}
+
+func TestExchangeRepeatedGenerations(t *testing.T) {
+	cl := newCluster(t, 3)
+	for gen := 0; gen < 5; gen++ {
+		var wg sync.WaitGroup
+		outs := make([][][]byte, 3)
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				outs[r], _ = cl.Backend(r).Exchange([]byte{byte(gen), byte(r)})
+			}(r)
+		}
+		wg.Wait()
+		for r := 0; r < 3; r++ {
+			for src := 0; src < 3; src++ {
+				if outs[r][src][0] != byte(gen) || outs[r][src][1] != byte(src) {
+					t.Fatalf("gen %d rank %d blob[%d] = %v", gen, r, src, outs[r][src])
+				}
+			}
+		}
+	}
+}
+
+func TestPostToBadRank(t *testing.T) {
+	cl := newCluster(t, 2)
+	b := cl.Backend(0)
+	if err := b.PostWrite(5, []byte{1}, 0x1000, 1, 0, false); err != core.ErrBadRank {
+		t.Fatalf("PostWrite bad rank: %v", err)
+	}
+	if err := b.PostRead(-1, []byte{1}, 0x1000, 1, 0); err != core.ErrBadRank {
+		t.Fatalf("PostRead bad rank: %v", err)
+	}
+	if err := b.PostFetchAdd(9, make([]byte, 8), 0x1000, 1, 1, 0); err != core.ErrBadRank {
+		t.Fatalf("PostFetchAdd bad rank: %v", err)
+	}
+	if err := b.PostCompSwap(9, make([]byte, 8), 0x1000, 1, 0, 1, 0); err != core.ErrBadRank {
+		t.Fatalf("PostCompSwap bad rank: %v", err)
+	}
+}
+
+func TestSQFullTranslatesToWouldBlock(t *testing.T) {
+	cl, err := vsim.NewCluster(2, fabric.Model{Latency: 2_000_000}, nicsim.Config{SQDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	target := make([]byte, 64)
+	rb, _, _ := cl.Backend(1).Register(target)
+	sawBlock := false
+	for i := 0; i < 64 && !sawBlock; i++ {
+		err := cl.Backend(0).PostWrite(1, []byte{1}, rb.Addr, rb.RKey, 0, false)
+		if err == core.ErrWouldBlock {
+			sawBlock = true
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawBlock {
+		t.Fatal("SQ never filled despite 2ms wire latency and depth 1")
+	}
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"photon/internal/core"
+	"photon/internal/fabric"
+	"photon/internal/msg"
+	"photon/internal/nicsim"
+	gort "runtime"
+	"testing"
+	"time"
+)
+
+// Interleaved A/B latency decomposition: photon packed put vs the
+// two-sided baseline's eager send, one-way, alternating batches in one
+// process so machine noise hits both equally. Reports post cost,
+// discovery time, and spin counts — the decomposition EXPERIMENTS.md
+// discusses.
+func TestABOneWay(t *testing.T) {
+	e, err := NewPhotonOnly(2, fabric.Model{}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	_, descs, _, err := e.SharedBuffers(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := msg.NewJob(2, fabric.Model{}, nicsim.Config{}, msg.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	a, b := j.Endpoint(0), j.Endpoint(1)
+
+	// warmup
+	for k := uint64(1); k <= 100; k++ {
+		e.Phs[0].PutBlocking(1, []byte{1}, descs[0][1], 0, 0, 900000+k)
+		e.Phs[1].WaitRemote(900000+k, time.Second)
+		a.Send(1, k, []byte{1})
+		b.RecvBlocking(0, k, nil, time.Second)
+	}
+
+	const batches, per = 40, 50
+	var pPost, pDisc, mPost, mDisc time.Duration
+	var pSpins, mSpins int
+	seq := uint64(0)
+	for bi := 0; bi < batches; bi++ {
+		for i := 0; i < per; i++ {
+			seq++
+			t0 := time.Now()
+			if err := e.Phs[0].PutBlocking(1, []byte{1}, descs[0][1], 0, 0, seq); err != nil {
+				t.Fatal(err)
+			}
+			t1 := time.Now()
+			for {
+				pSpins++
+				e.Phs[1].Progress()
+				if _, ok := e.Phs[1].PopRemote(); ok {
+					break
+				}
+				gort.Gosched()
+			}
+			pPost += t1.Sub(t0)
+			pDisc += time.Since(t1)
+		}
+		for i := 0; i < per; i++ {
+			seq++
+			t0 := time.Now()
+			if _, err := a.Send(1, seq, []byte{1}); err != nil {
+				t.Fatal(err)
+			}
+			t1 := time.Now()
+			ch, _ := b.Recv(0, seq, nil)
+			for {
+				mSpins++
+				b.Progress()
+				select {
+				case <-ch:
+					goto done
+				default:
+				}
+				gort.Gosched()
+			}
+		done:
+			mPost += t1.Sub(t0)
+			mDisc += time.Since(t1)
+		}
+	}
+	n := time.Duration(batches * per)
+	t.Logf("photon: post=%v disc=%v spins/op=%.1f", pPost/n, pDisc/n, float64(pSpins)/float64(n))
+	t.Logf("msg:    post=%v disc=%v spins/op=%.1f", mPost/n, mDisc/n, float64(mSpins)/float64(n))
+}

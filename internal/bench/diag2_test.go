@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"photon/internal/core"
+	"photon/internal/fabric"
+	gort "runtime"
+	"testing"
+	"time"
+)
+
+// Segment the one-way packed-put latency: post -> WaitRemote sees it.
+func TestSegmentLatency(t *testing.T) {
+	e, err := NewPhotonOnly(2, fabric.Model{}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	_, descs, _, err := e.SharedBuffers(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm up.
+	for k := uint64(1); k <= 100; k++ {
+		e.Phs[0].PutBlocking(1, []byte{1}, descs[0][1], 0, 0, k)
+		e.Phs[1].WaitRemote(k, time.Second)
+	}
+	// Measure: receiver spins Probe; sender stamps post time.
+	const iters = 2000
+	var sum time.Duration
+	for k := uint64(101); k < 101+iters; k++ {
+		t0 := time.Now()
+		if err := e.Phs[0].PutBlocking(1, []byte{1}, descs[0][1], 0, 0, k); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if c, ok := e.Phs[1].Probe(core.ProbeRemote); ok {
+				if c.RID != k {
+					t.Fatalf("rid %d want %d", c.RID, k)
+				}
+				break
+			}
+			gort.Gosched()
+		}
+		sum += time.Since(t0)
+	}
+	t.Logf("post->probe one-way (same goroutine): %v", sum/iters)
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"photon/internal/core"
+	"photon/internal/fabric"
+	"testing"
+	"time"
+)
+
+func TestMicroCosts(t *testing.T) {
+	e, err := NewPhotonOnly(2, fabric.Model{}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	_, descs, _, err := e.SharedBuffers(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Idle Progress cost.
+	const n = 200000
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		e.Phs[1].Progress()
+	}
+	t.Logf("idle Progress: %v", time.Since(t0)/n)
+
+	// PutBlocking post cost (fire many unnotified, unsignaled direct puts).
+	t0 = time.Now()
+	const m = 20000
+	for i := 0; i < m; i++ {
+		if err := e.Phs[0].PutBlocking(1, []byte{1}, descs[0][1], 0, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("PutBlocking post (direct, no rids): %v", time.Since(t0)/m)
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"photon/internal/core"
+	"photon/internal/fabric"
+	"photon/internal/ledger"
+	"photon/internal/mem"
+	"testing"
+	"time"
+)
+
+func TestProgressBreakdown(t *testing.T) {
+	const n = 300000
+	// Raw ledger Poll cost.
+	buf := make([]byte, 64*64)
+	r, _ := ledger.NewReceiver(buf, 64, nil)
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		r.Poll()
+	}
+	t.Logf("bare Receiver.Poll (no locker): %v", time.Since(t0)/n)
+
+	e, err := NewPhotonOnly(2, fabric.Model{}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// Poll with the real arena locker.
+	_, _, lks, err := e.SharedBuffers(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := ledger.NewReceiver(buf, 64, lks[0])
+	t0 = time.Now()
+	for i := 0; i < n; i++ {
+		r2.Poll()
+	}
+	t.Logf("Receiver.Poll with RWMutex locker: %v", time.Since(t0)/n)
+
+	var rb mem.RemoteBuffer
+	_ = rb
+	t0 = time.Now()
+	for i := 0; i < n; i++ {
+		e.Phs[1].Progress()
+	}
+	t.Logf("idle Progress: %v", time.Since(t0)/n)
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"photon/internal/core"
+	"photon/internal/fabric"
+	gort "runtime"
+	"testing"
+	"time"
+)
+
+func TestSegmentPhases(t *testing.T) {
+	e, err := NewPhotonOnly(2, fabric.Model{}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	_, descs, _, err := e.SharedBuffers(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		e.Phs[0].PutBlocking(1, []byte{1}, descs[0][1], 0, 0, k)
+		e.Phs[1].WaitRemote(k, time.Second)
+	}
+	const iters = 3000
+	var postT, discT time.Duration
+	var spins int
+	for k := uint64(101); k < 101+iters; k++ {
+		t0 := time.Now()
+		if err := e.Phs[0].PutBlocking(1, []byte{1}, descs[0][1], 0, 0, k); err != nil {
+			t.Fatal(err)
+		}
+		t1 := time.Now()
+		for {
+			spins++
+			e.Phs[1].Progress()
+			if c, ok := e.Phs[1].PopRemote(); ok {
+				if c.RID != k {
+					t.Fatalf("rid")
+				}
+				break
+			}
+			gort.Gosched()
+		}
+		t2 := time.Now()
+		postT += t1.Sub(t0)
+		discT += t2.Sub(t1)
+	}
+	t.Logf("post: %v  discover: %v  spins/op: %.1f", postT/iters, discT/iters, float64(spins)/iters)
+}

@@ -1,0 +1,182 @@
+// Package bench contains the measurement routines behind every table
+// and figure of the reconstructed evaluation. cmd/photon-bench and the
+// top-level testing.B benchmarks both call into this package so the CLI
+// harness and `go test -bench` print the same quantities.
+//
+// Each routine isolates one comparison the paper's evaluation makes:
+// one-sided ledger completion versus two-sided matching at equal
+// transport cost (both run over the identical simulated NIC), eager
+// versus rendezvous, ledger sizing, injector scaling, backend
+// portability, and NIC atomics.
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"photon/internal/backend/tcp"
+	"photon/internal/backend/vsim"
+	"photon/internal/core"
+	"photon/internal/fabric"
+	"photon/internal/mem"
+	"photon/internal/msg"
+	"photon/internal/nicsim"
+)
+
+// Env bundles a Photon job and a two-sided baseline job built over
+// identical transports (separate fabrics with the same model so the
+// two stacks don't contend).
+type Env struct {
+	Cluster *vsim.Cluster
+	Phs     []*core.Photon
+	MsgJob  *msg.Job
+}
+
+// NewEnv builds an n-rank environment. fm applies to both stacks.
+func NewEnv(n int, fm fabric.Model, coreCfg core.Config, msgCfg msg.Config) (*Env, error) {
+	cl, err := vsim.NewCluster(n, fm, nicsim.Config{})
+	if err != nil {
+		return nil, err
+	}
+	phs, err := initPhotons(cl, coreCfg)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	job, err := msg.NewJob(n, fm, nicsim.Config{}, msgCfg)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return &Env{Cluster: cl, Phs: phs, MsgJob: job}, nil
+}
+
+// NewPhotonOnly builds just the Photon side (for experiments without a
+// baseline axis).
+func NewPhotonOnly(n int, fm fabric.Model, coreCfg core.Config) (*Env, error) {
+	cl, err := vsim.NewCluster(n, fm, nicsim.Config{})
+	if err != nil {
+		return nil, err
+	}
+	phs, err := initPhotons(cl, coreCfg)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return &Env{Cluster: cl, Phs: phs}, nil
+}
+
+func initPhotons(cl *vsim.Cluster, cfg core.Config) ([]*core.Photon, error) {
+	n := len(cl.Backends())
+	phs := make([]*core.Photon, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			phs[r], errs[r] = core.Init(cl.Backend(r), cfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return phs, nil
+}
+
+// Close releases both stacks.
+func (e *Env) Close() {
+	if e.Phs != nil {
+		for _, p := range e.Phs {
+			p.Close()
+		}
+	}
+	if e.Cluster != nil {
+		e.Cluster.Close()
+	}
+	if e.MsgJob != nil {
+		e.MsgJob.Close()
+	}
+}
+
+// SharedBuffers registers one buffer of size bytes at every rank and
+// exchanges descriptors, returning per-rank views: bufs[r] is rank r's
+// local buffer, descs[r][p] is rank p's buffer as seen by rank r.
+func (e *Env) SharedBuffers(size int) (bufs [][]byte, descs [][]mem.RemoteBuffer, lks []sync.Locker, err error) {
+	n := len(e.Phs)
+	bufs = make([][]byte, n)
+	descs = make([][]mem.RemoteBuffer, n)
+	lks = make([]sync.Locker, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			bufs[r] = make([]byte, size)
+			rb, lk, err := e.Phs[r].RegisterBuffer(bufs[r])
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			lks[r] = lk
+			descs[r], errs[r] = e.Phs[r].ExchangeBuffers(rb)
+		}(r)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, nil, nil, e
+		}
+	}
+	return bufs, descs, lks, nil
+}
+
+// NewTCPPhotons boots an n-rank Photon job over the loopback TCP
+// backend (for the backend-comparison experiment).
+func NewTCPPhotons(n int, cfg core.Config) ([]*core.Photon, func(), error) {
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	phs := make([]*core.Photon, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			be, err := tcp.New(tcp.Config{Rank: r, Addrs: addrs, Listener: lns[r]})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			phs[r], errs[r] = core.Init(be, cfg)
+		}(r)
+	}
+	wg.Wait()
+	cleanup := func() {
+		for _, p := range phs {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}
+	for r, err := range errs {
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("tcp rank %d: %w", r, err)
+		}
+	}
+	return phs, cleanup, nil
+}

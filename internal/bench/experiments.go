@@ -1,0 +1,509 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"photon/internal/apps"
+	"photon/internal/core"
+	"photon/internal/fabric"
+	"photon/internal/msg"
+	"photon/internal/runtime"
+	"photon/internal/stats"
+)
+
+// Report is one experiment's regenerated output: the text tables and
+// series that correspond to the reconstructed paper artifact.
+type Report struct {
+	ID     string
+	Title  string
+	Series []*stats.Series
+	Tables []*stats.Table
+}
+
+// Render prints the full report as text.
+func (r *Report) Render() string {
+	out := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
+	for _, s := range r.Series {
+		out += s.Render() + "\n"
+	}
+	for _, t := range r.Tables {
+		out += t.Render() + "\n"
+	}
+	return out
+}
+
+// Experiments lists the runnable experiment IDs in order.
+func Experiments() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment. scale (0 < scale <= 1 typical) shrinks
+// iteration counts for quick runs; 1.0 is the full reconstruction.
+func Run(id string, scale float64) (*Report, error) {
+	fn, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, Experiments())
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	return fn(scale)
+}
+
+var registry = map[string]func(scale float64) (*Report, error){
+	"E1":  runE1,
+	"E2":  runE2,
+	"E3":  runE3,
+	"E4":  runE4,
+	"E5":  runE5,
+	"E6":  runE6,
+	"E7":  runE7,
+	"E8":  runE8,
+	"E9":  runE9,
+	"E10": runE10,
+	"E11": runE11,
+	"E12": runE12,
+}
+
+// warmProcess runs a short untimed traffic burst on scratch
+// environments so the first recorded row of a latency experiment is
+// not measuring heap growth and cold stacks.
+func warmProcess(iters int) {
+	if e, err := NewEnv(2, fabric.Model{}, core.Config{}, msg.Config{}); err == nil {
+		if _, descs, _, err := e.SharedBuffers(4096); err == nil {
+			_, _ = PingPongPWC(e.Phs, descs, 8, iters)
+			_, _ = PingPongBaseline(e.MsgJob, 8, iters)
+			_, _ = PingPongSend(e.Phs, 8, iters)
+		}
+		e.Close()
+	}
+}
+
+func scaled(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// latModel is the non-zero delay model used where the experiment wants
+// network-like timing rather than raw software overhead.
+var latModel = fabric.Model{Latency: 2 * time.Microsecond, GapPerByte: time.Nanosecond / 2}
+
+// runE1 — Fig. 1: put latency vs. message size.
+func runE1(scale float64) (*Report, error) {
+	warmProcess(scaled(100, scale))
+	e, err := NewEnv(2, fabric.Model{}, core.Config{}, msg.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	_, descs, _, err := e.SharedBuffers(128 * 1024)
+	if err != nil {
+		return nil, err
+	}
+	iters := scaled(400, scale)
+	s := stats.NewSeries("Fig 1 (reconstructed): one-way put latency (us) vs size (B)",
+		"size", "photon-pwc", "photon-send", "baseline-sendrecv")
+	for _, size := range stats.Sizes(8, 64*1024) {
+		pwc, err := PingPongPWC(e.Phs, descs, size, iters)
+		if err != nil {
+			return nil, fmt.Errorf("pwc size %d: %w", size, err)
+		}
+		snd, err := PingPongSend(e.Phs, size, iters)
+		if err != nil {
+			return nil, fmt.Errorf("send size %d: %w", size, err)
+		}
+		base, err := PingPongBaseline(e.MsgJob, size, iters)
+		if err != nil {
+			return nil, fmt.Errorf("baseline size %d: %w", size, err)
+		}
+		s.Row(float64(size), us(pwc), us(snd), us(base))
+	}
+	return &Report{ID: "E1", Title: "put latency vs message size", Series: []*stats.Series{s}}, nil
+}
+
+// runE2 — Fig. 2: get latency vs. message size.
+func runE2(scale float64) (*Report, error) {
+	warmProcess(scaled(100, scale))
+	e, err := NewEnv(2, fabric.Model{}, core.Config{}, msg.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	_, descs, _, err := e.SharedBuffers(128 * 1024)
+	if err != nil {
+		return nil, err
+	}
+	iters := scaled(400, scale)
+	s := stats.NewSeries("Fig 2 (reconstructed): get latency (us) vs size (B)",
+		"size", "photon-gwc", "baseline-pull")
+	for _, size := range stats.Sizes(8, 64*1024) {
+		g, err := GetLatencyGWC(e.Phs, descs, size, iters)
+		if err != nil {
+			return nil, err
+		}
+		b, err := GetLatencyBaseline(e.MsgJob, size, iters)
+		if err != nil {
+			return nil, err
+		}
+		s.Row(float64(size), us(g), us(b))
+	}
+	return &Report{ID: "E2", Title: "get latency vs message size", Series: []*stats.Series{s}}, nil
+}
+
+// runE3 — Fig. 3: streaming bandwidth vs. message size.
+func runE3(scale float64) (*Report, error) {
+	e, err := NewEnv(2, fabric.Model{}, core.Config{LedgerSlots: 256}, msg.Config{RecvSlots: 256})
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	_, descs, _, err := e.SharedBuffers(1 << 20)
+	if err != nil {
+		return nil, err
+	}
+	iters := scaled(200, scale)
+	const window = 16
+	s := stats.NewSeries("Fig 3 (reconstructed): streaming bandwidth (MiB/s) vs size (B)",
+		"size", "photon-pwc", "baseline-sendrecv")
+	for _, size := range stats.Sizes(1024, 1<<20) {
+		p, err := StreamBandwidthPWC(e.Phs, descs, size, window, iters)
+		if err != nil {
+			return nil, err
+		}
+		b, err := StreamBandwidthBaseline(e.MsgJob, size, window, iters)
+		if err != nil {
+			return nil, err
+		}
+		s.Row(float64(size), p/(1<<20), b/(1<<20))
+	}
+	return &Report{ID: "E3", Title: "streaming bandwidth vs message size", Series: []*stats.Series{s}}, nil
+}
+
+// runE4 — Fig. 4: small-message rate vs. injector threads.
+func runE4(scale float64) (*Report, error) {
+	per := scaled(2000, scale)
+	s := stats.NewSeries("Fig 4 (reconstructed): 8-byte message rate (Kmsg/s) vs injector threads",
+		"threads", "photon-pwc", "baseline-sendrecv")
+	for _, threads := range []int{1, 2, 4, 8} {
+		e, err := NewEnv(2, fabric.Model{}, core.Config{LedgerSlots: 512}, msg.Config{RecvSlots: 512})
+		if err != nil {
+			return nil, err
+		}
+		p, err := MessageRatePWC(e.Phs, threads, per)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		b, err := MessageRateBaseline(e.MsgJob, threads, per)
+		e.Close()
+		if err != nil {
+			return nil, err
+		}
+		s.Row(float64(threads), p/1e3, b/1e3)
+	}
+	return &Report{ID: "E4", Title: "message rate vs injector threads", Series: []*stats.Series{s}}, nil
+}
+
+// runE5 — Fig. 5: completion-notification overhead: Photon's O(1)
+// ledger probe against two-sided matching whose cost grows with the
+// depth of the posted-receive queue (the asymmetry message-driven
+// runtimes care about — they keep many outstanding receives).
+func runE5(scale float64) (*Report, error) {
+	iters := scaled(400, scale)
+	warmProcess(iters / 2)
+	t := stats.NewTable("Fig 5 (reconstructed): notification latency (us) vs posted-receive queue depth",
+		"posted-receives", "photon-ledger-probe", "baseline-match", "baseline/photon")
+	for _, clutter := range []int{0, 64, 256, 1024} {
+		e, err := NewEnv(2, fabric.Model{}, core.Config{}, msg.Config{})
+		if err != nil {
+			return nil, err
+		}
+		_, descs, _, err := e.SharedBuffers(4096)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		p, err := NotifyLatencyPWC(e.Phs, descs, iters)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		b, err := PingPongBaselineCluttered(e.MsgJob, 1, iters, clutter)
+		e.Close()
+		if err != nil {
+			return nil, err
+		}
+		t.Row(clutter, us(p), us(b), float64(b)/float64(p))
+	}
+	return &Report{ID: "E5", Title: "completion notification overhead", Tables: []*stats.Table{t}}, nil
+}
+
+// runE6 — Table 1: eager/rendezvous crossover.
+func runE6(scale float64) (*Report, error) {
+	warmProcess(scaled(100, scale))
+	iters := scaled(300, scale)
+	// Eager entries large enough to pack every probed size.
+	eagerCfg := core.Config{EagerEntrySize: 64 * 1024, LedgerSlots: 32}
+	rdzvCfg := core.Config{ForceRendezvous: true}
+	eEager, err := NewPhotonOnly(2, fabric.Model{}, eagerCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer eEager.Close()
+	eRdzv, err := NewPhotonOnly(2, fabric.Model{}, rdzvCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer eRdzv.Close()
+	t := stats.NewTable("Table 1 (reconstructed): eager vs rendezvous latency (us) by size",
+		"size", "eager-packed", "rendezvous", "winner")
+	crossover := -1
+	for _, size := range stats.Sizes(64, 32*1024) {
+		le, err := PingPongSend(eEager.Phs, size, iters)
+		if err != nil {
+			return nil, err
+		}
+		lr, err := PingPongSend(eRdzv.Phs, size, iters)
+		if err != nil {
+			return nil, err
+		}
+		winner := "eager"
+		if lr < le {
+			winner = "rendezvous"
+			if crossover < 0 {
+				crossover = size
+			}
+		}
+		t.Row(size, us(le), us(lr), winner)
+	}
+	if crossover > 0 {
+		t.Row("crossover", "-", "-", fmt.Sprintf("~%dB", crossover))
+	}
+	return &Report{ID: "E6", Title: "eager/rendezvous crossover", Tables: []*stats.Table{t}}, nil
+}
+
+// runE7 — Table 2: ledger-size sensitivity under saturation, with the
+// credit-return policy ablation.
+func runE7(scale float64) (*Report, error) {
+	iters := scaled(3000, scale)
+	s := stats.NewSeries("Table 2 (reconstructed): saturated 8B send throughput (Kmsg/s) vs ledger slots",
+		"slots", "batched-credits", "per-entry-credits")
+	for _, slots := range []int{2, 4, 8, 16, 32, 64, 128} {
+		batched, err := throughputWithConfig(core.Config{LedgerSlots: slots}, iters)
+		if err != nil {
+			return nil, fmt.Errorf("slots %d: %w", slots, err)
+		}
+		perEntry, err := throughputWithConfig(core.Config{LedgerSlots: slots, CreditBatch: 1}, iters)
+		if err != nil {
+			return nil, fmt.Errorf("slots %d batch1: %w", slots, err)
+		}
+		s.Row(float64(slots), batched/1e3, perEntry/1e3)
+	}
+	return &Report{ID: "E7", Title: "ledger size sensitivity", Series: []*stats.Series{s}}, nil
+}
+
+func throughputWithConfig(cfg core.Config, iters int) (float64, error) {
+	e, err := NewPhotonOnly(2, fabric.Model{}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	return SaturatedSendThroughput(e.Phs, 8, iters)
+}
+
+// runE8 — Fig. 6: GUPS scaling, photon atomics vs two-sided baseline.
+func runE8(scale float64) (*Report, error) {
+	updates := scaled(3000, scale)
+	s := stats.NewSeries("Fig 6 (reconstructed): GUPS (Kupdates/s) vs ranks",
+		"ranks", "photon-atomics", "baseline-reqack")
+	for _, n := range []int{2, 4, 8} {
+		cfg := apps.GUPSConfig{TableWordsPerRank: 1 << 12, UpdatesPerRank: updates, Seed: 42}
+		e, err := NewEnv(n, fabric.Model{}, core.Config{}, msg.Config{})
+		if err != nil {
+			return nil, err
+		}
+		pres, err := apps.RunGUPSPhoton(e.Phs, cfg)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		bres, err := apps.RunGUPSBaseline(e.MsgJob, cfg)
+		e.Close()
+		if err != nil {
+			return nil, err
+		}
+		if pres.Checksum != bres.Checksum {
+			return nil, fmt.Errorf("E8: checksum mismatch %d vs %d", pres.Checksum, bres.Checksum)
+		}
+		s.Row(float64(n), pres.UpdatesPerSec/1e3, bres.UpdatesPerSec/1e3)
+	}
+	return &Report{ID: "E8", Title: "GUPS scaling", Series: []*stats.Series{s}}, nil
+}
+
+// runE9 — Fig. 7: stencil iteration time vs grid size, 4 ranks.
+func runE9(scale float64) (*Report, error) {
+	iters := scaled(30, scale)
+	s := stats.NewSeries("Fig 7 (reconstructed): stencil time per iteration (us) vs N (grid NxN, 4 ranks)",
+		"N", "photon-onesided", "baseline-sendrecv")
+	for _, n := range []int{64, 128, 256, 512} {
+		cfg := apps.StencilConfig{N: n, Iterations: iters}
+		// Both stacks get eager resources that fit one halo row.
+		e, err := NewEnv(4, fabric.Model{}, core.Config{EagerEntrySize: 16 * 1024}, msg.Config{EagerLimit: 16 * 1024})
+		if err != nil {
+			return nil, err
+		}
+		pres, err := apps.RunStencilPhoton(e.Phs, cfg)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		bres, err := apps.RunStencilBaseline(e.MsgJob, cfg)
+		e.Close()
+		if err != nil {
+			return nil, err
+		}
+		if diff := pres.Checksum - bres.Checksum; diff > 1e-6 || diff < -1e-6 {
+			return nil, fmt.Errorf("E9: checksum mismatch %v vs %v", pres.Checksum, bres.Checksum)
+		}
+		s.Row(float64(n), us(pres.PerIter), us(bres.PerIter))
+	}
+	return &Report{ID: "E9", Title: "stencil halo exchange", Series: []*stats.Series{s}}, nil
+}
+
+// runE10 — Fig. 8: BFS TEPS vs ranks on the parcel runtime.
+func runE10(scale float64) (*Report, error) {
+	vertices := 1 << 12
+	if scale < 0.5 {
+		vertices = 1 << 10
+	}
+	s := stats.NewSeries("Fig 8 (reconstructed): BFS MTEPS vs ranks (parcels over PWC)",
+		"ranks", "photon-parcels")
+	for _, n := range []int{2, 4, 8} {
+		e, err := NewPhotonOnly(n, fabric.Model{}, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		locs := make([]*runtime.Locality, n)
+		for r, ph := range e.Phs {
+			l := runtime.NewLocality(ph, runtime.Config{Timeout: 60 * time.Second})
+			if err := apps.RegisterBFSActions(l); err != nil {
+				e.Close()
+				return nil, err
+			}
+			l.Start()
+			locs[r] = l
+		}
+		cfg := apps.BFSConfig{Vertices: vertices, Degree: 8, Seed: 13, Root: 0}
+		res, dist, err := apps.RunBFSParcels(locs, cfg)
+		for _, l := range locs {
+			l.Shutdown()
+		}
+		e.Close()
+		if err != nil {
+			return nil, err
+		}
+		// Validate against the serial reference every time.
+		ref := apps.BFSSerial(apps.GenGraph(cfg.Vertices, cfg.Degree, cfg.Seed), cfg.Root)
+		for v := range ref {
+			if dist[v] != ref[v] {
+				return nil, fmt.Errorf("E10: dist[%d]=%d want %d", v, dist[v], ref[v])
+			}
+		}
+		s.Row(float64(n), res.TEPS/1e6)
+	}
+	return &Report{ID: "E10", Title: "BFS over parcels", Series: []*stats.Series{s}}, nil
+}
+
+// runE11 — Table 3: backend comparison (simulated verbs vs TCP).
+func runE11(scale float64) (*Report, error) {
+	warmProcess(scaled(100, scale))
+	iters := scaled(200, scale)
+	t := stats.NewTable("Table 3 (reconstructed): one-way send latency (us) by backend",
+		"backend", "8B", "64KiB")
+	// Simulated verbs.
+	{
+		e, err := NewPhotonOnly(2, fabric.Model{}, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		small, err := PingPongSend(e.Phs, 8, iters)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		big, err := PingPongSend(e.Phs, 64*1024, iters/4+1)
+		e.Close()
+		if err != nil {
+			return nil, err
+		}
+		t.Row("vsim-verbs", us(small), us(big))
+	}
+	// TCP loopback.
+	{
+		phs, cleanup, err := NewTCPPhotons(2, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		small, err := PingPongSend(phs, 8, iters)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		big, err := PingPongSend(phs, 64*1024, iters/4+1)
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+		t.Row("tcp-sockets", us(small), us(big))
+	}
+	return &Report{ID: "E11", Title: "backend comparison", Tables: []*stats.Table{t}}, nil
+}
+
+// runE12 — Fig. 9: remote atomics vs two-sided emulation.
+func runE12(scale float64) (*Report, error) {
+	iters := scaled(500, scale)
+	e, err := NewEnv(2, fabric.Model{}, core.Config{}, msg.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	_, descs, _, err := e.SharedBuffers(64)
+	if err != nil {
+		return nil, err
+	}
+	lat, err := AtomicLatency(e.Phs, descs, iters)
+	if err != nil {
+		return nil, err
+	}
+	blat, err := AtomicUpdateBaseline(e.MsgJob, iters)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig 9a (reconstructed): remote update latency (us)",
+		"method", "latency-us")
+	t.Row("photon-fetch-add", us(lat))
+	t.Row("baseline-req-ack", us(blat))
+
+	s := stats.NewSeries("Fig 9b (reconstructed): pipelined fetch-add rate (Kops/s) vs window",
+		"window", "photon-fetch-add")
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+		r, err := AtomicRate(e.Phs, descs, w, iters)
+		if err != nil {
+			return nil, err
+		}
+		s.Row(float64(w), r/1e3)
+	}
+	return &Report{ID: "E12", Title: "remote atomics", Series: []*stats.Series{s}, Tables: []*stats.Table{t}}, nil
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+func TestRunAllExperimentsQuick(t *testing.T) {
+	for _, id := range Experiments() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, 0.05)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(rep.Series)+len(rep.Tables) == 0 {
+				t.Fatalf("%s produced no output", id)
+			}
+			out := rep.Render()
+			if len(out) < 40 {
+				t.Fatalf("%s render too short: %q", id, out)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("E99", 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

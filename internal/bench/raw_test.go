@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/binary"
+	gort "runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"photon/internal/fabric"
+	"photon/internal/nicsim"
+	"photon/internal/verbs"
+)
+
+// Transport-calibration tests: they measure the floor latency of the
+// simulated transport itself (no middleware above it), the number every
+// higher-level latency in EXPERIMENTS.md should be read against.
+
+var spinCost = 0 // iterations of busy work per spin (set by variants)
+
+var spinSink int
+
+// spinWork burns a configurable amount of CPU per spin iteration, used
+// to verify that receiver-side spin cost does not distort the floor.
+
+func spinWork(n int) {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	spinSink = s
+}
+
+func TestRawVerbsLatency(t *testing.T) {
+	fab := fabric.New(2, fabric.Model{})
+	defer fab.Close()
+	devA, _ := verbs.Open(fab, 0, nicsim.Config{})
+	devB, _ := verbs.Open(fab, 1, nicsim.Config{})
+	defer devA.Close()
+	defer devB.Close()
+	cqA, cqB := devA.CreateCQ(1024), devB.CreateCQ(1024)
+	qpA, _ := devA.CreateQP(cqA, devA.CreateCQ(8))
+	qpB, _ := devB.CreateQP(cqB, devB.CreateCQ(8))
+	verbs.ConnectPair(qpA, qpB, 0, 1)
+	bufA := make([]byte, 64)
+	bufB := make([]byte, 64)
+	mrA, _ := devA.RegMR(bufA, verbs.AccessAll)
+	mrB, _ := devB.RegMR(bufB, verbs.AccessAll)
+
+	const iters = 3000
+	_ = spinCost
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(2)
+	go func() { // A: writes seq i to B, waits for echo
+		defer wg.Done()
+		lk := mrA.RLocker()
+		for i := uint64(1); i <= iters; i++ {
+			w := make([]byte, 8)
+			binary.LittleEndian.PutUint64(w, i)
+			qpA.PostSend(verbs.SendWR{Op: verbs.OpRDMAWrite, Local: w, RemoteAddr: mrB.Base(), RKey: mrB.RKey()})
+			for {
+				lk.Lock()
+				v := binary.LittleEndian.Uint64(bufA)
+				lk.Unlock()
+				if v == i {
+					break
+				}
+				spinWork(spinCost)
+				gort.Gosched()
+			}
+		}
+	}()
+	go func() { // B: echoes
+		defer wg.Done()
+		lk := mrB.RLocker()
+		for i := uint64(1); i <= iters; i++ {
+			for {
+				lk.Lock()
+				v := binary.LittleEndian.Uint64(bufB)
+				lk.Unlock()
+				if v == i {
+					break
+				}
+				spinWork(spinCost)
+				gort.Gosched()
+			}
+			w := make([]byte, 8)
+			binary.LittleEndian.PutUint64(w, i)
+			qpB.PostSend(verbs.SendWR{Op: verbs.OpRDMAWrite, Local: w, RemoteAddr: mrA.Base(), RKey: mrA.RKey()})
+		}
+	}()
+	wg.Wait()
+	t.Logf("raw verbs one-way (spinCost=%d): %v", spinCost, time.Since(start)/(2*iters))
+}
+
+func TestRawVerbsLatencySlowSpin(t *testing.T) {
+	spinCost = 400 // ~350ns of busy work per spin iteration
+	defer func() { spinCost = 0 }()
+	TestRawVerbsLatency(t)
+}

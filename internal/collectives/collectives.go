@@ -1,0 +1,350 @@
+// Package collectives provides the group operations runtime systems
+// need at startup and synchronization points — barrier, broadcast,
+// reduce, allreduce, gather, allgather, and all-to-all — implemented
+// purely over Photon's one-sided message primitive, the way the
+// original middleware layers its collective support over PWC.
+//
+// Algorithms are the standard logarithmic ones: dissemination barrier,
+// binomial-tree broadcast/reduce, ring allgather, pairwise all-to-all.
+//
+// Every rank of the job must call each collective, with the same
+// arguments where semantics require it, in the same order (MPI-style
+// collective semantics). Completion identifiers used internally live in
+// the reserved RID space (top bit set); user RIDs must keep the top bit
+// clear.
+package collectives
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"photon/internal/core"
+)
+
+// ErrSizeMismatch is returned when ranks disagree on vector lengths.
+var ErrSizeMismatch = errors.New("collectives: vector length mismatch across ranks")
+
+// Op is a reduction operator over float64.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+	OpProd
+)
+
+func (o Op) apply(a, b float64) float64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMin:
+		return math.Min(a, b)
+	case OpMax:
+		return math.Max(a, b)
+	case OpProd:
+		return a * b
+	}
+	panic(fmt.Sprintf("collectives: unknown op %d", o))
+}
+
+// RID space layout: 1<<63 | gen<<20 | kind<<16 | round<<8 | src.
+const ridBase = uint64(1) << 63
+
+const (
+	kindBarrier = iota + 1
+	kindBcast
+	kindReduce
+	kindGather
+	kindAllgather
+	kindAlltoall
+)
+
+// Comm is a collective communicator bound to one Photon instance. All
+// ranks construct their Comm over their own instance; the generation
+// counters advance in lockstep because collectives are called
+// collectively.
+type Comm struct {
+	ph      *core.Photon
+	rank    int
+	size    int
+	gen     atomic.Uint64
+	timeout time.Duration
+}
+
+// New creates a communicator. timeout bounds each internal wait (<=0
+// waits forever); production runs use a generous bound so a wedged peer
+// surfaces as an error instead of a hang.
+func New(ph *core.Photon, timeout time.Duration) *Comm {
+	return &Comm{ph: ph, rank: ph.Rank(), size: ph.Size(), timeout: timeout}
+}
+
+// Rank returns the caller's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the job size.
+func (c *Comm) Size() int { return c.size }
+
+func rid(gen uint64, kind, round, src int) uint64 {
+	return ridBase | gen<<20 | uint64(kind)<<16 | uint64(round)<<8 | uint64(src)
+}
+
+// send transmits an internal collective message.
+func (c *Comm) send(dst int, data []byte, r uint64) error {
+	return c.ph.SendBlocking(dst, data, 0, r)
+}
+
+// recv waits for an internal collective message.
+func (c *Comm) recv(r uint64) ([]byte, error) {
+	comp, err := c.ph.WaitRemote(r, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	if comp.Err != nil {
+		return nil, comp.Err
+	}
+	return comp.Data, nil
+}
+
+// Barrier blocks until every rank has entered it (dissemination
+// algorithm: ceil(log2(n)) rounds of pairwise notifications).
+func (c *Comm) Barrier() error {
+	gen := c.gen.Add(1)
+	if c.size == 1 {
+		return nil
+	}
+	for round, dist := 0, 1; dist < c.size; round, dist = round+1, dist*2 {
+		to := (c.rank + dist) % c.size
+		from := (c.rank - dist + c.size) % c.size
+		if err := c.send(to, nil, rid(gen, kindBarrier, round, c.rank)); err != nil {
+			return err
+		}
+		if _, err := c.recv(rid(gen, kindBarrier, round, from)); err != nil {
+			return err
+		}
+	}
+	// Push any batched credit returns out so a peer that is about to
+	// go quiet doesn't strand them.
+	c.ph.Flush()
+	return nil
+}
+
+// Bcast distributes root's data to every rank (binomial tree) and
+// returns each rank's copy.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if root < 0 || root >= c.size {
+		return nil, core.ErrBadRank
+	}
+	gen := c.gen.Add(1)
+	if c.size == 1 {
+		return data, nil
+	}
+	// Work in root-relative rank space.
+	vrank := (c.rank - root + c.size) % c.size
+	buf := data
+	if vrank != 0 {
+		// Receive once from the parent.
+		got, err := c.recv(rid(gen, kindBcast, 0, 0))
+		if err != nil {
+			return nil, err
+		}
+		buf = got
+	}
+	// Forward to children: vrank + 2^k for each k where 2^k > vrank's
+	// low set bits... standard binomial: children are vrank | 2^k for
+	// 2^k > vrank, while vrank | 2^k < size.
+	for dist := 1; dist < c.size; dist *= 2 {
+		if vrank < dist {
+			child := vrank + dist
+			if child < c.size {
+				dst := (child + root) % c.size
+				if err := c.send(dst, buf, rid(gen, kindBcast, 0, 0)); err != nil {
+					return nil, err
+				}
+			}
+		} else if vrank < dist*2 {
+			// This node receives at round log2(dist); handled above
+			// by the single receive (parent sends exactly once).
+			continue
+		}
+	}
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	return out, nil
+}
+
+// Reduce combines each rank's vector elementwise with op; the result is
+// returned at root (nil elsewhere). Binomial-tree combine.
+func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
+	if root < 0 || root >= c.size {
+		return nil, core.ErrBadRank
+	}
+	gen := c.gen.Add(1)
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	vrank := (c.rank - root + c.size) % c.size
+	for dist := 1; dist < c.size; dist *= 2 {
+		if vrank%(dist*2) == 0 {
+			peer := vrank + dist
+			if peer < c.size {
+				src := (peer + root) % c.size
+				got, err := c.recv(rid(gen, kindReduce, 0, src))
+				if err != nil {
+					return nil, err
+				}
+				vec, err := decodeF64(got)
+				if err != nil {
+					return nil, err
+				}
+				if len(vec) != len(acc) {
+					return nil, ErrSizeMismatch
+				}
+				for i := range acc {
+					acc[i] = op.apply(acc[i], vec[i])
+				}
+			}
+		} else if vrank%(dist*2) == dist {
+			parent := vrank - dist
+			dst := (parent + root) % c.size
+			if err := c.send(dst, encodeF64(acc), rid(gen, kindReduce, 0, c.rank)); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if c.rank == root {
+		return acc, nil
+	}
+	return nil, nil
+}
+
+// Allreduce combines every rank's vector and distributes the result to
+// all ranks (reduce to 0 + broadcast).
+func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
+	red, err := c.Reduce(0, data, op)
+	if err != nil {
+		return nil, err
+	}
+	var blob []byte
+	if c.rank == 0 {
+		blob = encodeF64(red)
+	}
+	out, err := c.Bcast(0, blob)
+	if err != nil {
+		return nil, err
+	}
+	return decodeF64(out)
+}
+
+// AllreduceScalar is Allreduce for one value.
+func (c *Comm) AllreduceScalar(x float64, op Op) (float64, error) {
+	v, err := c.Allreduce([]float64{x}, op)
+	if err != nil {
+		return 0, err
+	}
+	return v[0], nil
+}
+
+// Gather collects every rank's blob at root, indexed by rank (nil
+// elsewhere). Flat gather: fine at the rank counts the simulator runs.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	if root < 0 || root >= c.size {
+		return nil, core.ErrBadRank
+	}
+	gen := c.gen.Add(1)
+	if c.rank != root {
+		if err := c.send(root, data, rid(gen, kindGather, 0, c.rank)); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	out := make([][]byte, c.size)
+	out[root] = append([]byte(nil), data...)
+	for src := 0; src < c.size; src++ {
+		if src == root {
+			continue
+		}
+		got, err := c.recv(rid(gen, kindGather, 0, src))
+		if err != nil {
+			return nil, err
+		}
+		out[src] = got
+	}
+	return out, nil
+}
+
+// Allgather collects every rank's blob at every rank (ring algorithm:
+// size-1 forwarding steps).
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	gen := c.gen.Add(1)
+	out := make([][]byte, c.size)
+	out[c.rank] = append([]byte(nil), data...)
+	if c.size == 1 {
+		return out, nil
+	}
+	right := (c.rank + 1) % c.size
+	left := (c.rank - 1 + c.size) % c.size
+	carry := out[c.rank]
+	for step := 0; step < c.size-1; step++ {
+		if err := c.send(right, carry, rid(gen, kindAllgather, step, c.rank)); err != nil {
+			return nil, err
+		}
+		got, err := c.recv(rid(gen, kindAllgather, step, left))
+		if err != nil {
+			return nil, err
+		}
+		// The blob received at step s originated at rank-1-s.
+		origin := (c.rank - 1 - step + 2*c.size) % c.size
+		out[origin] = got
+		carry = got
+	}
+	return out, nil
+}
+
+// Alltoall delivers blobs[i] from each rank to rank i, returning the
+// blobs addressed to the caller, indexed by source (pairwise exchange).
+func (c *Comm) Alltoall(blobs [][]byte) ([][]byte, error) {
+	if len(blobs) != c.size {
+		return nil, fmt.Errorf("collectives: alltoall needs %d blobs, got %d", c.size, len(blobs))
+	}
+	gen := c.gen.Add(1)
+	out := make([][]byte, c.size)
+	out[c.rank] = append([]byte(nil), blobs[c.rank]...)
+	for step := 1; step < c.size; step++ {
+		dst := (c.rank + step) % c.size
+		src := (c.rank - step + c.size) % c.size
+		if err := c.send(dst, blobs[dst], rid(gen, kindAlltoall, step, c.rank)); err != nil {
+			return nil, err
+		}
+		got, err := c.recv(rid(gen, kindAlltoall, step, src))
+		if err != nil {
+			return nil, err
+		}
+		out[src] = got
+	}
+	return out, nil
+}
+
+func encodeF64(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(x))
+	}
+	return b
+}
+
+func decodeF64(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("collectives: float vector blob of %d bytes", len(b))
+	}
+	v := make([]float64, len(b)/8)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return v, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"photon/internal/mem"
+)
+
+// Errors shared by Photon and its backends.
+var (
+	// ErrWouldBlock is returned by non-blocking operations that cannot
+	// make progress right now (no ledger credits, transport send queue
+	// full). The caller should drive Progress and retry, or use the
+	// blocking wrappers.
+	ErrWouldBlock = errors.New("photon: operation would block")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("photon: closed")
+	// ErrBadRank is returned for out-of-range peer ranks.
+	ErrBadRank = errors.New("photon: rank out of range")
+	// ErrTooLarge is returned when a payload exceeds a protocol limit.
+	ErrTooLarge = errors.New("photon: payload too large")
+)
+
+// ActivityBackend is an optional Backend extension: WriteActivity
+// returns a loader for a monotonic count of remote writes applied to a
+// registration. The progress engine uses it as a DMA event counter —
+// ledger rings are swept only when the count has moved, so an idle or
+// spinning poller never contends with the transport's memory lock.
+type ActivityBackend interface {
+	WriteActivity(rb mem.RemoteBuffer) (func() uint64, bool)
+}
+
+// BackendCompletion reports one finished backend operation to the
+// Photon engine. Token is the value the engine passed when posting.
+type BackendCompletion struct {
+	Token uint64
+	OK    bool
+	Err   error
+}
+
+// Backend is the transport Photon runs over: one-sided operations plus
+// registered memory and an out-of-band bootstrap exchange. Two
+// implementations exist: backend/vsim (simulated IB verbs over the
+// in-process fabric) and backend/tcp (real sockets, one-sided ops
+// emulated by a remote agent) — mirroring the original's verbs / uGNI /
+// libfabric / TCP backend set.
+//
+// Semantics the engine relies on:
+//
+//   - Operations posted toward one rank execute and become remotely
+//     visible in posting order (RC queue-pair ordering).
+//   - A signaled operation's completion (reported by Poll with its
+//     token) implies every earlier operation toward the same rank has
+//     completed too.
+//   - Post* never blocks; it returns ErrWouldBlock under transient
+//     resource exhaustion.
+type Backend interface {
+	// Rank and Size identify this process in the job.
+	Rank() int
+	Size() int
+
+	// Register pins buf for remote access, returning its descriptor
+	// and a read-locker that callers must hold while polling bytes
+	// that remote peers write into buf.
+	Register(buf []byte) (mem.RemoteBuffer, sync.Locker, error)
+	// Deregister releases a registration by its descriptor.
+	Deregister(rb mem.RemoteBuffer) error
+
+	// PostWrite starts a one-sided write of local into rank's memory
+	// at (raddr, rkey). If signaled, Poll later reports token.
+	PostWrite(rank int, local []byte, raddr uint64, rkey uint32, token uint64, signaled bool) error
+	// PostRead starts a one-sided read from rank's memory into local;
+	// always signaled.
+	PostRead(rank int, local []byte, raddr uint64, rkey uint32, token uint64) error
+	// PostFetchAdd atomically adds add to the 8-byte word at
+	// (raddr, rkey) on rank, placing the prior value in result.
+	PostFetchAdd(rank int, result []byte, raddr uint64, rkey uint32, add uint64, token uint64) error
+	// PostCompSwap atomically compare-and-swaps the 8-byte word,
+	// placing the prior value in result.
+	PostCompSwap(rank int, result []byte, raddr uint64, rkey uint32, compare, swap uint64, token uint64) error
+
+	// ApplyLocal performs a loopback DMA write into this rank's own
+	// registered memory, with the same rkey/bounds/access validation a
+	// remote write gets. The engine uses it to place packed-put
+	// payloads that arrived inside ledger entries.
+	ApplyLocal(raddr uint64, rkey uint32, data []byte) error
+
+	// Poll reaps pending backend completions into dst, returning the
+	// count. It must not block.
+	Poll(dst []BackendCompletion) int
+
+	// Exchange is the out-of-band bootstrap allgather: every rank
+	// contributes a blob and receives all blobs indexed by rank. It
+	// is collective and blocking.
+	Exchange(local []byte) ([][]byte, error)
+
+	// Close releases transport resources.
+	Close() error
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"photon/internal/ledger"
+)
+
+// Ledger classes. Every peer pair maintains one ledger per class in
+// each direction.
+const (
+	classPWC   = iota // completion identifiers (direct PWC/GWC notify)
+	classEager        // packed small messages (RID + payload inline)
+	classSys          // middleware control: RTS / FIN for rendezvous
+	numClasses
+)
+
+// Entry type tags carried in the first payload byte of a ledger entry.
+const (
+	tCompletion = 1 // pwc: [type][rid8]
+	tPacked     = 2 // eager: [type][rid8][data...]
+	tRTS        = 3 // sys: [type][lrid8][rrid8][size8][addr8][rkey4]
+	tFIN        = 4 // sys: [type][lrid8]
+	tPackedPut  = 5 // eager: [type][rid8][raddr8][rkey4][data...] — a
+	// small direct put folded into one ledger write; the target's
+	// middleware places the payload (Photon's small-PWC optimization)
+)
+
+// Fixed entry sizes for the non-eager classes.
+const (
+	pwcEntrySize = 32 // 8 header + 1 type + 8 rid (+ pad)
+	sysEntrySize = 64 // 8 header + 37-byte RTS worst case (+ pad)
+)
+
+// Config tunes the Photon engine. The zero value selects defaults.
+type Config struct {
+	// LedgerSlots is the slot count of the PWC and eager ledgers per
+	// peer (default 64).
+	LedgerSlots int
+	// SysSlots is the slot count of the sys ledger per peer (default
+	// LedgerSlots).
+	SysSlots int
+	// EagerEntrySize is the full eager entry size in bytes, including
+	// the 8-byte ledger header and 9-byte packed header (default
+	// 1024). Packed payload capacity is EagerEntrySize-17.
+	EagerEntrySize int
+	// EagerThreshold caps the payload size Send packs inline; larger
+	// sends use the rendezvous protocol (default: the packed
+	// capacity). Lowering it below capacity is an ablation knob.
+	EagerThreshold int
+	// RdzvSlabSize is the registered staging arena for inbound
+	// rendezvous transfers (default 4 MiB).
+	RdzvSlabSize int
+	// CreditBatch delays credit-return writes until this many entries
+	// of a ledger have been consumed (default LedgerSlots/4, min 1).
+	// 1 returns every credit immediately (ablation: explicit
+	// per-entry credit traffic).
+	CreditBatch int
+	// ForceRendezvous disables the packed eager path in Send
+	// (ablation knob for the E6 crossover study).
+	ForceRendezvous bool
+	// DisablePackedPut forces PutWithCompletion to always issue the
+	// two-write direct protocol (data write + ledger entry) even for
+	// small payloads (ablation knob: the packed small-put fold is one
+	// of Photon's headline optimizations).
+	DisablePackedPut bool
+}
+
+func (c *Config) setDefaults() error {
+	if c.LedgerSlots == 0 {
+		c.LedgerSlots = 64
+	}
+	if c.SysSlots == 0 {
+		c.SysSlots = c.LedgerSlots
+	}
+	if c.EagerEntrySize == 0 {
+		c.EagerEntrySize = 1024
+	}
+	if c.LedgerSlots < 1 || c.SysSlots < 1 {
+		return fmt.Errorf("photon: ledger slots must be positive")
+	}
+	if c.EagerEntrySize < ledger.HeaderSize+packedHdrSize+1 {
+		return fmt.Errorf("photon: eager entry size %d too small", c.EagerEntrySize)
+	}
+	maxData := c.EagerEntrySize - ledger.HeaderSize - packedHdrSize
+	if c.EagerThreshold == 0 || c.EagerThreshold > maxData {
+		c.EagerThreshold = maxData
+	}
+	if c.RdzvSlabSize == 0 {
+		c.RdzvSlabSize = 4 << 20
+	}
+	if c.CreditBatch == 0 {
+		c.CreditBatch = c.LedgerSlots / 4
+		if c.CreditBatch < 1 {
+			c.CreditBatch = 1
+		}
+	}
+	return nil
+}
+
+// packedHdrSize is the in-payload header of a packed eager entry:
+// type byte plus the remote RID.
+const packedHdrSize = 1 + 8
+
+// packedPutHdrSize is the in-payload header of a packed put entry:
+// type, remote RID, destination address, destination rkey.
+const packedPutHdrSize = 1 + 8 + 8 + 4
+
+// entrySize returns the wire entry size for a ledger class.
+func (c *Config) entrySize(class int) int {
+	switch class {
+	case classPWC:
+		return pwcEntrySize
+	case classEager:
+		return c.EagerEntrySize
+	case classSys:
+		return sysEntrySize
+	}
+	panic("photon: bad ledger class")
+}
+
+// slots returns the slot count for a ledger class.
+func (c *Config) slots(class int) int {
+	if class == classSys {
+		return c.SysSlots
+	}
+	return c.LedgerSlots
+}
+
+// classBytes returns the backing-store size of one ledger of the class.
+func (c *Config) classBytes(class int) int {
+	return c.entrySize(class) * c.slots(class)
+}
+
+// perPeerBytes is the arena footprint of all receive ledgers for one
+// peer.
+func (c *Config) perPeerBytes() int {
+	total := 0
+	for cl := 0; cl < numClasses; cl++ {
+		total += c.classBytes(cl)
+	}
+	return total
+}
+
+// classOffset returns the offset of a class's ledger within the
+// per-peer region.
+func (c *Config) classOffset(class int) int {
+	off := 0
+	for cl := 0; cl < class; cl++ {
+		off += c.classBytes(cl)
+	}
+	return off
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	gort "runtime"
+
+	"photon/internal/ledger"
+	"photon/internal/mem"
+)
+
+// PutWithCompletion performs Photon's signature operation: a one-sided
+// write of local into rank's memory at dst+off, with a local completion
+// (localRID) surfaced here when the transfer is done and, when
+// remoteRID is non-zero, a remote completion (remoteRID) surfaced at
+// the target once the data is visible there. Either RID may be zero to
+// suppress that side's event.
+//
+// The caller must not modify local until the local completion arrives
+// (or, with localRID == 0, until a later completion on the same rank).
+// Returns ErrWouldBlock when the target's completion ledger is out of
+// credits; drive Progress and retry, or use PutBlocking.
+func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer, off uint64, localRID, remoteRID uint64) error {
+	if err := p.checkRank(rank); err != nil {
+		return err
+	}
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	if !dst.Contains(off, len(local)) {
+		return fmt.Errorf("%w: put of %d bytes at offset %d into buffer of %d", ErrTooLarge, len(local), off, dst.Len)
+	}
+	ps := p.peers[rank]
+
+	// A zero-byte put is a pure completion notification: one entry in
+	// the target's PWC ledger, no data movement at all.
+	if len(local) == 0 {
+		if remoteRID == 0 {
+			if localRID != 0 {
+				p.pushLocal(Completion{Rank: rank, RID: localRID})
+			}
+			return nil
+		}
+		res, err := p.reserve(ps, classPWC)
+		if err != nil {
+			return err
+		}
+		payload := make([]byte, 9)
+		payload[0] = tCompletion
+		binary.LittleEndian.PutUint64(payload[1:], remoteRID)
+		ent := make([]byte, ledger.HeaderSize+len(payload))
+		if err := ledger.Encode(ent, res.Seq, payload); err != nil {
+			return err
+		}
+		signaled := localRID != 0
+		var tok uint64
+		if signaled {
+			tok = p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
+		}
+		p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled)
+		p.stats.putsDirect.Add(1)
+		return nil
+	}
+
+	// Small puts that carry a remote completion fold payload,
+	// destination, and completion identifier into a single ledger
+	// write; the target's middleware places the payload while probing
+	// (Photon's packed small-put optimization) — one wire operation
+	// instead of two. Puts without a remote RID stay strictly
+	// one-sided (placement must not depend on target progress), so
+	// they always use the direct write.
+	if remoteRID != 0 && !p.cfg.DisablePackedPut &&
+		len(local) <= p.cfg.EagerEntrySize-ledger.HeaderSize-packedPutHdrSize {
+		return p.putPacked(ps, rank, local, dst.Addr+off, dst.RKey, localRID, remoteRID)
+	}
+
+	var res ledger.Reservation
+	if remoteRID != 0 {
+		var err error
+		res, err = p.reserve(ps, classPWC)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Data write: signaled only when it is the last op of the pair.
+	dataSignaled := remoteRID == 0
+	var dataTok uint64
+	if dataSignaled {
+		dataTok = p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
+	}
+	p.postOrPark(ps, rank, local, dst.Addr+off, dst.RKey, dataTok, dataSignaled)
+
+	if remoteRID != 0 {
+		payload := make([]byte, 9)
+		ent := make([]byte, ledger.HeaderSize+len(payload))
+		payload[0] = tCompletion
+		binary.LittleEndian.PutUint64(payload[1:], remoteRID)
+		if err := ledger.Encode(ent, res.Seq, payload); err != nil {
+			return err
+		}
+		tok := p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
+		p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, true)
+	}
+	p.stats.putsDirect.Add(1)
+	return nil
+}
+
+// GetWithCompletion performs a one-sided read of len(local) bytes from
+// rank's memory at src+off into local. localRID is surfaced here when
+// the data has landed; when remoteRID is non-zero the target is
+// additionally notified (its completion carries remoteRID) after the
+// read completes — Photon's "get with remote completion".
+func (p *Photon) GetWithCompletion(rank int, local []byte, src mem.RemoteBuffer, off uint64, localRID, remoteRID uint64) error {
+	if err := p.checkRank(rank); err != nil {
+		return err
+	}
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	if len(local) == 0 {
+		return fmt.Errorf("%w: zero-length get", ErrTooLarge)
+	}
+	if !src.Contains(off, len(local)) {
+		return fmt.Errorf("%w: get of %d bytes at offset %d from buffer of %d", ErrTooLarge, len(local), off, src.Len)
+	}
+	tok := p.newToken(pendingOp{kind: opGetLocal, rank: rank, rid: localRID, remoteRID: remoteRID})
+	if err := p.be.PostRead(rank, local, src.Addr+off, src.RKey, tok); err != nil {
+		p.takeToken(tok)
+		return err
+	}
+	p.stats.gets.Add(1)
+	return nil
+}
+
+// Send delivers data to rank as a message: the target harvests a remote
+// completion carrying remoteRID and the payload. Payloads up to
+// EagerThreshold are packed into a single ledger write; larger ones use
+// the rendezvous protocol (sender-side registration, target-side RDMA
+// read, FIN). localRID, when non-zero, is surfaced here once data is
+// safely out of the caller's buffer (packed: immediately on transport
+// completion; rendezvous: on FIN).
+func (p *Photon) Send(rank int, data []byte, localRID, remoteRID uint64) error {
+	if err := p.checkRank(rank); err != nil {
+		return err
+	}
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	ps := p.peers[rank]
+	if len(data) <= p.cfg.EagerThreshold && !p.cfg.ForceRendezvous {
+		return p.sendPacked(ps, rank, data, localRID, remoteRID)
+	}
+	return p.sendRendezvous(ps, rank, data, localRID, remoteRID)
+}
+
+// putPacked folds a small put into one eager-ledger write:
+// [tPackedPut][remoteRID][raddr][rkey][data]. The target validates and
+// places the payload before surfacing the remote completion, so the
+// "remote RID implies data visible" invariant holds unchanged.
+func (p *Photon) putPacked(ps *peerState, rank int, local []byte, raddr uint64, rkey uint32, localRID, remoteRID uint64) error {
+	res, err := p.reserve(ps, classEager)
+	if err != nil {
+		return err
+	}
+	ent := make([]byte, ledger.HeaderSize+packedPutHdrSize+len(local))
+	payload := make([]byte, packedPutHdrSize+len(local))
+	payload[0] = tPackedPut
+	binary.LittleEndian.PutUint64(payload[1:], remoteRID)
+	binary.LittleEndian.PutUint64(payload[9:], raddr)
+	binary.LittleEndian.PutUint32(payload[17:], rkey)
+	copy(payload[packedPutHdrSize:], local)
+	if err := ledger.Encode(ent, res.Seq, payload); err != nil {
+		return err
+	}
+	signaled := localRID != 0
+	var tok uint64
+	if signaled {
+		tok = p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
+	}
+	p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled)
+	p.stats.putsPacked.Add(1)
+	return nil
+}
+
+// sendPacked copies data into an eager ledger entry: one RDMA write.
+func (p *Photon) sendPacked(ps *peerState, rank int, data []byte, localRID, remoteRID uint64) error {
+	res, err := p.reserve(ps, classEager)
+	if err != nil {
+		return err
+	}
+	// Only the used prefix of the slot travels on the wire; the
+	// receiver reads the payload length from the entry header.
+	ent := make([]byte, ledger.HeaderSize+packedHdrSize+len(data))
+	payload := make([]byte, packedHdrSize+len(data))
+	payload[0] = tPacked
+	binary.LittleEndian.PutUint64(payload[1:], remoteRID)
+	copy(payload[packedHdrSize:], data)
+	if err := ledger.Encode(ent, res.Seq, payload); err != nil {
+		return err
+	}
+	signaled := localRID != 0
+	var tok uint64
+	if signaled {
+		tok = p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
+	}
+	p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled)
+	p.stats.putsPacked.Add(1)
+	return nil
+}
+
+// sendRendezvous registers data and writes an RTS control entry; the
+// target pulls the payload with an RDMA read and FINs back.
+func (p *Photon) sendRendezvous(ps *peerState, rank int, data []byte, localRID, remoteRID uint64) error {
+	if len(data) == 0 {
+		// Rendezvous of nothing degenerates to a packed send.
+		return p.sendPacked(ps, rank, data, localRID, remoteRID)
+	}
+	res, err := p.reserve(ps, classSys)
+	if err != nil {
+		return err
+	}
+	rb, _, err := p.be.Register(data)
+	if err != nil {
+		return err
+	}
+	p.rdzvMu.Lock()
+	id := p.nextRdzvID
+	p.nextRdzvID++
+	p.rdzvSends[id] = rdzvSend{rid: localRID, rb: rb}
+	p.rdzvMu.Unlock()
+
+	payload := make([]byte, 1+8+8+8+8+4)
+	ent := make([]byte, ledger.HeaderSize+len(payload))
+	payload[0] = tRTS
+	binary.LittleEndian.PutUint64(payload[1:], id)
+	binary.LittleEndian.PutUint64(payload[9:], remoteRID)
+	binary.LittleEndian.PutUint64(payload[17:], uint64(len(data)))
+	binary.LittleEndian.PutUint64(payload[25:], rb.Addr)
+	binary.LittleEndian.PutUint32(payload[33:], rb.RKey)
+	if err := ledger.Encode(ent, res.Seq, payload); err != nil {
+		return err
+	}
+	p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, 0, false)
+	p.stats.rdzvSends.Add(1)
+	return nil
+}
+
+// FetchAdd atomically adds `add` to the 8-byte word at dst+off on rank.
+// The prior value is surfaced in the local completion's Value field
+// under localRID.
+func (p *Photon) FetchAdd(rank int, dst mem.RemoteBuffer, off uint64, add uint64, localRID uint64) error {
+	return p.atomic(rank, dst, off, localRID, func(result []byte, raddr uint64, tok uint64) error {
+		return p.be.PostFetchAdd(rank, result, raddr, dst.RKey, add, tok)
+	})
+}
+
+// CompSwap atomically compare-and-swaps the 8-byte word at dst+off on
+// rank (swap stored iff current == compare). The prior value is
+// surfaced in the local completion's Value field under localRID.
+func (p *Photon) CompSwap(rank int, dst mem.RemoteBuffer, off uint64, compare, swap uint64, localRID uint64) error {
+	return p.atomic(rank, dst, off, localRID, func(result []byte, raddr uint64, tok uint64) error {
+		return p.be.PostCompSwap(rank, result, raddr, dst.RKey, compare, swap, tok)
+	})
+}
+
+func (p *Photon) atomic(rank int, dst mem.RemoteBuffer, off uint64, localRID uint64, post func(result []byte, raddr uint64, tok uint64) error) error {
+	if err := p.checkRank(rank); err != nil {
+		return err
+	}
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	if !dst.Contains(off, 8) {
+		return fmt.Errorf("%w: atomic at offset %d of buffer len %d", ErrTooLarge, off, dst.Len)
+	}
+	result := make([]byte, 8)
+	tok := p.newToken(pendingOp{kind: opAtomic, rank: rank, rid: localRID, result: result})
+	if err := post(result, dst.Addr+off, tok); err != nil {
+		p.takeToken(tok)
+		return err
+	}
+	p.stats.atomics.Add(1)
+	return nil
+}
+
+// reserve claims a ledger slot toward a peer, refreshing credits from
+// the mailbox once before giving up with ErrWouldBlock.
+func (p *Photon) reserve(ps *peerState, class int) (ledger.Reservation, error) {
+	res, err := ps.send[class].Reserve()
+	if err == nil {
+		return res, nil
+	}
+	p.refreshCredits(ps, class)
+	res, err = ps.send[class].Reserve()
+	if err != nil {
+		return ledger.Reservation{}, ErrWouldBlock
+	}
+	return res, nil
+}
+
+// postOrPark posts a one-sided write, parking it on the peer's deferred
+// queue if the transport is busy. Parked writes are retried in FIFO
+// order by Progress, preserving the data-before-notification order
+// within each operation.
+func (p *Photon) postOrPark(ps *peerState, rank int, local []byte, raddr uint64, rkey uint32, token uint64, signaled bool) {
+	ps.mu.Lock()
+	parked := len(ps.pendingWire) > 0
+	ps.mu.Unlock()
+	if !parked {
+		err := p.be.PostWrite(rank, local, raddr, rkey, token, signaled)
+		if err == nil {
+			return
+		}
+	}
+	ps.mu.Lock()
+	ps.pendingWire = append(ps.pendingWire, wireOp{local: local, raddr: raddr, rkey: rkey, token: token, signaled: signaled})
+	ps.mu.Unlock()
+	ps.deferred.Add(1)
+	p.stats.deferred.Add(1)
+}
+
+// PutBlocking wraps PutWithCompletion, driving Progress until the
+// operation can be posted.
+func (p *Photon) PutBlocking(rank int, local []byte, dst mem.RemoteBuffer, off uint64, localRID, remoteRID uint64) error {
+	for {
+		err := p.PutWithCompletion(rank, local, dst, off, localRID, remoteRID)
+		if err != ErrWouldBlock {
+			return err
+		}
+		if p.Progress() == 0 {
+			gort.Gosched()
+		}
+	}
+}
+
+// SendBlocking wraps Send, driving Progress until it can be posted.
+func (p *Photon) SendBlocking(rank int, data []byte, localRID, remoteRID uint64) error {
+	for {
+		err := p.Send(rank, data, localRID, remoteRID)
+		if err != ErrWouldBlock {
+			return err
+		}
+		if p.Progress() == 0 {
+			gort.Gosched()
+		}
+	}
+}

@@ -1,0 +1,446 @@
+// Package core implements Photon, the remote-memory-access middleware:
+// one-sided put/get with completion identifiers delivered to both the
+// initiator and the target, ledger-based notification without message
+// matching, an eager/rendezvous protocol split, and probe-driven
+// progress — the feature set a message-driven runtime (HPX-5 in the
+// original) needs from its network layer.
+//
+// # Completion model
+//
+// Every data-movement call names up to two completion identifiers
+// (RIDs): a local RID surfaced to this rank when the operation's
+// buffers are reusable, and a remote RID surfaced to the target rank
+// when the data is visible there. Remote RIDs travel in ledger entries
+// — RDMA writes into per-peer circular buffers the target polls — so
+// the target learns of one-sided arrivals without posting or matching
+// receives. Completions are harvested with Probe/PopLocal/PopRemote;
+// progress happens on the caller's thread (no mandatory progress
+// thread), matching task-scheduler runtimes.
+//
+// # Protocol split
+//
+// Send packs payloads up to the eager threshold directly into a ledger
+// entry (one RDMA write, one copy each side). Larger payloads use a
+// receiver-initiated rendezvous: the sender registers its buffer and
+// writes an RTS control entry; the target RDMA-reads the data into a
+// staging slab and writes back a FIN, which completes the send. Direct
+// PutWithCompletion/GetWithCompletion skip all staging when the caller
+// already knows the remote buffer (registered and exchanged at setup).
+//
+// # Flow control
+//
+// Ledgers are credit-flow-controlled. Consumed-entry counts return to
+// the sender through per-peer mailbox words updated with unsignaled
+// RDMA writes — cumulative counters, so updates are idempotent and
+// never themselves need flow control (this is how the deadlock that
+// naive in-band credit returns would cause is avoided).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"photon/internal/ledger"
+	"photon/internal/mem"
+)
+
+// Completion is one harvested completion event.
+type Completion struct {
+	// Rank is the peer involved: the target for local completions,
+	// the initiator for remote ones.
+	Rank int
+	// RID is the completion identifier supplied by the initiator.
+	RID uint64
+	// Data carries the payload for packed/rendezvous message
+	// deliveries (remote completions only); it is owned by the caller.
+	Data []byte
+	// Value carries the prior memory value for atomic operations.
+	Value uint64
+	// Local distinguishes initiator-side from target-side events.
+	Local bool
+	// Err is non-nil when the underlying operation failed.
+	Err error
+}
+
+// ProbeFlags selects which completion stream Probe consults.
+type ProbeFlags int
+
+// Probe flag values.
+const (
+	ProbeLocal ProbeFlags = 1 << iota
+	ProbeRemote
+	ProbeAny = ProbeLocal | ProbeRemote
+)
+
+// Stats counts engine activity (ablation and test aid).
+type Stats struct {
+	PutsDirect     int64
+	PutsPacked     int64
+	Gets           int64
+	RdzvSends      int64
+	RdzvRecvs      int64
+	Atomics        int64
+	CreditWrites   int64
+	ProgressCalls  int64
+	DeferredWrites int64
+}
+
+// opKind classifies a pending backend token.
+type opKind uint8
+
+const (
+	opPutLocal opKind = iota + 1
+	opGetLocal
+	opRdzvGet
+	opAtomic
+)
+
+// pendingOp is the engine-side state for one signaled backend op.
+type pendingOp struct {
+	kind      opKind
+	rank      int
+	rid       uint64 // local RID to surface
+	remoteRID uint64 // remote RID to notify (GWC), 0 = none
+	result    []byte // atomic result buffer
+	block     *mem.Block
+	size      int
+	rdzvID    uint64 // rendezvous transfer id (FIN key)
+}
+
+// wireOp is a fully-specified deferred write (its ledger slot, if any,
+// is already reserved) parked because the transport was busy.
+type wireOp struct {
+	local    []byte
+	raddr    uint64
+	rkey     uint32
+	token    uint64
+	signaled bool
+}
+
+// entryOp is a ledger entry not yet reserved, parked for credits.
+type entryOp struct {
+	class   int
+	payload []byte
+}
+
+// rtsOp is an inbound rendezvous request awaiting slab space or SQ room.
+type rtsOp struct {
+	rank      int
+	rdzvID    uint64
+	remoteRID uint64
+	size      int
+	addr      uint64
+	rkey      uint32
+}
+
+// rdzvSend tracks an outstanding rendezvous send awaiting FIN.
+type rdzvSend struct {
+	rid uint64 // local RID to surface on FIN
+	rb  mem.RemoteBuffer
+}
+
+// peerState holds all per-peer protocol state.
+type peerState struct {
+	rank int
+	recv [numClasses]*ledger.Receiver
+	send [numClasses]*ledger.Sender
+
+	// deferred counts parked work items; consumedHint counts ledger
+	// entries consumed since the last credit-return pass. Both are
+	// cheap fast-path guards so Progress skips idle peers without
+	// taking their mutexes.
+	deferred     atomic.Int64
+	consumedHint atomic.Int64
+
+	// consumed counts entries drained from each receive ledger; it is
+	// written only by the progress engine (serialized by progMu), so
+	// credit maintenance reads it without touching ledger mutexes.
+	consumed [numClasses]int64
+
+	mu           sync.Mutex
+	lastMail     [numClasses]uint64 // mailbox value already credited
+	lastReturned [numClasses]int64  // consumed count already written back
+	pendingWire  []wireOp
+	pendingEntry []entryOp
+	pendingRTS   []rtsOp
+	remoteArena  mem.RemoteBuffer // peer's arena descriptor
+}
+
+// Photon is one rank's middleware instance.
+type Photon struct {
+	be   Backend
+	cfg  Config
+	rank int
+	size int
+
+	arena    []byte
+	arenaRB  mem.RemoteBuffer
+	arenaLk  sync.Locker
+	activity func() uint64 // arena DMA write counter (nil if unsupported)
+	lastAct  uint64        // counter value at last ledger sweep (progMu)
+	mailOff  int
+	slabOff  int
+	slab     *mem.Slab
+
+	peers []*peerState
+
+	tokMu   sync.Mutex
+	tokens  map[uint64]pendingOp
+	nextTok uint64
+
+	rdzvMu     sync.Mutex
+	rdzvSends  map[uint64]rdzvSend
+	nextRdzvID uint64
+
+	cqMu    sync.Mutex
+	localQ  []Completion
+	remoteQ []Completion
+
+	progMu      sync.Mutex            // serializes the progress engine (try-lock)
+	pollScratch []polledEvent         // reused across pollPeer batches (progress is serialized)
+	reapScratch [64]BackendCompletion // reused by reapBackend (progress is serialized)
+
+	closed atomic.Bool
+
+	stats struct {
+		putsDirect, putsPacked, gets     atomic.Int64
+		rdzvSends, rdzvRecvs, atomics    atomic.Int64
+		creditWrites, progress, deferred atomic.Int64
+	}
+}
+
+// Init brings up a Photon instance over the backend: it allocates and
+// registers the ledger arena, performs the collective bootstrap
+// exchange, and builds per-peer ledger state. Init is collective: all
+// ranks of the job must call it with an identical Config.
+func Init(be Backend, cfg Config) (*Photon, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	p := &Photon{
+		be:         be,
+		cfg:        cfg,
+		rank:       be.Rank(),
+		size:       be.Size(),
+		tokens:     make(map[uint64]pendingOp),
+		nextTok:    1,
+		rdzvSends:  make(map[uint64]rdzvSend),
+		nextRdzvID: 1,
+	}
+	if p.size < 1 || p.rank < 0 || p.rank >= p.size {
+		return nil, fmt.Errorf("%w: rank %d of %d", ErrBadRank, p.rank, p.size)
+	}
+
+	// Arena layout: per-peer receive ledgers, then the credit
+	// mailboxes, then the rendezvous staging slab.
+	perPeer := cfg.perPeerBytes()
+	p.mailOff = perPeer * p.size
+	mailBytes := p.size * numClasses * 8
+	p.slabOff = p.mailOff + mailBytes
+	p.slabOff = (p.slabOff + mem.SlabAlign - 1) &^ (mem.SlabAlign - 1)
+	slabBytes := (cfg.RdzvSlabSize + mem.SlabAlign - 1) &^ (mem.SlabAlign - 1)
+	p.arena = make([]byte, p.slabOff+slabBytes)
+
+	rb, lk, err := be.Register(p.arena)
+	if err != nil {
+		return nil, fmt.Errorf("photon: register arena: %w", err)
+	}
+	p.arenaRB = rb
+	p.arenaLk = lk
+	if ab, ok := be.(ActivityBackend); ok {
+		if fn, ok := ab.WriteActivity(rb); ok {
+			p.activity = fn
+		}
+	}
+
+	slab, err := mem.NewSlabOver(p.arena[p.slabOff:], rb.Addr+uint64(p.slabOff))
+	if err != nil {
+		return nil, err
+	}
+	p.slab = slab
+
+	// Bootstrap exchange: publish the arena descriptor. Peers derive
+	// every ledger and mailbox address from it plus the shared Config.
+	blob := make([]byte, 12)
+	binary.LittleEndian.PutUint64(blob[0:], rb.Addr)
+	binary.LittleEndian.PutUint32(blob[8:], rb.RKey)
+	all, err := be.Exchange(blob)
+	if err != nil {
+		return nil, fmt.Errorf("photon: bootstrap exchange: %w", err)
+	}
+	if len(all) != p.size {
+		return nil, fmt.Errorf("photon: exchange returned %d blobs for %d ranks", len(all), p.size)
+	}
+
+	p.peers = make([]*peerState, p.size)
+	for peer := 0; peer < p.size; peer++ {
+		if len(all[peer]) < 12 {
+			return nil, fmt.Errorf("photon: short bootstrap blob from rank %d", peer)
+		}
+		ps := &peerState{
+			rank: peer,
+			remoteArena: mem.RemoteBuffer{
+				Addr: binary.LittleEndian.Uint64(all[peer][0:]),
+				RKey: binary.LittleEndian.Uint32(all[peer][8:]),
+				Len:  len(p.arena), // identical config => identical layout
+			},
+		}
+		// My receive ledgers for this peer live in my arena at the
+		// peer's slot; the peer's matching send ledgers target them.
+		myRegion := peer * perPeer
+		for cl := 0; cl < numClasses; cl++ {
+			off := myRegion + cfg.classOffset(cl)
+			buf := p.arena[off : off+cfg.classBytes(cl)]
+			rcv, err := ledger.NewReceiver(buf, cfg.entrySize(cl), lk)
+			if err != nil {
+				return nil, err
+			}
+			ps.recv[cl] = rcv
+			// Sender half: the peer's arena, my slot within it.
+			peerRegion := p.rank * perPeer
+			sndRB := mem.RemoteBuffer{
+				Addr: ps.remoteArena.Addr + uint64(peerRegion+cfg.classOffset(cl)),
+				RKey: ps.remoteArena.RKey,
+				Len:  cfg.classBytes(cl),
+			}
+			snd, err := ledger.NewSender(sndRB, cfg.entrySize(cl))
+			if err != nil {
+				return nil, err
+			}
+			ps.send[cl] = snd
+		}
+		p.peers[peer] = ps
+	}
+	return p, nil
+}
+
+// Rank returns this instance's rank.
+func (p *Photon) Rank() int { return p.rank }
+
+// Size returns the job size.
+func (p *Photon) Size() int { return p.size }
+
+// Config returns the effective (defaulted) configuration.
+func (p *Photon) Config() Config { return p.cfg }
+
+// EagerThreshold reports the largest payload Send packs inline.
+func (p *Photon) EagerThreshold() int {
+	if p.cfg.ForceRendezvous {
+		return 0
+	}
+	return p.cfg.EagerThreshold
+}
+
+// Stats returns an activity snapshot.
+func (p *Photon) Stats() Stats {
+	return Stats{
+		PutsDirect:     p.stats.putsDirect.Load(),
+		PutsPacked:     p.stats.putsPacked.Load(),
+		Gets:           p.stats.gets.Load(),
+		RdzvSends:      p.stats.rdzvSends.Load(),
+		RdzvRecvs:      p.stats.rdzvRecvs.Load(),
+		Atomics:        p.stats.atomics.Load(),
+		CreditWrites:   p.stats.creditWrites.Load(),
+		ProgressCalls:  p.stats.progress.Load(),
+		DeferredWrites: p.stats.deferred.Load(),
+	}
+}
+
+// RegisterBuffer pins buf for remote access and returns its descriptor
+// (to be exchanged with peers) and a read-locker that must be held when
+// locally reading bytes that remote peers write into buf.
+func (p *Photon) RegisterBuffer(buf []byte) (mem.RemoteBuffer, sync.Locker, error) {
+	if p.closed.Load() {
+		return mem.RemoteBuffer{}, nil, ErrClosed
+	}
+	return p.be.Register(buf)
+}
+
+// DeregisterBuffer releases a registration made with RegisterBuffer.
+func (p *Photon) DeregisterBuffer(rb mem.RemoteBuffer) error {
+	return p.be.Deregister(rb)
+}
+
+// ExchangeBuffers is a collective helper: every rank contributes one
+// buffer descriptor and receives all of them indexed by rank. Ranks
+// with nothing to share pass the zero RemoteBuffer.
+func (p *Photon) ExchangeBuffers(rb mem.RemoteBuffer) ([]mem.RemoteBuffer, error) {
+	blob := make([]byte, 20)
+	binary.LittleEndian.PutUint64(blob[0:], rb.Addr)
+	binary.LittleEndian.PutUint32(blob[8:], rb.RKey)
+	binary.LittleEndian.PutUint64(blob[12:], uint64(rb.Len))
+	all, err := p.be.Exchange(blob)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]mem.RemoteBuffer, len(all))
+	for i, b := range all {
+		if len(b) < 20 {
+			return nil, fmt.Errorf("photon: short buffer blob from rank %d", i)
+		}
+		out[i] = mem.RemoteBuffer{
+			Addr: binary.LittleEndian.Uint64(b[0:]),
+			RKey: binary.LittleEndian.Uint32(b[8:]),
+			Len:  int(binary.LittleEndian.Uint64(b[12:])),
+		}
+	}
+	return out, nil
+}
+
+// Exchange exposes the backend's raw bootstrap allgather for higher
+// layers (collectives use it during their own setup).
+func (p *Photon) Exchange(local []byte) ([][]byte, error) { return p.be.Exchange(local) }
+
+// Close shuts the instance down. In-flight operations are abandoned.
+func (p *Photon) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	return p.be.Close()
+}
+
+// newToken registers a pending op and returns its token.
+func (p *Photon) newToken(op pendingOp) uint64 {
+	p.tokMu.Lock()
+	tok := p.nextTok
+	p.nextTok++
+	p.tokens[tok] = op
+	p.tokMu.Unlock()
+	return tok
+}
+
+// takeToken resolves and removes a pending op.
+func (p *Photon) takeToken(tok uint64) (pendingOp, bool) {
+	p.tokMu.Lock()
+	op, ok := p.tokens[tok]
+	if ok {
+		delete(p.tokens, tok)
+	}
+	p.tokMu.Unlock()
+	return op, ok
+}
+
+// checkRank validates a peer rank.
+func (p *Photon) checkRank(rank int) error {
+	if rank < 0 || rank >= p.size {
+		return fmt.Errorf("%w: %d", ErrBadRank, rank)
+	}
+	return nil
+}
+
+// pushLocal enqueues a local completion.
+func (p *Photon) pushLocal(c Completion) {
+	c.Local = true
+	p.cqMu.Lock()
+	p.localQ = append(p.localQ, c)
+	p.cqMu.Unlock()
+}
+
+// pushRemote enqueues a remote completion.
+func (p *Photon) pushRemote(c Completion) {
+	p.cqMu.Lock()
+	p.remoteQ = append(p.remoteQ, c)
+	p.cqMu.Unlock()
+}

@@ -1,0 +1,584 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	gort "runtime"
+	"time"
+
+	"photon/internal/ledger"
+)
+
+// ErrTimeout is returned by the Wait helpers when the deadline passes.
+var ErrTimeout = errors.New("photon: wait timed out")
+
+// Progress drives the engine: it reaps backend completions, polls every
+// peer's ledgers, retries deferred work, and performs credit
+// maintenance. It returns the number of events it handled. Progress is
+// safe to call from multiple goroutines; concurrent callers coalesce
+// (only one runs the engine, others return immediately), mirroring
+// Photon's caller-driven progress model.
+//
+// When the backend exposes a DMA write-activity counter, the ledger
+// sweep is skipped entirely while the counter is unchanged: a spinning
+// prober costs one atomic load per round and — critically — never
+// holds the arena lock the transport needs to deliver the next entry.
+func (p *Photon) Progress() int {
+	if !p.progMu.TryLock() {
+		return 0
+	}
+	defer p.progMu.Unlock()
+	p.stats.progress.Add(1)
+	n := 0
+	n += p.reapBackend()
+	sweep := true
+	if p.activity != nil {
+		if cur := p.activity(); cur != p.lastAct {
+			p.lastAct = cur
+		} else {
+			sweep = false
+		}
+	}
+	for _, ps := range p.peers {
+		n += p.retryDeferred(ps)
+		if sweep {
+			n += p.pollPeer(ps)
+		}
+		p.returnCredits(ps, false)
+	}
+	return n
+}
+
+// reapBackend harvests transport completions and resolves their tokens.
+func (p *Photon) reapBackend() int {
+	buf := p.reapScratch[:]
+	n := 0
+	for {
+		k := p.be.Poll(buf)
+		for i := 0; i < k; i++ {
+			p.handleBackend(buf[i])
+		}
+		n += k
+		if k < len(buf) {
+			return n
+		}
+	}
+}
+
+func (p *Photon) handleBackend(bc BackendCompletion) {
+	op, ok := p.takeToken(bc.Token)
+	if !ok {
+		return // unsignaled op surfaced an error CQE, or stale token
+	}
+	if !bc.OK {
+		err := bc.Err
+		if err == nil {
+			err = fmt.Errorf("photon: transport error on op kind %d", op.kind)
+		}
+		p.pushLocal(Completion{Rank: op.rank, RID: op.rid, Err: err})
+		if op.block != nil {
+			_ = p.slab.Release(op.block)
+		}
+		return
+	}
+	switch op.kind {
+	case opPutLocal:
+		if op.rid != 0 {
+			p.pushLocal(Completion{Rank: op.rank, RID: op.rid})
+		}
+	case opGetLocal:
+		if op.rid != 0 {
+			p.pushLocal(Completion{Rank: op.rank, RID: op.rid})
+		}
+		if op.remoteRID != 0 {
+			p.notifyRemote(op.rank, op.remoteRID)
+		}
+	case opRdzvGet:
+		// Data staged: copy out, release the block, FIN the sender,
+		// surface the delivery.
+		data := make([]byte, op.size)
+		copy(data, op.block.Buf[:op.size])
+		_ = p.slab.Release(op.block)
+		p.sendFIN(op.rank, op.rdzvID)
+		p.stats.rdzvRecvs.Add(1)
+		p.pushRemote(Completion{Rank: op.rank, RID: op.remoteRID, Data: data})
+	case opAtomic:
+		if op.rid != 0 {
+			p.pushLocal(Completion{
+				Rank:  op.rank,
+				RID:   op.rid,
+				Value: binary.LittleEndian.Uint64(op.result),
+			})
+		}
+	}
+}
+
+// notifyRemote writes a bare completion entry (tCompletion) into the
+// peer's PWC ledger, deferring on credit exhaustion.
+func (p *Photon) notifyRemote(rank int, rid uint64) {
+	payload := make([]byte, 9)
+	payload[0] = tCompletion
+	binary.LittleEndian.PutUint64(payload[1:], rid)
+	p.postEntryOrDefer(p.peers[rank], classPWC, payload)
+}
+
+// sendFIN writes a rendezvous-complete entry into the peer's sys ledger.
+func (p *Photon) sendFIN(rank int, rdzvID uint64) {
+	payload := make([]byte, 9)
+	payload[0] = tFIN
+	binary.LittleEndian.PutUint64(payload[1:], rdzvID)
+	p.postEntryOrDefer(p.peers[rank], classSys, payload)
+}
+
+// postEntryOrDefer reserves a slot in the peer's class ledger and posts
+// the entry, parking it for Progress when out of credits.
+func (p *Photon) postEntryOrDefer(ps *peerState, class int, payload []byte) {
+	res, err := p.reserve(ps, class)
+	if err != nil {
+		ps.mu.Lock()
+		ps.pendingEntry = append(ps.pendingEntry, entryOp{class: class, payload: payload})
+		ps.mu.Unlock()
+		ps.deferred.Add(1)
+		p.stats.deferred.Add(1)
+		return
+	}
+	ent := make([]byte, ledger.HeaderSize+len(payload))
+	if err := ledger.Encode(ent, res.Seq, payload); err != nil {
+		// Payload exceeds entry capacity: engine bug; surface loudly.
+		panic(err)
+	}
+	p.postOrPark(ps, ps.rank, ent, res.RemoteAddr, res.RKey, 0, false)
+}
+
+// retryDeferred drains a peer's parked work in dependency-safe order:
+// first fully-specified wire writes (FIFO; slots already reserved),
+// then unreserved ledger entries, then queued inbound rendezvous.
+func (p *Photon) retryDeferred(ps *peerState) int {
+	if ps.deferred.Load() == 0 {
+		return 0
+	}
+	n := 0
+	// Wire writes.
+	for {
+		ps.mu.Lock()
+		if len(ps.pendingWire) == 0 {
+			ps.mu.Unlock()
+			break
+		}
+		w := ps.pendingWire[0]
+		ps.mu.Unlock()
+		if err := p.be.PostWrite(ps.rank, w.local, w.raddr, w.rkey, w.token, w.signaled); err != nil {
+			break // transport still busy; keep FIFO order
+		}
+		ps.mu.Lock()
+		ps.pendingWire = ps.pendingWire[1:]
+		ps.mu.Unlock()
+		ps.deferred.Add(-1)
+		n++
+	}
+	// Ledger entries awaiting credits.
+	for {
+		ps.mu.Lock()
+		if len(ps.pendingEntry) == 0 {
+			ps.mu.Unlock()
+			break
+		}
+		e := ps.pendingEntry[0]
+		ps.mu.Unlock()
+		res, err := p.reserve(ps, e.class)
+		if err != nil {
+			break
+		}
+		ent := make([]byte, ledger.HeaderSize+len(e.payload))
+		if err := ledger.Encode(ent, res.Seq, e.payload); err != nil {
+			panic(err)
+		}
+		p.postOrPark(ps, ps.rank, ent, res.RemoteAddr, res.RKey, 0, false)
+		ps.mu.Lock()
+		ps.pendingEntry = ps.pendingEntry[1:]
+		ps.mu.Unlock()
+		ps.deferred.Add(-1)
+		n++
+	}
+	// Inbound rendezvous awaiting slab space.
+	for {
+		ps.mu.Lock()
+		if len(ps.pendingRTS) == 0 {
+			ps.mu.Unlock()
+			break
+		}
+		r := ps.pendingRTS[0]
+		ps.mu.Unlock()
+		if !p.startRdzvGet(r) {
+			break
+		}
+		ps.mu.Lock()
+		ps.pendingRTS = ps.pendingRTS[1:]
+		ps.mu.Unlock()
+		ps.deferred.Add(-1)
+		n++
+	}
+	return n
+}
+
+// polledEvent is one parsed ledger arrival, collected under the arena
+// read-lock and dispatched after it is released (dispatch may need to
+// re-acquire arena-guarded state, and RWMutex read locks must not
+// nest).
+type polledEvent struct {
+	kind  uint8 // reuses the entry type tags
+	rid   uint64
+	raddr uint64
+	rkey  uint32
+	err   error
+	data  []byte // copied out of the ledger slot
+	rts   rtsOp
+}
+
+// pollPeer drains this peer's three receive ledgers: one arena lock
+// acquisition for the whole batch, then dispatch outside the lock.
+func (p *Photon) pollPeer(ps *peerState) int {
+	p.pollScratch = p.pollScratch[:0]
+	n := 0
+	p.arenaLk.Lock()
+	if !ps.recv[classSys].ReadyLocked() &&
+		!ps.recv[classPWC].ReadyLocked() &&
+		!ps.recv[classEager].ReadyLocked() {
+		p.arenaLk.Unlock()
+		return 0
+	}
+	for {
+		e, ok := ps.recv[classSys].PollLocked()
+		if !ok {
+			break
+		}
+		ps.consumed[classSys]++
+		n++
+		if ev, ok := parseSys(e); ok {
+			ev.rts.rank = ps.rank
+			p.pollScratch = append(p.pollScratch, ev)
+		}
+	}
+	for {
+		e, ok := ps.recv[classPWC].PollLocked()
+		if !ok {
+			break
+		}
+		ps.consumed[classPWC]++
+		n++
+		if len(e.Payload) >= 9 && e.Payload[0] == tCompletion {
+			p.pollScratch = append(p.pollScratch, polledEvent{
+				kind: tCompletion,
+				rid:  binary.LittleEndian.Uint64(e.Payload[1:]),
+			})
+		}
+	}
+	for {
+		e, ok := ps.recv[classEager].PollLocked()
+		if !ok {
+			break
+		}
+		ps.consumed[classEager]++
+		n++
+		switch {
+		case len(e.Payload) >= packedHdrSize && e.Payload[0] == tPacked:
+			data := make([]byte, len(e.Payload)-packedHdrSize)
+			copy(data, e.Payload[packedHdrSize:])
+			p.pollScratch = append(p.pollScratch, polledEvent{
+				kind: tPacked,
+				rid:  binary.LittleEndian.Uint64(e.Payload[1:]),
+				data: data,
+			})
+		case len(e.Payload) >= packedPutHdrSize && e.Payload[0] == tPackedPut:
+			// Copy the payload out and place it after the arena lock
+			// is released: ApplyLocal takes registration locks that
+			// may be the very lock guarding this sweep (the TCP
+			// backend uses one table-wide RWMutex), so it must never
+			// run under it.
+			data := make([]byte, len(e.Payload)-packedPutHdrSize)
+			copy(data, e.Payload[packedPutHdrSize:])
+			p.pollScratch = append(p.pollScratch, polledEvent{
+				kind:  tPackedPut,
+				rid:   binary.LittleEndian.Uint64(e.Payload[1:]),
+				raddr: binary.LittleEndian.Uint64(e.Payload[9:]),
+				rkey:  binary.LittleEndian.Uint32(e.Payload[17:]),
+				data:  data,
+			})
+		}
+	}
+	p.arenaLk.Unlock()
+
+	for i := range p.pollScratch {
+		ev := &p.pollScratch[i]
+		switch ev.kind {
+		case tCompletion:
+			p.pushRemote(Completion{Rank: ps.rank, RID: ev.rid, Err: ev.err})
+		case tPacked:
+			p.pushRemote(Completion{Rank: ps.rank, RID: ev.rid, Data: ev.data})
+		case tPackedPut:
+			err := p.be.ApplyLocal(ev.raddr, ev.rkey, ev.data)
+			if ev.rid != 0 || err != nil {
+				p.pushRemote(Completion{Rank: ps.rank, RID: ev.rid, Err: err})
+			}
+		case tRTS:
+			if !p.startRdzvGet(ev.rts) {
+				ps.mu.Lock()
+				ps.pendingRTS = append(ps.pendingRTS, ev.rts)
+				ps.mu.Unlock()
+				ps.deferred.Add(1)
+			}
+		case tFIN:
+			p.handleFIN(ps, ev.rid)
+		}
+		ev.data = nil // release payload reference for GC
+	}
+	if n > 0 {
+		ps.consumedHint.Add(int64(n))
+	}
+	return n
+}
+
+// parseSys decodes a sys-ledger control entry into a polled event.
+func parseSys(e ledger.Entry) (polledEvent, bool) {
+	if len(e.Payload) < 9 {
+		return polledEvent{}, false
+	}
+	switch e.Payload[0] {
+	case tRTS:
+		if len(e.Payload) < 37 {
+			return polledEvent{}, false
+		}
+		return polledEvent{
+			kind: tRTS,
+			rts: rtsOp{
+				rdzvID:    binary.LittleEndian.Uint64(e.Payload[1:]),
+				remoteRID: binary.LittleEndian.Uint64(e.Payload[9:]),
+				size:      int(binary.LittleEndian.Uint64(e.Payload[17:])),
+				addr:      binary.LittleEndian.Uint64(e.Payload[25:]),
+				rkey:      binary.LittleEndian.Uint32(e.Payload[33:]),
+			},
+		}, true
+	case tFIN:
+		return polledEvent{kind: tFIN, rid: binary.LittleEndian.Uint64(e.Payload[1:])}, true
+	}
+	return polledEvent{}, false
+}
+
+// handleFIN completes an outstanding rendezvous send.
+func (p *Photon) handleFIN(ps *peerState, id uint64) {
+	p.rdzvMu.Lock()
+	rs, ok := p.rdzvSends[id]
+	if ok {
+		delete(p.rdzvSends, id)
+	}
+	p.rdzvMu.Unlock()
+	if ok {
+		_ = p.be.Deregister(rs.rb)
+		if rs.rid != 0 {
+			p.pushLocal(Completion{Rank: ps.rank, RID: rs.rid})
+		}
+	}
+}
+
+// startRdzvGet allocates staging space and posts the rendezvous read.
+// Returns false when it must be retried later (no slab space / SQ full).
+func (p *Photon) startRdzvGet(r rtsOp) bool {
+	block, err := p.slab.Alloc(r.size)
+	if err != nil {
+		return false
+	}
+	tok := p.newToken(pendingOp{
+		kind: opRdzvGet, rank: r.rank, remoteRID: r.remoteRID,
+		block: block, size: r.size, rdzvID: r.rdzvID,
+	})
+	if err := p.be.PostRead(r.rank, block.Buf[:r.size], r.addr, r.rkey, tok); err != nil {
+		p.takeToken(tok)
+		_ = p.slab.Release(block)
+		return false
+	}
+	return true
+}
+
+// returnCredits publishes consumed-entry counts to the peer's mailbox
+// when the batch threshold is reached (or force is set). The write is a
+// cumulative counter, so it is idempotent and needs no flow control.
+func (p *Photon) returnCredits(ps *peerState, force bool) {
+	if ps.consumedHint.Load() == 0 && !force {
+		return
+	}
+	ps.consumedHint.Store(0)
+	for cl := 0; cl < numClasses; cl++ {
+		total := ps.consumed[cl] // progress-engine-owned; no ledger locks
+		ps.mu.Lock()
+		due := total-ps.lastReturned[cl] >= int64(p.cfg.CreditBatch) || (force && total > ps.lastReturned[cl])
+		if due {
+			ps.lastReturned[cl] = total
+		}
+		ps.mu.Unlock()
+		if !due {
+			continue
+		}
+		word := make([]byte, 8)
+		binary.LittleEndian.PutUint64(word, uint64(total))
+		raddr := ps.remoteArena.Addr + uint64(p.mailSlotOffset(p.rank, cl))
+		p.postOrPark(ps, ps.rank, word, raddr, ps.remoteArena.RKey, 0, false)
+		p.stats.creditWrites.Add(1)
+	}
+}
+
+// mailSlotOffset is the arena offset of the mailbox word that `peer`
+// writes about ledger class cl it consumes from me. In my arena the
+// word for (peer, cl) lives at mailOff + (peer*numClasses+cl)*8; in the
+// peer's arena, my word lives at the same formula with my rank.
+func (p *Photon) mailSlotOffset(rank, class int) int {
+	return p.mailOff + (rank*numClasses+class)*8
+}
+
+// refreshCredits folds the local mailbox word for (peer, class) into
+// the sender's credit balance.
+func (p *Photon) refreshCredits(ps *peerState, class int) {
+	off := p.mailSlotOffset(ps.rank, class)
+	p.arenaLk.Lock()
+	val := binary.LittleEndian.Uint64(p.arena[off : off+8])
+	p.arenaLk.Unlock()
+	ps.mu.Lock()
+	delta := int64(val) - int64(ps.lastMail[class])
+	if delta > 0 {
+		ps.lastMail[class] = val
+	}
+	ps.mu.Unlock()
+	if delta > 0 {
+		_ = ps.send[class].AddCredits(int(delta))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Completion harvesting
+// ---------------------------------------------------------------------
+
+// Probe drives one round of progress and pops a completion from the
+// selected stream(s), local first. ok is false when nothing is pending.
+func (p *Photon) Probe(flags ProbeFlags) (Completion, bool) {
+	p.Progress()
+	if flags&ProbeLocal != 0 {
+		if c, ok := p.PopLocal(); ok {
+			return c, true
+		}
+	}
+	if flags&ProbeRemote != 0 {
+		if c, ok := p.PopRemote(); ok {
+			return c, true
+		}
+	}
+	return Completion{}, false
+}
+
+// PopLocal pops the oldest harvested local completion without driving
+// progress.
+func (p *Photon) PopLocal() (Completion, bool) {
+	p.cqMu.Lock()
+	defer p.cqMu.Unlock()
+	if len(p.localQ) == 0 {
+		return Completion{}, false
+	}
+	c := p.localQ[0]
+	p.localQ = p.localQ[1:]
+	return c, true
+}
+
+// PopRemote pops the oldest harvested remote completion.
+func (p *Photon) PopRemote() (Completion, bool) {
+	p.cqMu.Lock()
+	defer p.cqMu.Unlock()
+	if len(p.remoteQ) == 0 {
+		return Completion{}, false
+	}
+	c := p.remoteQ[0]
+	p.remoteQ = p.remoteQ[1:]
+	return c, true
+}
+
+// WaitLocal spins (driving progress) until the local completion with
+// the given RID arrives, removing it from the stream; other completions
+// are left queued. A non-positive timeout waits forever.
+func (p *Photon) WaitLocal(rid uint64, timeout time.Duration) (Completion, error) {
+	return p.waitMatch(rid, timeout, &p.localQ)
+}
+
+// WaitRemote spins until the remote completion with the given RID
+// arrives.
+func (p *Photon) WaitRemote(rid uint64, timeout time.Duration) (Completion, error) {
+	return p.waitMatch(rid, timeout, &p.remoteQ)
+}
+
+func (p *Photon) waitMatch(rid uint64, timeout time.Duration, q *[]Completion) (Completion, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	idle := 0
+	for {
+		n := p.Progress()
+		p.cqMu.Lock()
+		for i, c := range *q {
+			if c.RID == rid {
+				*q = append((*q)[:i], (*q)[i+1:]...)
+				p.cqMu.Unlock()
+				return c, nil
+			}
+		}
+		p.cqMu.Unlock()
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return Completion{}, ErrTimeout
+		}
+		if p.closed.Load() {
+			return Completion{}, ErrClosed
+		}
+		if n == 0 {
+			// Nothing moved: yield so transport goroutines (QP
+			// engines, fabric links) can run — critical on few-core
+			// hosts where a spinning waiter would otherwise hold the
+			// processor until async preemption. After a long dry
+			// stretch, sleep briefly so the processor can go idle
+			// and the runtime polls the network immediately (a
+			// spinning waiter otherwise starves socket backends of
+			// netpoll service on single-core hosts).
+			idle++
+			if idle > 64 {
+				time.Sleep(5 * time.Microsecond)
+			} else {
+				gort.Gosched()
+			}
+		} else {
+			idle = 0
+		}
+	}
+}
+
+// Flush forces pending credit returns out (used before quiescing, e.g.
+// by barriers, so peers are never left starved of credits).
+func (p *Photon) Flush() {
+	if !p.progMu.TryLock() {
+		return
+	}
+	defer p.progMu.Unlock()
+	for _, ps := range p.peers {
+		p.retryDeferred(ps)
+		p.returnCredits(ps, true)
+	}
+}
+
+// PendingLocal and PendingRemote report queue depths (test aid).
+func (p *Photon) PendingLocal() int {
+	p.cqMu.Lock()
+	defer p.cqMu.Unlock()
+	return len(p.localQ)
+}
+
+// PendingRemote reports the remote completion queue depth.
+func (p *Photon) PendingRemote() int {
+	p.cqMu.Lock()
+	defer p.cqMu.Unlock()
+	return len(p.remoteQ)
+}

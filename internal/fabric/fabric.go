@@ -1,0 +1,304 @@
+// Package fabric simulates the cluster interconnect that Photon's
+// simulated NICs attach to.
+//
+// The fabric connects N nodes with directed, reliable, in-order links.
+// Each link applies a LogGP-style delay model: a frame departs when the
+// link is free (serialization at the configured per-byte gap plus a
+// per-frame overhead) and arrives one latency later. Frames on one link
+// are pipelined — their arrival times are spaced by serialization time,
+// not by latency — matching how a real wire behaves.
+//
+// The fabric is deliberately dumb: it moves opaque byte frames. All
+// RDMA semantics (queue pairs, memory registration, completions) live in
+// package nicsim above it. This mirrors the hardware split the original
+// Photon paper assumes: middleware above verbs, verbs above a reliable
+// fabric.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Model configures per-link timing. The zero Model delivers frames
+// asynchronously but with no added delay, which is the right default for
+// functional tests; benchmarks set realistic values.
+type Model struct {
+	// Latency is the one-way propagation delay per frame.
+	Latency time.Duration
+	// GapPerByte is the serialization time per payload byte
+	// (the reciprocal of bandwidth). Zero means infinite bandwidth.
+	GapPerByte time.Duration
+	// PerFrame is a fixed per-frame overhead added to serialization
+	// (models per-packet processing, the LogGP "gap").
+	PerFrame time.Duration
+	// QueueDepth bounds the number of in-flight frames per directed
+	// link; senders block when the queue is full (backpressure).
+	// Zero selects the default of 4096.
+	QueueDepth int
+}
+
+// DefaultQueueDepth is the per-link frame queue bound used when
+// Model.QueueDepth is zero.
+const DefaultQueueDepth = 4096
+
+// Frame is one unit of delivery: an opaque payload from Src to Dst.
+type Frame struct {
+	Src, Dst int
+	Data     []byte
+}
+
+// Handler receives frames addressed to a node. Handlers run on the
+// link's delivery goroutine and must not block for long; the simulated
+// NIC copies out what it needs and returns.
+type Handler func(Frame)
+
+// LinkStats reports per-directed-link traffic counters.
+type LinkStats struct {
+	Frames int64
+	Bytes  int64
+}
+
+// Fabric is a simulated interconnect among NumNodes nodes.
+type Fabric struct {
+	model Model
+	n     int
+
+	mu       sync.Mutex
+	handlers []Handler
+	links    map[linkKey]*link
+	closed   bool
+	done     chan struct{} // closed by Close; unblocks senders and stops links
+	wg       sync.WaitGroup
+
+	// fault, when non-nil, is consulted per frame; returning true
+	// drops the frame (used by failure-injection tests).
+	fault atomic.Pointer[func(src, dst int) bool]
+}
+
+type linkKey struct{ src, dst int }
+
+type queued struct {
+	fr Frame
+	at time.Time // enqueue time; departure is computed from this, not
+	// from the delivery goroutine's clock, so latencies pipeline
+}
+
+type link struct {
+	ch       chan queued
+	nextFree time.Time
+	frames   atomic.Int64
+	bytes    atomic.Int64
+}
+
+// ErrClosed is returned by Send after the fabric has been closed.
+var ErrClosed = errors.New("fabric: closed")
+
+// ErrBadNode is returned for out-of-range node indices.
+var ErrBadNode = errors.New("fabric: node index out of range")
+
+// New creates a fabric connecting n nodes under the given delay model.
+func New(n int, m Model) *Fabric {
+	if n <= 0 {
+		panic(fmt.Sprintf("fabric: invalid node count %d", n))
+	}
+	if m.QueueDepth <= 0 {
+		m.QueueDepth = DefaultQueueDepth
+	}
+	return &Fabric{
+		model:    m,
+		n:        n,
+		handlers: make([]Handler, n),
+		links:    make(map[linkKey]*link),
+		done:     make(chan struct{}),
+	}
+}
+
+// NumNodes returns the number of attached node slots.
+func (f *Fabric) NumNodes() int { return f.n }
+
+// Model returns the configured delay model.
+func (f *Fabric) Model() Model { return f.model }
+
+// Attach installs the frame handler for a node. It must be called once
+// per node before any frame addressed to it is delivered; frames
+// arriving at a node with no handler are dropped (counted in stats).
+func (f *Fabric) Attach(node int, h Handler) error {
+	if node < 0 || node >= f.n {
+		return ErrBadNode
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	f.handlers[node] = h
+	return nil
+}
+
+// SetFault installs a frame-drop predicate for failure injection; pass
+// nil to clear. The predicate runs on the sender's goroutine.
+func (f *Fabric) SetFault(fn func(src, dst int) bool) {
+	if fn == nil {
+		f.fault.Store(nil)
+		return
+	}
+	f.fault.Store(&fn)
+}
+
+// Send enqueues a frame from src to dst. The fabric takes ownership of
+// data; callers must not modify it afterwards. Send blocks if the link
+// queue is full, modeling transmit backpressure.
+func (f *Fabric) Send(src, dst int, data []byte) error {
+	if src < 0 || src >= f.n || dst < 0 || dst >= f.n {
+		return ErrBadNode
+	}
+	if fp := f.fault.Load(); fp != nil && (*fp)(src, dst) {
+		return nil // silently dropped, like a lossy link
+	}
+	l, err := f.linkFor(src, dst)
+	if err != nil {
+		return err
+	}
+	select {
+	case l.ch <- queued{fr: Frame{Src: src, Dst: dst, Data: data}, at: time.Now()}:
+		return nil
+	case <-f.done:
+		return ErrClosed
+	}
+}
+
+func (f *Fabric) linkFor(src, dst int) (*link, error) {
+	key := linkKey{src, dst}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	l, ok := f.links[key]
+	if !ok {
+		l = &link{ch: make(chan queued, f.model.QueueDepth)}
+		f.links[key] = l
+		f.wg.Add(1)
+		go f.run(l)
+	}
+	return l, nil
+}
+
+// run is the per-link delivery goroutine. It enforces in-order delivery
+// with pipelined arrival times: arrival(i) = depart(i) + Latency, where
+// depart(i) = max(now, depart(i-1)) + serialization(i).
+func (f *Fabric) run(l *link) {
+	defer f.wg.Done()
+	for {
+		var q queued
+		select {
+		case q = <-l.ch:
+		case <-f.done:
+			// Flush whatever is already queued, then exit.
+			for {
+				select {
+				case q = <-l.ch:
+					f.deliver(l, q)
+				default:
+					return
+				}
+			}
+		}
+		f.deliver(l, q)
+	}
+}
+
+// deliver applies the delay model and hands one frame to its handler.
+func (f *Fabric) deliver(l *link, q queued) {
+	{
+		fr := q.fr
+		m := f.model
+		if m.Latency > 0 || m.GapPerByte > 0 || m.PerFrame > 0 {
+			depart := l.nextFree
+			if depart.Before(q.at) {
+				depart = q.at
+			}
+			xmit := m.PerFrame + time.Duration(len(fr.Data))*m.GapPerByte
+			depart = depart.Add(xmit)
+			l.nextFree = depart
+			arrive := depart.Add(m.Latency)
+			if d := time.Until(arrive); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		l.frames.Add(1)
+		l.bytes.Add(int64(len(fr.Data)))
+		f.mu.Lock()
+		h := f.handlers[fr.Dst]
+		f.mu.Unlock()
+		if h != nil {
+			h(fr)
+		}
+	}
+}
+
+// Stats returns traffic counters for the directed link src->dst.
+func (f *Fabric) Stats(src, dst int) LinkStats {
+	f.mu.Lock()
+	l := f.links[linkKey{src, dst}]
+	f.mu.Unlock()
+	if l == nil {
+		return LinkStats{}
+	}
+	return LinkStats{Frames: l.frames.Load(), Bytes: l.bytes.Load()}
+}
+
+// TotalStats sums traffic over all links.
+func (f *Fabric) TotalStats() LinkStats {
+	f.mu.Lock()
+	links := make([]*link, 0, len(f.links))
+	for _, l := range f.links {
+		links = append(links, l)
+	}
+	f.mu.Unlock()
+	var t LinkStats
+	for _, l := range links {
+		t.Frames += l.frames.Load()
+		t.Bytes += l.bytes.Load()
+	}
+	return t
+}
+
+// Drain blocks until every link queue observed at call time has been
+// delivered. It is a test aid, not a synchronization primitive for
+// protocols (those use completions).
+func (f *Fabric) Drain() {
+	for {
+		f.mu.Lock()
+		pending := 0
+		for _, l := range f.links {
+			pending += len(l.ch)
+		}
+		f.mu.Unlock()
+		if pending == 0 {
+			// One more yield so in-flight handler calls finish.
+			time.Sleep(100 * time.Microsecond)
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Close shuts the fabric down: queued frames are still delivered, and
+// Close returns once all delivery goroutines exit. Send after Close
+// returns ErrClosed.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	close(f.done)
+	f.mu.Unlock()
+	f.wg.Wait()
+}

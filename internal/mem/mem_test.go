@@ -1,0 +1,308 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"photon/internal/fabric"
+	"photon/internal/nicsim"
+	"photon/internal/verbs"
+)
+
+func newDev(t *testing.T) *verbs.Device {
+	t.Helper()
+	fab := fabric.New(1, fabric.Model{})
+	t.Cleanup(fab.Close)
+	d, err := verbs.Open(fab, 0, nicsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestPoolGetPut(t *testing.T) {
+	d := newDev(t)
+	p, err := NewPool(d, 128, 4, verbs.AccessAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cap() != 4 || p.SlotSize() != 128 || p.Available() != 4 {
+		t.Fatalf("pool geometry wrong: cap=%d slot=%d avail=%d", p.Cap(), p.SlotSize(), p.Available())
+	}
+	s0, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0.Index != 0 || len(s0.Buf) != 128 {
+		t.Fatalf("slot 0 = %+v", s0)
+	}
+	if s0.RemoteAddr() != p.MR().Base() {
+		t.Fatalf("slot 0 remote addr = %#x, want MR base %#x", s0.RemoteAddr(), p.MR().Base())
+	}
+	s1, _ := p.Get()
+	if s1.RemoteAddr() != p.MR().Base()+128 {
+		t.Fatalf("slot 1 remote addr = %#x", s1.RemoteAddr())
+	}
+	if p.Available() != 2 {
+		t.Fatalf("available = %d", p.Available())
+	}
+	if err := p.Put(s0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Available() != 3 {
+		t.Fatalf("available after put = %d", p.Available())
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	d := newDev(t)
+	p, _ := NewPool(d, 8, 2, verbs.AccessAll)
+	a, _ := p.Get()
+	b, _ := p.Get()
+	if _, err := p.Get(); err != ErrExhausted {
+		t.Fatalf("exhausted pool Get = %v", err)
+	}
+	p.Put(a)
+	p.Put(b)
+	if p.Available() != 2 {
+		t.Fatalf("available = %d", p.Available())
+	}
+}
+
+func TestPoolDoubleFreeAndForeign(t *testing.T) {
+	d := newDev(t)
+	p, _ := NewPool(d, 8, 2, verbs.AccessAll)
+	q, _ := NewPool(d, 8, 2, verbs.AccessAll)
+	s, _ := p.Get()
+	if err := p.Put(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(s); err != ErrNotOwned {
+		t.Fatalf("double free = %v", err)
+	}
+	qs, _ := q.Get()
+	if err := p.Put(qs); err != ErrNotOwned {
+		t.Fatalf("foreign slot = %v", err)
+	}
+	if err := p.Put(nil); err != ErrNotOwned {
+		t.Fatalf("nil slot = %v", err)
+	}
+}
+
+func TestPoolBadGeometry(t *testing.T) {
+	d := newDev(t)
+	if _, err := NewPool(d, 0, 4, verbs.AccessAll); err == nil {
+		t.Fatal("zero slot size accepted")
+	}
+	if _, err := NewPool(d, 8, 0, verbs.AccessAll); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+func TestPoolSlotsDistinct(t *testing.T) {
+	d := newDev(t)
+	p, _ := NewPool(d, 16, 8, verbs.AccessAll)
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		s, err := p.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[s.Index] {
+			t.Fatalf("slot %d handed out twice", s.Index)
+		}
+		seen[s.Index] = true
+		s.Buf[0] = byte(s.Index) // each slot has its own storage
+	}
+}
+
+func TestSlabAllocRelease(t *testing.T) {
+	d := newDev(t)
+	s, err := NewSlab(d, 1024, verbs.AccessAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := s.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Size() != 128 { // rounded to 64
+		t.Fatalf("size = %d, want 128", b1.Size())
+	}
+	if len(b1.Buf) != 128 {
+		t.Fatalf("buf len = %d", len(b1.Buf))
+	}
+	if b1.RemoteAddr() != s.MR().Base() {
+		t.Fatalf("remote addr = %#x", b1.RemoteAddr())
+	}
+	if s.Used() != 128 {
+		t.Fatalf("used = %d", s.Used())
+	}
+	b2, _ := s.Alloc(64)
+	if b2.RemoteAddr() != s.MR().Base()+128 {
+		t.Fatalf("second block addr = %#x", b2.RemoteAddr())
+	}
+	if err := s.Release(b1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used() != 64 {
+		t.Fatalf("used after release = %d", s.Used())
+	}
+	// First-fit reuses the front hole.
+	b3, _ := s.Alloc(64)
+	if b3.RemoteAddr() != s.MR().Base() {
+		t.Fatalf("first-fit violated: %#x", b3.RemoteAddr())
+	}
+}
+
+func TestSlabExhaustionAndCoalesce(t *testing.T) {
+	d := newDev(t)
+	s, _ := NewSlab(d, 256, verbs.AccessAll)
+	a, _ := s.Alloc(64)
+	b, _ := s.Alloc(64)
+	c, _ := s.Alloc(64)
+	dd, _ := s.Alloc(64)
+	if _, err := s.Alloc(1); err != ErrExhausted {
+		t.Fatalf("exhausted slab = %v", err)
+	}
+	// Release in an order that requires both-side coalescing.
+	s.Release(b)
+	s.Release(dd)
+	if s.NumHoles() != 2 {
+		t.Fatalf("holes = %d, want 2", s.NumHoles())
+	}
+	s.Release(c) // bridges b..d into one hole
+	if s.NumHoles() != 1 {
+		t.Fatalf("holes after coalesce = %d, want 1", s.NumHoles())
+	}
+	s.Release(a)
+	if s.NumHoles() != 1 || s.Used() != 0 {
+		t.Fatalf("full release: holes=%d used=%d", s.NumHoles(), s.Used())
+	}
+	// Whole arena available again.
+	if _, err := s.Alloc(256); err != nil {
+		t.Fatalf("arena not fully recovered: %v", err)
+	}
+}
+
+func TestSlabDoubleFree(t *testing.T) {
+	d := newDev(t)
+	s, _ := NewSlab(d, 256, verbs.AccessAll)
+	b, _ := s.Alloc(64)
+	if err := s.Release(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(b); err != ErrNotOwned {
+		t.Fatalf("double free = %v", err)
+	}
+	if err := s.Release(nil); err != ErrNotOwned {
+		t.Fatalf("nil release = %v", err)
+	}
+}
+
+func TestSlabBadSize(t *testing.T) {
+	d := newDev(t)
+	if _, err := NewSlab(d, 0, verbs.AccessAll); err == nil {
+		t.Fatal("zero slab accepted")
+	}
+	s, _ := NewSlab(d, 256, verbs.AccessAll)
+	if _, err := s.Alloc(0); err == nil {
+		t.Fatal("zero alloc accepted")
+	}
+	if _, err := s.Alloc(-5); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+}
+
+// Property: any interleaving of allocs and releases preserves the
+// invariant used + sum(holes) == arena size, and releasing everything
+// restores a single hole.
+func TestSlabInvariantProperty(t *testing.T) {
+	d := newDev(t)
+	f := func(ops []uint8) bool {
+		s, err := NewSlab(d, 4096, verbs.AccessAll)
+		if err != nil {
+			return false
+		}
+		var live []*Block
+		for _, op := range ops {
+			if op%2 == 0 || len(live) == 0 {
+				n := int(op%63) + 1
+				b, err := s.Alloc(n)
+				if err == nil {
+					live = append(live, b)
+				}
+			} else {
+				i := int(op) % len(live)
+				if err := s.Release(live[i]); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			sum := 0
+			for _, b := range live {
+				sum += b.Size()
+			}
+			if s.Used() != sum {
+				return false
+			}
+		}
+		for _, b := range live {
+			if err := s.Release(b); err != nil {
+				return false
+			}
+		}
+		return s.Used() == 0 && s.NumHoles() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	dir := NewDirectory()
+	rb := RemoteBuffer{Addr: 0x2000, RKey: 7, Len: 4096}
+	dir.Publish(3, BufferID(1), rb)
+	got, ok := dir.Lookup(3, BufferID(1))
+	if !ok || got != rb {
+		t.Fatalf("lookup = %+v %v", got, ok)
+	}
+	if _, ok := dir.Lookup(3, BufferID(2)); ok {
+		t.Fatal("missing id found")
+	}
+	if _, ok := dir.Lookup(4, BufferID(1)); ok {
+		t.Fatal("missing rank found")
+	}
+	if dir.Len() != 1 {
+		t.Fatalf("len = %d", dir.Len())
+	}
+	if got := dir.MustLookup(3, BufferID(1)); got != rb {
+		t.Fatalf("MustLookup = %+v", got)
+	}
+}
+
+func TestDirectoryMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDirectory().MustLookup(0, 0)
+}
+
+func TestRemoteBufferContains(t *testing.T) {
+	rb := RemoteBuffer{Addr: 0x1000, RKey: 1, Len: 100}
+	if !rb.Contains(0, 100) {
+		t.Fatal("full range should fit")
+	}
+	if rb.Contains(1, 100) {
+		t.Fatal("overflow accepted")
+	}
+	if !rb.Contains(99, 1) {
+		t.Fatal("tail byte rejected")
+	}
+	if rb.Contains(^uint64(0), 2) {
+		t.Fatal("wraparound accepted")
+	}
+}

@@ -1,0 +1,290 @@
+package msg
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"photon/internal/fabric"
+	"photon/internal/nicsim"
+)
+
+const waitT = 5 * time.Second
+
+func newTestJob(t *testing.T, n int, cfg Config) *Job {
+	t.Helper()
+	j, err := NewJob(n, fabric.Model{}, nicsim.Config{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(j.Close)
+	return j
+}
+
+func TestEagerSendRecv(t *testing.T) {
+	j := newTestJob(t, 2, Config{})
+	a, b := j.Endpoint(0), j.Endpoint(1)
+	if a.Rank() != 0 || b.Size() != 2 {
+		t.Fatal("rank/size wrong")
+	}
+	h, err := a.Send(1, 42, []byte("two-sided baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.RecvBlocking(0, 42, nil, waitT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Src != 0 || m.Tag != 42 || string(m.Data) != "two-sided baseline" {
+		t.Fatalf("message = %+v", m)
+	}
+	if err := h.Wait(waitT); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.EagerTx != 1 || st.RdzvTx != 0 {
+		t.Fatalf("sender stats = %+v", st)
+	}
+}
+
+func TestRecvBeforeSend(t *testing.T) {
+	j := newTestJob(t, 2, Config{})
+	a, b := j.Endpoint(0), j.Endpoint(1)
+	ch, err := b.Recv(0, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Send(1, 7, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(waitT)
+	for {
+		select {
+		case m := <-ch:
+			if !bytes.Equal(m.Data, []byte{1, 2, 3}) {
+				t.Fatalf("data = %v", m.Data)
+			}
+			return
+		default:
+		}
+		b.Progress()
+		if time.Now().After(deadline) {
+			t.Fatal("message never matched")
+		}
+	}
+}
+
+func TestUnexpectedQueueMatch(t *testing.T) {
+	j := newTestJob(t, 2, Config{})
+	a, b := j.Endpoint(0), j.Endpoint(1)
+	// Send first; message arrives unexpected.
+	if _, err := a.Send(1, 9, []byte("early")); err != nil {
+		t.Fatal(err)
+	}
+	// Let it land in the unexpected queue.
+	time.Sleep(5 * time.Millisecond)
+	b.Progress()
+	m, err := b.RecvBlocking(0, 9, nil, waitT)
+	if err != nil || string(m.Data) != "early" {
+		t.Fatalf("unexpected match: %v %q", err, m.Data)
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	j := newTestJob(t, 2, Config{})
+	a, b := j.Endpoint(0), j.Endpoint(1)
+	a.Send(1, 1, []byte("one"))
+	a.Send(1, 2, []byte("two"))
+	// Receive tag 2 first even though tag 1 arrived first.
+	m2, err := b.RecvBlocking(0, 2, nil, waitT)
+	if err != nil || string(m2.Data) != "two" {
+		t.Fatalf("tag 2: %v %q", err, m2.Data)
+	}
+	m1, err := b.RecvBlocking(0, 1, nil, waitT)
+	if err != nil || string(m1.Data) != "one" {
+		t.Fatalf("tag 1: %v %q", err, m1.Data)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	j := newTestJob(t, 3, Config{})
+	j.Endpoint(2).Send(1, 77, []byte("from 2"))
+	m, err := j.Endpoint(1).RecvBlocking(-1, AnyTag, nil, waitT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Src != 2 || m.Tag != 77 {
+		t.Fatalf("message = %+v", m)
+	}
+}
+
+func TestRendezvousLarge(t *testing.T) {
+	j := newTestJob(t, 2, Config{EagerLimit: 512})
+	a, b := j.Endpoint(0), j.Endpoint(1)
+	big := make([]byte, 128*1024)
+	for i := range big {
+		big[i] = byte(i * 13)
+	}
+	h, err := a.Send(1, 5, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Message
+	var rerr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m, rerr = b.RecvBlocking(0, 5, nil, waitT)
+	}()
+	if err := h.Wait(waitT); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !bytes.Equal(m.Data, big) {
+		t.Fatal("rendezvous payload corrupted")
+	}
+	if st := a.Stats(); st.RdzvTx != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRendezvousIntoUserBuffer(t *testing.T) {
+	j := newTestJob(t, 2, Config{EagerLimit: 64})
+	a, b := j.Endpoint(0), j.Endpoint(1)
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	dst := make([]byte, 8192)
+	ch, err := b.Recv(0, 3, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := a.Send(1, 3, payload)
+	go h.Wait(waitT)
+	deadline := time.Now().Add(waitT)
+	for {
+		select {
+		case m := <-ch:
+			if &m.Data[0] != &dst[0] {
+				t.Fatal("rendezvous did not land in the user buffer")
+			}
+			if !bytes.Equal(m.Data, payload) {
+				t.Fatal("payload mismatch")
+			}
+			return
+		default:
+		}
+		b.Progress()
+		a.Progress()
+		if time.Now().After(deadline) {
+			t.Fatal("timeout")
+		}
+	}
+}
+
+func TestEagerIntoUserBufferCopies(t *testing.T) {
+	j := newTestJob(t, 2, Config{})
+	a, b := j.Endpoint(0), j.Endpoint(1)
+	dst := make([]byte, 16)
+	a.Send(1, 4, []byte("copy me"))
+	m, err := b.RecvBlocking(0, 4, dst, waitT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &m.Data[0] != &dst[0] || string(m.Data) != "copy me" {
+		t.Fatalf("eager copy into user buffer failed: %q", m.Data)
+	}
+}
+
+func TestManyMessagesOrdered(t *testing.T) {
+	j := newTestJob(t, 2, Config{RecvSlots: 8})
+	a, b := j.Endpoint(0), j.Endpoint(1)
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			h, err := a.Send(1, 1, []byte{byte(i), byte(i >> 8)})
+			if err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+			_ = h
+			a.Progress()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := b.RecvBlocking(0, 1, nil, waitT)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		got := int(m.Data[0]) | int(m.Data[1])<<8
+		if got != i {
+			t.Fatalf("recv %d got %d (same-tag ordering violated)", i, got)
+		}
+	}
+	wg.Wait()
+}
+
+func TestBadRank(t *testing.T) {
+	j := newTestJob(t, 2, Config{})
+	if _, err := j.Endpoint(0).Send(5, 1, nil); !errors.Is(err, ErrBadRank) {
+		t.Fatalf("send bad rank: %v", err)
+	}
+	if _, err := j.Endpoint(0).Recv(9, 1, nil); !errors.Is(err, ErrBadRank) {
+		t.Fatalf("recv bad rank: %v", err)
+	}
+}
+
+func TestCloseUnblocksReceivers(t *testing.T) {
+	j := newTestJob(t, 2, Config{})
+	b := j.Endpoint(1)
+	ch, err := b.Recv(0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		j.Close()
+	}()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("expected closed channel, got message")
+		}
+	case <-time.After(waitT):
+		t.Fatal("receiver not unblocked by close")
+	}
+	if _, err := b.Send(0, 1, []byte{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestSelfMessaging(t *testing.T) {
+	j := newTestJob(t, 1, Config{})
+	ep := j.Endpoint(0)
+	if _, err := ep.Send(0, 8, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ep.RecvBlocking(0, 8, nil, waitT)
+	if err != nil || string(m.Data) != "self" {
+		t.Fatalf("self message: %v %q", err, m.Data)
+	}
+}
+
+func TestMatchScansCounted(t *testing.T) {
+	j := newTestJob(t, 2, Config{})
+	a, b := j.Endpoint(0), j.Endpoint(1)
+	a.Send(1, 1, []byte{1})
+	b.RecvBlocking(0, 1, nil, waitT)
+	if st := b.Stats(); st.MatchScans == 0 {
+		t.Fatal("matching engine scans not counted")
+	}
+}

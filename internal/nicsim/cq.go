@@ -1,0 +1,207 @@
+package nicsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Opcode identifies the kind of work a completion refers to.
+type Opcode uint8
+
+// Work request opcodes.
+const (
+	OpInvalid Opcode = iota
+	OpSend
+	OpRDMAWrite
+	OpRDMAWriteImm
+	OpRDMARead
+	OpAtomicFetchAdd
+	OpAtomicCompSwap
+	OpRecv
+)
+
+var opNames = [...]string{"invalid", "send", "rdma-write", "rdma-write-imm", "rdma-read", "fetch-add", "comp-swap", "recv"}
+
+// String returns the lowercase opcode name.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "opcode(?)"
+}
+
+// Status reports how a work request completed.
+type Status uint8
+
+// Completion status values.
+const (
+	StatusOK Status = iota
+	StatusLocalError
+	StatusRemoteAccessError
+	StatusLengthError
+	StatusRNRExceeded
+	StatusFlushed
+)
+
+var statusNames = [...]string{"ok", "local-error", "remote-access-error", "length-error", "rnr-exceeded", "flushed"}
+
+// String returns the lowercase status name.
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return "status(?)"
+}
+
+// CQE is one completion queue entry.
+type CQE struct {
+	WRID    uint64
+	Status  Status
+	Op      Opcode
+	ByteLen int    // bytes transferred (receives: payload length)
+	Imm     uint32 // immediate data, if HasImm
+	HasImm  bool
+	QPN     uint32 // local QP the completion belongs to
+	SrcQPN  uint32 // remote QP (receives only)
+	SrcNode int    // remote node (receives only)
+}
+
+// CQ is a bounded completion queue. Multiple QPs may share one CQ, as
+// in verbs. Overflow is recorded and drops the entry; a correctly
+// sized application never overflows (Photon sizes CQs to its ledger
+// and request-table bounds).
+type CQ struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	ring     []CQE
+	head, sz int
+	overflow int64
+	fastLen  atomic.Int32 // lock-free mirror of sz for empty checks
+}
+
+// NewCQ creates a completion queue with the given capacity (minimum 1).
+func NewCQ(capacity int) *CQ {
+	if capacity < 1 {
+		capacity = 1
+	}
+	cq := &CQ{ring: make([]CQE, capacity)}
+	cq.cond = sync.NewCond(&cq.mu)
+	return cq
+}
+
+// Cap returns the queue capacity.
+func (c *CQ) Cap() int { return len(c.ring) }
+
+// Overflows reports how many completions were dropped due to overflow.
+func (c *CQ) Overflows() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.overflow
+}
+
+func (c *CQ) push(e CQE) {
+	c.mu.Lock()
+	if c.sz == len(c.ring) {
+		c.overflow++
+		c.mu.Unlock()
+		return
+	}
+	c.ring[(c.head+c.sz)%len(c.ring)] = e
+	c.sz++
+	c.fastLen.Store(int32(c.sz))
+	c.cond.Signal()
+	c.mu.Unlock()
+}
+
+// Poll reaps up to max completions without blocking, returning however
+// many are available (possibly zero).
+func (c *CQ) Poll(max int) []CQE {
+	if max <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	n := c.sz
+	if n > max {
+		n = max
+	}
+	if n == 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	out := make([]CQE, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.ring[(c.head+i)%len(c.ring)]
+	}
+	c.head = (c.head + n) % len(c.ring)
+	c.sz -= n
+	c.fastLen.Store(int32(c.sz))
+	c.mu.Unlock()
+	return out
+}
+
+// PollInto reaps up to len(dst) completions into dst without
+// allocating, returning the count.
+func (c *CQ) PollInto(dst []CQE) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	n := c.sz
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = c.ring[(c.head+i)%len(c.ring)]
+	}
+	c.head = (c.head + n) % len(c.ring)
+	c.sz -= n
+	c.fastLen.Store(int32(c.sz))
+	c.mu.Unlock()
+	return n
+}
+
+// WaitPoll blocks until at least one completion is available or the
+// timeout expires, then reaps up to max entries. A timeout <= 0 polls
+// once without blocking.
+func (c *CQ) WaitPoll(max int, timeout time.Duration) []CQE {
+	if got := c.Poll(max); len(got) > 0 || timeout <= 0 {
+		return got
+	}
+	deadline := time.Now().Add(timeout)
+	c.mu.Lock()
+	for c.sz == 0 {
+		// sync.Cond has no timed wait; use a waker goroutine per
+		// blocking call. WaitPoll is a convenience for tests and
+		// bootstrap paths, not the hot path (Photon polls).
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-time.After(time.Until(deadline)):
+				c.mu.Lock()
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			case <-done:
+			}
+		}()
+		c.cond.Wait()
+		close(done)
+		if c.sz == 0 && !time.Now().Before(deadline) {
+			c.mu.Unlock()
+			return nil
+		}
+	}
+	c.mu.Unlock()
+	return c.Poll(max)
+}
+
+// FastLen reports the queue depth without locking: a cheap empty check
+// for polling loops (exact at quiescence, advisory under concurrency).
+func (c *CQ) FastLen() int { return int(c.fastLen.Load()) }
+
+// Len reports the number of completions currently queued.
+func (c *CQ) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sz
+}

@@ -1,0 +1,345 @@
+// Package nicsim implements a software model of an RDMA-capable NIC
+// ("RNIC") faithful enough to host the Photon middleware unchanged.
+//
+// The model follows the InfiniBand verbs architecture:
+//
+//   - Memory regions (MR): user buffers registered with the NIC,
+//     addressable by a local key (lkey) and, for remote access, a remote
+//     key (rkey) plus a NIC-assigned virtual base address. Remote
+//     operations are bounds- and access-checked against the MR table,
+//     exactly the checks a hardware translation/protection table does.
+//   - Queue pairs (QP): reliable connected endpoints. Work requests are
+//     posted to a bounded send queue and executed in order by a per-QP
+//     engine goroutine; receives are posted to a receive queue consumed
+//     by incoming SENDs.
+//   - Completion queues (CQ): bounded rings that report work completion.
+//     Send-side completions are generated when the responder's ACK (or
+//     read/atomic response) arrives, so completion timing includes a
+//     full round trip, as on real RC transports.
+//
+// Supported opcodes: SEND (with optional immediate), RDMA WRITE, RDMA
+// WRITE WITH IMM, RDMA READ, and the two masked 64-bit atomics FETCH-ADD
+// and COMPARE-SWAP. Unsignaled work requests suppress the sender-side
+// CQE (selective signaling), which Photon uses on its ledger writes.
+//
+// The NIC attaches to a fabric.Fabric node; in-order per-link delivery
+// gives the in-order guarantees of an RC queue pair.
+package nicsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"photon/internal/fabric"
+)
+
+// Access is a bitmask of permissions granted when registering memory.
+type Access uint8
+
+// Access flag values, mirroring IBV_ACCESS_*.
+const (
+	AccessLocalWrite Access = 1 << iota
+	AccessRemoteRead
+	AccessRemoteWrite
+	AccessRemoteAtomic
+)
+
+// AccessAll grants every permission; Photon registers its ledgers and
+// eager buffers with this.
+const AccessAll = AccessLocalWrite | AccessRemoteRead | AccessRemoteWrite | AccessRemoteAtomic
+
+// Errors returned by NIC operations.
+var (
+	ErrClosed       = errors.New("nicsim: NIC closed")
+	ErrSQFull       = errors.New("nicsim: send queue full")
+	ErrRQFull       = errors.New("nicsim: receive queue full")
+	ErrQPState      = errors.New("nicsim: queue pair not in a usable state")
+	ErrBadMR        = errors.New("nicsim: buffer not within a registered memory region")
+	ErrBadWR        = errors.New("nicsim: malformed work request")
+	ErrUnregistered = errors.New("nicsim: memory region not registered")
+)
+
+// MR is a registered memory region.
+//
+// Remote operations against the region (writes, reads, atomics) are
+// serialized with an internal RWMutex; local code that polls memory the
+// remote side writes (ledgers, mailboxes) must hold the read lock via
+// RLocker while reading. This stands in for the cache-coherent ordered
+// visibility real DMA provides.
+type MR struct {
+	nic    *NIC
+	mu     sync.RWMutex
+	writes atomic.Uint64 // bumped after every remote write/atomic
+	buf    []byte
+	base   uint64
+	lkey   uint32
+	rkey   uint32
+	access Access
+}
+
+// WriteActivity returns a monotonic count of remote writes and atomics
+// applied to the region — the software analogue of a DMA event counter.
+// Pollers use it to skip sweeping rings when nothing has arrived.
+func (m *MR) WriteActivity() uint64 { return m.writes.Load() }
+
+// RLocker returns a read-locker that synchronizes local polling against
+// remote DMA into the region.
+func (m *MR) RLocker() sync.Locker { return m.mu.RLocker() }
+
+// Base returns the NIC-assigned virtual base address of the region.
+// Remote peers address bytes in the region as Base()+offset.
+func (m *MR) Base() uint64 { return m.base }
+
+// RKey returns the remote access key.
+func (m *MR) RKey() uint32 { return m.rkey }
+
+// LKey returns the local access key.
+func (m *MR) LKey() uint32 { return m.lkey }
+
+// Len returns the length of the registered buffer.
+func (m *MR) Len() int { return len(m.buf) }
+
+// Bytes returns the underlying registered buffer.
+func (m *MR) Bytes() []byte { return m.buf }
+
+// Access returns the permissions granted at registration.
+func (m *MR) Access() Access { return m.access }
+
+// Counters aggregates NIC activity, useful for ablation reporting.
+type Counters struct {
+	SendsPosted    int64
+	RecvsPosted    int64
+	WireFrames     int64
+	WireBytes      int64
+	Completions    int64
+	RemoteWrites   int64
+	RemoteReads    int64
+	RemoteAtomics  int64
+	RecvDelivered  int64
+	ProtectionErrs int64
+}
+
+// Config tunes NIC behaviour.
+type Config struct {
+	// SQDepth bounds outstanding send work requests per QP (default 1024).
+	SQDepth int
+	// RQDepth bounds posted receive buffers per QP (default 1024).
+	RQDepth int
+	// CQDepth bounds completion queue capacity (default 4096).
+	CQDepth int
+	// PendingRecvLimit bounds SENDs queued while no receive buffer is
+	// posted (infinite-RNR-retry emulation; default 1024, beyond which
+	// the QP moves to the error state).
+	PendingRecvLimit int
+	// StrictLocal, when true, requires every local buffer in a work
+	// request to lie within a registered MR, as real verbs do.
+	StrictLocal bool
+}
+
+func (c *Config) setDefaults() {
+	if c.SQDepth <= 0 {
+		c.SQDepth = 1024
+	}
+	if c.RQDepth <= 0 {
+		c.RQDepth = 1024
+	}
+	if c.CQDepth <= 0 {
+		c.CQDepth = 4096
+	}
+	if c.PendingRecvLimit <= 0 {
+		c.PendingRecvLimit = 1024
+	}
+}
+
+// NIC is one simulated RDMA NIC attached to a fabric node.
+type NIC struct {
+	node   int
+	fab    *fabric.Fabric
+	cfg    Config
+	closed atomic.Bool
+
+	mu       sync.Mutex
+	mrsByKey map[uint32]*MR // rkey -> MR (rkey == lkey in this model)
+	nextKey  uint32
+	nextBase uint64
+	qps      map[uint32]*QP
+	nextQPN  uint32
+
+	atomicMu sync.Mutex // serializes remote atomics against this NIC's memory
+
+	counters struct {
+		sendsPosted, recvsPosted            atomic.Int64
+		wireFrames, wireBytes               atomic.Int64
+		completions                         atomic.Int64
+		remoteWrites, remoteReads, remoteAt atomic.Int64
+		recvDelivered, protErrs             atomic.Int64
+	}
+}
+
+// New creates a NIC and attaches it to fabric node `node`.
+func New(fab *fabric.Fabric, node int, cfg Config) (*NIC, error) {
+	cfg.setDefaults()
+	n := &NIC{
+		node:     node,
+		fab:      fab,
+		cfg:      cfg,
+		mrsByKey: make(map[uint32]*MR),
+		nextKey:  1,
+		nextBase: 0x1000, // never hand out address 0
+		qps:      make(map[uint32]*QP),
+		nextQPN:  1,
+	}
+	if err := fab.Attach(node, n.onFrame); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Node returns the fabric node index this NIC is attached to.
+func (n *NIC) Node() int { return n.node }
+
+// Counters returns a snapshot of activity counters.
+func (n *NIC) Counters() Counters {
+	return Counters{
+		SendsPosted:    n.counters.sendsPosted.Load(),
+		RecvsPosted:    n.counters.recvsPosted.Load(),
+		WireFrames:     n.counters.wireFrames.Load(),
+		WireBytes:      n.counters.wireBytes.Load(),
+		Completions:    n.counters.completions.Load(),
+		RemoteWrites:   n.counters.remoteWrites.Load(),
+		RemoteReads:    n.counters.remoteReads.Load(),
+		RemoteAtomics:  n.counters.remoteAt.Load(),
+		RecvDelivered:  n.counters.recvDelivered.Load(),
+		ProtectionErrs: n.counters.protErrs.Load(),
+	}
+}
+
+// RegisterMemory registers buf with the NIC and returns its MR. The
+// buffer is pinned for the life of the registration: callers must keep
+// it reachable and must not reallocate it.
+func (n *NIC) RegisterMemory(buf []byte, access Access) (*MR, error) {
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("%w: empty buffer", ErrBadWR)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := n.nextKey
+	n.nextKey++
+	base := n.nextBase
+	// Align bases to 4KiB pages like a real pin would, and keep a
+	// guard gap so off-by-one remote addresses never alias regions.
+	sz := (uint64(len(buf)) + 0xFFF) &^ uint64(0xFFF)
+	n.nextBase += sz + 0x1000
+	mr := &MR{nic: n, buf: buf, base: base, lkey: key, rkey: key, access: access}
+	n.mrsByKey[key] = mr
+	return mr, nil
+}
+
+// LocalWrite performs a loopback DMA write: it validates (rkey, addr,
+// len) against the MR table exactly as a remote write would and places
+// data under the region's DMA lock. Middleware uses it to land payloads
+// that arrived packed inside other transfers.
+func (n *NIC) LocalWrite(addr uint64, rkey uint32, data []byte) error {
+	mr, err := n.lookupMR(rkey, addr, len(data), AccessRemoteWrite)
+	if err != nil {
+		n.counters.protErrs.Add(1)
+		return err
+	}
+	mr.mu.Lock()
+	copy(mr.buf[addr-mr.base:], data)
+	mr.mu.Unlock()
+	mr.writes.Add(1)
+	n.counters.remoteWrites.Add(1)
+	return nil
+}
+
+// DeregisterMemory removes a registration. In-flight remote operations
+// that race the deregistration fail with protection errors, as on real
+// hardware.
+func (n *NIC) DeregisterMemory(mr *MR) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.mrsByKey[mr.rkey]; !ok {
+		return ErrUnregistered
+	}
+	delete(n.mrsByKey, mr.rkey)
+	return nil
+}
+
+// lookupMR resolves an rkey, validating [addr, addr+length) is inside
+// the region and that the region grants `need`.
+func (n *NIC) lookupMR(rkey uint32, addr uint64, length int, need Access) (*MR, error) {
+	n.mu.Lock()
+	mr, ok := n.mrsByKey[rkey]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: rkey %d", ErrUnregistered, rkey)
+	}
+	if mr.access&need != need {
+		return nil, fmt.Errorf("nicsim: access violation on rkey %d", rkey)
+	}
+	if addr < mr.base || addr+uint64(length) > mr.base+uint64(len(mr.buf)) || addr+uint64(length) < addr {
+		return nil, fmt.Errorf("nicsim: address range [%#x,+%d) outside MR", addr, length)
+	}
+	return mr, nil
+}
+
+// containsLocal reports whether buf lies within some registered MR.
+// Only consulted when Config.StrictLocal is set.
+func (n *NIC) containsLocal(buf []byte) bool {
+	if len(buf) == 0 {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, mr := range n.mrsByKey {
+		if len(mr.buf) == 0 {
+			continue
+		}
+		if sameBacking(mr.buf, buf) {
+			return true
+		}
+	}
+	return false
+}
+
+// sameBacking reports whether sub is a subslice of outer, comparing
+// element addresses without unsafe by scanning capacity windows.
+func sameBacking(outer, sub []byte) bool {
+	// Compare via pointer identity of first elements across the
+	// addressable range of outer. &outer[i] == &sub[0] for some i
+	// iff sub aliases outer.
+	if cap(outer) == 0 || len(sub) == 0 {
+		return false
+	}
+	o := outer[:cap(outer)]
+	for i := range o {
+		if &o[i] == &sub[0] {
+			return i+len(sub) <= len(o)
+		}
+	}
+	return false
+}
+
+// Close shuts the NIC down: all QPs move to the error state and their
+// engines stop. The fabric itself is left running (it may serve other
+// NICs).
+func (n *NIC) Close() {
+	if n.closed.Swap(true) {
+		return
+	}
+	n.mu.Lock()
+	qps := make([]*QP, 0, len(n.qps))
+	for _, qp := range n.qps {
+		qps = append(qps, qp)
+	}
+	n.mu.Unlock()
+	for _, qp := range qps {
+		qp.close()
+	}
+}

@@ -1,0 +1,617 @@
+package nicsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"photon/internal/fabric"
+)
+
+// SendWR is a send-side work request. The fields used depend on Op:
+//
+//	OpSend:            Local (payload), Imm/HasImm optional
+//	OpRDMAWrite:       Local (payload), RemoteAddr, RKey
+//	OpRDMAWriteImm:    as OpRDMAWrite plus Imm (consumes a remote recv)
+//	OpRDMARead:        Local (destination), RemoteAddr, RKey
+//	OpAtomicFetchAdd:  Local (8-byte result), RemoteAddr, RKey, Add
+//	OpAtomicCompSwap:  Local (8-byte result), RemoteAddr, RKey, Compare, Swap
+//
+// Signaled selects whether a CQE is generated on the send CQ when the
+// request completes; errors always generate a CQE.
+type SendWR struct {
+	WRID       uint64
+	Op         Opcode
+	Local      []byte
+	RemoteAddr uint64
+	RKey       uint32
+	Imm        uint32
+	HasImm     bool
+	Signaled   bool
+	Add        uint64
+	Compare    uint64
+	Swap       uint64
+}
+
+// RecvWR is a receive-side work request: a buffer for one incoming SEND
+// (or the notification slot for one RDMA WRITE WITH IMM).
+type RecvWR struct {
+	WRID uint64
+	Buf  []byte
+}
+
+type qpState uint8
+
+const (
+	qpReset qpState = iota
+	qpRTS
+	qpError
+	qpClosed
+)
+
+// wqe is an in-flight send work request.
+type wqe struct {
+	wr  SendWR
+	psn uint64
+}
+
+// inbound is a SEND or WRITE-WITH-IMM awaiting a posted receive buffer
+// (infinite RNR-retry emulation).
+type inbound struct {
+	h       header
+	imm     uint32
+	hasImm  bool
+	payload []byte // SEND payload; nil for WRITE WITH IMM
+	isWrite bool
+	written int // bytes the WRITE placed directly into the MR
+	srcNode int
+}
+
+// QP is a reliable connected queue pair.
+type QP struct {
+	nic    *NIC
+	qpn    uint32
+	sendCQ *CQ
+	recvCQ *CQ
+
+	sq     chan *wqe
+	closed chan struct{}
+
+	mu          sync.Mutex
+	state       qpState
+	remoteNode  int
+	remoteQPN   uint32
+	nextPSN     uint64
+	pending     map[uint64]*wqe
+	rq          []RecvWR
+	pendingRecv []inbound
+}
+
+// CreateQP creates a queue pair bound to the given completion queues.
+// The QP must be connected with Connect before posting sends.
+func (n *NIC) CreateQP(sendCQ, recvCQ *CQ) (*QP, error) {
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	if sendCQ == nil || recvCQ == nil {
+		return nil, fmt.Errorf("%w: nil CQ", ErrBadWR)
+	}
+	n.mu.Lock()
+	qpn := n.nextQPN
+	n.nextQPN++
+	qp := &QP{
+		nic:     n,
+		qpn:     qpn,
+		sendCQ:  sendCQ,
+		recvCQ:  recvCQ,
+		sq:      make(chan *wqe, n.cfg.SQDepth),
+		closed:  make(chan struct{}),
+		pending: make(map[uint64]*wqe),
+	}
+	n.qps[qpn] = qp
+	n.mu.Unlock()
+	go qp.engine()
+	return qp, nil
+}
+
+// QPN returns the queue pair number, unique per NIC.
+func (qp *QP) QPN() uint32 { return qp.qpn }
+
+// Connect transitions the QP to ready-to-send, bound to the remote
+// node's QP. Both sides must connect (to each other) before traffic
+// flows; the address exchange itself is out of band, as in verbs.
+func (qp *QP) Connect(remoteNode int, remoteQPN uint32) error {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if qp.state == qpClosed || qp.state == qpError {
+		return ErrQPState
+	}
+	qp.remoteNode = remoteNode
+	qp.remoteQPN = remoteQPN
+	qp.state = qpRTS
+	return nil
+}
+
+// RemoteNode returns the connected peer node, or -1 if unconnected.
+func (qp *QP) RemoteNode() int {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if qp.state != qpRTS {
+		return -1
+	}
+	return qp.remoteNode
+}
+
+// Errored reports whether the QP is in the error state.
+func (qp *QP) Errored() bool {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	return qp.state == qpError
+}
+
+// PostSend enqueues a send work request. It never blocks: when the send
+// queue is full it returns ErrSQFull, and the caller is expected to
+// reap completions and retry (Photon's progress engine does exactly
+// that under ledger backpressure).
+func (qp *QP) PostSend(wr SendWR) error {
+	if err := qp.validateSend(&wr); err != nil {
+		return err
+	}
+	qp.mu.Lock()
+	if qp.state != qpRTS {
+		qp.mu.Unlock()
+		return ErrQPState
+	}
+	qp.mu.Unlock()
+	select {
+	case qp.sq <- &wqe{wr: wr}:
+		qp.nic.counters.sendsPosted.Add(1)
+		return nil
+	default:
+		return ErrSQFull
+	}
+}
+
+func (qp *QP) validateSend(wr *SendWR) error {
+	switch wr.Op {
+	case OpSend:
+	case OpRDMAWrite, OpRDMAWriteImm:
+		if wr.RemoteAddr == 0 {
+			return fmt.Errorf("%w: zero remote address", ErrBadWR)
+		}
+	case OpRDMARead:
+		if wr.RemoteAddr == 0 {
+			return fmt.Errorf("%w: zero remote address", ErrBadWR)
+		}
+		if len(wr.Local) == 0 {
+			return fmt.Errorf("%w: read needs a destination buffer", ErrBadWR)
+		}
+	case OpAtomicFetchAdd, OpAtomicCompSwap:
+		if len(wr.Local) < 8 {
+			return fmt.Errorf("%w: atomic needs an 8-byte result buffer", ErrBadWR)
+		}
+		if wr.RemoteAddr%8 != 0 {
+			return fmt.Errorf("%w: atomic address must be 8-byte aligned", ErrBadWR)
+		}
+	default:
+		return fmt.Errorf("%w: opcode %v", ErrBadWR, wr.Op)
+	}
+	if qp.nic.cfg.StrictLocal && len(wr.Local) > 0 && !qp.nic.containsLocal(wr.Local) {
+		return ErrBadMR
+	}
+	return nil
+}
+
+// PostRecv posts a receive buffer. Buffers complete in FIFO order as
+// SENDs (and WRITE-WITH-IMM notifications) arrive.
+func (qp *QP) PostRecv(wr RecvWR) error {
+	qp.mu.Lock()
+	if qp.state == qpClosed || qp.state == qpError {
+		qp.mu.Unlock()
+		return ErrQPState
+	}
+	if len(qp.rq) >= qp.nic.cfg.RQDepth {
+		qp.mu.Unlock()
+		return ErrRQFull
+	}
+	var deliver *inbound
+	if len(qp.pendingRecv) > 0 {
+		ib := qp.pendingRecv[0]
+		qp.pendingRecv = qp.pendingRecv[1:]
+		deliver = &ib
+	} else {
+		qp.rq = append(qp.rq, wr)
+	}
+	qp.mu.Unlock()
+	qp.nic.counters.recvsPosted.Add(1)
+	if deliver != nil {
+		qp.consumeRecv(wr, *deliver)
+	}
+	return nil
+}
+
+// engine executes send work requests in order on the wire.
+func (qp *QP) engine() {
+	for {
+		select {
+		case <-qp.closed:
+			qp.flushSQ()
+			return
+		case w := <-qp.sq:
+			if !qp.transmit(w) {
+				// transmit failed locally; the WQE already
+				// completed with an error and moved the QP to
+				// the error state. Flush the rest.
+				qp.flushSQ()
+			}
+		}
+	}
+}
+
+// flushSQ completes every queued WQE with StatusFlushed.
+func (qp *QP) flushSQ() {
+	for {
+		select {
+		case w := <-qp.sq:
+			qp.completeSend(w, StatusFlushed)
+		default:
+			return
+		}
+	}
+}
+
+// transmit serializes one WQE onto the fabric. Returns false on local
+// failure.
+func (qp *QP) transmit(w *wqe) bool {
+	qp.mu.Lock()
+	if qp.state != qpRTS {
+		qp.mu.Unlock()
+		qp.completeSend(w, StatusFlushed)
+		return false
+	}
+	w.psn = qp.nextPSN
+	qp.nextPSN++
+	qp.pending[w.psn] = w
+	dstNode, dstQPN := qp.remoteNode, qp.remoteQPN
+	qp.mu.Unlock()
+
+	h := header{srcQPN: qp.qpn, dstQPN: dstQPN, psn: w.psn}
+	var frame []byte
+	switch w.wr.Op {
+	case OpSend:
+		h.typ = fSend
+		frame = encodeSend(h, w.wr.Imm, w.wr.HasImm, w.wr.Local)
+	case OpRDMAWrite:
+		h.typ = fWrite
+		frame = encodeWrite(h, w.wr.RemoteAddr, w.wr.RKey, 0, false, w.wr.Local)
+	case OpRDMAWriteImm:
+		h.typ = fWrite
+		frame = encodeWrite(h, w.wr.RemoteAddr, w.wr.RKey, w.wr.Imm, true, w.wr.Local)
+	case OpRDMARead:
+		h.typ = fRead
+		frame = encodeRead(h, w.wr.RemoteAddr, w.wr.RKey, len(w.wr.Local))
+	case OpAtomicFetchAdd:
+		h.typ = fAtomic
+		frame = encodeAtomic(h, atomicFAdd, w.wr.RemoteAddr, w.wr.RKey, w.wr.Add, 0)
+	case OpAtomicCompSwap:
+		h.typ = fAtomic
+		frame = encodeAtomic(h, atomicCSwap, w.wr.RemoteAddr, w.wr.RKey, w.wr.Swap, w.wr.Compare)
+	default:
+		qp.dropPending(w.psn)
+		qp.completeSend(w, StatusLocalError)
+		return false
+	}
+	qp.nic.counters.wireFrames.Add(1)
+	qp.nic.counters.wireBytes.Add(int64(len(frame)))
+	if err := qp.nic.fab.Send(qp.nic.node, dstNode, frame); err != nil {
+		qp.dropPending(w.psn)
+		qp.completeSend(w, StatusLocalError)
+		return false
+	}
+	return true
+}
+
+func (qp *QP) dropPending(psn uint64) {
+	qp.mu.Lock()
+	delete(qp.pending, psn)
+	qp.mu.Unlock()
+}
+
+// completeSend finishes a WQE: errors always produce a CQE; success
+// produces one only when the request was signaled.
+func (qp *QP) completeSend(w *wqe, st Status) {
+	if st == StatusOK && !w.wr.Signaled {
+		return
+	}
+	if st != StatusOK {
+		qp.mu.Lock()
+		if qp.state == qpRTS {
+			qp.state = qpError
+		}
+		qp.mu.Unlock()
+	}
+	qp.nic.counters.completions.Add(1)
+	qp.sendCQ.push(CQE{
+		WRID:    w.wr.WRID,
+		Status:  st,
+		Op:      w.wr.Op,
+		ByteLen: len(w.wr.Local),
+		QPN:     qp.qpn,
+	})
+}
+
+// close tears the QP down without completing pending requests.
+func (qp *QP) close() {
+	qp.mu.Lock()
+	if qp.state == qpClosed {
+		qp.mu.Unlock()
+		return
+	}
+	qp.state = qpClosed
+	qp.mu.Unlock()
+	close(qp.closed)
+}
+
+// Close transitions the QP to the closed state and stops its engine.
+func (qp *QP) Close() {
+	qp.close()
+	qp.nic.mu.Lock()
+	delete(qp.nic.qps, qp.qpn)
+	qp.nic.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// Receive-side processing: NIC frame dispatch.
+// ---------------------------------------------------------------------
+
+// onFrame is the fabric delivery handler: it executes remote operations
+// against local memory and routes responses/ACKs back to initiators.
+func (n *NIC) onFrame(fr fabric.Frame) {
+	if n.closed.Load() {
+		return
+	}
+	h, body, err := parseHeader(fr.Data)
+	if err != nil {
+		n.counters.protErrs.Add(1)
+		return
+	}
+	n.mu.Lock()
+	qp := n.qps[h.dstQPN]
+	n.mu.Unlock()
+	if qp == nil {
+		n.counters.protErrs.Add(1)
+		return
+	}
+	switch h.typ {
+	case fSend:
+		imm, hasImm, payload, err := decodeSend(body)
+		if err != nil {
+			n.counters.protErrs.Add(1)
+			return
+		}
+		qp.handleInbound(inbound{h: h, imm: imm, hasImm: hasImm, payload: payload, srcNode: fr.Src})
+	case fWrite:
+		qp.handleWrite(h, body, fr.Src)
+	case fRead:
+		qp.handleRead(h, body, fr.Src)
+	case fAtomic:
+		qp.handleAtomic(h, body, fr.Src)
+	case fAck, fNak:
+		st, err := decodeStatus(body)
+		if err != nil {
+			st = StatusLocalError
+		}
+		if h.typ == fNak && st == StatusOK {
+			st = StatusRemoteAccessError
+		}
+		qp.handleResponse(h.psn, st, nil)
+	case fReadResp:
+		qp.handleResponse(h.psn, StatusOK, body)
+	case fAtomicResp:
+		qp.handleResponse(h.psn, StatusOK, body)
+	default:
+		n.counters.protErrs.Add(1)
+	}
+}
+
+// respond sends an ACK/NAK or response frame back to the initiator.
+func (qp *QP) respond(to int, frame []byte) {
+	qp.nic.counters.wireFrames.Add(1)
+	qp.nic.counters.wireBytes.Add(int64(len(frame)))
+	_ = qp.nic.fab.Send(qp.nic.node, to, frame)
+}
+
+// handleInbound delivers a SEND (or queued WRITE-WITH-IMM notification)
+// into a posted receive buffer, queueing it if none is posted yet.
+func (qp *QP) handleInbound(ib inbound) {
+	qp.mu.Lock()
+	if qp.state == qpClosed {
+		qp.mu.Unlock()
+		return
+	}
+	if len(qp.rq) == 0 {
+		if len(qp.pendingRecv) >= qp.nic.cfg.PendingRecvLimit {
+			qp.mu.Unlock()
+			// RNR retries exhausted: NAK the sender.
+			h := header{typ: fNak, srcQPN: qp.qpn, dstQPN: ib.h.srcQPN, psn: ib.h.psn}
+			qp.respond(ib.srcNode, encodeStatus(h, StatusRNRExceeded))
+			return
+		}
+		// Copy the payload: the fabric frame buffer is reused by
+		// upper layers' lifetimes, and we must hold it until a
+		// receive is posted.
+		cp := ib
+		cp.payload = append([]byte(nil), ib.payload...)
+		qp.pendingRecv = append(qp.pendingRecv, cp)
+		qp.mu.Unlock()
+		return
+	}
+	wr := qp.rq[0]
+	qp.rq = qp.rq[1:]
+	qp.mu.Unlock()
+	qp.consumeRecv(wr, ib)
+}
+
+// consumeRecv finishes delivery of an inbound SEND / WRITE-WITH-IMM
+// into the given receive WR and ACKs the initiator.
+func (qp *QP) consumeRecv(wr RecvWR, ib inbound) {
+	st := StatusOK
+	byteLen := ib.written
+	op := OpRecv
+	if !ib.isWrite {
+		if len(ib.payload) > len(wr.Buf) {
+			st = StatusLengthError
+		} else {
+			copy(wr.Buf, ib.payload)
+			byteLen = len(ib.payload)
+		}
+	}
+	qp.nic.counters.recvDelivered.Add(1)
+	qp.nic.counters.completions.Add(1)
+	qp.recvCQ.push(CQE{
+		WRID:    wr.WRID,
+		Status:  st,
+		Op:      op,
+		ByteLen: byteLen,
+		Imm:     ib.imm,
+		HasImm:  ib.hasImm,
+		QPN:     qp.qpn,
+		SrcQPN:  ib.h.srcQPN,
+		SrcNode: ib.srcNode,
+	})
+	h := header{srcQPN: qp.qpn, dstQPN: ib.h.srcQPN, psn: ib.h.psn}
+	if st == StatusOK {
+		h.typ = fAck
+		qp.respond(ib.srcNode, encodeStatus(h, StatusOK))
+	} else {
+		h.typ = fNak
+		qp.respond(ib.srcNode, encodeStatus(h, st))
+	}
+}
+
+// handleWrite executes an RDMA WRITE against local registered memory.
+func (qp *QP) handleWrite(h header, body []byte, src int) {
+	raddr, rkey, imm, hasImm, payload, err := decodeWrite(body)
+	nak := func(st Status) {
+		qp.nic.counters.protErrs.Add(1)
+		rh := header{typ: fNak, srcQPN: qp.qpn, dstQPN: h.srcQPN, psn: h.psn}
+		qp.respond(src, encodeStatus(rh, st))
+	}
+	if err != nil {
+		nak(StatusLocalError)
+		return
+	}
+	mr, err := qp.nic.lookupMR(rkey, raddr, len(payload), AccessRemoteWrite)
+	if err != nil {
+		nak(StatusRemoteAccessError)
+		return
+	}
+	mr.mu.Lock()
+	copy(mr.buf[raddr-mr.base:], payload)
+	mr.mu.Unlock()
+	mr.writes.Add(1)
+	qp.nic.counters.remoteWrites.Add(1)
+	if hasImm {
+		// WRITE WITH IMM additionally consumes a receive WR to
+		// deliver the immediate; the ACK is sent on delivery.
+		qp.handleInbound(inbound{h: h, imm: imm, hasImm: true, isWrite: true, written: len(payload), srcNode: src})
+		return
+	}
+	rh := header{typ: fAck, srcQPN: qp.qpn, dstQPN: h.srcQPN, psn: h.psn}
+	qp.respond(src, encodeStatus(rh, StatusOK))
+}
+
+// handleRead executes an RDMA READ against local registered memory.
+func (qp *QP) handleRead(h header, body []byte, src int) {
+	raddr, rkey, length, err := decodeRead(body)
+	rh := header{srcQPN: qp.qpn, dstQPN: h.srcQPN, psn: h.psn}
+	if err != nil {
+		rh.typ = fNak
+		qp.respond(src, encodeStatus(rh, StatusLocalError))
+		return
+	}
+	mr, err := qp.nic.lookupMR(rkey, raddr, length, AccessRemoteRead)
+	if err != nil {
+		qp.nic.counters.protErrs.Add(1)
+		rh.typ = fNak
+		qp.respond(src, encodeStatus(rh, StatusRemoteAccessError))
+		return
+	}
+	qp.nic.counters.remoteReads.Add(1)
+	data := make([]byte, length)
+	mr.mu.RLock()
+	copy(data, mr.buf[raddr-mr.base:])
+	mr.mu.RUnlock()
+	rh.typ = fReadResp
+	qp.respond(src, encodeReadResp(rh, data))
+}
+
+// handleAtomic executes a 64-bit remote atomic against local memory.
+func (qp *QP) handleAtomic(h header, body []byte, src int) {
+	kind, raddr, rkey, operand, compare, err := decodeAtomic(body)
+	rh := header{srcQPN: qp.qpn, dstQPN: h.srcQPN, psn: h.psn}
+	if err != nil || raddr%8 != 0 {
+		rh.typ = fNak
+		qp.respond(src, encodeStatus(rh, StatusLocalError))
+		return
+	}
+	mr, err := qp.nic.lookupMR(rkey, raddr, 8, AccessRemoteAtomic)
+	if err != nil {
+		qp.nic.counters.protErrs.Add(1)
+		rh.typ = fNak
+		qp.respond(src, encodeStatus(rh, StatusRemoteAccessError))
+		return
+	}
+	off := raddr - mr.base
+	qp.nic.atomicMu.Lock()
+	mr.mu.Lock()
+	orig := binary.LittleEndian.Uint64(mr.buf[off:])
+	switch kind {
+	case atomicFAdd:
+		binary.LittleEndian.PutUint64(mr.buf[off:], orig+operand)
+	case atomicCSwap:
+		if orig == compare {
+			binary.LittleEndian.PutUint64(mr.buf[off:], operand)
+		}
+	default:
+		mr.mu.Unlock()
+		qp.nic.atomicMu.Unlock()
+		rh.typ = fNak
+		qp.respond(src, encodeStatus(rh, StatusLocalError))
+		return
+	}
+	mr.mu.Unlock()
+	qp.nic.atomicMu.Unlock()
+	mr.writes.Add(1)
+	qp.nic.counters.remoteAt.Add(1)
+	rh.typ = fAtomicResp
+	qp.respond(src, encodeAtomicResp(rh, orig))
+}
+
+// handleResponse matches an ACK/NAK/read/atomic response to its pending
+// work request and completes it.
+func (qp *QP) handleResponse(psn uint64, st Status, payload []byte) {
+	qp.mu.Lock()
+	w, ok := qp.pending[psn]
+	if ok {
+		delete(qp.pending, psn)
+	}
+	qp.mu.Unlock()
+	if !ok {
+		qp.nic.counters.protErrs.Add(1)
+		return
+	}
+	if st == StatusOK {
+		switch w.wr.Op {
+		case OpRDMARead:
+			copy(w.wr.Local, payload)
+		case OpAtomicFetchAdd, OpAtomicCompSwap:
+			if v, err := decodeAtomicResp(payload); err == nil {
+				binary.LittleEndian.PutUint64(w.wr.Local, v)
+			} else {
+				st = StatusLocalError
+			}
+		}
+	}
+	qp.completeSend(w, st)
+}

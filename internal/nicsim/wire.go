@@ -1,0 +1,180 @@
+package nicsim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire frame types exchanged between NICs over the fabric. The format
+// is a fixed header (type, source QPN, destination QPN, PSN) followed
+// by a type-specific body. Responders echo the requester's PSN so the
+// initiator can match responses to pending work requests, exactly the
+// role the PSN plays in the IB transport.
+type frameType uint8
+
+const (
+	fInvalid    frameType = iota
+	fSend                 // body: flags(1) imm(4) payload
+	fWrite                // body: raddr(8) rkey(4) flags(1) imm(4) payload
+	fRead                 // body: raddr(8) rkey(4) length(4)
+	fAtomic               // body: kind(1) raddr(8) rkey(4) operand(8) compare(8)
+	fAck                  // body: status(1)
+	fNak                  // body: status(1)
+	fReadResp             // body: payload
+	fAtomicResp           // body: value(8)
+)
+
+const (
+	hdrLen      = 1 + 4 + 4 + 8
+	flagHasImm  = 1 << 0
+	atomicFAdd  = 1
+	atomicCSwap = 2
+)
+
+type header struct {
+	typ    frameType
+	srcQPN uint32
+	dstQPN uint32
+	psn    uint64
+}
+
+func putHeader(b []byte, h header) {
+	b[0] = byte(h.typ)
+	binary.LittleEndian.PutUint32(b[1:], h.srcQPN)
+	binary.LittleEndian.PutUint32(b[5:], h.dstQPN)
+	binary.LittleEndian.PutUint64(b[9:], h.psn)
+}
+
+func parseHeader(b []byte) (header, []byte, error) {
+	if len(b) < hdrLen {
+		return header{}, nil, fmt.Errorf("nicsim: short frame (%d bytes)", len(b))
+	}
+	h := header{
+		typ:    frameType(b[0]),
+		srcQPN: binary.LittleEndian.Uint32(b[1:]),
+		dstQPN: binary.LittleEndian.Uint32(b[5:]),
+		psn:    binary.LittleEndian.Uint64(b[9:]),
+	}
+	return h, b[hdrLen:], nil
+}
+
+func encodeSend(h header, imm uint32, hasImm bool, payload []byte) []byte {
+	b := make([]byte, hdrLen+5+len(payload))
+	putHeader(b, h)
+	if hasImm {
+		b[hdrLen] = flagHasImm
+	}
+	binary.LittleEndian.PutUint32(b[hdrLen+1:], imm)
+	copy(b[hdrLen+5:], payload)
+	return b
+}
+
+func decodeSend(body []byte) (imm uint32, hasImm bool, payload []byte, err error) {
+	if len(body) < 5 {
+		return 0, false, nil, fmt.Errorf("nicsim: short send body")
+	}
+	hasImm = body[0]&flagHasImm != 0
+	imm = binary.LittleEndian.Uint32(body[1:])
+	return imm, hasImm, body[5:], nil
+}
+
+func encodeWrite(h header, raddr uint64, rkey uint32, imm uint32, hasImm bool, payload []byte) []byte {
+	b := make([]byte, hdrLen+17+len(payload))
+	putHeader(b, h)
+	binary.LittleEndian.PutUint64(b[hdrLen:], raddr)
+	binary.LittleEndian.PutUint32(b[hdrLen+8:], rkey)
+	if hasImm {
+		b[hdrLen+12] = flagHasImm
+	}
+	binary.LittleEndian.PutUint32(b[hdrLen+13:], imm)
+	copy(b[hdrLen+17:], payload)
+	return b
+}
+
+func decodeWrite(body []byte) (raddr uint64, rkey uint32, imm uint32, hasImm bool, payload []byte, err error) {
+	if len(body) < 17 {
+		return 0, 0, 0, false, nil, fmt.Errorf("nicsim: short write body")
+	}
+	raddr = binary.LittleEndian.Uint64(body)
+	rkey = binary.LittleEndian.Uint32(body[8:])
+	hasImm = body[12]&flagHasImm != 0
+	imm = binary.LittleEndian.Uint32(body[13:])
+	return raddr, rkey, imm, hasImm, body[17:], nil
+}
+
+func encodeRead(h header, raddr uint64, rkey uint32, length int) []byte {
+	b := make([]byte, hdrLen+16)
+	putHeader(b, h)
+	binary.LittleEndian.PutUint64(b[hdrLen:], raddr)
+	binary.LittleEndian.PutUint32(b[hdrLen+8:], rkey)
+	binary.LittleEndian.PutUint32(b[hdrLen+12:], uint32(length))
+	return b
+}
+
+func decodeRead(body []byte) (raddr uint64, rkey uint32, length int, err error) {
+	if len(body) < 16 {
+		return 0, 0, 0, fmt.Errorf("nicsim: short read body")
+	}
+	raddr = binary.LittleEndian.Uint64(body)
+	rkey = binary.LittleEndian.Uint32(body[8:])
+	length = int(binary.LittleEndian.Uint32(body[12:]))
+	return raddr, rkey, length, nil
+}
+
+func encodeAtomic(h header, kind byte, raddr uint64, rkey uint32, operand, compare uint64) []byte {
+	b := make([]byte, hdrLen+29)
+	putHeader(b, h)
+	b[hdrLen] = kind
+	binary.LittleEndian.PutUint64(b[hdrLen+1:], raddr)
+	binary.LittleEndian.PutUint32(b[hdrLen+9:], rkey)
+	binary.LittleEndian.PutUint64(b[hdrLen+13:], operand)
+	binary.LittleEndian.PutUint64(b[hdrLen+21:], compare)
+	return b
+}
+
+func decodeAtomic(body []byte) (kind byte, raddr uint64, rkey uint32, operand, compare uint64, err error) {
+	if len(body) < 29 {
+		return 0, 0, 0, 0, 0, fmt.Errorf("nicsim: short atomic body")
+	}
+	kind = body[0]
+	raddr = binary.LittleEndian.Uint64(body[1:])
+	rkey = binary.LittleEndian.Uint32(body[9:])
+	operand = binary.LittleEndian.Uint64(body[13:])
+	compare = binary.LittleEndian.Uint64(body[21:])
+	return kind, raddr, rkey, operand, compare, nil
+}
+
+func encodeStatus(h header, st Status) []byte {
+	b := make([]byte, hdrLen+1)
+	putHeader(b, h)
+	b[hdrLen] = byte(st)
+	return b
+}
+
+func decodeStatus(body []byte) (Status, error) {
+	if len(body) < 1 {
+		return StatusLocalError, fmt.Errorf("nicsim: short status body")
+	}
+	return Status(body[0]), nil
+}
+
+func encodeReadResp(h header, payload []byte) []byte {
+	b := make([]byte, hdrLen+len(payload))
+	putHeader(b, h)
+	copy(b[hdrLen:], payload)
+	return b
+}
+
+func encodeAtomicResp(h header, value uint64) []byte {
+	b := make([]byte, hdrLen+8)
+	putHeader(b, h)
+	binary.LittleEndian.PutUint64(b[hdrLen:], value)
+	return b
+}
+
+func decodeAtomicResp(body []byte) (uint64, error) {
+	if len(body) < 8 {
+		return 0, fmt.Errorf("nicsim: short atomic response")
+	}
+	return binary.LittleEndian.Uint64(body), nil
+}

@@ -1,0 +1,428 @@
+// Package stats provides measurement primitives shared by the Photon
+// benchmark harness: online moment accumulators, fixed-bucket latency
+// histograms, and simple table/series printers.
+//
+// Everything here is allocation-light so that instrumenting a hot path
+// (for example a per-message latency sample) does not perturb what is
+// being measured.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sample accumulates online summary statistics (count, mean, variance,
+// min, max) using Welford's algorithm. The zero value is ready to use.
+// Sample is not safe for concurrent use; wrap it or use SharedSample.
+type Sample struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddDuration records a duration observation in nanoseconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(float64(d.Nanoseconds())) }
+
+// N returns the number of observations.
+func (s *Sample) N() int64 { return s.n }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 if empty.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 if empty.
+func (s *Sample) Max() float64 { return s.max }
+
+// Var returns the unbiased sample variance, or 0 for fewer than two
+// observations.
+func (s *Sample) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Merge folds other into s, as if every observation of other had been
+// added to s directly.
+func (s *Sample) Merge(other *Sample) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n := s.n + other.n
+	d := other.mean - s.mean
+	mean := s.mean + d*float64(other.n)/float64(n)
+	m2 := s.m2 + other.m2 + d*d*float64(s.n)*float64(other.n)/float64(n)
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+// Reset clears the accumulator.
+func (s *Sample) Reset() { *s = Sample{} }
+
+// String renders a compact one-line summary.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f sd=%.2f min=%.2f max=%.2f",
+		s.n, s.Mean(), s.Stddev(), s.min, s.max)
+}
+
+// SharedSample is a mutex-guarded Sample for concurrent producers.
+type SharedSample struct {
+	mu sync.Mutex
+	s  Sample
+}
+
+// Add records one observation.
+func (ss *SharedSample) Add(x float64) {
+	ss.mu.Lock()
+	ss.s.Add(x)
+	ss.mu.Unlock()
+}
+
+// AddDuration records a duration in nanoseconds.
+func (ss *SharedSample) AddDuration(d time.Duration) { ss.Add(float64(d.Nanoseconds())) }
+
+// Snapshot returns a copy of the current accumulator state.
+func (ss *SharedSample) Snapshot() Sample {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s
+}
+
+// Histogram is a log2-bucketed latency histogram covering 1ns..~292y.
+// The zero value is ready to use. Concurrent Add calls must be
+// externally synchronized.
+type Histogram struct {
+	buckets [64]int64
+	sample  Sample
+}
+
+func bucketFor(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := 63 - leadingZeros64(uint64(ns))
+	if b > 63 {
+		b = 63
+	}
+	return b
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Add records a nanosecond observation.
+func (h *Histogram) Add(ns int64) {
+	h.buckets[bucketFor(ns)]++
+	h.sample.Add(float64(ns))
+}
+
+// AddDuration records a duration observation.
+func (h *Histogram) AddDuration(d time.Duration) { h.Add(d.Nanoseconds()) }
+
+// N returns the total number of observations.
+func (h *Histogram) N() int64 { return h.sample.N() }
+
+// Mean returns the mean in nanoseconds.
+func (h *Histogram) Mean() float64 { return h.sample.Mean() }
+
+// Quantile returns an approximate q-quantile (0<=q<=1) in nanoseconds,
+// using the bucket upper bound containing the q-th observation.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.sample.N()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			if i >= 62 {
+				return math.MaxInt64
+			}
+			return 1 << uint(i+1) // upper bound of bucket i
+		}
+	}
+	return math.MaxInt64
+}
+
+// String renders mean plus p50/p99 in microseconds.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.2fus p50<=%.2fus p99<=%.2fus",
+		h.N(), h.Mean()/1e3, float64(h.Quantile(0.50))/1e3, float64(h.Quantile(0.99))/1e3)
+}
+
+// Series is a labelled sequence of (x, y...) rows used to print
+// figure-style data: one x column and one y column per named line.
+type Series struct {
+	Title  string
+	XLabel string
+	Lines  []string // column names for each y value
+	rows   []seriesRow
+}
+
+type seriesRow struct {
+	x  float64
+	ys []float64
+}
+
+// NewSeries creates a Series with the given title, x-axis label, and
+// one named line per y column.
+func NewSeries(title, xlabel string, lines ...string) *Series {
+	return &Series{Title: title, XLabel: xlabel, Lines: lines}
+}
+
+// Row appends one data row; len(ys) must equal len(s.Lines).
+func (s *Series) Row(x float64, ys ...float64) {
+	if len(ys) != len(s.Lines) {
+		panic(fmt.Sprintf("stats: Series %q expects %d y values, got %d", s.Title, len(s.Lines), len(ys)))
+	}
+	cp := make([]float64, len(ys))
+	copy(cp, ys)
+	s.rows = append(s.rows, seriesRow{x: x, ys: cp})
+}
+
+// NumRows reports how many rows have been added.
+func (s *Series) NumRows() int { return len(s.rows) }
+
+// Y returns the y value of the named line at row i.
+func (s *Series) Y(i int, line string) (float64, bool) {
+	for j, l := range s.Lines {
+		if l == line {
+			return s.rows[i].ys[j], true
+		}
+	}
+	return 0, false
+}
+
+// X returns the x value at row i.
+func (s *Series) X(i int) float64 { return s.rows[i].x }
+
+// Render prints the series as an aligned text table, the form the
+// harness uses to regenerate each paper figure.
+func (s *Series) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Title)
+	cols := append([]string{s.XLabel}, s.Lines...)
+	widths := make([]int, len(cols))
+	cells := make([][]string, len(s.rows))
+	for i, r := range s.rows {
+		row := make([]string, len(cols))
+		row[0] = formatNum(r.x)
+		for j, y := range r.ys {
+			row[j+1] = formatNum(y)
+		}
+		cells[i] = row
+	}
+	for j, c := range cols {
+		widths[j] = len(c)
+		for i := range cells {
+			if l := len(cells[i][j]); l > widths[j] {
+				widths[j] = l
+			}
+		}
+	}
+	for j, c := range cols {
+		if j > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[j], c)
+	}
+	b.WriteByte('\n')
+	for i := range cells {
+		for j := range cols {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[j], cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatNum(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.3f", x)
+}
+
+// Table is a labelled grid of string cells used to print table-style
+// experiment output.
+type Table struct {
+	Title string
+	Cols  []string
+	rows  [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// Row appends one row of cells, formatting each value with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatNum(v)
+		case float32:
+			row[i] = formatNum(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows reports how many rows have been added.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Cell returns the cell at row i, column named col.
+func (t *Table) Cell(i int, col string) (string, bool) {
+	for j, c := range t.Cols {
+		if c == col {
+			if j < len(t.rows[i]) {
+				return t.rows[i][j], true
+			}
+			return "", false
+		}
+	}
+	return "", false
+}
+
+// Render prints the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	widths := make([]int, len(t.Cols))
+	for j, c := range t.Cols {
+		widths[j] = len(c)
+	}
+	for _, r := range t.rows {
+		for j, c := range r {
+			if j < len(widths) && len(c) > widths[j] {
+				widths[j] = len(c)
+			}
+		}
+	}
+	for j, c := range t.Cols {
+		if j > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[j], c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		for j, c := range r {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[j], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Rate converts an operation count over a duration into ops/sec.
+func Rate(ops int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}
+
+// BandwidthMBps converts bytes moved over a duration into MiB/s.
+func BandwidthMBps(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / elapsed.Seconds() / (1 << 20)
+}
+
+// Sizes returns the power-of-two sweep [lo, hi] commonly used for
+// message-size axes (lo and hi must be powers of two, lo <= hi).
+func Sizes(lo, hi int) []int {
+	var out []int
+	for s := lo; s <= hi; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Percentile computes the p-th percentile (0..100) of xs by sorting a
+// copy. Intended for offline reporting, not hot paths.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	idx := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := idx - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}

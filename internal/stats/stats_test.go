@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Var() != 0 {
+		t.Fatalf("zero value not empty: %v", s.String())
+	}
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d, want 5", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v, want 3", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if got, want := s.Var(), 2.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", got, want)
+	}
+	if got, want := s.Stddev(), math.Sqrt(2.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Stddev = %v, want %v", got, want)
+	}
+}
+
+func TestSampleSingleObservationVariance(t *testing.T) {
+	var s Sample
+	s.Add(42)
+	if s.Var() != 0 {
+		t.Fatalf("variance of single observation = %v, want 0", s.Var())
+	}
+}
+
+func TestSampleAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(3 * time.Microsecond)
+	if s.Mean() != 3000 {
+		t.Fatalf("Mean = %v, want 3000", s.Mean())
+	}
+}
+
+func TestSampleReset(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Reset()
+	if s.N() != 0 {
+		t.Fatalf("Reset did not clear sample")
+	}
+}
+
+func TestSampleMergeMatchesDirect(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var direct, left, right Sample
+		for _, x := range a {
+			direct.Add(x)
+			left.Add(x)
+		}
+		for _, x := range b {
+			direct.Add(x)
+			right.Add(x)
+		}
+		left.Merge(&right)
+		if direct.N() != left.N() {
+			return false
+		}
+		if direct.N() == 0 {
+			return true
+		}
+		closef := func(x, y float64) bool {
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				return true // degenerate float inputs; skip
+			}
+			scale := math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+			return math.Abs(x-y) < 1e-6*scale
+		}
+		return closef(direct.Mean(), left.Mean()) &&
+			closef(direct.Var(), left.Var()) &&
+			direct.Min() == left.Min() && direct.Max() == left.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleMergeEmptyCases(t *testing.T) {
+	var a, b Sample
+	a.Merge(&b) // empty into empty
+	if a.N() != 0 {
+		t.Fatal("empty merge changed sample")
+	}
+	b.Add(7)
+	a.Merge(&b) // nonempty into empty
+	if a.N() != 1 || a.Mean() != 7 {
+		t.Fatalf("merge into empty: %v", a.String())
+	}
+	var c Sample
+	a.Merge(&c) // empty into nonempty
+	if a.N() != 1 {
+		t.Fatal("merging empty changed count")
+	}
+}
+
+func TestSharedSampleConcurrent(t *testing.T) {
+	var ss SharedSample
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ss.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := ss.Snapshot()
+	if snap.N() != workers*per {
+		t.Fatalf("N = %d, want %d", snap.N(), workers*per)
+	}
+	if snap.Mean() != 1 {
+		t.Fatalf("Mean = %v, want 1", snap.Mean())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	if h.N() != 1000 {
+		t.Fatalf("N = %d", h.N())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 256 || p50 > 1024 {
+		t.Fatalf("p50 bucket bound = %d, want within [256,1024]", p50)
+	}
+	p100 := h.Quantile(1.0)
+	if p100 < 1000 {
+		t.Fatalf("p100 = %d, want >= 1000", p100)
+	}
+	if h.Quantile(0) == 0 {
+		t.Fatal("q0 of nonempty histogram must be positive")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.N() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramNonPositive(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(-5)
+	if h.N() != 2 {
+		t.Fatalf("N = %d, want 2", h.N())
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(vals []uint32) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Add(int64(v) + 1)
+		}
+		if h.N() == 0 {
+			return true
+		}
+		prev := int64(0)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := NewSeries("Fig 1: latency", "size", "photon", "baseline")
+	s.Row(8, 1.5, 2.5)
+	s.Row(16, 1.6, 2.6)
+	out := s.Render()
+	for _, want := range []string{"Fig 1: latency", "size", "photon", "baseline", "1.500", "2.600"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if s.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", s.NumRows())
+	}
+	if y, ok := s.Y(1, "baseline"); !ok || y != 2.6 {
+		t.Fatalf("Y(1, baseline) = %v %v", y, ok)
+	}
+	if _, ok := s.Y(0, "nope"); ok {
+		t.Fatal("Y of unknown line should report !ok")
+	}
+	if s.X(0) != 8 {
+		t.Fatalf("X(0) = %v", s.X(0))
+	}
+}
+
+func TestSeriesRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong arity")
+		}
+	}()
+	s := NewSeries("t", "x", "a", "b")
+	s.Row(1, 2) // only one y for two lines
+}
+
+func TestTableRenderAndCell(t *testing.T) {
+	tb := NewTable("Table 1", "size", "winner", "ratio")
+	tb.Row(512, "eager", 1.25)
+	tb.Row(65536, "rendezvous", 0.8)
+	out := tb.Render()
+	for _, want := range []string{"Table 1", "eager", "rendezvous", "1.250"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table render missing %q:\n%s", want, out)
+		}
+	}
+	if c, ok := tb.Cell(1, "winner"); !ok || c != "rendezvous" {
+		t.Fatalf("Cell = %q %v", c, ok)
+	}
+	if _, ok := tb.Cell(0, "nope"); ok {
+		t.Fatal("unknown column should report !ok")
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestRateAndBandwidth(t *testing.T) {
+	if r := Rate(1000, time.Second); r != 1000 {
+		t.Fatalf("Rate = %v", r)
+	}
+	if r := Rate(1000, 0); r != 0 {
+		t.Fatalf("Rate with zero duration = %v", r)
+	}
+	if bw := BandwidthMBps(1<<20, time.Second); bw != 1 {
+		t.Fatalf("BandwidthMBps = %v", bw)
+	}
+	if bw := BandwidthMBps(1, -time.Second); bw != 0 {
+		t.Fatalf("negative duration bw = %v", bw)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	got := Sizes(8, 64)
+	want := []int{8, 16, 32, 64}
+	if len(got) != len(want) {
+		t.Fatalf("Sizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sizes = %v, want %v", got, want)
+		}
+	}
+	if s := Sizes(64, 8); s != nil {
+		t.Fatalf("inverted range should be empty, got %v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Fatalf("empty percentile = %v", p)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if p := Percentile(xs, 50); p != 5 {
+		t.Fatalf("interpolated p50 = %v, want 5", p)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.AddDuration(time.Microsecond)
+	if s := h.String(); !strings.Contains(s, "n=1") {
+		t.Fatalf("String = %q", s)
+	}
+}

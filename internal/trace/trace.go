@@ -1,0 +1,161 @@
+// Package trace provides a low-overhead, fixed-capacity event ring used
+// to debug and profile the Photon middleware. Events are recorded into a
+// lock-free-ish per-ring slot array guarded by an atomic cursor; readers
+// snapshot the ring without stopping writers.
+//
+// Tracing is off by default; enabling it costs one atomic add plus a few
+// stores per event, cheap enough to leave in protocol hot paths during
+// ablation runs.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds used by the Photon stack.
+const (
+	KindNone     Kind = iota
+	KindPost          // work request posted to a queue pair
+	KindComplete      // completion reaped from a CQ
+	KindLedger        // ledger slot written or consumed
+	KindProtocol      // protocol state transition (RTS/CTS/FIN)
+	KindProgress      // progress-engine iteration
+	KindUser          // application-defined
+)
+
+var kindNames = [...]string{"none", "post", "complete", "ledger", "protocol", "progress", "user"}
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Seq  uint64 // global sequence number, monotonically increasing
+	When time.Time
+	Kind Kind
+	Rank int    // locality the event refers to (-1 if n/a)
+	Arg  uint64 // kind-specific argument (RID, slot index, ...)
+	Msg  string // static-ish label; avoid per-event formatting in hot paths
+}
+
+// Ring is a bounded trace buffer. The zero value is disabled; create
+// with NewRing.
+type Ring struct {
+	enabled atomic.Bool
+	cursor  atomic.Uint64
+	slots   []slot
+	mask    uint64
+}
+
+type slot struct {
+	mu sync.Mutex
+	ev Event
+	ok bool
+}
+
+// NewRing creates a ring holding capacity events (rounded up to a power
+// of two, minimum 16). The ring starts disabled.
+func NewRing(capacity int) *Ring {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{slots: make([]slot, n), mask: uint64(n - 1)}
+}
+
+// Enable turns recording on or off.
+func (r *Ring) Enable(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether the ring is recording.
+func (r *Ring) Enabled() bool { return r.enabled.Load() }
+
+// Cap returns the ring capacity in events.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Record stores one event if the ring is enabled. Safe for concurrent
+// use.
+func (r *Ring) Record(kind Kind, rank int, arg uint64, msg string) {
+	if !r.enabled.Load() {
+		return
+	}
+	seq := r.cursor.Add(1) - 1
+	s := &r.slots[seq&r.mask]
+	s.mu.Lock()
+	s.ev = Event{Seq: seq, When: time.Now(), Kind: kind, Rank: rank, Arg: arg, Msg: msg}
+	s.ok = true
+	s.mu.Unlock()
+}
+
+// Len returns how many events are currently retained (<= Cap).
+func (r *Ring) Len() int {
+	n := r.cursor.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Snapshot returns retained events ordered by sequence number.
+func (r *Ring) Snapshot() []Event {
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		s.mu.Lock()
+		if s.ok {
+			out = append(out, s.ev)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Reset clears all retained events and the sequence counter.
+func (r *Ring) Reset() {
+	for i := range r.slots {
+		s := &r.slots[i]
+		s.mu.Lock()
+		s.ok = false
+		s.mu.Unlock()
+	}
+	r.cursor.Store(0)
+}
+
+// Dump renders the snapshot as text, one event per line.
+func (r *Ring) Dump() string {
+	evs := r.Snapshot()
+	var b strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&b, "%8d %-9s rank=%-3d arg=%-8d %s\n", e.Seq, e.Kind, e.Rank, e.Arg, e.Msg)
+	}
+	return b.String()
+}
+
+// CountByKind tallies retained events per kind.
+func (r *Ring) CountByKind() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, e := range r.Snapshot() {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// Global is the process-wide ring used by the middleware when no
+// per-instance ring is configured. It starts disabled.
+var Global = NewRing(4096)
+
+// Record logs to the global ring.
+func Record(kind Kind, rank int, arg uint64, msg string) { Global.Record(kind, rank, arg, msg) }

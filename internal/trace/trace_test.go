@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDisabledRecordsNothing(t *testing.T) {
+	r := NewRing(32)
+	r.Record(KindPost, 0, 1, "x")
+	if r.Len() != 0 {
+		t.Fatalf("disabled ring recorded %d events", r.Len())
+	}
+}
+
+func TestRecordAndSnapshotOrder(t *testing.T) {
+	r := NewRing(64)
+	r.Enable(true)
+	for i := 0; i < 10; i++ {
+		r.Record(KindLedger, 1, uint64(i), "slot")
+	}
+	evs := r.Snapshot()
+	if len(evs) != 10 {
+		t.Fatalf("snapshot len = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i) || e.Arg != uint64(i) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+		if e.Rank != 1 || e.Kind != KindLedger {
+			t.Fatalf("event fields wrong: %+v", e)
+		}
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := NewRing(16) // exact power of two
+	r.Enable(true)
+	for i := 0; i < 40; i++ {
+		r.Record(KindPost, 0, uint64(i), "")
+	}
+	if r.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", r.Len())
+	}
+	evs := r.Snapshot()
+	for _, e := range evs {
+		if e.Arg < 24 {
+			t.Fatalf("old event survived wrap: %+v", e)
+		}
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	if c := NewRing(1).Cap(); c != 16 {
+		t.Fatalf("min cap = %d, want 16", c)
+	}
+	if c := NewRing(17).Cap(); c != 32 {
+		t.Fatalf("cap = %d, want 32", c)
+	}
+	if c := NewRing(64).Cap(); c != 64 {
+		t.Fatalf("cap = %d, want 64", c)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRing(16)
+	r.Enable(true)
+	r.Record(KindUser, 2, 9, "a")
+	r.Reset()
+	if r.Len() != 0 || len(r.Snapshot()) != 0 {
+		t.Fatal("reset did not clear ring")
+	}
+	r.Record(KindUser, 2, 9, "b")
+	if evs := r.Snapshot(); len(evs) != 1 || evs[0].Seq != 0 {
+		t.Fatalf("post-reset sequence wrong: %+v", evs)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRing(1024)
+	r.Enable(true)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(KindProgress, 0, 0, "tick")
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", r.Len())
+	}
+	evs := r.Snapshot()
+	seen := make(map[uint64]bool)
+	for _, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestDumpAndCounts(t *testing.T) {
+	r := NewRing(32)
+	r.Enable(true)
+	r.Record(KindPost, 0, 1, "put")
+	r.Record(KindComplete, 0, 1, "cq")
+	r.Record(KindComplete, 1, 2, "cq")
+	d := r.Dump()
+	if !strings.Contains(d, "post") || !strings.Contains(d, "complete") {
+		t.Fatalf("dump missing kinds:\n%s", d)
+	}
+	counts := r.CountByKind()
+	if counts[KindComplete] != 2 || counts[KindPost] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindLedger.String() != "ledger" {
+		t.Fatalf("KindLedger = %q", KindLedger.String())
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatalf("unknown kind = %q", Kind(99).String())
+	}
+}
+
+func TestGlobalRingDisabledByDefault(t *testing.T) {
+	if Global.Enabled() {
+		t.Fatal("global ring must start disabled")
+	}
+	Record(KindUser, 0, 0, "noop") // must not panic or record
+	if Global.Len() != 0 {
+		t.Fatal("global ring recorded while disabled")
+	}
+}

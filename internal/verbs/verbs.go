@@ -1,0 +1,152 @@
+// Package verbs is a thin convenience layer over the simulated NIC,
+// shaped like the subset of libibverbs that Photon's verbs backend
+// consumes: open a device, register memory, create completion queues
+// and queue pairs, post work, and poll completions.
+//
+// The layer exists for the same reason Photon has a backend layer: the
+// middleware above it (package core) is written against this interface
+// and never touches nicsim types directly, which is what lets the TCP
+// backend substitute for the simulated-verbs backend.
+package verbs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"photon/internal/fabric"
+	"photon/internal/nicsim"
+)
+
+// Re-exported nicsim types: the verbs layer is deliberately transparent.
+type (
+	// MR is a registered memory region.
+	MR = nicsim.MR
+	// CQ is a completion queue.
+	CQ = nicsim.CQ
+	// QP is a reliable connected queue pair.
+	QP = nicsim.QP
+	// CQE is a completion queue entry.
+	CQE = nicsim.CQE
+	// SendWR is a send work request.
+	SendWR = nicsim.SendWR
+	// RecvWR is a receive work request.
+	RecvWR = nicsim.RecvWR
+	// Access is an MR permission mask.
+	Access = nicsim.Access
+)
+
+// Re-exported opcodes, statuses and access flags.
+const (
+	OpSend           = nicsim.OpSend
+	OpRDMAWrite      = nicsim.OpRDMAWrite
+	OpRDMAWriteImm   = nicsim.OpRDMAWriteImm
+	OpRDMARead       = nicsim.OpRDMARead
+	OpAtomicFetchAdd = nicsim.OpAtomicFetchAdd
+	OpAtomicCompSwap = nicsim.OpAtomicCompSwap
+	OpRecv           = nicsim.OpRecv
+
+	StatusOK = nicsim.StatusOK
+
+	AccessAll          = nicsim.AccessAll
+	AccessLocalWrite   = nicsim.AccessLocalWrite
+	AccessRemoteRead   = nicsim.AccessRemoteRead
+	AccessRemoteWrite  = nicsim.AccessRemoteWrite
+	AccessRemoteAtomic = nicsim.AccessRemoteAtomic
+)
+
+// ErrTimeout is returned by PollN when completions do not arrive in time.
+var ErrTimeout = errors.New("verbs: poll timed out")
+
+// Device is an opened RDMA device on one fabric node.
+type Device struct {
+	nic  *nicsim.NIC
+	node int
+}
+
+// Open attaches a new device to the given fabric node.
+func Open(fab *fabric.Fabric, node int, cfg nicsim.Config) (*Device, error) {
+	nic, err := nicsim.New(fab, node, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("verbs: open device on node %d: %w", node, err)
+	}
+	return &Device{nic: nic, node: node}, nil
+}
+
+// Node returns the fabric node index of the device.
+func (d *Device) Node() int { return d.node }
+
+// NIC exposes the underlying simulated NIC (for counters/ablation).
+func (d *Device) NIC() *nicsim.NIC { return d.nic }
+
+// RegMR registers buf for local and remote access per the mask.
+func (d *Device) RegMR(buf []byte, access Access) (*MR, error) {
+	return d.nic.RegisterMemory(buf, access)
+}
+
+// DeregMR removes a registration.
+func (d *Device) DeregMR(mr *MR) error { return d.nic.DeregisterMemory(mr) }
+
+// CreateCQ creates a completion queue of the given depth.
+func (d *Device) CreateCQ(depth int) *CQ { return nicsim.NewCQ(depth) }
+
+// CreateQP creates a queue pair bound to the given CQs.
+func (d *Device) CreateQP(sendCQ, recvCQ *CQ) (*QP, error) {
+	return d.nic.CreateQP(sendCQ, recvCQ)
+}
+
+// Close releases the device; all its QPs stop.
+func (d *Device) Close() { d.nic.Close() }
+
+// ConnectPair transitions two QPs (on different devices) into RTS bound
+// to each other. In-process simulation makes the out-of-band exchange
+// trivial; the TCP backend does a real exchange.
+func ConnectPair(a, b *QP, nodeA, nodeB int) error {
+	if err := a.Connect(nodeB, b.QPN()); err != nil {
+		return err
+	}
+	return b.Connect(nodeA, a.QPN())
+}
+
+// PollN polls cq until n completions are reaped or the timeout expires,
+// spinning with a short yield as Photon's progress loops do. It returns
+// the completions collected so far along with ErrTimeout on expiry.
+func PollN(cq *CQ, n int, timeout time.Duration) ([]CQE, error) {
+	out := make([]CQE, 0, n)
+	deadline := time.Now().Add(timeout)
+	for len(out) < n {
+		got := cq.Poll(n - len(out))
+		out = append(out, got...)
+		if len(out) >= n {
+			break
+		}
+		if time.Now().After(deadline) {
+			return out, ErrTimeout
+		}
+		time.Sleep(5 * time.Microsecond)
+	}
+	return out, nil
+}
+
+// PostAndWait posts a signaled work request and blocks until its
+// completion arrives on cq, returning that CQE. Other completions
+// reaped while waiting are returned too (in order); the matching one is
+// last. It is a bootstrap/test helper, not a hot path.
+func PostAndWait(qp *QP, cq *CQ, wr SendWR, timeout time.Duration) (CQE, error) {
+	wr.Signaled = true
+	if err := qp.PostSend(wr); err != nil {
+		return CQE{}, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, e := range cq.Poll(16) {
+			if e.WRID == wr.WRID {
+				return e, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return CQE{}, ErrTimeout
+		}
+		time.Sleep(5 * time.Microsecond)
+	}
+}

@@ -1,0 +1,133 @@
+package verbs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"photon/internal/fabric"
+	"photon/internal/nicsim"
+)
+
+func newDevices(t *testing.T) (*Device, *Device) {
+	t.Helper()
+	fab := fabric.New(2, fabric.Model{})
+	t.Cleanup(fab.Close)
+	a, err := Open(fab, 0, nicsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(fab, 1, nicsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+	return a, b
+}
+
+func TestOpenAndNode(t *testing.T) {
+	a, b := newDevices(t)
+	if a.Node() != 0 || b.Node() != 1 {
+		t.Fatalf("nodes = %d %d", a.Node(), b.Node())
+	}
+	if a.NIC() == nil {
+		t.Fatal("NIC accessor nil")
+	}
+}
+
+func TestOpenOnBadNodeFails(t *testing.T) {
+	fab := fabric.New(1, fabric.Model{})
+	defer fab.Close()
+	if _, err := Open(fab, 5, nicsim.Config{}); err == nil {
+		t.Fatal("open on out-of-range node succeeded")
+	}
+}
+
+func TestEndToEndWriteViaVerbs(t *testing.T) {
+	a, b := newDevices(t)
+	scq, rcq := a.CreateCQ(16), a.CreateCQ(16)
+	qpA, err := a.CreateQP(scq, rcq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qpB, err := b.CreateQP(b.CreateCQ(16), b.CreateCQ(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ConnectPair(qpA, qpB, a.Node(), b.Node()); err != nil {
+		t.Fatal(err)
+	}
+	target := make([]byte, 64)
+	mr, err := b.RegMR(target, AccessAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("via verbs layer")
+	cqe, err := PostAndWait(qpA, scq, SendWR{
+		WRID: 42, Op: OpRDMAWrite, Local: payload,
+		RemoteAddr: mr.Base(), RKey: mr.RKey(),
+	}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cqe.Status != StatusOK || cqe.WRID != 42 {
+		t.Fatalf("cqe = %+v", cqe)
+	}
+	if !bytes.Equal(target[:len(payload)], payload) {
+		t.Fatalf("write not placed: %q", target[:len(payload)])
+	}
+	if err := b.DeregMR(mr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPollNCollectsAndTimesOut(t *testing.T) {
+	a, b := newDevices(t)
+	scq := a.CreateCQ(16)
+	qpA, _ := a.CreateQP(scq, a.CreateCQ(16))
+	qpB, _ := b.CreateQP(b.CreateCQ(16), b.CreateCQ(16))
+	ConnectPair(qpA, qpB, 0, 1)
+	mem := make([]byte, 64)
+	mr, _ := b.RegMR(mem, AccessAll)
+	for i := 0; i < 3; i++ {
+		err := qpA.PostSend(SendWR{WRID: uint64(i), Op: OpRDMAWrite, Local: []byte{byte(i)},
+			RemoteAddr: mr.Base() + uint64(i*8), RKey: mr.RKey(), Signaled: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := PollN(scq, 3, time.Second)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("PollN = %d completions, err %v", len(got), err)
+	}
+	// Now ask for one more than will ever arrive.
+	got, err = PollN(scq, 1, 20*time.Millisecond)
+	if err != ErrTimeout || len(got) != 0 {
+		t.Fatalf("PollN timeout = %v, %d completions", err, len(got))
+	}
+}
+
+func TestPostAndWaitTimeout(t *testing.T) {
+	a, b := newDevices(t)
+	scq := a.CreateCQ(16)
+	qpA, _ := a.CreateQP(scq, a.CreateCQ(16))
+	qpB, _ := b.CreateQP(b.CreateCQ(16), b.CreateCQ(16))
+	ConnectPair(qpA, qpB, 0, 1)
+	// SEND with no posted receive is queued at the target forever:
+	// PostAndWait must time out rather than hang.
+	_, err := PostAndWait(qpA, scq, SendWR{WRID: 1, Op: OpSend, Local: []byte{1}}, 30*time.Millisecond)
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestPostAndWaitPostError(t *testing.T) {
+	a, _ := newDevices(t)
+	scq := a.CreateCQ(16)
+	qp, _ := a.CreateQP(scq, a.CreateCQ(16))
+	// Not connected: post must fail immediately.
+	if _, err := PostAndWait(qp, scq, SendWR{WRID: 1, Op: OpSend, Local: []byte{1}}, time.Second); err == nil {
+		t.Fatal("post on unconnected QP succeeded")
+	}
+}
