@@ -11,6 +11,7 @@ import (
 	"photon/internal/bench"
 	"photon/internal/core"
 	"photon/internal/fabric"
+	"photon/internal/stats"
 )
 
 func main() {
@@ -40,4 +41,98 @@ func main() {
 	fmt.Println("  operations:         put/get with completion, packed send, rendezvous send,")
 	fmt.Println("                      fetch-add, compare-swap, probe/test/wait, collectives")
 	fmt.Println("  experiments:        ", bench.Experiments())
+
+	fmt.Println()
+	fmt.Println("hot-path counters (after a short warm-up exchange):")
+	fmt.Print(indent(hotPathCounters(env), "  "))
+}
+
+// hotPathCounters drives a few eager puts through rank 0 and reports
+// the engine's pool/ring/batch counters.
+func hotPathCounters(env *bench.Env) string {
+	_, descs, _, err := env.SharedBuffers(1 << 12)
+	if err != nil {
+		return fmt.Sprintln("error:", err)
+	}
+	p0, p1 := env.Phs[0], env.Phs[1]
+	payload := []byte("photon-info-warmup")
+	for i := 0; i < 32; i++ {
+		for {
+			err := p0.PutWithCompletion(1, payload, descs[0][1], 0, 1, 2)
+			if err == nil {
+				break
+			}
+			if err != core.ErrWouldBlock {
+				return fmt.Sprintln("error:", err)
+			}
+			p0.Progress()
+		}
+		for {
+			if _, ok := p0.Probe(core.ProbeLocal); ok {
+				break
+			}
+		}
+		for {
+			if _, ok := p1.Probe(core.ProbeRemote); ok {
+				break
+			}
+		}
+	}
+	// Large puts take the direct-write path, whose write+notify pair
+	// goes out as one doorbell batch on batch-capable backends.
+	big := make([]byte, 2048)
+	for i := 0; i < 8; i++ {
+		for {
+			err := p0.PutWithCompletion(1, big, descs[0][1], 0, 1, 2)
+			if err == nil {
+				break
+			}
+			if err != core.ErrWouldBlock {
+				return fmt.Sprintln("error:", err)
+			}
+			p0.Progress()
+		}
+		for {
+			if _, ok := p0.Probe(core.ProbeLocal); ok {
+				break
+			}
+		}
+		for {
+			if _, ok := p1.Probe(core.ProbeRemote); ok {
+				break
+			}
+		}
+	}
+	st := p0.Stats()
+	cs := stats.NewCounterSet()
+	cs.Set("entry_pool_hits", st.EntryPoolHits)
+	cs.Set("entry_pool_misses", st.EntryPoolMisses)
+	cs.Set("ring_overflows", st.RingOverflows)
+	cs.Set("batch_posts", st.BatchPosts)
+	cs.Set("batched_ops", st.BatchedOps)
+	cs.Set("deferred_writes", st.DeferredWrites)
+	return cs.Render()
+}
+
+func indent(s, pad string) string {
+	var out string
+	for _, line := range splitLines(s) {
+		out += pad + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
 }

@@ -135,7 +135,10 @@ type Backend struct {
 	done    bool
 }
 
-var _ core.Backend = (*Backend)(nil)
+var (
+	_ core.Backend      = (*Backend)(nil)
+	_ core.BatchBackend = (*Backend)(nil)
+)
 
 // New builds the endpoint: it listens, forms the full mesh (lower rank
 // dials higher rank), and starts the agent loops. New is collective
@@ -325,6 +328,20 @@ func (b *Backend) PostWrite(rank int, local []byte, raddr uint64, rkey uint32, t
 	binary.LittleEndian.PutUint32(f[22:], uint32(len(local)))
 	copy(f[26:], local)
 	return b.enqueue(rank, outFrame{data: f, token: token, signaled: signaled})
+}
+
+// PostWriteBatch queues a burst of one-sided writes toward rank
+// (core.BatchBackend). Frames are built and enqueued in order; the
+// loop stops at the first full queue and returns the accepted count,
+// so the caller retries just the tail. Each frame copies its payload,
+// so the snapshot-at-post contract holds here too.
+func (b *Backend) PostWriteBatch(rank int, reqs []core.WriteReq) (int, error) {
+	for i, r := range reqs {
+		if err := b.PostWrite(rank, r.Local, r.RemoteAddr, r.RKey, r.Token, r.Signaled); err != nil {
+			return i, err
+		}
+	}
+	return len(reqs), nil
 }
 
 // PostRead queues a one-sided read from rank.

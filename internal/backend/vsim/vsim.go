@@ -169,7 +169,10 @@ type Backend struct {
 	pollScratch []verbs.CQE // reused across Poll calls (no per-call alloc)
 }
 
-var _ core.Backend = (*Backend)(nil)
+var (
+	_ core.Backend      = (*Backend)(nil)
+	_ core.BatchBackend = (*Backend)(nil)
+)
 
 // Rank returns this backend's rank.
 func (b *Backend) Rank() int { return b.rank }
@@ -230,6 +233,28 @@ func (b *Backend) PostWrite(rank int, local []byte, raddr uint64, rkey uint32, t
 		WRID: token, Op: verbs.OpRDMAWrite, Local: local,
 		RemoteAddr: raddr, RKey: rkey, Signaled: signaled,
 	}))
+}
+
+// PostWriteBatch posts a burst of writes toward rank with one call
+// (core.BatchBackend). Requests go to the same QP in order; posting
+// stops at the first rejection and the accepted count is returned —
+// the QP's post path snapshots each payload, so this behaves exactly
+// like a doorbell covering the whole chain.
+func (b *Backend) PostWriteBatch(rank int, reqs []core.WriteReq) (int, error) {
+	if rank < 0 || rank >= len(b.qps) {
+		return 0, core.ErrBadRank
+	}
+	qp := b.qps[rank]
+	for i, r := range reqs {
+		err := qp.PostSend(verbs.SendWR{
+			WRID: r.Token, Op: verbs.OpRDMAWrite, Local: r.Local,
+			RemoteAddr: r.RemoteAddr, RKey: r.RKey, Signaled: r.Signaled,
+		})
+		if err != nil {
+			return i, translate(err)
+		}
+	}
+	return len(reqs), nil
 }
 
 // PostRead starts a one-sided RDMA read from rank.

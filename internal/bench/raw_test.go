@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	gort "runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,7 +19,9 @@ import (
 
 var spinCost = 0 // iterations of busy work per spin (set by variants)
 
-var spinSink int
+// spinSink keeps spinWork's loop from being optimized away; atomic
+// because both ping-pong sides spin concurrently.
+var spinSink atomic.Int64
 
 // spinWork burns a configurable amount of CPU per spin iteration, used
 // to verify that receiver-side spin cost does not distort the floor.
@@ -28,7 +31,7 @@ func spinWork(n int) {
 	for i := 0; i < n; i++ {
 		s += i
 	}
-	spinSink = s
+	spinSink.Store(int64(s))
 }
 
 func TestRawVerbsLatency(t *testing.T) {

@@ -55,6 +55,13 @@ type BackendCompletion struct {
 //     completed too.
 //   - Post* never blocks; it returns ErrWouldBlock under transient
 //     resource exhaustion.
+//   - PostWrite snapshots local before returning (the doorbell-DMA
+//     model): once PostWrite returns nil the caller may immediately
+//     reuse or recycle local. PostRead and the atomics are the
+//     opposite — local is the result destination and stays owned by
+//     the backend until the operation's completion is reported.
+//     The engine's entry-buffer pool relies on this to recycle
+//     scratch buffers at post time rather than completion time.
 type Backend interface {
 	// Rank and Size identify this process in the job.
 	Rank() int
@@ -97,4 +104,28 @@ type Backend interface {
 
 	// Close releases transport resources.
 	Close() error
+}
+
+// WriteReq is one element of a batched write post (see BatchBackend).
+// Fields mirror PostWrite's parameters; the same snapshot-at-post
+// buffer contract applies to Local.
+type WriteReq struct {
+	Local      []byte
+	RemoteAddr uint64
+	RKey       uint32
+	Token      uint64
+	Signaled   bool
+}
+
+// BatchBackend is an optional Backend extension: PostWriteBatch posts
+// a burst of writes toward one rank with a single doorbell-style call,
+// saving per-op dispatch overhead. Requests are posted in order; the
+// call stops at the first request that cannot be posted and returns
+// how many were accepted (the error, if any, describes the first
+// failure). A short count with a nil or ErrWouldBlock error means the
+// caller should retry the tail later, exactly like a per-op
+// ErrWouldBlock. The engine falls back to per-op PostWrite when the
+// backend does not implement this interface.
+type BatchBackend interface {
+	PostWriteBatch(rank int, reqs []WriteReq) (int, error)
 }

@@ -64,6 +64,12 @@ type Config struct {
 	// small payloads (ablation knob: the packed small-put fold is one
 	// of Photon's headline optimizations).
 	DisablePackedPut bool
+	// CompQueueDepth is the fixed capacity of each harvested-completion
+	// ring (local and remote), rounded up to a power of two (default
+	// 1024). Overflow spills to an unbounded list — nothing is dropped
+	// — but spilling re-introduces allocation, so size this above the
+	// workload's harvest lag (Stats.RingOverflows counts spills).
+	CompQueueDepth int
 }
 
 func (c *Config) setDefaults() error {
@@ -94,6 +100,12 @@ func (c *Config) setDefaults() error {
 		if c.CreditBatch < 1 {
 			c.CreditBatch = 1
 		}
+	}
+	if c.CompQueueDepth == 0 {
+		c.CompQueueDepth = 1024
+	}
+	if c.CompQueueDepth < 1 {
+		return fmt.Errorf("photon: completion queue depth must be positive")
 	}
 	return nil
 }

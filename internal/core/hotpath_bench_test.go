@@ -1,0 +1,179 @@
+package core_test
+
+import (
+	"testing"
+
+	"photon/internal/bench"
+	"photon/internal/core"
+	"photon/internal/fabric"
+	"photon/internal/mem"
+)
+
+// loopEnv builds a single-rank Photon over the zero-cost loopback
+// backend plus one exchanged 1 MiB target buffer: the configuration
+// that exposes the middleware's own hot-path overhead.
+func loopEnv(tb testing.TB, cfg core.Config) (*core.Photon, mem.RemoteBuffer) {
+	tb.Helper()
+	p, err := core.Init(newLoopBackend(), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { p.Close() })
+	buf := make([]byte, 1<<20)
+	rb, _, err := p.RegisterBuffer(buf)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	descs, err := p.ExchangeBuffers(rb)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p, descs[0]
+}
+
+// drainPair harvests exactly one local and one remote completion.
+func drainPair(tb testing.TB, p *core.Photon) {
+	gotL, gotR := false, false
+	for !gotL || !gotR {
+		c, ok := p.Probe(core.ProbeAny)
+		if !ok {
+			continue
+		}
+		if c.Err != nil {
+			tb.Fatal(c.Err)
+		}
+		if c.Local {
+			gotL = true
+		} else {
+			gotR = true
+		}
+	}
+}
+
+// BenchmarkPutEager measures the eager (packed) put-with-completion
+// fast path over the zero-cost loopback backend: pure middleware
+// software overhead, the quantity the zero-allocation work targets.
+func BenchmarkPutEager(b *testing.B) {
+	p, dst := loopEnv(b, core.Config{})
+	payload := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			err := p.PutWithCompletion(0, payload, dst, 0, 1, 2)
+			if err == nil {
+				break
+			}
+			if err != core.ErrWouldBlock {
+				b.Fatal(err)
+			}
+			p.Progress()
+		}
+		drainPair(b, p)
+	}
+}
+
+// BenchmarkSendEager measures the packed send fast path (payload
+// folded into one ledger entry) over the loopback backend.
+func BenchmarkSendEager(b *testing.B) {
+	p, _ := loopEnv(b, core.Config{})
+	payload := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			err := p.Send(0, payload, 1, 2)
+			if err == nil {
+				break
+			}
+			if err != core.ErrWouldBlock {
+				b.Fatal(err)
+			}
+			p.Progress()
+		}
+		drainPair(b, p)
+	}
+}
+
+// BenchmarkFetchAdd measures the remote fetch-add fast path over the
+// loopback backend.
+func BenchmarkFetchAdd(b *testing.B) {
+	p, dst := loopEnv(b, core.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			err := p.FetchAdd(0, dst, 0, 1, 7)
+			if err == nil {
+				break
+			}
+			if err != core.ErrWouldBlock {
+				b.Fatal(err)
+			}
+			p.Progress()
+		}
+		for {
+			if c, ok := p.Probe(core.ProbeLocal); ok {
+				if c.Err != nil {
+					b.Fatal(c.Err)
+				}
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkPutEagerVsim measures the same eager put end to end over
+// the simulated-verbs transport (2 ranks, zero-delay fabric): ns/op
+// includes the simulated NIC, so only the delta between runs matters.
+func BenchmarkPutEagerVsim(b *testing.B) {
+	env, err := bench.NewPhotonOnly(2, fabric.Model{}, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	_, descs, _, err := env.SharedBuffers(1 << 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := descs[0][1] // rank 1's buffer as seen by rank 0
+
+	stop := make(chan struct{})
+	consumed := make(chan struct{}, 1<<16)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, ok := env.Phs[1].Probe(core.ProbeRemote); ok {
+				consumed <- struct{}{}
+			}
+		}
+	}()
+	defer close(stop)
+
+	p0 := env.Phs[0]
+	payload := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			err := p0.PutWithCompletion(1, payload, dst, 0, 1, 2)
+			if err == nil {
+				break
+			}
+			if err != core.ErrWouldBlock {
+				b.Fatal(err)
+			}
+			p0.Progress()
+		}
+		for {
+			if _, ok := p0.Probe(core.ProbeLocal); ok {
+				break
+			}
+		}
+		<-consumed
+	}
+}

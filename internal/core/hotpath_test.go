@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"testing"
+
+	"photon/internal/core"
+)
+
+// TestEagerPutAllocGuard pins the zero-allocation property of the
+// eager put-with-completion fast path: after warm-up (pools primed,
+// token slots and rings grown to steady state), a full put round trip
+// — post, progress, harvest both completions — must average at most
+// one allocation, and in practice zero. A regression here means a
+// pooled buffer, token, or completion started escaping to the heap
+// again.
+func TestEagerPutAllocGuard(t *testing.T) {
+	p, dst := loopEnv(t, core.Config{})
+	payload := make([]byte, 8)
+	put := func() {
+		for {
+			err := p.PutWithCompletion(0, payload, dst, 0, 1, 2)
+			if err == nil {
+				break
+			}
+			if err != core.ErrWouldBlock {
+				t.Fatal(err)
+			}
+			p.Progress()
+		}
+		drainPair(t, p)
+	}
+	for i := 0; i < 100; i++ {
+		put()
+	}
+	allocs := testing.AllocsPerRun(200, put)
+	t.Logf("eager put round trip: %.2f allocs/op", allocs)
+	if allocs > 1 {
+		t.Fatalf("eager put allocates %.2f times per op, want <= 1", allocs)
+	}
+}
+
+// TestStaleTokenRejected scripts the backend completion stream to
+// deliver late, duplicate, and fabricated completions, and checks the
+// generation-tagged token table accepts each token exactly once.
+func TestStaleTokenRejected(t *testing.T) {
+	lb := newLoopBackend()
+	p, err := core.Init(lb, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	buf := make([]byte, 1<<16)
+	rb, _, err := p.RegisterBuffer(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	descs, err := p.ExchangeBuffers(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := descs[0]
+
+	// Intercept signaled tokens: the backend applies writes but the
+	// test decides when (and how often) their completions arrive.
+	lb.captureTokens = true
+
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := p.PutWithCompletion(0, payload, dst, 0, 41, 42); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p.Progress()
+	}
+	// The packed entry was applied, so the remote-side completion is
+	// deliverable; the local completion still waits on the backend.
+	if _, ok := p.Probe(core.ProbeRemote); !ok {
+		t.Fatal("remote completion not delivered")
+	}
+	if _, ok := p.Probe(core.ProbeLocal); ok {
+		t.Fatal("local completion delivered before backend completion")
+	}
+	if len(lb.tokens) != 1 {
+		t.Fatalf("captured %d signaled tokens, want 1", len(lb.tokens))
+	}
+	tok := lb.tokens[0]
+
+	// A completion for a token that was never issued (wrong
+	// generation) must be dropped, not matched to the pending op.
+	lb.inject(core.BackendCompletion{Token: tok + (1 << 32), OK: true})
+	p.Progress()
+	if _, ok := p.Probe(core.ProbeLocal); ok {
+		t.Fatal("fabricated token produced a completion")
+	}
+
+	// The real (late) completion lands once.
+	lb.inject(core.BackendCompletion{Token: tok, OK: true})
+	p.Progress()
+	c, ok := p.Probe(core.ProbeLocal)
+	if !ok {
+		t.Fatal("late completion not delivered")
+	}
+	if c.Err != nil || c.RID != 41 {
+		t.Fatalf("bad completion: %+v", c)
+	}
+
+	// A duplicate delivery of the same token hits a recycled slot with
+	// a bumped generation and must be rejected.
+	lb.inject(core.BackendCompletion{Token: tok, OK: true})
+	for i := 0; i < 10; i++ {
+		p.Progress()
+	}
+	if _, ok := p.Probe(core.ProbeAny); ok {
+		t.Fatal("duplicate token produced a second completion")
+	}
+
+	// The table stays healthy: a fresh op issues, completes, matches.
+	lb.captureTokens = false
+	lb.tokens = nil
+	if err := p.PutWithCompletion(0, payload, dst, 64, 43, 44); err != nil {
+		t.Fatal(err)
+	}
+	drainPair(t, p)
+	if got := string(buf[64:72]); got != string(payload) {
+		t.Fatalf("payload not applied after recovery: %x", got)
+	}
+}

@@ -45,11 +45,11 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 		if err != nil {
 			return err
 		}
-		payload := make([]byte, 9)
-		payload[0] = tCompletion
-		binary.LittleEndian.PutUint64(payload[1:], remoteRID)
-		ent := make([]byte, ledger.HeaderSize+len(payload))
-		if err := ledger.Encode(ent, res.Seq, payload); err != nil {
+		ent := p.pool.Get(ledger.HeaderSize + 9)
+		ent[ledger.HeaderSize] = tCompletion
+		binary.LittleEndian.PutUint64(ent[ledger.HeaderSize+1:], remoteRID)
+		if err := ledger.EncodeHeader(ent, res.Seq, 9); err != nil {
+			p.pool.Put(ent)
 			return err
 		}
 		signaled := localRID != 0
@@ -57,7 +57,7 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 		if signaled {
 			tok = p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
 		}
-		p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled)
+		p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled, true)
 		p.stats.putsDirect.Add(1)
 		return nil
 	}
@@ -74,34 +74,32 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 		return p.putPacked(ps, rank, local, dst.Addr+off, dst.RKey, localRID, remoteRID)
 	}
 
-	var res ledger.Reservation
-	if remoteRID != 0 {
-		var err error
-		res, err = p.reserve(ps, classPWC)
-		if err != nil {
-			return err
-		}
-	}
-
-	// Data write: signaled only when it is the last op of the pair.
-	dataSignaled := remoteRID == 0
-	var dataTok uint64
-	if dataSignaled {
-		dataTok = p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
-	}
-	p.postOrPark(ps, rank, local, dst.Addr+off, dst.RKey, dataTok, dataSignaled)
-
-	if remoteRID != 0 {
-		payload := make([]byte, 9)
-		ent := make([]byte, ledger.HeaderSize+len(payload))
-		payload[0] = tCompletion
-		binary.LittleEndian.PutUint64(payload[1:], remoteRID)
-		if err := ledger.Encode(ent, res.Seq, payload); err != nil {
-			return err
-		}
+	if remoteRID == 0 {
+		// Lone data write, signaled to surface the local completion.
 		tok := p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
-		p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, true)
+		p.postOrPark(ps, rank, local, dst.Addr+off, dst.RKey, tok, true, false)
+		p.stats.putsDirect.Add(1)
+		return nil
 	}
+
+	res, err := p.reserve(ps, classPWC)
+	if err != nil {
+		return err
+	}
+	ent := p.pool.Get(ledger.HeaderSize + 9)
+	ent[ledger.HeaderSize] = tCompletion
+	binary.LittleEndian.PutUint64(ent[ledger.HeaderSize+1:], remoteRID)
+	if err := ledger.EncodeHeader(ent, res.Seq, 9); err != nil {
+		p.pool.Put(ent)
+		return err
+	}
+	tok := p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
+	// Data write first, then the notification entry: RC ordering makes
+	// the entry's arrival imply the data is visible. Both writes leave
+	// in one doorbell batch when the backend supports it.
+	p.postPair(ps, rank,
+		wireOp{local: local, raddr: dst.Addr + off, rkey: dst.RKey},
+		wireOp{local: ent, raddr: res.RemoteAddr, rkey: res.RKey, token: tok, signaled: true, pooled: true})
 	p.stats.putsDirect.Add(1)
 	return nil
 }
@@ -163,14 +161,15 @@ func (p *Photon) putPacked(ps *peerState, rank int, local []byte, raddr uint64, 
 	if err != nil {
 		return err
 	}
-	ent := make([]byte, ledger.HeaderSize+packedPutHdrSize+len(local))
-	payload := make([]byte, packedPutHdrSize+len(local))
-	payload[0] = tPackedPut
-	binary.LittleEndian.PutUint64(payload[1:], remoteRID)
-	binary.LittleEndian.PutUint64(payload[9:], raddr)
-	binary.LittleEndian.PutUint32(payload[17:], rkey)
-	copy(payload[packedPutHdrSize:], local)
-	if err := ledger.Encode(ent, res.Seq, payload); err != nil {
+	ent := p.pool.Get(ledger.HeaderSize + packedPutHdrSize + len(local))
+	b := ent[ledger.HeaderSize:]
+	b[0] = tPackedPut
+	binary.LittleEndian.PutUint64(b[1:], remoteRID)
+	binary.LittleEndian.PutUint64(b[9:], raddr)
+	binary.LittleEndian.PutUint32(b[17:], rkey)
+	copy(b[packedPutHdrSize:], local)
+	if err := ledger.EncodeHeader(ent, res.Seq, packedPutHdrSize+len(local)); err != nil {
+		p.pool.Put(ent)
 		return err
 	}
 	signaled := localRID != 0
@@ -178,7 +177,7 @@ func (p *Photon) putPacked(ps *peerState, rank int, local []byte, raddr uint64, 
 	if signaled {
 		tok = p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
 	}
-	p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled)
+	p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled, true)
 	p.stats.putsPacked.Add(1)
 	return nil
 }
@@ -191,12 +190,13 @@ func (p *Photon) sendPacked(ps *peerState, rank int, data []byte, localRID, remo
 	}
 	// Only the used prefix of the slot travels on the wire; the
 	// receiver reads the payload length from the entry header.
-	ent := make([]byte, ledger.HeaderSize+packedHdrSize+len(data))
-	payload := make([]byte, packedHdrSize+len(data))
-	payload[0] = tPacked
-	binary.LittleEndian.PutUint64(payload[1:], remoteRID)
-	copy(payload[packedHdrSize:], data)
-	if err := ledger.Encode(ent, res.Seq, payload); err != nil {
+	ent := p.pool.Get(ledger.HeaderSize + packedHdrSize + len(data))
+	b := ent[ledger.HeaderSize:]
+	b[0] = tPacked
+	binary.LittleEndian.PutUint64(b[1:], remoteRID)
+	copy(b[packedHdrSize:], data)
+	if err := ledger.EncodeHeader(ent, res.Seq, packedHdrSize+len(data)); err != nil {
+		p.pool.Put(ent)
 		return err
 	}
 	signaled := localRID != 0
@@ -204,7 +204,7 @@ func (p *Photon) sendPacked(ps *peerState, rank int, data []byte, localRID, remo
 	if signaled {
 		tok = p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
 	}
-	p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled)
+	p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled, true)
 	p.stats.putsPacked.Add(1)
 	return nil
 }
@@ -230,18 +230,20 @@ func (p *Photon) sendRendezvous(ps *peerState, rank int, data []byte, localRID, 
 	p.rdzvSends[id] = rdzvSend{rid: localRID, rb: rb}
 	p.rdzvMu.Unlock()
 
-	payload := make([]byte, 1+8+8+8+8+4)
-	ent := make([]byte, ledger.HeaderSize+len(payload))
-	payload[0] = tRTS
-	binary.LittleEndian.PutUint64(payload[1:], id)
-	binary.LittleEndian.PutUint64(payload[9:], remoteRID)
-	binary.LittleEndian.PutUint64(payload[17:], uint64(len(data)))
-	binary.LittleEndian.PutUint64(payload[25:], rb.Addr)
-	binary.LittleEndian.PutUint32(payload[33:], rb.RKey)
-	if err := ledger.Encode(ent, res.Seq, payload); err != nil {
+	const rtsLen = 1 + 8 + 8 + 8 + 8 + 4
+	ent := p.pool.Get(ledger.HeaderSize + rtsLen)
+	b := ent[ledger.HeaderSize:]
+	b[0] = tRTS
+	binary.LittleEndian.PutUint64(b[1:], id)
+	binary.LittleEndian.PutUint64(b[9:], remoteRID)
+	binary.LittleEndian.PutUint64(b[17:], uint64(len(data)))
+	binary.LittleEndian.PutUint64(b[25:], rb.Addr)
+	binary.LittleEndian.PutUint32(b[33:], rb.RKey)
+	if err := ledger.EncodeHeader(ent, res.Seq, rtsLen); err != nil {
+		p.pool.Put(ent)
 		return err
 	}
-	p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, 0, false)
+	p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, 0, false, true)
 	p.stats.rdzvSends.Add(1)
 	return nil
 }
@@ -274,10 +276,13 @@ func (p *Photon) atomic(rank int, dst mem.RemoteBuffer, off uint64, localRID uin
 	if !dst.Contains(off, 8) {
 		return fmt.Errorf("%w: atomic at offset %d of buffer len %d", ErrTooLarge, off, dst.Len)
 	}
-	result := make([]byte, 8)
+	// The result word is pool scratch; the backend owns it until the
+	// completion is reaped, where handleBackend recycles it.
+	result := p.pool.Get(8)
 	tok := p.newToken(pendingOp{kind: opAtomic, rank: rank, rid: localRID, result: result})
 	if err := post(result, dst.Addr+off, tok); err != nil {
 		p.takeToken(tok)
+		p.pool.Put(result)
 		return err
 	}
 	p.stats.atomics.Add(1)
@@ -302,22 +307,75 @@ func (p *Photon) reserve(ps *peerState, class int) (ledger.Reservation, error) {
 // postOrPark posts a one-sided write, parking it on the peer's deferred
 // queue if the transport is busy. Parked writes are retried in FIFO
 // order by Progress, preserving the data-before-notification order
-// within each operation.
-func (p *Photon) postOrPark(ps *peerState, rank int, local []byte, raddr uint64, rkey uint32, token uint64, signaled bool) {
+// within each operation. Pooled entry scratch is recycled as soon as
+// the write is accepted (the Backend contract guarantees PostWrite has
+// snapshotted it by then).
+func (p *Photon) postOrPark(ps *peerState, rank int, local []byte, raddr uint64, rkey uint32, token uint64, signaled, pooled bool) {
 	ps.mu.Lock()
 	parked := len(ps.pendingWire) > 0
 	ps.mu.Unlock()
 	if !parked {
 		err := p.be.PostWrite(rank, local, raddr, rkey, token, signaled)
 		if err == nil {
+			if pooled {
+				p.pool.Put(local)
+			}
 			return
 		}
 	}
+	p.parkWire(ps, wireOp{local: local, raddr: raddr, rkey: rkey, token: token, signaled: signaled, pooled: pooled})
+}
+
+// parkWire appends one write to the peer's deferred FIFO.
+func (p *Photon) parkWire(ps *peerState, w wireOp) {
 	ps.mu.Lock()
-	ps.pendingWire = append(ps.pendingWire, wireOp{local: local, raddr: raddr, rkey: rkey, token: token, signaled: signaled})
+	ps.pendingWire = append(ps.pendingWire, w)
 	ps.mu.Unlock()
 	ps.deferred.Add(1)
+	p.parked.Add(1)
 	p.stats.deferred.Add(1)
+}
+
+// postPair posts two ordered writes toward one rank — the direct-put
+// data+notification pair — as a single doorbell batch when the backend
+// supports batching, falling back to sequential posts otherwise. FIFO
+// with already-parked work is preserved: if the peer has a deferred
+// backlog both writes join its tail.
+func (p *Photon) postPair(ps *peerState, rank int, a, b wireOp) {
+	ps.mu.Lock()
+	parked := len(ps.pendingWire) > 0
+	ps.mu.Unlock()
+	if parked {
+		p.parkWire(ps, a)
+		p.parkWire(ps, b)
+		return
+	}
+	if p.bbe == nil {
+		p.postOrPark(ps, rank, a.local, a.raddr, a.rkey, a.token, a.signaled, a.pooled)
+		p.postOrPark(ps, rank, b.local, b.raddr, b.rkey, b.token, b.signaled, b.pooled)
+		return
+	}
+	rp := p.reqPool.Get().(*[]WriteReq)
+	reqs := append((*rp)[:0],
+		WriteReq{Local: a.local, RemoteAddr: a.raddr, RKey: a.rkey, Token: a.token, Signaled: a.signaled},
+		WriteReq{Local: b.local, RemoteAddr: b.raddr, RKey: b.rkey, Token: b.token, Signaled: b.signaled})
+	n, _ := p.bbe.PostWriteBatch(rank, reqs)
+	reqs[0], reqs[1] = WriteReq{}, WriteReq{}
+	*rp = reqs[:0]
+	p.reqPool.Put(rp)
+	if n > 0 {
+		p.stats.batchPosts.Add(1)
+		p.stats.batchedOps.Add(int64(n))
+	}
+	ops := [2]wireOp{a, b}
+	for i := 0; i < n; i++ {
+		if ops[i].pooled {
+			p.pool.Put(ops[i].local)
+		}
+	}
+	for i := n; i < 2; i++ {
+		p.parkWire(ps, ops[i])
+	}
 }
 
 // PutBlocking wraps PutWithCompletion, driving Progress until the

@@ -54,7 +54,10 @@ type Completion struct {
 	// RID is the completion identifier supplied by the initiator.
 	RID uint64
 	// Data carries the payload for packed/rendezvous message
-	// deliveries (remote completions only); it is owned by the caller.
+	// deliveries (remote completions only). Data is caller-owned from
+	// the moment the completion is returned by Probe/Pop/Wait: the
+	// middleware holds no other reference to it and never recycles it,
+	// so the caller may retain or mutate it indefinitely.
 	Data []byte
 	// Value carries the prior memory value for atomic operations.
 	Value uint64
@@ -85,6 +88,13 @@ type Stats struct {
 	CreditWrites   int64
 	ProgressCalls  int64
 	DeferredWrites int64
+
+	// Hot-path memory/batching counters.
+	EntryPoolHits   int64 // entry scratch served from the free list
+	EntryPoolMisses int64 // entry scratch that had to allocate
+	RingOverflows   int64 // completions spilled past CompQueueDepth
+	BatchPosts      int64 // doorbell batches issued (PostWriteBatch)
+	BatchedOps      int64 // writes carried by those batches
 }
 
 // opKind classifies a pending backend token.
@@ -109,14 +119,20 @@ type pendingOp struct {
 	rdzvID    uint64 // rendezvous transfer id (FIN key)
 }
 
+// wireBatchMax caps how many deferred writes one doorbell batch
+// carries (and sizes the reusable request scratch).
+const wireBatchMax = 16
+
 // wireOp is a fully-specified deferred write (its ledger slot, if any,
-// is already reserved) parked because the transport was busy.
+// is already reserved) parked because the transport was busy. pooled
+// marks local as entry-pool scratch to recycle once posted.
 type wireOp struct {
 	local    []byte
 	raddr    uint64
 	rkey     uint32
 	token    uint64
 	signaled bool
+	pooled   bool
 }
 
 // entryOp is a ledger entry not yet reserved, parked for credits.
@@ -171,6 +187,7 @@ type peerState struct {
 // Photon is one rank's middleware instance.
 type Photon struct {
 	be   Backend
+	bbe  BatchBackend // be's batch extension, nil when unsupported
 	cfg  Config
 	rank int
 	size int
@@ -186,21 +203,40 @@ type Photon struct {
 
 	peers []*peerState
 
-	tokMu   sync.Mutex
-	tokens  map[uint64]pendingOp
-	nextTok uint64
+	// pool recycles fixed-size entry scratch buffers (ledger entries
+	// under construction, atomic result words, mailbox words) so the
+	// op fast path never hits the allocator.
+	pool *mem.BufPool
+
+	// tok maps signaled-post tokens to pending-op state: sharded and
+	// generation-tagged (see token.go).
+	tok tokenTable
 
 	rdzvMu     sync.Mutex
 	rdzvSends  map[uint64]rdzvSend
 	nextRdzvID uint64
 
-	cqMu    sync.Mutex
-	localQ  []Completion
-	remoteQ []Completion
+	// Harvested completions, split so producers and consumers do not
+	// share a lock (see ring.go).
+	localCQ  *compRing
+	remoteCQ *compRing
+
+	// parked mirrors the sum of every peer's deferred count and
+	// creditHintTotal the sum of their consumedHint counters, so a
+	// fully idle Progress call can return after two atomic loads
+	// without touching any per-peer state.
+	parked          atomic.Int64
+	creditHintTotal atomic.Int64
 
 	progMu      sync.Mutex            // serializes the progress engine (try-lock)
 	pollScratch []polledEvent         // reused across pollPeer batches (progress is serialized)
 	reapScratch [64]BackendCompletion // reused by reapBackend (progress is serialized)
+	wireScratch []wireOp              // reused by retryDeferred (progress is serialized)
+	reqScratch  []WriteReq            // reused by retryDeferred batch posting
+
+	// reqPool recycles WriteReq slices for op-path doorbell batches
+	// (ops run concurrently, so these cannot share the progMu scratch).
+	reqPool sync.Pool
 
 	closed atomic.Bool
 
@@ -208,6 +244,7 @@ type Photon struct {
 		putsDirect, putsPacked, gets     atomic.Int64
 		rdzvSends, rdzvRecvs, atomics    atomic.Int64
 		creditWrites, progress, deferred atomic.Int64
+		batchPosts, batchedOps           atomic.Int64
 	}
 }
 
@@ -219,15 +256,27 @@ func Init(be Backend, cfg Config) (*Photon, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
+	poolBuf := cfg.EagerEntrySize
+	if poolBuf < 64 {
+		poolBuf = 64
+	}
 	p := &Photon{
-		be:         be,
-		cfg:        cfg,
-		rank:       be.Rank(),
-		size:       be.Size(),
-		tokens:     make(map[uint64]pendingOp),
-		nextTok:    1,
-		rdzvSends:  make(map[uint64]rdzvSend),
-		nextRdzvID: 1,
+		be:          be,
+		cfg:         cfg,
+		rank:        be.Rank(),
+		size:        be.Size(),
+		pool:        mem.NewBufPool(poolBuf, 256),
+		rdzvSends:   make(map[uint64]rdzvSend),
+		nextRdzvID:  1,
+		localCQ:     newCompRing(cfg.CompQueueDepth),
+		remoteCQ:    newCompRing(cfg.CompQueueDepth),
+		wireScratch: make([]wireOp, 0, wireBatchMax),
+		reqScratch:  make([]WriteReq, 0, wireBatchMax),
+	}
+	p.bbe, _ = be.(BatchBackend)
+	p.reqPool.New = func() any {
+		s := make([]WriteReq, 0, wireBatchMax)
+		return &s
 	}
 	if p.size < 1 || p.rank < 0 || p.rank >= p.size {
 		return nil, fmt.Errorf("%w: rank %d of %d", ErrBadRank, p.rank, p.size)
@@ -335,6 +384,7 @@ func (p *Photon) EagerThreshold() int {
 
 // Stats returns an activity snapshot.
 func (p *Photon) Stats() Stats {
+	hits, misses := p.pool.Counters()
 	return Stats{
 		PutsDirect:     p.stats.putsDirect.Load(),
 		PutsPacked:     p.stats.putsPacked.Load(),
@@ -345,6 +395,12 @@ func (p *Photon) Stats() Stats {
 		CreditWrites:   p.stats.creditWrites.Load(),
 		ProgressCalls:  p.stats.progress.Load(),
 		DeferredWrites: p.stats.deferred.Load(),
+
+		EntryPoolHits:   hits,
+		EntryPoolMisses: misses,
+		RingOverflows:   p.localCQ.overflowCount() + p.remoteCQ.overflowCount(),
+		BatchPosts:      p.stats.batchPosts.Load(),
+		BatchedOps:      p.stats.batchedOps.Load(),
 	}
 }
 
@@ -402,25 +458,12 @@ func (p *Photon) Close() error {
 }
 
 // newToken registers a pending op and returns its token.
-func (p *Photon) newToken(op pendingOp) uint64 {
-	p.tokMu.Lock()
-	tok := p.nextTok
-	p.nextTok++
-	p.tokens[tok] = op
-	p.tokMu.Unlock()
-	return tok
-}
+func (p *Photon) newToken(op pendingOp) uint64 { return p.tok.put(op) }
 
-// takeToken resolves and removes a pending op.
-func (p *Photon) takeToken(tok uint64) (pendingOp, bool) {
-	p.tokMu.Lock()
-	op, ok := p.tokens[tok]
-	if ok {
-		delete(p.tokens, tok)
-	}
-	p.tokMu.Unlock()
-	return op, ok
-}
+// takeToken resolves and removes a pending op. Stale tokens — late or
+// duplicated completions whose slot generation has moved on — return
+// false and are ignored by the engine.
+func (p *Photon) takeToken(tok uint64) (pendingOp, bool) { return p.tok.take(tok) }
 
 // checkRank validates a peer rank.
 func (p *Photon) checkRank(rank int) error {
@@ -433,14 +476,10 @@ func (p *Photon) checkRank(rank int) error {
 // pushLocal enqueues a local completion.
 func (p *Photon) pushLocal(c Completion) {
 	c.Local = true
-	p.cqMu.Lock()
-	p.localQ = append(p.localQ, c)
-	p.cqMu.Unlock()
+	p.localCQ.push(c)
 }
 
 // pushRemote enqueues a remote completion.
 func (p *Photon) pushRemote(c Completion) {
-	p.cqMu.Lock()
-	p.remoteQ = append(p.remoteQ, c)
-	p.cqMu.Unlock()
+	p.remoteCQ.push(c)
 }

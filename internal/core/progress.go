@@ -21,9 +21,11 @@ var ErrTimeout = errors.New("photon: wait timed out")
 // Photon's caller-driven progress model.
 //
 // When the backend exposes a DMA write-activity counter, the ledger
-// sweep is skipped entirely while the counter is unchanged: a spinning
-// prober costs one atomic load per round and — critically — never
-// holds the arena lock the transport needs to deliver the next entry.
+// sweep is skipped entirely while the counter is unchanged. A fully
+// idle round — no ledger activity, no parked work anywhere, no credits
+// owed — additionally skips the per-peer loop: a spinning prober then
+// costs two atomic loads beyond the backend poll, independent of job
+// size.
 func (p *Photon) Progress() int {
 	if !p.progMu.TryLock() {
 		return 0
@@ -39,6 +41,9 @@ func (p *Photon) Progress() int {
 		} else {
 			sweep = false
 		}
+	}
+	if !sweep && p.parked.Load() == 0 && p.creditHintTotal.Load() == 0 {
+		return n
 	}
 	for _, ps := range p.peers {
 		n += p.retryDeferred(ps)
@@ -80,6 +85,9 @@ func (p *Photon) handleBackend(bc BackendCompletion) {
 		if op.block != nil {
 			_ = p.slab.Release(op.block)
 		}
+		if op.result != nil {
+			p.pool.Put(op.result)
+		}
 		return
 	}
 	switch op.kind {
@@ -96,8 +104,10 @@ func (p *Photon) handleBackend(bc BackendCompletion) {
 		}
 	case opRdzvGet:
 		// Data staged: copy out, release the block, FIN the sender,
-		// surface the delivery.
-		data := make([]byte, op.size)
+		// surface the delivery. The copy is owned by the caller from
+		// here on (Completion.Data contract), so it must not come
+		// from the recycling pool.
+		data := p.pool.GetOwned(op.size)
 		copy(data, op.block.Buf[:op.size])
 		_ = p.slab.Release(op.block)
 		p.sendFIN(op.rank, op.rdzvID)
@@ -111,71 +121,118 @@ func (p *Photon) handleBackend(bc BackendCompletion) {
 				Value: binary.LittleEndian.Uint64(op.result),
 			})
 		}
+		// The backend wrote the result before reporting the
+		// completion; the scratch word can be recycled now.
+		p.pool.Put(op.result)
 	}
 }
 
 // notifyRemote writes a bare completion entry (tCompletion) into the
 // peer's PWC ledger, deferring on credit exhaustion.
 func (p *Photon) notifyRemote(rank int, rid uint64) {
-	payload := make([]byte, 9)
+	var payload [9]byte
 	payload[0] = tCompletion
 	binary.LittleEndian.PutUint64(payload[1:], rid)
-	p.postEntryOrDefer(p.peers[rank], classPWC, payload)
+	p.postEntryOrDefer(p.peers[rank], classPWC, payload[:])
 }
 
 // sendFIN writes a rendezvous-complete entry into the peer's sys ledger.
 func (p *Photon) sendFIN(rank int, rdzvID uint64) {
-	payload := make([]byte, 9)
+	var payload [9]byte
 	payload[0] = tFIN
 	binary.LittleEndian.PutUint64(payload[1:], rdzvID)
-	p.postEntryOrDefer(p.peers[rank], classSys, payload)
+	p.postEntryOrDefer(p.peers[rank], classSys, payload[:])
 }
 
 // postEntryOrDefer reserves a slot in the peer's class ledger and posts
-// the entry, parking it for Progress when out of credits.
+// the entry, parking it for Progress when out of credits. payload is
+// copied before this function returns (both paths), so callers may
+// pass stack-backed scratch.
 func (p *Photon) postEntryOrDefer(ps *peerState, class int, payload []byte) {
 	res, err := p.reserve(ps, class)
 	if err != nil {
 		ps.mu.Lock()
-		ps.pendingEntry = append(ps.pendingEntry, entryOp{class: class, payload: payload})
+		ps.pendingEntry = append(ps.pendingEntry, entryOp{class: class, payload: append([]byte(nil), payload...)})
 		ps.mu.Unlock()
 		ps.deferred.Add(1)
+		p.parked.Add(1)
 		p.stats.deferred.Add(1)
 		return
 	}
-	ent := make([]byte, ledger.HeaderSize+len(payload))
-	if err := ledger.Encode(ent, res.Seq, payload); err != nil {
+	ent := p.pool.Get(ledger.HeaderSize + len(payload))
+	copy(ent[ledger.HeaderSize:], payload)
+	if err := ledger.EncodeHeader(ent, res.Seq, len(payload)); err != nil {
 		// Payload exceeds entry capacity: engine bug; surface loudly.
 		panic(err)
 	}
-	p.postOrPark(ps, ps.rank, ent, res.RemoteAddr, res.RKey, 0, false)
+	p.postOrPark(ps, ps.rank, ent, res.RemoteAddr, res.RKey, 0, false, true)
 }
 
 // retryDeferred drains a peer's parked work in dependency-safe order:
 // first fully-specified wire writes (FIFO; slots already reserved),
 // then unreserved ledger entries, then queued inbound rendezvous.
+// Wire writes drain in doorbell batches when the backend supports it.
 func (p *Photon) retryDeferred(ps *peerState) int {
 	if ps.deferred.Load() == 0 {
 		return 0
 	}
 	n := 0
-	// Wire writes.
+	// Wire writes. Snapshot a batch under the lock, post it outside,
+	// then pop what was accepted. Only this engine (serialized by
+	// progMu) removes from pendingWire, and producers append at the
+	// tail, so the snapshot stays valid.
 	for {
 		ps.mu.Lock()
-		if len(ps.pendingWire) == 0 {
+		k := len(ps.pendingWire)
+		if k == 0 {
 			ps.mu.Unlock()
 			break
 		}
-		w := ps.pendingWire[0]
+		if k > wireBatchMax {
+			k = wireBatchMax
+		}
+		batch := append(p.wireScratch[:0], ps.pendingWire[:k]...)
 		ps.mu.Unlock()
-		if err := p.be.PostWrite(ps.rank, w.local, w.raddr, w.rkey, w.token, w.signaled); err != nil {
+
+		posted := 0
+		if p.bbe != nil && k > 1 {
+			reqs := p.reqScratch[:0]
+			for _, w := range batch {
+				reqs = append(reqs, WriteReq{Local: w.local, RemoteAddr: w.raddr, RKey: w.rkey, Token: w.token, Signaled: w.signaled})
+			}
+			posted, _ = p.bbe.PostWriteBatch(ps.rank, reqs)
+			for i := range reqs {
+				reqs[i] = WriteReq{}
+			}
+			if posted > 0 {
+				p.stats.batchPosts.Add(1)
+				p.stats.batchedOps.Add(int64(posted))
+			}
+		} else {
+			for _, w := range batch {
+				if p.be.PostWrite(ps.rank, w.local, w.raddr, w.rkey, w.token, w.signaled) != nil {
+					break
+				}
+				posted++
+			}
+		}
+		if posted == 0 {
 			break // transport still busy; keep FIFO order
 		}
 		ps.mu.Lock()
-		ps.pendingWire = ps.pendingWire[1:]
+		ps.pendingWire = ps.pendingWire[posted:]
 		ps.mu.Unlock()
-		ps.deferred.Add(-1)
-		n++
+		for i := 0; i < posted; i++ {
+			if batch[i].pooled {
+				p.pool.Put(batch[i].local)
+			}
+		}
+		ps.deferred.Add(-int64(posted))
+		p.parked.Add(-int64(posted))
+		n += posted
+		if posted < k {
+			break
+		}
 	}
 	// Ledger entries awaiting credits.
 	for {
@@ -190,15 +247,17 @@ func (p *Photon) retryDeferred(ps *peerState) int {
 		if err != nil {
 			break
 		}
-		ent := make([]byte, ledger.HeaderSize+len(e.payload))
-		if err := ledger.Encode(ent, res.Seq, e.payload); err != nil {
+		ent := p.pool.Get(ledger.HeaderSize + len(e.payload))
+		copy(ent[ledger.HeaderSize:], e.payload)
+		if err := ledger.EncodeHeader(ent, res.Seq, len(e.payload)); err != nil {
 			panic(err)
 		}
-		p.postOrPark(ps, ps.rank, ent, res.RemoteAddr, res.RKey, 0, false)
+		p.postOrPark(ps, ps.rank, ent, res.RemoteAddr, res.RKey, 0, false, true)
 		ps.mu.Lock()
 		ps.pendingEntry = ps.pendingEntry[1:]
 		ps.mu.Unlock()
 		ps.deferred.Add(-1)
+		p.parked.Add(-1)
 		n++
 	}
 	// Inbound rendezvous awaiting slab space.
@@ -217,6 +276,7 @@ func (p *Photon) retryDeferred(ps *peerState) int {
 		ps.pendingRTS = ps.pendingRTS[1:]
 		ps.mu.Unlock()
 		ps.deferred.Add(-1)
+		p.parked.Add(-1)
 		n++
 	}
 	return n
@@ -227,13 +287,14 @@ func (p *Photon) retryDeferred(ps *peerState) int {
 // re-acquire arena-guarded state, and RWMutex read locks must not
 // nest).
 type polledEvent struct {
-	kind  uint8 // reuses the entry type tags
-	rid   uint64
-	raddr uint64
-	rkey  uint32
-	err   error
-	data  []byte // copied out of the ledger slot
-	rts   rtsOp
+	kind   uint8 // reuses the entry type tags
+	rid    uint64
+	raddr  uint64
+	rkey   uint32
+	err    error
+	data   []byte // copied out of the ledger slot
+	pooled bool   // data is pool scratch to recycle after dispatch
+	rts    rtsOp
 }
 
 // pollPeer drains this peer's three receive ledgers: one arena lock
@@ -283,7 +344,9 @@ func (p *Photon) pollPeer(ps *peerState) int {
 		n++
 		switch {
 		case len(e.Payload) >= packedHdrSize && e.Payload[0] == tPacked:
-			data := make([]byte, len(e.Payload)-packedHdrSize)
+			// The payload copy becomes Completion.Data, owned by the
+			// caller forever — never pool scratch.
+			data := p.pool.GetOwned(len(e.Payload) - packedHdrSize)
 			copy(data, e.Payload[packedHdrSize:])
 			p.pollScratch = append(p.pollScratch, polledEvent{
 				kind: tPacked,
@@ -295,15 +358,17 @@ func (p *Photon) pollPeer(ps *peerState) int {
 			// is released: ApplyLocal takes registration locks that
 			// may be the very lock guarding this sweep (the TCP
 			// backend uses one table-wide RWMutex), so it must never
-			// run under it.
-			data := make([]byte, len(e.Payload)-packedPutHdrSize)
+			// run under it. This copy only lives until ApplyLocal
+			// places it, so it can come from the recycling pool.
+			data := p.pool.Get(len(e.Payload) - packedPutHdrSize)
 			copy(data, e.Payload[packedPutHdrSize:])
 			p.pollScratch = append(p.pollScratch, polledEvent{
-				kind:  tPackedPut,
-				rid:   binary.LittleEndian.Uint64(e.Payload[1:]),
-				raddr: binary.LittleEndian.Uint64(e.Payload[9:]),
-				rkey:  binary.LittleEndian.Uint32(e.Payload[17:]),
-				data:  data,
+				kind:   tPackedPut,
+				rid:    binary.LittleEndian.Uint64(e.Payload[1:]),
+				raddr:  binary.LittleEndian.Uint64(e.Payload[9:]),
+				rkey:   binary.LittleEndian.Uint32(e.Payload[17:]),
+				data:   data,
+				pooled: true,
 			})
 		}
 	}
@@ -327,14 +392,19 @@ func (p *Photon) pollPeer(ps *peerState) int {
 				ps.pendingRTS = append(ps.pendingRTS, ev.rts)
 				ps.mu.Unlock()
 				ps.deferred.Add(1)
+				p.parked.Add(1)
 			}
 		case tFIN:
 			p.handleFIN(ps, ev.rid)
+		}
+		if ev.pooled {
+			p.pool.Put(ev.data)
 		}
 		ev.data = nil // release payload reference for GC
 	}
 	if n > 0 {
 		ps.consumedHint.Add(int64(n))
+		p.creditHintTotal.Add(int64(n))
 	}
 	return n
 }
@@ -404,10 +474,12 @@ func (p *Photon) startRdzvGet(r rtsOp) bool {
 // when the batch threshold is reached (or force is set). The write is a
 // cumulative counter, so it is idempotent and needs no flow control.
 func (p *Photon) returnCredits(ps *peerState, force bool) {
-	if ps.consumedHint.Load() == 0 && !force {
+	h := ps.consumedHint.Swap(0)
+	if h != 0 {
+		p.creditHintTotal.Add(-h)
+	} else if !force {
 		return
 	}
-	ps.consumedHint.Store(0)
 	for cl := 0; cl < numClasses; cl++ {
 		total := ps.consumed[cl] // progress-engine-owned; no ledger locks
 		ps.mu.Lock()
@@ -419,10 +491,10 @@ func (p *Photon) returnCredits(ps *peerState, force bool) {
 		if !due {
 			continue
 		}
-		word := make([]byte, 8)
+		word := p.pool.Get(8)
 		binary.LittleEndian.PutUint64(word, uint64(total))
 		raddr := ps.remoteArena.Addr + uint64(p.mailSlotOffset(p.rank, cl))
-		p.postOrPark(ps, ps.rank, word, raddr, ps.remoteArena.RKey, 0, false)
+		p.postOrPark(ps, ps.rank, word, raddr, ps.remoteArena.RKey, 0, false, true)
 		p.stats.creditWrites.Add(1)
 	}
 }
@@ -477,42 +549,28 @@ func (p *Photon) Probe(flags ProbeFlags) (Completion, bool) {
 // PopLocal pops the oldest harvested local completion without driving
 // progress.
 func (p *Photon) PopLocal() (Completion, bool) {
-	p.cqMu.Lock()
-	defer p.cqMu.Unlock()
-	if len(p.localQ) == 0 {
-		return Completion{}, false
-	}
-	c := p.localQ[0]
-	p.localQ = p.localQ[1:]
-	return c, true
+	return p.localCQ.pop()
 }
 
 // PopRemote pops the oldest harvested remote completion.
 func (p *Photon) PopRemote() (Completion, bool) {
-	p.cqMu.Lock()
-	defer p.cqMu.Unlock()
-	if len(p.remoteQ) == 0 {
-		return Completion{}, false
-	}
-	c := p.remoteQ[0]
-	p.remoteQ = p.remoteQ[1:]
-	return c, true
+	return p.remoteCQ.pop()
 }
 
 // WaitLocal spins (driving progress) until the local completion with
 // the given RID arrives, removing it from the stream; other completions
 // are left queued. A non-positive timeout waits forever.
 func (p *Photon) WaitLocal(rid uint64, timeout time.Duration) (Completion, error) {
-	return p.waitMatch(rid, timeout, &p.localQ)
+	return p.waitMatch(rid, timeout, p.localCQ)
 }
 
 // WaitRemote spins until the remote completion with the given RID
 // arrives.
 func (p *Photon) WaitRemote(rid uint64, timeout time.Duration) (Completion, error) {
-	return p.waitMatch(rid, timeout, &p.remoteQ)
+	return p.waitMatch(rid, timeout, p.remoteCQ)
 }
 
-func (p *Photon) waitMatch(rid uint64, timeout time.Duration, q *[]Completion) (Completion, error) {
+func (p *Photon) waitMatch(rid uint64, timeout time.Duration, r *compRing) (Completion, error) {
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
@@ -520,15 +578,9 @@ func (p *Photon) waitMatch(rid uint64, timeout time.Duration, q *[]Completion) (
 	idle := 0
 	for {
 		n := p.Progress()
-		p.cqMu.Lock()
-		for i, c := range *q {
-			if c.RID == rid {
-				*q = append((*q)[:i], (*q)[i+1:]...)
-				p.cqMu.Unlock()
-				return c, nil
-			}
+		if c, ok := r.takeMatch(rid); ok {
+			return c, nil
 		}
-		p.cqMu.Unlock()
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return Completion{}, ErrTimeout
 		}
@@ -571,14 +623,10 @@ func (p *Photon) Flush() {
 
 // PendingLocal and PendingRemote report queue depths (test aid).
 func (p *Photon) PendingLocal() int {
-	p.cqMu.Lock()
-	defer p.cqMu.Unlock()
-	return len(p.localQ)
+	return p.localCQ.length()
 }
 
 // PendingRemote reports the remote completion queue depth.
 func (p *Photon) PendingRemote() int {
-	p.cqMu.Lock()
-	defer p.cqMu.Unlock()
-	return len(p.remoteQ)
+	return p.remoteCQ.length()
 }

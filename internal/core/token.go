@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// tokenTable maps backend completion tokens to pending-op state. It
+// replaces a single map[uint64]pendingOp behind one mutex with a
+// sharded, index-recycling slot array: concurrent initiators take
+// different shard locks, slot storage is reused (no per-op map churn),
+// and lookups are O(1) array indexing.
+//
+// Token layout (64 bits):
+//
+//	bits  0..3   shard index
+//	bits  4..31  slot index within the shard
+//	bits 32..63  slot generation
+//
+// The generation is bumped every time a slot is released and starts at
+// 1, so a token is never zero and a late or duplicated backend
+// completion — carrying the generation under which it was issued —
+// can no longer resolve once the slot has been recycled: stale tokens
+// are rejected rather than completing an unrelated newer op.
+type tokenTable struct {
+	shards [tokShards]tokShard
+	next   atomic.Uint64 // round-robin shard selector
+}
+
+const (
+	tokShardBits = 4
+	tokShards    = 1 << tokShardBits
+	tokIdxBits   = 28
+	tokIdxMask   = (1 << tokIdxBits) - 1
+)
+
+type tokSlot struct {
+	op   pendingOp
+	gen  uint32
+	live bool
+}
+
+type tokShard struct {
+	mu    sync.Mutex
+	slots []tokSlot
+	free  []uint32
+}
+
+// put registers a pending op and returns its (non-zero) token.
+func (t *tokenTable) put(op pendingOp) uint64 {
+	si := t.next.Add(1) & (tokShards - 1)
+	sh := &t.shards[si]
+	sh.mu.Lock()
+	var idx uint32
+	if n := len(sh.free); n > 0 {
+		idx = sh.free[n-1]
+		sh.free = sh.free[:n-1]
+	} else {
+		idx = uint32(len(sh.slots))
+		sh.slots = append(sh.slots, tokSlot{gen: 1})
+	}
+	s := &sh.slots[idx]
+	s.op = op
+	s.live = true
+	tok := uint64(s.gen)<<32 | uint64(idx)<<tokShardBits | si
+	sh.mu.Unlock()
+	return tok
+}
+
+// take resolves and releases a token. It returns false for tokens that
+// are unknown, already taken, or stale (generation mismatch after the
+// slot was recycled).
+func (t *tokenTable) take(tok uint64) (pendingOp, bool) {
+	sh := &t.shards[tok&(tokShards-1)]
+	idx := (tok >> tokShardBits) & tokIdxMask
+	gen := uint32(tok >> 32)
+	sh.mu.Lock()
+	if idx >= uint64(len(sh.slots)) {
+		sh.mu.Unlock()
+		return pendingOp{}, false
+	}
+	s := &sh.slots[idx]
+	if !s.live || s.gen != gen {
+		sh.mu.Unlock()
+		return pendingOp{}, false
+	}
+	op := s.op
+	s.op = pendingOp{} // release buffer references
+	s.live = false
+	s.gen++
+	if s.gen == 0 {
+		s.gen = 1
+	}
+	sh.free = append(sh.free, uint32(idx))
+	sh.mu.Unlock()
+	return op, true
+}

@@ -87,6 +87,19 @@ func Encode(dst []byte, seq uint32, payload []byte) error {
 	return nil
 }
 
+// EncodeHeader writes just the entry header (sequence + payload
+// length) into dst. Callers that build the payload in place — directly
+// in dst[HeaderSize:HeaderSize+payloadLen] — use this to skip the
+// intermediate payload buffer Encode requires.
+func EncodeHeader(dst []byte, seq uint32, payloadLen int) error {
+	if payloadLen > len(dst)-HeaderSize {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, payloadLen, len(dst)-HeaderSize)
+	}
+	binary.LittleEndian.PutUint32(dst[0:], seq)
+	binary.LittleEndian.PutUint32(dst[4:], uint32(payloadLen))
+	return nil
+}
+
 // ---------------------------------------------------------------------
 // Receiver
 // ---------------------------------------------------------------------

@@ -1,0 +1,93 @@
+package mem
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BufPool is a free list of fixed-size scratch buffers for hot-path
+// staging: ledger entries under construction, packed-message frames,
+// atomic result words. Unlike Pool it is plain heap memory (nothing is
+// registered) — it exists purely so the per-operation fast path stops
+// hitting the allocator and the GC.
+//
+// Get returns a buffer of exactly the requested length. Requests no
+// larger than the pool's buffer size are served from the free list;
+// oversize requests fall through to a fresh allocation (and are not
+// recycled by Put). The free list is bounded so a burst cannot pin
+// memory forever.
+type BufPool struct {
+	size int // capacity of every pooled buffer
+	max  int // free-list bound
+
+	mu   sync.Mutex
+	free [][]byte
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewBufPool builds a pool of size-byte buffers keeping at most max
+// buffers on the free list (max <= 0 selects a default of 256).
+func NewBufPool(size, max int) *BufPool {
+	if size <= 0 {
+		size = 64
+	}
+	if max <= 0 {
+		max = 256
+	}
+	return &BufPool{size: size, max: max}
+}
+
+// BufSize reports the capacity of pooled buffers.
+func (p *BufPool) BufSize() int { return p.size }
+
+// Get returns a length-n buffer. Pooled buffers keep their full
+// capacity, so the caller may re-slice up to BufSize.
+func (p *BufPool) Get(n int) []byte {
+	if n > p.size {
+		p.misses.Add(1)
+		return make([]byte, n)
+	}
+	p.mu.Lock()
+	if l := len(p.free); l > 0 {
+		b := p.free[l-1]
+		p.free[l-1] = nil
+		p.free = p.free[:l-1]
+		p.mu.Unlock()
+		p.hits.Add(1)
+		return b[:n]
+	}
+	p.mu.Unlock()
+	p.misses.Add(1)
+	return make([]byte, n, p.size)
+}
+
+// GetOwned returns a length-n buffer that will never be recycled: use
+// it when the buffer's ownership transfers to the caller (for example
+// Completion.Data). Pool accounting still records the miss so the
+// counters reflect true allocator pressure.
+func (p *BufPool) GetOwned(n int) []byte {
+	p.misses.Add(1)
+	return make([]byte, n)
+}
+
+// Put returns a buffer obtained from Get to the free list. Buffers of
+// foreign capacity (oversize Get results, or slices from elsewhere) are
+// dropped for the GC. Put of nil is a no-op.
+func (p *BufPool) Put(b []byte) {
+	if cap(b) != p.size {
+		return
+	}
+	b = b[:p.size]
+	p.mu.Lock()
+	if len(p.free) < p.max {
+		p.free = append(p.free, b)
+	}
+	p.mu.Unlock()
+}
+
+// Counters reports lifetime free-list hits and misses.
+func (p *BufPool) Counters() (hits, misses int64) {
+	return p.hits.Load(), p.misses.Load()
+}

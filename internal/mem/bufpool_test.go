@@ -1,0 +1,56 @@
+package mem
+
+import "testing"
+
+func TestBufPoolRecycle(t *testing.T) {
+	p := NewBufPool(64, 4)
+	b := p.Get(16)
+	if len(b) != 16 || cap(b) != 64 {
+		t.Fatalf("Get(16) = len %d cap %d, want 16/64", len(b), cap(b))
+	}
+	p.Put(b)
+	b2 := p.Get(32)
+	if cap(b2) != 64 {
+		t.Fatalf("recycled buffer cap = %d, want 64", cap(b2))
+	}
+	hits, misses := p.Counters()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("counters = %d hits %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestBufPoolOversize(t *testing.T) {
+	p := NewBufPool(64, 4)
+	b := p.Get(128)
+	if len(b) != 128 {
+		t.Fatalf("oversize Get = len %d, want 128", len(b))
+	}
+	p.Put(b) // foreign capacity: dropped
+	if _, misses := p.Counters(); misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+	// The free list must not have adopted the oversize buffer.
+	if got := p.Get(8); cap(got) != 64 {
+		t.Fatalf("pool handed back foreign buffer (cap %d)", cap(got))
+	}
+}
+
+func TestBufPoolBound(t *testing.T) {
+	p := NewBufPool(32, 2)
+	bufs := [][]byte{p.Get(32), p.Get(32), p.Get(32)}
+	for _, b := range bufs {
+		p.Put(b)
+	}
+	if n := len(p.free); n != 2 {
+		t.Fatalf("free list holds %d buffers, want bound of 2", n)
+	}
+}
+
+func TestBufPoolGetOwned(t *testing.T) {
+	p := NewBufPool(64, 4)
+	b := p.GetOwned(16)
+	p.Put(b) // cap 16 != 64: not adopted
+	if len(p.free) != 0 {
+		t.Fatal("GetOwned buffer must not enter the free list")
+	}
+}

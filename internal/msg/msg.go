@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"photon/internal/fabric"
+	"photon/internal/mem"
 	"photon/internal/nicsim"
 	"photon/internal/verbs"
 )
@@ -124,6 +125,11 @@ type Endpoint struct {
 	inflight  []int            // outstanding unacked frames per peer (eager flow control)
 	closed    bool
 
+	// framePool recycles outbound frame scratch (eager, RTS, FIN).
+	// The QP's post path snapshots the frame before returning, so a
+	// frame goes back to the pool the moment PostSend accepts it.
+	framePool *mem.BufPool
+
 	stats struct {
 		eagerTx, eagerRx, rdzvTx, rdzvRx int64
 		matchScans                       int64
@@ -197,6 +203,7 @@ func NewJobOver(fab *fabric.Fabric, nc nicsim.Config, cfg Config) (*Job, error) 
 			nextTok:   1,
 			recvBufs:  make(map[int][][]byte),
 			inflight:  make([]int, n),
+			framePool: mem.NewBufPool(hdrMax+cfg.EagerLimit, 256),
 		}
 		j.eps[r] = ep
 	}
@@ -340,7 +347,7 @@ func (ep *Endpoint) Send(rank int, tag uint64, data []byte) (*SendHandle, error)
 	ep.mu.Unlock()
 
 	if len(data) <= ep.cfg.EagerLimit {
-		frame := make([]byte, 1+8+4+len(data))
+		frame := ep.framePool.Get(1 + 8 + 4 + len(data))
 		frame[0] = kEager
 		binary.LittleEndian.PutUint64(frame[1:], tag)
 		binary.LittleEndian.PutUint32(frame[9:], uint32(len(data)))
@@ -349,6 +356,7 @@ func (ep *Endpoint) Send(rank int, tag uint64, data []byte) (*SendHandle, error)
 			ep.dropWait(tok)
 			return nil, err
 		}
+		ep.framePool.Put(frame)
 		ep.mu.Lock()
 		ep.stats.eagerTx++
 		ep.mu.Unlock()
@@ -367,7 +375,7 @@ func (ep *Endpoint) Send(rank int, tag uint64, data []byte) (*SendHandle, error)
 	ep.rdzvSrc[seq] = &rdzvSrc{mr: mr, wait: wait, tok: tok, peer: rank}
 	ep.stats.rdzvTx++
 	ep.mu.Unlock()
-	frame := make([]byte, 1+8+8+8+4+8)
+	frame := ep.framePool.Get(1 + 8 + 8 + 8 + 4 + 8)
 	frame[0] = kRTS
 	binary.LittleEndian.PutUint64(frame[1:], tag)
 	binary.LittleEndian.PutUint64(frame[9:], uint64(len(data)))
@@ -378,6 +386,7 @@ func (ep *Endpoint) Send(rank int, tag uint64, data []byte) (*SendHandle, error)
 		ep.dropWait(tok)
 		return nil, err
 	}
+	ep.framePool.Put(frame)
 	return &SendHandle{ep: ep, tok: tok, wait: wait}, nil
 }
 
@@ -668,10 +677,12 @@ func (ep *Endpoint) handleSendCQE(e verbs.CQE) {
 		ep.mu.Unlock()
 		if e.Status == verbs.StatusOK {
 			// FIN the sender, then deliver.
-			fin := make([]byte, 9)
+			fin := ep.framePool.Get(9)
 			fin[0] = kFIN
 			binary.LittleEndian.PutUint64(fin[1:], d.seq)
-			_ = ep.postSendRetry(d.src, fin, 0)
+			if ep.postSendRetry(d.src, fin, 0) == nil {
+				ep.framePool.Put(fin)
+			}
 			d.done <- Message{Src: d.src, Tag: d.tag, Data: d.buf}
 		}
 		return

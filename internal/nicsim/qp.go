@@ -49,10 +49,15 @@ const (
 	qpClosed
 )
 
-// wqe is an in-flight send work request.
+// wqe is an in-flight send work request. The wire frame is encoded at
+// post time (see PostSend), so payload-carrying requests do not retain
+// the caller's Local buffer; byteLen preserves the payload length for
+// the CQE after Local is dropped.
 type wqe struct {
-	wr  SendWR
-	psn uint64
+	wr      SendWR
+	psn     uint64
+	frame   []byte
+	byteLen int
 }
 
 // inbound is a SEND or WRITE-WITH-IMM awaiting a posted receive buffer
@@ -153,6 +158,16 @@ func (qp *QP) Errored() bool {
 // queue is full it returns ErrSQFull, and the caller is expected to
 // reap completions and retry (Photon's progress engine does exactly
 // that under ledger backpressure).
+//
+// The wire frame — including any payload — is encoded here, before
+// PostSend returns, mirroring a real NIC's DMA-at-doorbell model
+// closely enough for middleware purposes: the caller may reuse the
+// Local buffer of a SEND/WRITE as soon as PostSend returns. READ and
+// atomic requests still retain Local (the result destination) until
+// completion. The PSN is also assigned here; a request bounced with
+// ErrSQFull leaves a PSN hole, which is harmless because responders
+// echo the PSN and the initiator matches responses through the pending
+// map rather than by sequence.
 func (qp *QP) PostSend(wr SendWR) error {
 	if err := qp.validateSend(&wr); err != nil {
 		return err
@@ -162,9 +177,38 @@ func (qp *QP) PostSend(wr SendWR) error {
 		qp.mu.Unlock()
 		return ErrQPState
 	}
+	psn := qp.nextPSN
+	qp.nextPSN++
+	dstQPN := qp.remoteQPN
 	qp.mu.Unlock()
+
+	w := &wqe{wr: wr, psn: psn, byteLen: len(wr.Local)}
+	h := header{srcQPN: qp.qpn, dstQPN: dstQPN, psn: psn}
+	switch wr.Op {
+	case OpSend:
+		h.typ = fSend
+		w.frame = encodeSend(h, wr.Imm, wr.HasImm, wr.Local)
+		w.wr.Local = nil
+	case OpRDMAWrite:
+		h.typ = fWrite
+		w.frame = encodeWrite(h, wr.RemoteAddr, wr.RKey, 0, false, wr.Local)
+		w.wr.Local = nil
+	case OpRDMAWriteImm:
+		h.typ = fWrite
+		w.frame = encodeWrite(h, wr.RemoteAddr, wr.RKey, wr.Imm, true, wr.Local)
+		w.wr.Local = nil
+	case OpRDMARead:
+		h.typ = fRead
+		w.frame = encodeRead(h, wr.RemoteAddr, wr.RKey, len(wr.Local))
+	case OpAtomicFetchAdd:
+		h.typ = fAtomic
+		w.frame = encodeAtomic(h, atomicFAdd, wr.RemoteAddr, wr.RKey, wr.Add, 0)
+	case OpAtomicCompSwap:
+		h.typ = fAtomic
+		w.frame = encodeAtomic(h, atomicCSwap, wr.RemoteAddr, wr.RKey, wr.Swap, wr.Compare)
+	}
 	select {
-	case qp.sq <- &wqe{wr: wr}:
+	case qp.sq <- w:
 		qp.nic.counters.sendsPosted.Add(1)
 		return nil
 	default:
@@ -260,8 +304,8 @@ func (qp *QP) flushSQ() {
 	}
 }
 
-// transmit serializes one WQE onto the fabric. Returns false on local
-// failure.
+// transmit puts one pre-encoded WQE onto the fabric. Returns false on
+// local failure.
 func (qp *QP) transmit(w *wqe) bool {
 	qp.mu.Lock()
 	if qp.state != qpRTS {
@@ -269,38 +313,12 @@ func (qp *QP) transmit(w *wqe) bool {
 		qp.completeSend(w, StatusFlushed)
 		return false
 	}
-	w.psn = qp.nextPSN
-	qp.nextPSN++
 	qp.pending[w.psn] = w
-	dstNode, dstQPN := qp.remoteNode, qp.remoteQPN
+	dstNode := qp.remoteNode
 	qp.mu.Unlock()
 
-	h := header{srcQPN: qp.qpn, dstQPN: dstQPN, psn: w.psn}
-	var frame []byte
-	switch w.wr.Op {
-	case OpSend:
-		h.typ = fSend
-		frame = encodeSend(h, w.wr.Imm, w.wr.HasImm, w.wr.Local)
-	case OpRDMAWrite:
-		h.typ = fWrite
-		frame = encodeWrite(h, w.wr.RemoteAddr, w.wr.RKey, 0, false, w.wr.Local)
-	case OpRDMAWriteImm:
-		h.typ = fWrite
-		frame = encodeWrite(h, w.wr.RemoteAddr, w.wr.RKey, w.wr.Imm, true, w.wr.Local)
-	case OpRDMARead:
-		h.typ = fRead
-		frame = encodeRead(h, w.wr.RemoteAddr, w.wr.RKey, len(w.wr.Local))
-	case OpAtomicFetchAdd:
-		h.typ = fAtomic
-		frame = encodeAtomic(h, atomicFAdd, w.wr.RemoteAddr, w.wr.RKey, w.wr.Add, 0)
-	case OpAtomicCompSwap:
-		h.typ = fAtomic
-		frame = encodeAtomic(h, atomicCSwap, w.wr.RemoteAddr, w.wr.RKey, w.wr.Swap, w.wr.Compare)
-	default:
-		qp.dropPending(w.psn)
-		qp.completeSend(w, StatusLocalError)
-		return false
-	}
+	frame := w.frame
+	w.frame = nil // fabric takes ownership
 	qp.nic.counters.wireFrames.Add(1)
 	qp.nic.counters.wireBytes.Add(int64(len(frame)))
 	if err := qp.nic.fab.Send(qp.nic.node, dstNode, frame); err != nil {
@@ -335,7 +353,7 @@ func (qp *QP) completeSend(w *wqe, st Status) {
 		WRID:    w.wr.WRID,
 		Status:  st,
 		Op:      w.wr.Op,
-		ByteLen: len(w.wr.Local),
+		ByteLen: w.byteLen,
 		QPN:     qp.qpn,
 	})
 }

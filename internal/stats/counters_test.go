@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterSetOrderAndValues(t *testing.T) {
+	c := NewCounterSet()
+	c.Add("entry_pool_hits", 5)
+	c.Set("ring_overflows", 2)
+	c.Add("entry_pool_hits", 3)
+	c.Add("batch_posts", 1)
+
+	if v, ok := c.Get("entry_pool_hits"); !ok || v != 8 {
+		t.Fatalf("entry_pool_hits = %d, %v; want 8, true", v, ok)
+	}
+	if v, ok := c.Get("ring_overflows"); !ok || v != 2 {
+		t.Fatalf("ring_overflows = %d, %v; want 2, true", v, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get(missing) reported existence")
+	}
+
+	want := []string{"entry_pool_hits", "ring_overflows", "batch_posts"}
+	got := c.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q (first-use order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCounterSetRender(t *testing.T) {
+	c := NewCounterSet()
+	c.Set("hits", 12)
+	c.Set("a_much_longer_name", 3)
+	out := c.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("Render() has %d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "hits") || !strings.HasSuffix(lines[0], "12") {
+		t.Fatalf("bad first line: %q", lines[0])
+	}
+	// Values align: both lines place the number at the same column.
+	if strings.Index(lines[0], "12") != strings.Index(lines[1], "3") {
+		t.Fatalf("values not aligned:\n%s", out)
+	}
+}

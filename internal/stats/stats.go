@@ -376,6 +376,65 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
+// CounterSet is an ordered collection of named int64 counters, used to
+// report engine internals (pool hits, ring overflows, batched posts)
+// in a stable, diffable layout: names render in first-use order, not
+// sorted, so related counters stay grouped.
+type CounterSet struct {
+	names []string
+	idx   map[string]int
+	vals  []int64
+}
+
+// NewCounterSet creates an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{idx: make(map[string]int)}
+}
+
+func (c *CounterSet) slot(name string) int {
+	if i, ok := c.idx[name]; ok {
+		return i
+	}
+	i := len(c.names)
+	c.idx[name] = i
+	c.names = append(c.names, name)
+	c.vals = append(c.vals, 0)
+	return i
+}
+
+// Set assigns a counter, creating it on first use.
+func (c *CounterSet) Set(name string, v int64) { c.vals[c.slot(name)] = v }
+
+// Add increments a counter, creating it on first use.
+func (c *CounterSet) Add(name string, d int64) { c.vals[c.slot(name)] += d }
+
+// Get returns a counter's value and whether it exists.
+func (c *CounterSet) Get(name string) (int64, bool) {
+	if i, ok := c.idx[name]; ok {
+		return c.vals[i], true
+	}
+	return 0, false
+}
+
+// Names returns the counter names in first-use order.
+func (c *CounterSet) Names() []string { return append([]string(nil), c.names...) }
+
+// Render prints one aligned "name value" line per counter, in
+// first-use order.
+func (c *CounterSet) Render() string {
+	w := 0
+	for _, n := range c.names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	var b strings.Builder
+	for i, n := range c.names {
+		fmt.Fprintf(&b, "%-*s  %d\n", w, n, c.vals[i])
+	}
+	return b.String()
+}
+
 // Rate converts an operation count over a duration into ops/sec.
 func Rate(ops int64, elapsed time.Duration) float64 {
 	if elapsed <= 0 {
