@@ -17,6 +17,9 @@ import (
 	"time"
 
 	"photon/internal/bench"
+	"photon/internal/core"
+	"photon/internal/metrics"
+	"photon/internal/trace"
 )
 
 var descriptions = map[string]string{
@@ -38,9 +41,34 @@ func main() {
 	var (
 		expFlag   = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 		scaleFlag = flag.Float64("scale", 1.0, "iteration scale factor (0 < s <= 1; smaller = faster)")
-		listFlag  = flag.Bool("list", false, "list experiments and exit")
+		listFlag    = flag.Bool("list", false, "list experiments and exit")
+		metricsFlag = flag.Bool("metrics", false, "record op latencies across experiments and print a snapshot at the end")
+		debugAddr   = flag.String("debug", "", "serve live /metrics, /vars and /trace on this address while experiments run")
 	)
 	flag.Parse()
+
+	// Every Photon the harness boots records into one shared registry
+	// and ring (bench.Obs overlay), so the endpoint and the final
+	// snapshot show whichever experiments ran. Sampled 1/64 to keep the
+	// instrumentation out of the measured numbers.
+	var reg *metrics.Registry
+	if *metricsFlag || *debugAddr != "" {
+		reg = metrics.NewRegistry()
+		ring := trace.NewRing(1 << 16)
+		ring.Enable(true)
+		bench.Obs = core.Config{MetricsTo: reg, Trace: ring, TraceSampleShift: 6}
+		if *debugAddr != "" {
+			srv, err := metrics.Serve(*debugAddr,
+				func() *metrics.Snapshot { return reg.Snapshot() },
+				map[string]*trace.Ring{"bench": ring})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "photon-bench:", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "photon-bench: debug endpoint on http://%s\n", srv.Addr())
+		}
+	}
 
 	if *listFlag {
 		for _, id := range bench.Experiments() {
@@ -69,6 +97,10 @@ func main() {
 		}
 		fmt.Print(rep.Render())
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *metricsFlag {
+		fmt.Println("# sampled op latencies across all experiments (1/64 ops)")
+		fmt.Print(reg.Snapshot().Render())
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -17,9 +17,10 @@ import (
 func main() {
 	slots := flag.Int("slots", 0, "ledger slots (0 = default)")
 	eager := flag.Int("eager", 0, "eager entry size (0 = default)")
+	metricsFlag := flag.Bool("metrics", false, "record op latencies during the warm-up and print the snapshot")
 	flag.Parse()
 
-	cfg := core.Config{LedgerSlots: *slots, EagerEntrySize: *eager}
+	cfg := core.Config{LedgerSlots: *slots, EagerEntrySize: *eager, Metrics: *metricsFlag}
 	env, err := bench.NewPhotonOnly(2, fabric.Model{}, cfg)
 	if err != nil {
 		fmt.Println("error:", err)
@@ -45,6 +46,12 @@ func main() {
 	fmt.Println()
 	fmt.Println("hot-path counters (after a short warm-up exchange):")
 	fmt.Print(indent(hotPathCounters(env), "  "))
+
+	if *metricsFlag {
+		fmt.Println()
+		fmt.Println("metrics snapshot (rank 0):")
+		fmt.Print(indent(env.Phs[0].Metrics().Render(), "  "))
+	}
 }
 
 // hotPathCounters drives a few eager puts through rank 0 and reports

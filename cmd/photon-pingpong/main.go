@@ -8,6 +8,8 @@
 //	photon-pingpong -op send -backend tcp   # message path over loopback TCP
 //	photon-pingpong -min 8 -max 65536 -iters 1000
 //	photon-pingpong -latency 2us            # model a 2us wire
+//	photon-pingpong -trace out.json -metrics  # op-lifecycle trace + latency snapshot
+//	photon-pingpong -debug 127.0.0.1:9090   # live /metrics, /vars, /trace endpoint
 package main
 
 import (
@@ -20,31 +22,52 @@ import (
 	"photon/internal/core"
 	"photon/internal/fabric"
 	"photon/internal/mem"
+	"photon/internal/metrics"
 	"photon/internal/stats"
+	"photon/internal/trace"
 )
 
 func main() {
 	var (
-		op      = flag.String("op", "pwc", "operation: pwc | send | get")
-		backend = flag.String("backend", "vsim", "backend: vsim | tcp")
-		minSize = flag.Int("min", 8, "smallest message size (power of two)")
-		maxSize = flag.Int("max", 64*1024, "largest message size (power of two)")
-		iters   = flag.Int("iters", 500, "iterations per size")
-		latency = flag.Duration("latency", 0, "modeled one-way wire latency (vsim only)")
+		op          = flag.String("op", "pwc", "operation: pwc | send | get")
+		backend     = flag.String("backend", "vsim", "backend: vsim | tcp")
+		minSize     = flag.Int("min", 8, "smallest message size (power of two)")
+		maxSize     = flag.Int("max", 64*1024, "largest message size (power of two)")
+		iters       = flag.Int("iters", 500, "iterations per size")
+		latency     = flag.Duration("latency", 0, "modeled one-way wire latency (vsim only)")
+		traceOut    = flag.String("trace", "", "write op-lifecycle events to this file as Chrome trace-event JSON")
+		sampleShift = flag.Int("trace-sample", 0, "observe 1 op in 2^shift (0 = every op)")
+		metricsFlag = flag.Bool("metrics", false, "print a latency/gauge snapshot after the run")
+		debugAddr   = flag.String("debug", "", "serve /metrics, /vars and /trace on this address during the run")
 	)
 	flag.Parse()
+
+	// Both ranks run in-process, so they can share one trace ring and
+	// one metrics registry; events and observations carry the rank.
+	cfg := core.Config{TraceSampleShift: *sampleShift}
+	var ring *trace.Ring
+	if *traceOut != "" || *debugAddr != "" {
+		ring = trace.NewRing(1 << 16)
+		ring.Enable(true)
+		cfg.Trace = ring
+	}
+	var reg *metrics.Registry
+	if *metricsFlag || *debugAddr != "" {
+		reg = metrics.NewRegistry()
+		cfg.MetricsTo = reg
+	}
 
 	var phs []*core.Photon
 	switch *backend {
 	case "vsim":
-		env, err := bench.NewPhotonOnly(2, fabric.Model{Latency: *latency}, core.Config{})
+		env, err := bench.NewPhotonOnly(2, fabric.Model{Latency: *latency}, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		defer env.Close()
 		phs = env.Phs
 	case "tcp":
-		tphs, cleanup, err := bench.NewTCPPhotons(2, core.Config{})
+		tphs, cleanup, err := bench.NewTCPPhotons(2, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -52,6 +75,17 @@ func main() {
 		phs = tphs
 	default:
 		fatal(fmt.Errorf("unknown backend %q", *backend))
+	}
+
+	if *debugAddr != "" {
+		srv, err := metrics.Serve(*debugAddr,
+			func() *metrics.Snapshot { return phs[0].Metrics() },
+			map[string]*trace.Ring{"pingpong": ring})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "photon-pingpong: debug endpoint on http://%s\n", srv.Addr())
 	}
 
 	descs, err := shareBuffers(phs, *maxSize)
@@ -80,6 +114,25 @@ func main() {
 		table.Row(float64(size), float64(lat.Nanoseconds())/1e3)
 	}
 	fmt.Print(table.Render())
+
+	if *metricsFlag {
+		fmt.Println()
+		fmt.Print(phs[0].Metrics().Render())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteChromeJSON(f, ring.Snapshot()); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "photon-pingpong: wrote %d trace events to %s\n", ring.Len(), *traceOut)
+	}
 }
 
 // shareBuffers registers one buffer per rank and exchanges descriptors

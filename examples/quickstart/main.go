@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sync"
@@ -20,9 +21,22 @@ import (
 	"photon/internal/fabric"
 	"photon/internal/mem"
 	"photon/internal/nicsim"
+	"photon/internal/trace"
 )
 
 func main() {
+	obs := flag.Bool("obs", false, "trace the put's lifecycle and print latency metrics")
+	flag.Parse()
+
+	// With -obs, both ranks share one trace ring and record latency
+	// metrics; the full op lifecycle is dumped at the end.
+	cfg := core.Config{}
+	var ring *trace.Ring
+	if *obs {
+		ring = trace.NewRing(256)
+		ring.Enable(true)
+		cfg = core.Config{Trace: ring, Metrics: true}
+	}
 	// 1. A cluster: two simulated nodes on one in-process fabric.
 	cluster, err := vsim.NewCluster(2, fabric.Model{}, nicsim.Config{})
 	if err != nil {
@@ -39,7 +53,7 @@ func main() {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			ph, err := core.Init(cluster.Backend(r), core.Config{})
+			ph, err := core.Init(cluster.Backend(r), cfg)
 			if err != nil {
 				log.Fatalf("rank %d: %v", r, err)
 			}
@@ -97,4 +111,14 @@ func main() {
 	lk.Unlock()
 	fmt.Printf("rank 1: remote completion RID=%d from rank %d\n", comp.RID, comp.Rank)
 	fmt.Printf("rank 1: memory now reads %q\n", got)
+
+	// 6. With -obs, show what the observability plane saw: the traced
+	// lifecycle (post → ledger delivery → reap, correlated by RID) and
+	// rank 0's latency snapshot.
+	if *obs {
+		fmt.Println("\nop-lifecycle trace:")
+		fmt.Print(ring.Dump())
+		fmt.Println("\nrank 0 metrics:")
+		fmt.Print(phs[0].Metrics().Render())
+	}
 }

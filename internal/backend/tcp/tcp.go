@@ -30,6 +30,7 @@ import (
 
 	"photon/internal/core"
 	"photon/internal/mem"
+	"photon/internal/trace"
 )
 
 // Errors specific to the TCP backend.
@@ -309,6 +310,7 @@ func (b *Backend) enqueue(rank int, f outFrame) error {
 	}
 	select {
 	case b.outs[rank] <- f:
+		trace.Record(trace.KindPost, b.rank, f.token, "tcp.post")
 		return nil
 	default:
 		return core.ErrWouldBlock
@@ -435,6 +437,7 @@ func (b *Backend) Poll(dst []core.BackendCompletion) int {
 }
 
 func (b *Backend) pushComp(c core.BackendCompletion) {
+	trace.Record(trace.KindComplete, b.rank, c.Token, "tcp.comp")
 	b.compMu.Lock()
 	b.comps = append(b.comps, c)
 	b.compMu.Unlock()

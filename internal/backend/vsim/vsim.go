@@ -18,6 +18,7 @@ import (
 	"photon/internal/fabric"
 	"photon/internal/mem"
 	"photon/internal/nicsim"
+	"photon/internal/trace"
 	"photon/internal/verbs"
 )
 
@@ -229,10 +230,14 @@ func (b *Backend) PostWrite(rank int, local []byte, raddr uint64, rkey uint32, t
 	if rank < 0 || rank >= len(b.qps) {
 		return core.ErrBadRank
 	}
-	return translate(b.qps[rank].PostSend(verbs.SendWR{
+	err := translate(b.qps[rank].PostSend(verbs.SendWR{
 		WRID: token, Op: verbs.OpRDMAWrite, Local: local,
 		RemoteAddr: raddr, RKey: rkey, Signaled: signaled,
 	}))
+	if err == nil {
+		trace.Record(trace.KindPost, b.rank, token, "vsim.write")
+	}
+	return err
 }
 
 // PostWriteBatch posts a burst of writes toward rank with one call
@@ -328,6 +333,7 @@ func (b *Backend) Poll(dst []core.BackendCompletion) int {
 		if tmp[i].Status != verbs.StatusOK {
 			dst[i].Err = fmt.Errorf("vsim: completion status %v", tmp[i].Status)
 		}
+		trace.Record(trace.KindComplete, b.rank, tmp[i].WRID, "vsim.cqe")
 	}
 	return n
 }

@@ -24,6 +24,30 @@ import (
 	"photon/internal/nicsim"
 )
 
+// Obs, when set, carries observability sinks into every Photon the
+// harness boots: experiments construct their own configs deep inside
+// Run, so the CLI debug flags publish a shared trace ring / metrics
+// registry here instead of threading parameters through every
+// experiment signature. Explicit sinks in an experiment's own config
+// win over the overlay.
+var Obs core.Config
+
+func overlayObs(cfg core.Config) core.Config {
+	if cfg.Trace == nil {
+		cfg.Trace = Obs.Trace
+	}
+	if cfg.MetricsTo == nil {
+		cfg.MetricsTo = Obs.MetricsTo
+	}
+	if Obs.Metrics {
+		cfg.Metrics = true
+	}
+	if cfg.TraceSampleShift == 0 {
+		cfg.TraceSampleShift = Obs.TraceSampleShift
+	}
+	return cfg
+}
+
 // Env bundles a Photon job and a two-sided baseline job built over
 // identical transports (separate fabrics with the same model so the
 // two stacks don't contend).
@@ -68,6 +92,7 @@ func NewPhotonOnly(n int, fm fabric.Model, coreCfg core.Config) (*Env, error) {
 }
 
 func initPhotons(cl *vsim.Cluster, cfg core.Config) ([]*core.Photon, error) {
+	cfg = overlayObs(cfg)
 	n := len(cl.Backends())
 	phs := make([]*core.Photon, n)
 	errs := make([]error, n)
@@ -139,6 +164,7 @@ func (e *Env) SharedBuffers(size int) (bufs [][]byte, descs [][]mem.RemoteBuffer
 // NewTCPPhotons boots an n-rank Photon job over the loopback TCP
 // backend (for the backend-comparison experiment).
 func NewTCPPhotons(n int, cfg core.Config) ([]*core.Photon, func(), error) {
+	cfg = overlayObs(cfg)
 	lns := make([]net.Listener, n)
 	addrs := make([]string, n)
 	for i := range lns {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"photon/internal/ledger"
+	"photon/internal/metrics"
+	"photon/internal/trace"
 )
 
 // Ledger classes. Every peer pair maintains one ledger per class in
@@ -70,6 +72,26 @@ type Config struct {
 	// — but spilling re-introduces allocation, so size this above the
 	// workload's harvest lag (Stats.RingOverflows counts spills).
 	CompQueueDepth int
+
+	// Trace, when non-nil, receives this instance's op-lifecycle events
+	// instead of the process-wide trace.Global ring. The ring must also
+	// be Enabled: a disabled ring keeps every record site at one atomic
+	// load and zero allocations.
+	Trace *trace.Ring
+	// TraceSampleShift samples 1 in 2^shift posted ops into the trace
+	// ring and latency histograms (0 = every op). Sampling is decided
+	// at post time, so a sampled op contributes its whole initiator
+	// lifecycle; target-side ledger/reap events are not sampled (the
+	// target cannot know what the initiator chose).
+	TraceSampleShift int
+	// Metrics enables the per-instance latency/gauge registry, exposed
+	// by Photon.Metrics. Off by default: recording costs two atomic
+	// adds per op phase (still allocation-free).
+	Metrics bool
+	// MetricsTo, when non-nil, aggregates this instance's observations
+	// into a caller-owned shared registry (job-wide dashboards across
+	// in-process ranks); it implies Metrics.
+	MetricsTo *metrics.Registry
 }
 
 func (c *Config) setDefaults() error {
@@ -106,6 +128,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.CompQueueDepth < 1 {
 		return fmt.Errorf("photon: completion queue depth must be positive")
+	}
+	if c.TraceSampleShift < 0 || c.TraceSampleShift > 62 {
+		return fmt.Errorf("photon: trace sample shift %d out of range [0, 62]", c.TraceSampleShift)
 	}
 	return nil
 }

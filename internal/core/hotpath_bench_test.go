@@ -7,6 +7,7 @@ import (
 	"photon/internal/core"
 	"photon/internal/fabric"
 	"photon/internal/mem"
+	"photon/internal/trace"
 )
 
 // loopEnv builds a single-rank Photon over the zero-cost loopback
@@ -55,6 +56,32 @@ func drainPair(tb testing.TB, p *core.Photon) {
 // software overhead, the quantity the zero-allocation work targets.
 func BenchmarkPutEager(b *testing.B) {
 	p, dst := loopEnv(b, core.Config{})
+	payload := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			err := p.PutWithCompletion(0, payload, dst, 0, 1, 2)
+			if err == nil {
+				break
+			}
+			if err != core.ErrWouldBlock {
+				b.Fatal(err)
+			}
+			p.Progress()
+		}
+		drainPair(b, p)
+	}
+}
+
+// BenchmarkPutEagerObserved is BenchmarkPutEager with the full
+// observability plane on — enabled trace ring, metrics registry, no
+// sampling — so the delta against BenchmarkPutEager is the per-op
+// instrumentation cost at its worst case.
+func BenchmarkPutEagerObserved(b *testing.B) {
+	ring := trace.NewRing(4096)
+	ring.Enable(true)
+	p, dst := loopEnv(b, core.Config{Trace: ring, Metrics: true})
 	payload := make([]byte, 8)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"photon/internal/metrics"
+	"photon/internal/trace"
+)
+
+// obsState is the engine's observability plumbing: the trace ring that
+// receives op-lifecycle events, the metrics registry that accumulates
+// latency distributions, and the sampling state. Both sinks are
+// independently optional; every hot-path probe below collapses to one
+// or two atomic loads when they are off.
+type obsState struct {
+	ring *trace.Ring       // never nil after Init (falls back to trace.Global)
+	reg  *metrics.Registry // nil unless Config.Metrics/MetricsTo
+	mask uint64            // 2^TraceSampleShift - 1; 0 = sample every op
+	seq  atomic.Uint64     // post counter driving the sampling decision
+}
+
+// obsEpoch anchors observability timestamps: time.Since against a
+// fixed epoch compiles to one monotonic clock read and never
+// allocates, and int64 nanoseconds ride inside pendingOp for free.
+var obsEpoch = time.Now()
+
+// nowNanos returns monotonic nanoseconds since process start.
+func nowNanos() int64 { return int64(time.Since(obsEpoch)) }
+
+// initObs wires the observability plane from the effective config.
+func (p *Photon) initObs(cfg *Config) {
+	p.obs.ring = cfg.Trace
+	if p.obs.ring == nil {
+		p.obs.ring = trace.Global
+	}
+	switch {
+	case cfg.MetricsTo != nil:
+		p.obs.reg = cfg.MetricsTo
+	case cfg.Metrics:
+		p.obs.reg = metrics.NewRegistry()
+	}
+	if cfg.TraceSampleShift > 0 {
+		p.obs.mask = 1<<uint(cfg.TraceSampleShift) - 1
+	}
+}
+
+// obsStamp is the per-op sampling gate, called once at post time. It
+// returns 0 when the op should not be observed — both sinks off, or
+// the op lost the sampling draw — and a nowNanos timestamp otherwise.
+// The timestamp doubles as the "this op is sampled" flag carried in
+// pendingOp.postNS, so every later lifecycle site is one int64
+// comparison. Disabled cost: one or two atomic loads, no allocation.
+func (p *Photon) obsStamp() int64 {
+	o := &p.obs
+	if !o.ring.Enabled() && !o.reg.Enabled() {
+		return 0
+	}
+	if o.mask != 0 && o.seq.Add(1)&o.mask != 0 {
+		return 0
+	}
+	return nowNanos()
+}
+
+// traceEv records one event against this rank into the instance ring.
+// The ring itself gates on Enabled (one atomic load when off).
+func (p *Photon) traceEv(kind trace.Kind, arg uint64, msg string) {
+	p.obs.ring.Record(kind, p.rank, arg, msg)
+}
+
+// opDone records the initiator-side end of a sampled op: the
+// backend-complete trace event plus the post→completion latencies.
+// remoteVis marks ops whose signaled completion also fences remote
+// visibility (the ledger write orders behind the data on an RC
+// channel), closing the post→remote-delivery distribution too.
+func (p *Photon) opDone(op *pendingOp, msg string) {
+	if op.postNS == 0 {
+		return
+	}
+	lat := nowNanos() - op.postNS
+	p.traceEv(trace.KindComplete, op.rid, msg)
+	if r := p.obs.reg; r.Enabled() {
+		r.RecordOp(op.mkind, metrics.StageInitiator, lat)
+		if op.remoteVis {
+			r.RecordOp(op.mkind, metrics.StageRemote, lat)
+		}
+	}
+}
+
+// TraceRing returns the ring receiving this instance's events (the
+// configured ring or trace.Global). Enable it to start recording.
+func (p *Photon) TraceRing() *trace.Ring { return p.obs.ring }
+
+// MetricsRegistry returns the registry this instance records into, or
+// nil when metrics are disabled.
+func (p *Photon) MetricsRegistry() *metrics.Registry { return p.obs.reg }
+
+// Metrics snapshots the latency registry and attaches engine gauges:
+// completion-ring depth high-water marks and overflow counts, parked
+// deferred work, and per-peer credit/deferred gauges. Callable with
+// metrics disabled (the snapshot then carries gauges only).
+func (p *Photon) Metrics() *metrics.Snapshot {
+	snap := p.obs.reg.Snapshot()
+	g := snap.Gauges
+	g.Set("local_cq_highwater", p.localCQ.highWater())
+	g.Set("remote_cq_highwater", p.remoteCQ.highWater())
+	g.Set("ring_overflows", p.localCQ.overflowCount()+p.remoteCQ.overflowCount())
+	g.Set("deferred_parked", p.parked.Load())
+	g.Set("credit_hint_pending", p.creditHintTotal.Load())
+
+	// Per-peer gauges. consumed/lastReturned are progress-engine and
+	// peer-mutex state respectively; take the same locks the engine
+	// does so a snapshot during live traffic stays race-free.
+	p.progMu.Lock()
+	for _, ps := range p.peers {
+		if ps.rank == p.rank {
+			continue
+		}
+		var consumed, unreturned int64
+		ps.mu.Lock()
+		for cl := 0; cl < numClasses; cl++ {
+			consumed += ps.consumed[cl]
+			unreturned += ps.consumed[cl] - ps.lastReturned[cl]
+		}
+		ps.mu.Unlock()
+		prefix := fmt.Sprintf("peer%d_", ps.rank)
+		g.Set(prefix+"deferred", ps.deferred.Load())
+		g.Set(prefix+"entries_consumed", consumed)
+		g.Set(prefix+"credits_unreturned", unreturned)
+	}
+	p.progMu.Unlock()
+	return snap
+}

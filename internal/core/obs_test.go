@@ -1,0 +1,299 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"photon/internal/bench"
+	"photon/internal/core"
+	"photon/internal/trace"
+)
+
+// obsConfig wires a private enabled trace ring and metrics into a
+// config, so tests observe one instance without touching trace.Global.
+func obsConfig() (core.Config, *trace.Ring) {
+	ring := trace.NewRing(8192)
+	ring.Enable(true)
+	return core.Config{Trace: ring, Metrics: true}, ring
+}
+
+// drainSelf pumps progress on a single-rank instance until one local
+// and one remote completion are harvested.
+func drainSelf(t *testing.T, p *core.Photon, wantRemote bool) {
+	t.Helper()
+	gotL, gotR := false, !wantRemote
+	for i := 0; i < 1_000_000 && (!gotL || !gotR); i++ {
+		p.Progress()
+		if c, ok := p.Probe(core.ProbeAny); ok {
+			if c.Err != nil {
+				t.Fatal(c.Err)
+			}
+			if c.Local {
+				gotL = true
+			} else {
+				gotR = true
+			}
+		}
+	}
+	if !gotL || !gotR {
+		t.Fatalf("completions not harvested: local=%v remote=%v", gotL, gotR)
+	}
+}
+
+// TestTraceRIDCorrelationLoopback drives one eager put, one rendezvous
+// send, and one fetch-add through a single-rank loopback instance and
+// asserts every initiator post event in the trace has a matching
+// delivery event with the same RID: a ledger event for ops that land a
+// ledger entry at the target (eager put, rendezvous RTS), a
+// backend-complete event for ops whose result returns to the initiator
+// (fetch-add).
+func TestTraceRIDCorrelationLoopback(t *testing.T) {
+	cfg, ring := obsConfig()
+	p, err := core.Init(newLoopBackend(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	buf := make([]byte, 1<<20)
+	rb, _, err := p.RegisterBuffer(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	descs, err := p.ExchangeBuffers(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := descs[0]
+
+	// Eager put.
+	if err := p.PutWithCompletion(0, []byte("observable"), dst, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	drainSelf(t, p, true)
+
+	// Rendezvous send (payload above the eager threshold).
+	big := make([]byte, p.EagerThreshold()*4)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := p.Send(0, big, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	drainSelf(t, p, true)
+
+	// Fetch-add (local completion only).
+	if err := p.FetchAdd(0, dst, 64, 7, 5); err != nil {
+		t.Fatal(err)
+	}
+	drainSelf(t, p, false)
+
+	evs := ring.Snapshot()
+	delivered := map[uint64]bool{}
+	for _, e := range evs {
+		if e.Kind == trace.KindLedger || e.Kind == trace.KindComplete {
+			delivered[e.Arg] = true
+		}
+	}
+	posts := 0
+	for _, e := range evs {
+		if e.Kind != trace.KindPost {
+			continue
+		}
+		posts++
+		if !delivered[e.Arg] {
+			t.Errorf("post event %q rid=%d has no matching delivery event", e.Msg, e.Arg)
+		}
+	}
+	if posts < 3 {
+		t.Fatalf("only %d post events traced, want >= 3 (put, send, atomic)", posts)
+	}
+	// Reap events close the lifecycle: app-side harvest must be traced.
+	if n := ring.CountByKind()[trace.KindReap]; n == 0 {
+		t.Fatal("no reap events traced")
+	}
+}
+
+// assertOpLatencies drives a put, an eager send, and a fetch-add from
+// rank 0 to rank 1 and asserts the initiator's metrics snapshot holds
+// non-zero post→initiator and post→remote-delivery histograms for all
+// three op kinds.
+func assertOpLatencies(t *testing.T, phs []*core.Photon) {
+	t.Helper()
+	target := make([]byte, 4096)
+	descs, _ := registerAndShare(t, phs, 1, target)
+
+	// Eager put.
+	if err := phs[0].PutWithCompletion(1, []byte("metered"), descs[1], 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := phs[0].WaitLocal(1, waitT); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := phs[1].WaitRemote(2, waitT); err != nil {
+		t.Fatal(err)
+	}
+
+	// Eager send.
+	msg := []byte("metered send")
+	if err := phs[0].Send(1, msg, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := phs[0].WaitLocal(3, waitT); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := phs[1].WaitRemote(4, waitT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rc.Data, msg) {
+		t.Fatalf("send delivered %q", rc.Data)
+	}
+
+	// Fetch-add.
+	if err := phs[0].FetchAdd(1, descs[1], 128, 9, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := phs[0].WaitLocal(5, waitT); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := phs[0].Metrics()
+	byName := map[string]int64{}
+	for i := range snap.Hists {
+		byName[snap.Hists[i].Name] = snap.Hists[i].Hist.N()
+	}
+	for _, name := range []string{
+		"put/initiator", "put/remote",
+		"send/initiator", "send/remote",
+		"atomic/initiator", "atomic/remote",
+	} {
+		if byName[name] == 0 {
+			t.Errorf("histogram %q empty, want non-zero (snapshot: %v)", name, byName)
+		}
+	}
+	// Progress-phase timing must have accumulated on the driving rank.
+	if byName["progress/reap"] == 0 {
+		t.Errorf("progress/reap histogram empty")
+	}
+	// Engine gauges ride along even without traffic-specific state.
+	if _, ok := snap.Gauges.Get("local_cq_highwater"); !ok {
+		t.Errorf("local_cq_highwater gauge missing")
+	}
+	if _, ok := snap.Gauges.Get(fmt.Sprintf("peer%d_entries_consumed", 1)); !ok {
+		t.Errorf("per-peer gauge missing")
+	}
+}
+
+// TestMetricsLatenciesVsim exercises the metrics plane end to end over
+// the simulated-verbs backend.
+func TestMetricsLatenciesVsim(t *testing.T) {
+	phs := newJob(t, 2, core.Config{Metrics: true})
+	assertOpLatencies(t, phs)
+}
+
+// TestMetricsLatenciesTCP exercises the same path over the real-socket
+// TCP backend.
+func TestMetricsLatenciesTCP(t *testing.T) {
+	phs, cleanup, err := bench.NewTCPPhotons(2, core.Config{Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup)
+	assertOpLatencies(t, phs)
+}
+
+// TestRendezvousSendLatencyClosesAtFIN checks the rendezvous send
+// latency distribution is closed by the FIN (both stages) rather than
+// by the local RTS write completing.
+func TestRendezvousSendLatencyClosesAtFIN(t *testing.T) {
+	phs := newJob(t, 2, core.Config{Metrics: true})
+	target := make([]byte, 4096)
+	registerAndShare(t, phs, 1, target)
+
+	big := make([]byte, 64*1024)
+	if err := phs[0].Send(1, big, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := phs[1].WaitRemote(2, waitT); err != nil {
+			t.Error(err)
+		}
+	}()
+	if _, err := phs[0].WaitLocal(1, waitT); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	snap := phs[0].Metrics()
+	for i := range snap.Hists {
+		h := &snap.Hists[i]
+		if h.Name == "send/remote" && h.Hist.N() > 0 {
+			return
+		}
+	}
+	t.Fatal("rendezvous send did not close a send/remote observation at FIN")
+}
+
+// TestObsDisabledAllocGuard pins the "free when off" property: with
+// the full observability plane compiled in — a trace ring attached but
+// disabled, metrics off — the eager put round trip must stay at zero
+// allocations, matching the PR-1 fast-path guarantee.
+func TestObsDisabledAllocGuard(t *testing.T) {
+	ring := trace.NewRing(1024) // attached, never enabled
+	p, dst := loopEnv(t, core.Config{Trace: ring})
+	payload := make([]byte, 8)
+	put := func() {
+		for {
+			err := p.PutWithCompletion(0, payload, dst, 0, 1, 2)
+			if err == nil {
+				break
+			}
+			if err != core.ErrWouldBlock {
+				t.Fatal(err)
+			}
+			p.Progress()
+		}
+		drainPair(t, p)
+	}
+	for i := 0; i < 100; i++ {
+		put()
+	}
+	allocs := testing.AllocsPerRun(200, put)
+	t.Logf("eager put with observability attached but disabled: %.2f allocs/op", allocs)
+	if allocs > 0 {
+		t.Fatalf("disabled observability allocates %.2f times per op, want 0", allocs)
+	}
+	if ring.Len() != 0 {
+		t.Fatalf("disabled ring recorded %d events", ring.Len())
+	}
+}
+
+// TestTraceSampling checks TraceSampleShift thins op posts: with a
+// shift of 2 only ~1/4 of ops are stamped.
+func TestTraceSampling(t *testing.T) {
+	ring := trace.NewRing(8192)
+	ring.Enable(true)
+	p, dst := loopEnv(t, core.Config{Trace: ring, TraceSampleShift: 2})
+	payload := make([]byte, 8)
+	const ops = 256
+	for i := 0; i < ops; i++ {
+		for {
+			err := p.PutWithCompletion(0, payload, dst, 0, 1, 2)
+			if err == nil {
+				break
+			}
+			if err != core.ErrWouldBlock {
+				t.Fatal(err)
+			}
+			p.Progress()
+		}
+		drainPair(t, p)
+	}
+	posts := ring.CountByKind()[trace.KindPost]
+	if posts == 0 || posts > ops/2 {
+		t.Fatalf("sampled posts = %d, want ~%d (shift 2 over %d ops)", posts, ops/4, ops)
+	}
+}

@@ -7,6 +7,8 @@ import (
 
 	"photon/internal/ledger"
 	"photon/internal/mem"
+	"photon/internal/metrics"
+	"photon/internal/trace"
 )
 
 // PutWithCompletion performs Photon's signature operation: a one-sided
@@ -31,6 +33,7 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 		return fmt.Errorf("%w: put of %d bytes at offset %d into buffer of %d", ErrTooLarge, len(local), off, dst.Len)
 	}
 	ps := p.peers[rank]
+	ts := p.obsStamp()
 
 	// A zero-byte put is a pure completion notification: one entry in
 	// the target's PWC ledger, no data movement at all.
@@ -52,10 +55,20 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 			p.pool.Put(ent)
 			return err
 		}
-		signaled := localRID != 0
+		// A sampled op is posted signaled even when the caller suppressed
+		// the local completion: the backend completion closes the latency
+		// measurement and is dropped before delivery (rid 0). This is the
+		// plane's only observer effect; TraceSampleShift bounds it.
+		signaled := localRID != 0 || ts != 0
 		var tok uint64
 		if signaled {
-			tok = p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
+			tok = p.newToken(pendingOp{
+				kind: opPutLocal, rank: rank, rid: localRID,
+				postNS: ts, mkind: metrics.OpPut, remoteVis: true,
+			})
+		}
+		if ts != 0 {
+			p.traceEv(trace.KindPost, remoteRID, "put.notify")
 		}
 		p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled, true)
 		p.stats.putsDirect.Add(1)
@@ -71,12 +84,18 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 	// they always use the direct write.
 	if remoteRID != 0 && !p.cfg.DisablePackedPut &&
 		len(local) <= p.cfg.EagerEntrySize-ledger.HeaderSize-packedPutHdrSize {
-		return p.putPacked(ps, rank, local, dst.Addr+off, dst.RKey, localRID, remoteRID)
+		return p.putPacked(ps, rank, local, dst.Addr+off, dst.RKey, localRID, remoteRID, ts)
 	}
 
 	if remoteRID == 0 {
 		// Lone data write, signaled to surface the local completion.
-		tok := p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
+		tok := p.newToken(pendingOp{
+			kind: opPutLocal, rank: rank, rid: localRID,
+			postNS: ts, mkind: metrics.OpPut,
+		})
+		if ts != 0 {
+			p.traceEv(trace.KindPost, localRID, "put.direct")
+		}
 		p.postOrPark(ps, rank, local, dst.Addr+off, dst.RKey, tok, true, false)
 		p.stats.putsDirect.Add(1)
 		return nil
@@ -93,7 +112,13 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 		p.pool.Put(ent)
 		return err
 	}
-	tok := p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
+	tok := p.newToken(pendingOp{
+		kind: opPutLocal, rank: rank, rid: localRID,
+		postNS: ts, mkind: metrics.OpPut, remoteVis: true,
+	})
+	if ts != 0 {
+		p.traceEv(trace.KindPost, remoteRID, "put.direct")
+	}
 	// Data write first, then the notification entry: RC ordering makes
 	// the entry's arrival imply the data is visible. Both writes leave
 	// in one doorbell batch when the backend supports it.
@@ -122,7 +147,14 @@ func (p *Photon) GetWithCompletion(rank int, local []byte, src mem.RemoteBuffer,
 	if !src.Contains(off, len(local)) {
 		return fmt.Errorf("%w: get of %d bytes at offset %d from buffer of %d", ErrTooLarge, len(local), off, src.Len)
 	}
-	tok := p.newToken(pendingOp{kind: opGetLocal, rank: rank, rid: localRID, remoteRID: remoteRID})
+	ts := p.obsStamp()
+	tok := p.newToken(pendingOp{
+		kind: opGetLocal, rank: rank, rid: localRID, remoteRID: remoteRID,
+		postNS: ts, mkind: metrics.OpGet,
+	})
+	if ts != 0 {
+		p.traceEv(trace.KindPost, localRID, "get")
+	}
 	if err := p.be.PostRead(rank, local, src.Addr+off, src.RKey, tok); err != nil {
 		p.takeToken(tok)
 		return err
@@ -146,17 +178,18 @@ func (p *Photon) Send(rank int, data []byte, localRID, remoteRID uint64) error {
 		return ErrClosed
 	}
 	ps := p.peers[rank]
+	ts := p.obsStamp()
 	if len(data) <= p.cfg.EagerThreshold && !p.cfg.ForceRendezvous {
-		return p.sendPacked(ps, rank, data, localRID, remoteRID)
+		return p.sendPacked(ps, rank, data, localRID, remoteRID, ts)
 	}
-	return p.sendRendezvous(ps, rank, data, localRID, remoteRID)
+	return p.sendRendezvous(ps, rank, data, localRID, remoteRID, ts)
 }
 
 // putPacked folds a small put into one eager-ledger write:
 // [tPackedPut][remoteRID][raddr][rkey][data]. The target validates and
 // places the payload before surfacing the remote completion, so the
 // "remote RID implies data visible" invariant holds unchanged.
-func (p *Photon) putPacked(ps *peerState, rank int, local []byte, raddr uint64, rkey uint32, localRID, remoteRID uint64) error {
+func (p *Photon) putPacked(ps *peerState, rank int, local []byte, raddr uint64, rkey uint32, localRID, remoteRID uint64, ts int64) error {
 	res, err := p.reserve(ps, classEager)
 	if err != nil {
 		return err
@@ -172,10 +205,18 @@ func (p *Photon) putPacked(ps *peerState, rank int, local []byte, raddr uint64, 
 		p.pool.Put(ent)
 		return err
 	}
-	signaled := localRID != 0
+	// Sampled ops post signaled even with localRID 0 (see the
+	// zero-length put path) so the latency measurement closes.
+	signaled := localRID != 0 || ts != 0
 	var tok uint64
 	if signaled {
-		tok = p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
+		tok = p.newToken(pendingOp{
+			kind: opPutLocal, rank: rank, rid: localRID,
+			postNS: ts, mkind: metrics.OpPut, remoteVis: true,
+		})
+	}
+	if ts != 0 {
+		p.traceEv(trace.KindPost, remoteRID, "put.packed")
 	}
 	p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled, true)
 	p.stats.putsPacked.Add(1)
@@ -183,7 +224,7 @@ func (p *Photon) putPacked(ps *peerState, rank int, local []byte, raddr uint64, 
 }
 
 // sendPacked copies data into an eager ledger entry: one RDMA write.
-func (p *Photon) sendPacked(ps *peerState, rank int, data []byte, localRID, remoteRID uint64) error {
+func (p *Photon) sendPacked(ps *peerState, rank int, data []byte, localRID, remoteRID uint64, ts int64) error {
 	res, err := p.reserve(ps, classEager)
 	if err != nil {
 		return err
@@ -199,10 +240,18 @@ func (p *Photon) sendPacked(ps *peerState, rank int, data []byte, localRID, remo
 		p.pool.Put(ent)
 		return err
 	}
-	signaled := localRID != 0
+	// Sampled ops post signaled even with localRID 0 (see the
+	// zero-length put path) so the latency measurement closes.
+	signaled := localRID != 0 || ts != 0
 	var tok uint64
 	if signaled {
-		tok = p.newToken(pendingOp{kind: opPutLocal, rank: rank, rid: localRID})
+		tok = p.newToken(pendingOp{
+			kind: opPutLocal, rank: rank, rid: localRID,
+			postNS: ts, mkind: metrics.OpSend, remoteVis: true,
+		})
+	}
+	if ts != 0 {
+		p.traceEv(trace.KindPost, remoteRID, "send.eager")
 	}
 	p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled, true)
 	p.stats.putsPacked.Add(1)
@@ -211,10 +260,10 @@ func (p *Photon) sendPacked(ps *peerState, rank int, data []byte, localRID, remo
 
 // sendRendezvous registers data and writes an RTS control entry; the
 // target pulls the payload with an RDMA read and FINs back.
-func (p *Photon) sendRendezvous(ps *peerState, rank int, data []byte, localRID, remoteRID uint64) error {
+func (p *Photon) sendRendezvous(ps *peerState, rank int, data []byte, localRID, remoteRID uint64, ts int64) error {
 	if len(data) == 0 {
 		// Rendezvous of nothing degenerates to a packed send.
-		return p.sendPacked(ps, rank, data, localRID, remoteRID)
+		return p.sendPacked(ps, rank, data, localRID, remoteRID, ts)
 	}
 	res, err := p.reserve(ps, classSys)
 	if err != nil {
@@ -227,8 +276,12 @@ func (p *Photon) sendRendezvous(ps *peerState, rank int, data []byte, localRID, 
 	p.rdzvMu.Lock()
 	id := p.nextRdzvID
 	p.nextRdzvID++
-	p.rdzvSends[id] = rdzvSend{rid: localRID, rb: rb}
+	p.rdzvSends[id] = rdzvSend{rid: localRID, rb: rb, postNS: ts}
 	p.rdzvMu.Unlock()
+	if ts != 0 {
+		p.traceEv(trace.KindPost, remoteRID, "send.rdzv")
+		p.traceEv(trace.KindProtocol, id, "rts.tx")
+	}
 
 	const rtsLen = 1 + 8 + 8 + 8 + 8 + 4
 	ent := p.pool.Get(ledger.HeaderSize + rtsLen)
@@ -279,7 +332,16 @@ func (p *Photon) atomic(rank int, dst mem.RemoteBuffer, off uint64, localRID uin
 	// The result word is pool scratch; the backend owns it until the
 	// completion is reaped, where handleBackend recycles it.
 	result := p.pool.Get(8)
-	tok := p.newToken(pendingOp{kind: opAtomic, rank: rank, rid: localRID, result: result})
+	ts := p.obsStamp()
+	// An atomic's signaled completion implies the remote word was
+	// updated, so one timestamp closes both latency stages.
+	tok := p.newToken(pendingOp{
+		kind: opAtomic, rank: rank, rid: localRID, result: result,
+		postNS: ts, mkind: metrics.OpAtomic, remoteVis: true,
+	})
+	if ts != 0 {
+		p.traceEv(trace.KindPost, localRID, "atomic")
+	}
 	if err := post(result, dst.Addr+off, tok); err != nil {
 		p.takeToken(tok)
 		p.pool.Put(result)

@@ -44,6 +44,7 @@ import (
 
 	"photon/internal/ledger"
 	"photon/internal/mem"
+	"photon/internal/metrics"
 )
 
 // Completion is one harvested completion event.
@@ -117,6 +118,15 @@ type pendingOp struct {
 	block     *mem.Block
 	size      int
 	rdzvID    uint64 // rendezvous transfer id (FIN key)
+
+	// Observability state (see obs.go). postNS is the obsStamp taken
+	// when the op was posted; 0 means the op is not sampled and every
+	// lifecycle site skips in one comparison. remoteVis marks ops whose
+	// signaled completion fences remote visibility, so the same
+	// timestamp closes the post→remote-delivery distribution.
+	postNS    int64
+	mkind     metrics.OpKind
+	remoteVis bool
 }
 
 // wireBatchMax caps how many deferred writes one doorbell batch
@@ -153,8 +163,9 @@ type rtsOp struct {
 
 // rdzvSend tracks an outstanding rendezvous send awaiting FIN.
 type rdzvSend struct {
-	rid uint64 // local RID to surface on FIN
-	rb  mem.RemoteBuffer
+	rid    uint64 // local RID to surface on FIN
+	rb     mem.RemoteBuffer
+	postNS int64 // obsStamp at RTS post (0 = unsampled)
 }
 
 // peerState holds all per-peer protocol state.
@@ -240,6 +251,10 @@ type Photon struct {
 
 	closed atomic.Bool
 
+	// obs is the observability plane: trace ring, metrics registry,
+	// sampling state (see obs.go).
+	obs obsState
+
 	stats struct {
 		putsDirect, putsPacked, gets     atomic.Int64
 		rdzvSends, rdzvRecvs, atomics    atomic.Int64
@@ -274,6 +289,7 @@ func Init(be Backend, cfg Config) (*Photon, error) {
 		reqScratch:  make([]WriteReq, 0, wireBatchMax),
 	}
 	p.bbe, _ = be.(BatchBackend)
+	p.initObs(&cfg)
 	p.reqPool.New = func() any {
 		s := make([]WriteReq, 0, wireBatchMax)
 		return &s

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"photon/internal/ledger"
+	"photon/internal/metrics"
+	"photon/internal/trace"
 )
 
 // ErrTimeout is returned by the Wait helpers when the deadline passes.
@@ -32,8 +34,21 @@ func (p *Photon) Progress() int {
 	}
 	defer p.progMu.Unlock()
 	p.stats.progress.Add(1)
+	// Phase timing: reap is the backend-CQ drain, sweep the per-peer
+	// ledger/deferred/credit pass; a round that handled nothing is
+	// charged to idle instead. Gated on the registry so the disabled
+	// cost is one atomic load.
+	mOn := p.obs.reg.Enabled()
+	var t0, t1 int64
+	if mOn {
+		t0 = nowNanos()
+	}
 	n := 0
 	n += p.reapBackend()
+	if mOn {
+		t1 = nowNanos()
+		p.obs.reg.RecordPhase(metrics.PhaseReap, t1-t0)
+	}
 	sweep := true
 	if p.activity != nil {
 		if cur := p.activity(); cur != p.lastAct {
@@ -43,6 +58,9 @@ func (p *Photon) Progress() int {
 		}
 	}
 	if !sweep && p.parked.Load() == 0 && p.creditHintTotal.Load() == 0 {
+		if mOn && n == 0 {
+			p.obs.reg.RecordPhase(metrics.PhaseIdle, nowNanos()-t0)
+		}
 		return n
 	}
 	for _, ps := range p.peers {
@@ -51,6 +69,14 @@ func (p *Photon) Progress() int {
 			n += p.pollPeer(ps)
 		}
 		p.returnCredits(ps, false)
+	}
+	if mOn {
+		t2 := nowNanos()
+		if n == 0 {
+			p.obs.reg.RecordPhase(metrics.PhaseIdle, t2-t0)
+		} else {
+			p.obs.reg.RecordPhase(metrics.PhaseSweep, t2-t1)
+		}
 	}
 	return n
 }
@@ -81,6 +107,9 @@ func (p *Photon) handleBackend(bc BackendCompletion) {
 		if err == nil {
 			err = fmt.Errorf("photon: transport error on op kind %d", op.kind)
 		}
+		if op.postNS != 0 {
+			p.traceEv(trace.KindComplete, op.rid, "backend.err")
+		}
 		p.pushLocal(Completion{Rank: op.rank, RID: op.rid, Err: err})
 		if op.block != nil {
 			_ = p.slab.Release(op.block)
@@ -92,10 +121,12 @@ func (p *Photon) handleBackend(bc BackendCompletion) {
 	}
 	switch op.kind {
 	case opPutLocal:
+		p.opDone(&op, "put.done")
 		if op.rid != 0 {
 			p.pushLocal(Completion{Rank: op.rank, RID: op.rid})
 		}
 	case opGetLocal:
+		p.opDone(&op, "get.done")
 		if op.rid != 0 {
 			p.pushLocal(Completion{Rank: op.rank, RID: op.rid})
 		}
@@ -110,10 +141,12 @@ func (p *Photon) handleBackend(bc BackendCompletion) {
 		data := p.pool.GetOwned(op.size)
 		copy(data, op.block.Buf[:op.size])
 		_ = p.slab.Release(op.block)
+		p.traceEv(trace.KindProtocol, op.rdzvID, "rdzv.read.done")
 		p.sendFIN(op.rank, op.rdzvID)
 		p.stats.rdzvRecvs.Add(1)
 		p.pushRemote(Completion{Rank: op.rank, RID: op.remoteRID, Data: data})
 	case opAtomic:
+		p.opDone(&op, "atomic.done")
 		if op.rid != 0 {
 			p.pushLocal(Completion{
 				Rank:  op.rank,
@@ -376,17 +409,26 @@ func (p *Photon) pollPeer(ps *peerState) int {
 
 	for i := range p.pollScratch {
 		ev := &p.pollScratch[i]
+		// Ledger-delivery trace events carry the RID the initiator
+		// posted (its remote RID), correlating both sides of the op.
+		// They are not sampled: the target cannot know whether the
+		// initiator sampled this op, and a disabled ring keeps the
+		// cost to one atomic load per entry.
 		switch ev.kind {
 		case tCompletion:
+			p.traceEv(trace.KindLedger, ev.rid, "ledger.pwc")
 			p.pushRemote(Completion{Rank: ps.rank, RID: ev.rid, Err: ev.err})
 		case tPacked:
+			p.traceEv(trace.KindLedger, ev.rid, "ledger.eager")
 			p.pushRemote(Completion{Rank: ps.rank, RID: ev.rid, Data: ev.data})
 		case tPackedPut:
+			p.traceEv(trace.KindLedger, ev.rid, "ledger.put")
 			err := p.be.ApplyLocal(ev.raddr, ev.rkey, ev.data)
 			if ev.rid != 0 || err != nil {
 				p.pushRemote(Completion{Rank: ps.rank, RID: ev.rid, Err: err})
 			}
 		case tRTS:
+			p.traceEv(trace.KindLedger, ev.rts.remoteRID, "ledger.rts")
 			if !p.startRdzvGet(ev.rts) {
 				ps.mu.Lock()
 				ps.pendingRTS = append(ps.pendingRTS, ev.rts)
@@ -395,6 +437,7 @@ func (p *Photon) pollPeer(ps *peerState) int {
 				p.parked.Add(1)
 			}
 		case tFIN:
+			p.traceEv(trace.KindProtocol, ev.rid, "fin.rx")
 			p.handleFIN(ps, ev.rid)
 		}
 		if ev.pooled {
@@ -445,6 +488,17 @@ func (p *Photon) handleFIN(ps *peerState, id uint64) {
 	p.rdzvMu.Unlock()
 	if ok {
 		_ = p.be.Deregister(rs.rb)
+		if rs.postNS != 0 {
+			// FIN closes the rendezvous: the target has staged the data
+			// and surfaced its delivery, so one latency closes both the
+			// initiator and the remote-delivery distributions.
+			lat := nowNanos() - rs.postNS
+			p.traceEv(trace.KindComplete, rs.rid, "send.rdzv.done")
+			if r := p.obs.reg; r.Enabled() {
+				r.RecordOp(metrics.OpSend, metrics.StageInitiator, lat)
+				r.RecordOp(metrics.OpSend, metrics.StageRemote, lat)
+			}
+		}
 		if rs.rid != 0 {
 			p.pushLocal(Completion{Rank: ps.rank, RID: rs.rid})
 		}
@@ -549,12 +603,20 @@ func (p *Photon) Probe(flags ProbeFlags) (Completion, bool) {
 // PopLocal pops the oldest harvested local completion without driving
 // progress.
 func (p *Photon) PopLocal() (Completion, bool) {
-	return p.localCQ.pop()
+	c, ok := p.localCQ.pop()
+	if ok {
+		p.traceEv(trace.KindReap, c.RID, "reap.local")
+	}
+	return c, ok
 }
 
 // PopRemote pops the oldest harvested remote completion.
 func (p *Photon) PopRemote() (Completion, bool) {
-	return p.remoteCQ.pop()
+	c, ok := p.remoteCQ.pop()
+	if ok {
+		p.traceEv(trace.KindReap, c.RID, "reap.remote")
+	}
+	return c, ok
 }
 
 // WaitLocal spins (driving progress) until the local completion with
@@ -579,6 +641,7 @@ func (p *Photon) waitMatch(rid uint64, timeout time.Duration, r *compRing) (Comp
 	for {
 		n := p.Progress()
 		if c, ok := r.takeMatch(rid); ok {
+			p.traceEv(trace.KindReap, c.RID, "reap.wait")
 			return c, nil
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {

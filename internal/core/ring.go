@@ -32,6 +32,7 @@ type compRing struct {
 	head   atomic.Uint64
 
 	overflows atomic.Int64
+	hw        atomic.Int64 // deepest ring+spill occupancy observed
 }
 
 // newCompRing builds a ring with at least the requested depth (rounded
@@ -55,6 +56,11 @@ func (r *compRing) push(c Completion) {
 		r.spill = append(r.spill, c)
 		r.spillN.Add(1)
 		r.overflows.Add(1)
+	}
+	// High-water mark; prodMu is held, so only pops race the depth
+	// read and the mark can only under-count, never over-count.
+	if d := int64(r.tail.Load()-r.head.Load()) + r.spillN.Load(); d > r.hw.Load() {
+		r.hw.Store(d)
 	}
 	r.prodMu.Unlock()
 }
@@ -157,3 +163,6 @@ func (r *compRing) length() int {
 
 // overflowCount reports lifetime spill pushes.
 func (r *compRing) overflowCount() int64 { return r.overflows.Load() }
+
+// highWater reports the deepest occupancy (ring plus spill) seen.
+func (r *compRing) highWater() int64 { return r.hw.Load() }

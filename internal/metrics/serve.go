@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+
+	"photon/internal/trace"
+)
+
+// Server is the optional debug HTTP endpoint: Prometheus text at
+// /metrics, a JSON snapshot at /vars, Go runtime expvars at
+// /debug/vars, and a Chrome trace-event dump at /trace. It is meant
+// for benchmark and example binaries behind a -debug flag, not for
+// production exposure.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0") and serves the debug plane in
+// a background goroutine. snap is called per request and must be safe
+// for concurrent use; rings maps a label (usually "rank0") to a trace
+// ring whose merged snapshot backs /trace. Either may be nil/empty.
+func Serve(addr string, snap func() *Snapshot, rings map[string]*trace.Ring) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "photon debug endpoint")
+		fmt.Fprintln(w, "  /metrics     Prometheus text exposition")
+		fmt.Fprintln(w, "  /vars        metrics snapshot as JSON")
+		fmt.Fprintln(w, "  /debug/vars  Go runtime expvars")
+		fmt.Fprintln(w, "  /trace       Chrome trace-event JSON (open in Perfetto)")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b strings.Builder
+		if snap != nil {
+			snap().WritePrometheus(&b)
+		}
+		fmt.Fprint(w, b.String())
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		out := map[string]interface{}{}
+		if snap != nil {
+			s := snap()
+			hists := map[string]interface{}{}
+			for i := range s.Hists {
+				h := &s.Hists[i].Hist
+				hists[s.Hists[i].Name] = map[string]interface{}{
+					"n":       h.N(),
+					"mean_ns": h.Mean(),
+					"p50_ns":  h.Quantile(0.50),
+					"p99_ns":  h.Quantile(0.99),
+					"max_ns":  h.Quantile(1),
+				}
+			}
+			gauges := map[string]int64{}
+			if s.Gauges != nil {
+				for _, n := range s.Gauges.Names() {
+					v, _ := s.Gauges.Get(n)
+					gauges[n] = v
+				}
+			}
+			out["hists"] = hists
+			out["gauges"] = gauges
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(out)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var evs []trace.Event
+		for _, ring := range rings {
+			if ring != nil {
+				evs = append(evs, ring.Snapshot()...)
+			}
+		}
+		trace.WriteChromeJSON(w, evs)
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }

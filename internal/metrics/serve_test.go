@@ -1,0 +1,17 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+)
+
+// httpGet fetches a URL body as a string (test helper).
+func httpGet(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}

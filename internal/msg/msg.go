@@ -31,6 +31,7 @@ import (
 	"photon/internal/fabric"
 	"photon/internal/mem"
 	"photon/internal/nicsim"
+	"photon/internal/trace"
 	"photon/internal/verbs"
 )
 
@@ -357,6 +358,7 @@ func (ep *Endpoint) Send(rank int, tag uint64, data []byte) (*SendHandle, error)
 			return nil, err
 		}
 		ep.framePool.Put(frame)
+		trace.Record(trace.KindPost, ep.rank, tag, "msg.eager.tx")
 		ep.mu.Lock()
 		ep.stats.eagerTx++
 		ep.mu.Unlock()
@@ -387,6 +389,7 @@ func (ep *Endpoint) Send(rank int, tag uint64, data []byte) (*SendHandle, error)
 		return nil, err
 	}
 	ep.framePool.Put(frame)
+	trace.Record(trace.KindProtocol, ep.rank, seq, "msg.rts.tx")
 	return &SendHandle{ep: ep, tok: tok, wait: wait}, nil
 }
 
@@ -613,6 +616,7 @@ func (ep *Endpoint) dispatchFrameLocked(src int, frame []byte) {
 			plen = len(frame) - 13
 		}
 		data := append([]byte(nil), frame[13:13+plen]...)
+		trace.Record(trace.KindLedger, ep.rank, tag, "msg.eager.rx")
 		ep.stats.eagerRx++
 		for i, r := range ep.posted {
 			ep.stats.matchScans++
@@ -636,6 +640,7 @@ func (ep *Endpoint) dispatchFrameLocked(src int, frame []byte) {
 			rkey: binary.LittleEndian.Uint32(frame[25:]),
 			seq:  binary.LittleEndian.Uint64(frame[29:]),
 		}
+		trace.Record(trace.KindProtocol, ep.rank, u.seq, "msg.rts.rx")
 		ep.stats.rdzvRx++
 		for i, r := range ep.posted {
 			ep.stats.matchScans++
@@ -651,6 +656,7 @@ func (ep *Endpoint) dispatchFrameLocked(src int, frame []byte) {
 			return
 		}
 		seq := binary.LittleEndian.Uint64(frame[1:])
+		trace.Record(trace.KindProtocol, ep.rank, seq, "msg.fin.rx")
 		if s, ok := ep.rdzvSrc[seq]; ok {
 			delete(ep.rdzvSrc, seq)
 			// Settle the send's flow-control credit and wait entry;

@@ -10,6 +10,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -133,28 +134,29 @@ type Histogram struct {
 	sample  Sample
 }
 
-func bucketFor(ns int64) int {
+// Bucket returns the log2 bucket index an observation of ns nanoseconds
+// falls into (non-positive observations land in bucket 0). Exported so
+// external accumulators (the lock-free metrics registry) bucket exactly
+// the way Histogram does.
+func Bucket(ns int64) int {
 	if ns <= 0 {
 		return 0
 	}
-	b := 63 - leadingZeros64(uint64(ns))
-	if b > 63 {
-		b = 63
-	}
-	return b
+	return 63 - bits.LeadingZeros64(uint64(ns))
 }
 
-func leadingZeros64(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
+// BucketBounds returns the [lo, hi) nanosecond range of bucket b.
+func BucketBounds(b int) (lo, hi int64) {
+	if b <= 0 {
+		return 1, 2
 	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
+	if b >= 63 {
+		return 1 << 62, math.MaxInt64
 	}
-	return n
+	return 1 << uint(b), 1 << uint(b+1)
 }
+
+func bucketFor(ns int64) int { return Bucket(ns) }
 
 // Add records a nanosecond observation.
 func (h *Histogram) Add(ns int64) {
@@ -168,11 +170,24 @@ func (h *Histogram) AddDuration(d time.Duration) { h.Add(d.Nanoseconds()) }
 // N returns the total number of observations.
 func (h *Histogram) N() int64 { return h.sample.N() }
 
+// BucketCount returns the observation count of log2 bucket b
+// (0 for out-of-range b), for exporters that re-render the
+// distribution in another format.
+func (h *Histogram) BucketCount(b int) int64 {
+	if b < 0 || b >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[b]
+}
+
 // Mean returns the mean in nanoseconds.
 func (h *Histogram) Mean() float64 { return h.sample.Mean() }
 
-// Quantile returns an approximate q-quantile (0<=q<=1) in nanoseconds,
-// using the bucket upper bound containing the q-th observation.
+// Quantile returns an approximate q-quantile (0<=q<=1) in nanoseconds.
+// Within the bucket containing the q-th observation the estimate
+// interpolates geometrically by the observation's rank (the geometric
+// midpoint at the bucket's center), rather than always reporting the
+// bucket upper bound — which overstated p50/p99 by up to 2x.
 func (h *Histogram) Quantile(q float64) int64 {
 	total := h.sample.N()
 	if total == 0 {
@@ -184,15 +199,50 @@ func (h *Histogram) Quantile(q float64) int64 {
 	}
 	var cum int64
 	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
 		cum += c
 		if cum > target {
 			if i >= 62 {
 				return math.MaxInt64
 			}
-			return 1 << uint(i+1) // upper bound of bucket i
+			// Rank of the target within this bucket, in (0, 1]; the
+			// estimate is lo * 2^frac, i.e. geometric interpolation
+			// between the bucket bounds (frac = 1 recovers the upper
+			// bound, so Quantile(1) still dominates the max sample).
+			lo := float64(int64(1) << uint(i))
+			frac := float64(target-(cum-c)+1) / float64(c)
+			return int64(lo * math.Pow(2, frac))
 		}
 	}
 	return math.MaxInt64
+}
+
+// AccumulateBucket folds count pre-bucketed observations, totaling
+// sumNS nanoseconds, into bucket b. It exists so externally-aggregated
+// shards (the atomic metrics registry) can be merged into a Histogram
+// for reporting: counts and the mean stay exact; variance and min/max
+// are approximated from the bucket bounds.
+func (h *Histogram) AccumulateBucket(b int, count int64, sumNS float64) {
+	if count <= 0 {
+		return
+	}
+	if b < 0 {
+		b = 0
+	}
+	if b > 63 {
+		b = 63
+	}
+	h.buckets[b] += count
+	lo, hi := BucketBounds(b)
+	s := Sample{n: count, mean: sumNS / float64(count), min: float64(lo), max: float64(hi)}
+	if s.mean < s.min || s.mean > s.max {
+		// Caller-supplied sum disagrees with the bucket; trust the sum
+		// for the mean but keep min/max consistent with it.
+		s.min, s.max = s.mean, s.mean
+	}
+	h.sample.Merge(&s)
 }
 
 // String renders mean plus p50/p99 in microseconds.

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (the "JSON Array Format" consumed by chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name  string                 `json:"name"`
+	Cat   string                 `json:"cat,omitempty"`
+	Phase string                 `json:"ph"`
+	TS    float64                `json:"ts"` // microseconds
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	ID    string                 `json:"id,omitempty"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeJSON renders trace events as Chrome trace-event JSON so a
+// run can be opened in chrome://tracing or Perfetto. Pass the merged
+// snapshots of every rank's ring (or the Global ring); events from
+// different ranks land in different "processes" (pid = rank).
+//
+// Every event becomes an instant; in addition, each KindPost event
+// whose Arg (the RID) is later matched by a KindLedger, KindComplete,
+// or KindReap event with the same Arg produces an async span pair, so
+// the initiator's post and the target's ledger delivery show up as one
+// correlated slice keyed by the RID.
+func WriteChromeJSON(w io.Writer, evs []Event) error {
+	evs = append([]Event(nil), evs...)
+	sort.Slice(evs, func(i, j int) bool {
+		if !evs[i].When.Equal(evs[j].When) {
+			return evs[i].When.Before(evs[j].When)
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
+
+	out := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
+	if len(evs) == 0 {
+		return json.NewEncoder(w).Encode(&out)
+	}
+	t0 := evs[0].When
+	ts := func(e *Event) float64 { return float64(e.When.Sub(t0).Nanoseconds()) / 1e3 }
+	pid := func(rank int) int {
+		if rank < 0 {
+			return 0
+		}
+		return rank + 1 // pid 0 is reserved for rank-less events
+	}
+
+	// Open post spans awaiting their delivery event, keyed by RID.
+	type open struct {
+		ev  Event
+		idx int // position of the emitted "b" record, to fix names later
+	}
+	pending := make(map[uint64][]open)
+
+	for i := range evs {
+		e := &evs[i]
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  e.Msg,
+			Cat:   e.Kind.String(),
+			Phase: "i",
+			Scope: "t",
+			TS:    ts(e),
+			PID:   pid(e.Rank),
+			TID:   int(e.Kind),
+			Args:  map[string]interface{}{"seq": e.Seq, "arg": e.Arg, "rank": e.Rank},
+		})
+		switch e.Kind {
+		case KindPost:
+			if e.Arg != 0 {
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name:  e.Msg,
+					Cat:   "rid",
+					Phase: "b",
+					TS:    ts(e),
+					PID:   pid(e.Rank),
+					TID:   0,
+					ID:    fmt.Sprintf("0x%x", e.Arg),
+					Args:  map[string]interface{}{"rid": e.Arg, "initiator": e.Rank},
+				})
+				pending[e.Arg] = append(pending[e.Arg], open{ev: *e, idx: len(out.TraceEvents) - 1})
+			}
+		case KindLedger, KindComplete, KindReap:
+			if q := pending[e.Arg]; len(q) > 0 {
+				po := q[0]
+				pending[e.Arg] = q[1:]
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name:  po.ev.Msg,
+					Cat:   "rid",
+					Phase: "e",
+					TS:    ts(e),
+					PID:   pid(po.ev.Rank),
+					TID:   0,
+					ID:    fmt.Sprintf("0x%x", e.Arg),
+					Args:  map[string]interface{}{"rid": e.Arg, "delivery": e.Msg, "target": e.Rank},
+				})
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&out)
+}

@@ -29,9 +29,10 @@ const (
 	KindProtocol      // protocol state transition (RTS/CTS/FIN)
 	KindProgress      // progress-engine iteration
 	KindUser          // application-defined
+	KindReap          // completion handed to the application (Probe/Test/Wait)
 )
 
-var kindNames = [...]string{"none", "post", "complete", "ledger", "protocol", "progress", "user"}
+var kindNames = [...]string{"none", "post", "complete", "ledger", "protocol", "progress", "user", "reap"}
 
 // String returns the lowercase name of the kind.
 func (k Kind) String() string {
@@ -94,8 +95,14 @@ func (r *Ring) Record(kind Kind, rank int, arg uint64, msg string) {
 	seq := r.cursor.Add(1) - 1
 	s := &r.slots[seq&r.mask]
 	s.mu.Lock()
-	s.ev = Event{Seq: seq, When: time.Now(), Kind: kind, Rank: rank, Arg: arg, Msg: msg}
-	s.ok = true
+	// Under wrap, a slow writer holding seq can lose the race to a fast
+	// writer holding seq+Cap that maps to the same slot. Keep the newest
+	// event: overwriting it with the stale one would leave Snapshot with
+	// a hole at the head of the retained window.
+	if !s.ok || s.ev.Seq <= seq {
+		s.ev = Event{Seq: seq, When: time.Now(), Kind: kind, Rank: rank, Arg: arg, Msg: msg}
+		s.ok = true
+	}
 	s.mu.Unlock()
 }
 

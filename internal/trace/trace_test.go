@@ -1,9 +1,12 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestDisabledRecordsNothing(t *testing.T) {
@@ -136,5 +139,134 @@ func TestGlobalRingDisabledByDefault(t *testing.T) {
 	Record(KindUser, 0, 0, "noop") // must not panic or record
 	if Global.Len() != 0 {
 		t.Fatal("global ring recorded while disabled")
+	}
+}
+
+// TestConcurrentWrapSnapshot races many wrapping writers against
+// repeated Snapshot calls. Invariants while racing: no duplicate
+// sequence numbers and snapshots sorted. At quiescence the ring must
+// hold exactly the newest Cap() events with no holes (a slow writer
+// must never clobber a newer event that wrapped onto its slot).
+func TestConcurrentWrapSnapshot(t *testing.T) {
+	r := NewRing(64) // small: force many wraps
+	r.Enable(true)
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(KindPost, w, uint64(i), "wrap")
+			}
+		}(w)
+	}
+	var snapErr error
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := r.Snapshot()
+			seen := make(map[uint64]bool, len(evs))
+			for i, e := range evs {
+				if seen[e.Seq] {
+					snapErr = &dupErr{e.Seq}
+					return
+				}
+				seen[e.Seq] = true
+				if i > 0 && evs[i-1].Seq > e.Seq {
+					snapErr = &orderErr{}
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	// Quiescent: the final snapshot must hold exactly the newest Cap()
+	// events, no holes.
+	evs := r.Snapshot()
+	if len(evs) != r.Cap() {
+		t.Fatalf("final snapshot has %d events, want %d", len(evs), r.Cap())
+	}
+	total := uint64(writers * perWriter)
+	for i, e := range evs {
+		if want := total - uint64(r.Cap()) + uint64(i); e.Seq != want {
+			t.Fatalf("hole in retained window: event %d has seq %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+type dupErr struct{ seq uint64 }
+
+func (e *dupErr) Error() string { return "duplicate seq in snapshot" }
+
+type orderErr struct{}
+
+func (e *orderErr) Error() string { return "snapshot out of order" }
+
+func TestWriteChromeJSON(t *testing.T) {
+	base := time.Now()
+	at := func(us int) time.Time { return base.Add(time.Duration(us) * time.Microsecond) }
+	evs := []Event{
+		{Seq: 0, When: at(0), Kind: KindPost, Rank: 0, Arg: 7, Msg: "put.packed"},
+		{Seq: 1, When: at(5), Kind: KindLedger, Rank: 1, Arg: 7, Msg: "ledger.put"},
+		{Seq: 2, When: at(9), Kind: KindReap, Rank: 1, Arg: 7, Msg: "reap.remote"},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeJSON(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var begins, ends, instants int
+	for _, e := range out.TraceEvents {
+		switch e["ph"] {
+		case "b":
+			begins++
+			if e["id"] != "0x7" {
+				t.Fatalf("span id = %v, want 0x7", e["id"])
+			}
+		case "e":
+			ends++
+		case "i":
+			instants++
+		}
+	}
+	if instants != len(evs) {
+		t.Fatalf("instants = %d, want %d", instants, len(evs))
+	}
+	if begins != 1 || ends != 1 {
+		t.Fatalf("span pairs = %d/%d, want 1/1 (post correlated with ledger delivery)", begins, ends)
+	}
+}
+
+func TestWriteChromeJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+	if _, ok := out["traceEvents"]; !ok {
+		t.Fatal("empty export missing traceEvents key")
 	}
 }
