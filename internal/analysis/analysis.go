@@ -1,0 +1,204 @@
+// Package analysis is photonvet's analyzer suite: a set of static
+// checkers that mechanically enforce the invariants Photon's hot path
+// depends on — pooled-buffer lifetimes, the snapshot-at-post backend
+// contract, generation-tagged completion tokens, and allocation/lock
+// freedom on annotated fast paths. Each invariant was previously
+// enforced only by code review and runtime tests; encoding it as an
+// analyzer lets the tree be refactored freely without silently
+// regressing the performance story.
+//
+// The package deliberately mirrors the golang.org/x/tools/go/analysis
+// Analyzer/Pass shape so the checkers could be ported to a standard
+// multichecker verbatim, but it is built entirely on the standard
+// library (go/ast, go/types, go/importer): this module carries no
+// third-party dependencies, and the vet suite must not be the first.
+// Packages are loaded by shelling out to `go list -export -deps` and
+// type-checking from source against compiler export data — the same
+// strategy x/tools' own minimal drivers use.
+//
+// Two source annotations steer the suite (see DESIGN.md "Static
+// analysis & invariants" for the full grammar):
+//
+//	//photon:hotpath
+//	    Placed in a function's doc comment. Marks the function as part
+//	    of the allocation-free fast path; hotpathalloc checks its body.
+//
+//	//photon:allow <analyzer>[,<analyzer>...] -- <justification>
+//	    Suppresses the named analyzers' diagnostics on the same source
+//	    line (end-of-line form) or on the next code line (own-line
+//	    form; consecutive allow lines stack onto the same target). The
+//	    justification is mandatory: every suppression documents why
+//	    the invariant is intentionally bent. Unused allows are
+//	    themselves reported, so suppressions cannot go stale.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //photon:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass presents one package to an analyzer and collects its
+// diagnostics.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	Directives *Directives
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf returns the object denoted by ident, consulting both Uses
+// and Defs.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+}
+
+// String formats the diagnostic the way photonvet prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+}
+
+// All returns the full photonvet analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{BufRetain, HotpathAlloc, SnapshotPost, TokenGen}
+}
+
+// KnownNames returns the set of analyzer names valid in
+// //photon:allow directives, including the driver's own directive
+// checker.
+func KnownNames(analyzers []*Analyzer) map[string]bool {
+	known := map[string]bool{DirectiveAnalyzerName: true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// parentMap records the enclosing node of every node in a file, letting
+// analyzers walk outward from an expression to the statement that
+// consumes it (composite-literal handoff detection, goroutine capture).
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(root ast.Node) parentMap {
+	pm := parentMap{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			pm[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return pm
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isBuiltinCall reports whether call invokes a language builtin
+// (append, copy, len, ...), which never retains ownership of its
+// arguments the way an ordinary function can.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, ok = info.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for
+// builtins, conversions, and calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.ObjectOf(fun).(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.ObjectOf(fun.Sel).(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isByteSlice reports whether t is []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// methodOnType reports whether fn is a method whose receiver's named
+// type is pkgPath.typeName (pointer receivers included).
+func methodOnType(fn *types.Func, pkgPath, typeName string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

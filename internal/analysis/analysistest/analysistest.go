@@ -1,0 +1,117 @@
+// Package analysistest runs photonvet analyzers over fixture packages
+// and checks their diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"photon/internal/analysis"
+)
+
+// Run loads the fixture package at testdata/<fixture> (relative to the
+// calling test's package directory), applies one analyzer, and compares
+// the surviving diagnostics against the fixture's expectations.
+//
+// Expectations use the x/tools analysistest convention: a comment
+//
+//	// want "regexp" "another regexp"
+//
+// on a source line demands exactly one diagnostic per quoted pattern on
+// that line, each matching its regexp. Lines without a want comment
+// must produce no diagnostics. //photon:allow directives in fixtures
+// are honored before matching, so the escape hatch is testable: an
+// allowed line simply carries no want.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	moduleDir, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.LoadDir(moduleDir, filepath.Join("testdata", fixture))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, pkg, diags)
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkFixture(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		base := filepath.Base(d.Position.Filename)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != base || w.line != d.Position.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s",
+				base, d.Position.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		tf := pkg.Fset.File(f.Pos())
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantArgRe.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{
+						file: filepath.Base(tf.Name()),
+						line: pos.Line,
+						re:   re,
+						raw:  pat,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,33 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"photon/internal/analysis"
+	"photon/internal/analysis/analysistest"
+)
+
+func TestBufRetain(t *testing.T)    { analysistest.Run(t, analysis.BufRetain, "bufretain") }
+func TestHotpathAlloc(t *testing.T) { analysistest.Run(t, analysis.HotpathAlloc, "hotpathalloc") }
+func TestSnapshotPost(t *testing.T) { analysistest.Run(t, analysis.SnapshotPost, "snapshotpost") }
+func TestTokenGen(t *testing.T)     { analysistest.Run(t, analysis.TokenGen, "tokengen") }
+
+// TestSuiteOnTree is the dogfood gate in unit-test form: the full
+// analyzer suite must be clean on the module itself, with every
+// intentional exception carried by a used //photon:allow.
+func TestSuiteOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(root, []string{"./..."}, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectiveAnalyzerName is the pseudo-analyzer under which the driver
+// reports malformed or unused //photon: directives. Directive problems
+// are not themselves suppressible.
+const DirectiveAnalyzerName = "directive"
+
+const (
+	hotpathDirective = "photon:hotpath"
+	allowDirective   = "photon:allow"
+)
+
+// An allow is one parsed //photon:allow directive.
+type allow struct {
+	file      string
+	line      int             // source line of the comment itself
+	target    int             // code line the suppression applies to
+	analyzers map[string]bool // names listed in the directive
+	reason    string
+	used      bool
+}
+
+// Directives holds one package's parsed //photon: annotations.
+type Directives struct {
+	hotpath  map[*ast.FuncDecl]bool
+	allows   []*allow
+	byLine   map[string]map[int][]*allow // file -> target line -> allows
+	problems []Diagnostic
+}
+
+// Hotpath reports whether fn's doc comment carries //photon:hotpath.
+func (d *Directives) Hotpath(fn *ast.FuncDecl) bool { return d.hotpath[fn] }
+
+// suppress consumes an allow matching (analyzer, file, line) if one
+// exists, marking it used.
+func (d *Directives) suppress(analyzer, file string, line int) bool {
+	ok := false
+	for _, a := range d.byLine[file][line] {
+		if a.analyzers[analyzer] {
+			a.used = true
+			ok = true
+		}
+	}
+	return ok
+}
+
+// unusedAllows reports allows that suppressed nothing — stale
+// suppressions are bugs in their own right.
+func (d *Directives) unusedAllows(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range d.allows {
+		if a.used {
+			continue
+		}
+		pos := posForLine(fset, files, a.file, a.line)
+		out = append(out, Diagnostic{
+			Analyzer: DirectiveAnalyzerName,
+			Pos:      pos,
+			Position: token.Position{Filename: a.file, Line: a.line},
+			Message:  "//photon:allow suppresses nothing (stale directive; remove it or fix the target line)",
+		})
+	}
+	return out
+}
+
+// posForLine recovers a token.Pos on (file, line) for diagnostics.
+func posForLine(fset *token.FileSet, files []*ast.File, filename string, line int) token.Pos {
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil || tf.Name() != filename {
+			continue
+		}
+		if line <= tf.LineCount() {
+			return tf.LineStart(line)
+		}
+	}
+	return token.NoPos
+}
+
+// CollectDirectives parses every //photon: comment in files. known is
+// the set of analyzer names valid in allow directives; anything else is
+// reported as a problem.
+func CollectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) *Directives {
+	d := &Directives{
+		hotpath: map[*ast.FuncDecl]bool{},
+		byLine:  map[string]map[int][]*allow{},
+	}
+	for _, f := range files {
+		d.collectFile(fset, f, known)
+	}
+	return d
+}
+
+func (d *Directives) collectFile(fset *token.FileSet, f *ast.File, known map[string]bool) {
+	filename := fset.Position(f.Pos()).Filename
+
+	// Lines occupied by code tokens: an allow comment sharing a line
+	// with code is end-of-line (targets its own line); one alone on a
+	// line targets the next code line below the directive block.
+	codeLines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if _, ok := n.(*ast.File); ok {
+			return true
+		}
+		codeLines[fset.Position(n.Pos()).Line] = true
+		codeLines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	commentLines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			start := fset.Position(c.Pos()).Line
+			end := fset.Position(c.End()).Line
+			for l := start; l <= end; l++ {
+				if !codeLines[l] {
+					commentLines[l] = true
+				}
+			}
+		}
+	}
+
+	// Map doc comment groups to their functions for hotpath placement.
+	hotpathDocs := map[*ast.CommentGroup]*ast.FuncDecl{}
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Doc != nil {
+			hotpathDocs[fn.Doc] = fn
+		}
+	}
+
+	problem := func(pos token.Pos, format string, args ...any) {
+		d.problems = append(d.problems, Diagnostic{
+			Analyzer: DirectiveAnalyzerName,
+			Pos:      pos,
+			Position: fset.Position(pos),
+			Message:  sprintf(format, args...),
+		})
+	}
+
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			trimmed := strings.TrimSpace(text)
+			switch {
+			case trimmed == hotpathDirective:
+				if fn, ok := hotpathDocs[cg]; ok {
+					d.hotpath[fn] = true
+				} else {
+					problem(c.Pos(), "//photon:hotpath must appear in a function's doc comment")
+				}
+			case strings.HasPrefix(trimmed, hotpathDirective):
+				problem(c.Pos(), "malformed //photon:hotpath directive (no arguments allowed)")
+			case strings.HasPrefix(trimmed, allowDirective):
+				a := d.parseAllow(c, trimmed, filename, fset, known, problem)
+				if a == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				a.line = line
+				if codeLines[line] {
+					a.target = line // end-of-line form
+				} else {
+					// Own-line form: skip the rest of the comment
+					// block (stacked allows, ordinary comments) down
+					// to the first code line.
+					t := line + 1
+					for commentLines[t] {
+						t++
+					}
+					a.target = t
+				}
+				d.allows = append(d.allows, a)
+				if d.byLine[filename] == nil {
+					d.byLine[filename] = map[int][]*allow{}
+				}
+				d.byLine[filename][a.target] = append(d.byLine[filename][a.target], a)
+			}
+		}
+	}
+}
+
+// parseAllow parses "photon:allow name1,name2 -- justification".
+func (d *Directives) parseAllow(c *ast.Comment, trimmed, filename string, fset *token.FileSet, known map[string]bool, problem func(token.Pos, string, ...any)) *allow {
+	rest := strings.TrimSpace(strings.TrimPrefix(trimmed, allowDirective))
+	names, reason, found := strings.Cut(rest, "--")
+	if !found || strings.TrimSpace(reason) == "" {
+		problem(c.Pos(), "//photon:allow needs a justification: //photon:allow <analyzer> -- <why>")
+		return nil
+	}
+	a := &allow{file: filename, analyzers: map[string]bool{}, reason: strings.TrimSpace(reason)}
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			problem(c.Pos(), "//photon:allow names unknown analyzer %q", name)
+			return nil
+		}
+		a.analyzers[name] = true
+	}
+	if len(a.analyzers) == 0 {
+		problem(c.Pos(), "//photon:allow lists no analyzers")
+		return nil
+	}
+	return a
+}
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }

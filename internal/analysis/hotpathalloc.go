@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAlloc enforces the PR-1 fast-path contract on functions whose
+// doc comment carries //photon:hotpath: the eager put/send/atomic
+// paths and the progress engine run at zero allocations per operation
+// and take no blocking locks beyond the ones the design documents.
+// The CI allocation guard catches a regression's symptom at runtime;
+// this analyzer points at the exact line introducing it.
+//
+// Inside an annotated function's body it reports:
+//
+//   - make and new calls;
+//   - append, unless the destination is the x[:0] reset-reuse idiom
+//     (append(scratch[:0], ...) reuses warm capacity);
+//   - slice and map composite literals, and &T{...} literals (struct
+//     and array *value* literals live on the stack and pass);
+//   - function literals (closure allocation), wherever they appear;
+//   - calls into package fmt (formatting allocates, and its
+//     interface{} arguments box);
+//   - string<->[]byte / []rune conversions (they copy), and explicit
+//     conversions of concrete values to interface types (they box);
+//   - Lock and RLock on sync.Mutex / sync.RWMutex (TryLock is
+//     non-blocking and passes — the progress engine's coalescing
+//     entry is TryLock by design);
+//   - go statements (goroutine spawn is not a per-op cost).
+//
+// Amortized warm-up growth, cold error paths, and deliberately-held
+// short locks are documented in place with //photon:allow
+// hotpathalloc and a justification.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flags allocations and lock acquisition in //photon:hotpath functions",
+	Run:  runHotpathAlloc,
+}
+
+func runHotpathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.Directives.Hotpath(fn) {
+				continue
+			}
+			hotpathFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func hotpathFunc(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	report := func(pos token.Pos, format string, args ...any) {
+		args = append(args, name)
+		pass.Reportf(pos, format+" in //photon:hotpath function %s", args...)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement spawns a goroutine")
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal allocates a closure")
+		case *ast.CompositeLit:
+			t := pass.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			// Struct and array value literals stay on the stack.
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CallExpr:
+			hotpathCall(pass, n, report)
+		}
+		return true
+	})
+}
+
+func hotpathCall(pass *Pass, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	// Conversions: T(x).
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkConversion(pass, call, tv.Type, report)
+		return
+	}
+	if isBuiltinCall(pass.TypesInfo, call) {
+		id := unparen(call.Fun).(*ast.Ident)
+		switch id.Name {
+		case "make":
+			report(call.Pos(), "make allocates")
+		case "new":
+			report(call.Pos(), "new allocates")
+		case "append":
+			if len(call.Args) > 0 && isResetReuse(call.Args[0]) {
+				return // append(x[:0], ...) reuses warm capacity
+			}
+			report(call.Pos(), "append may grow and allocate")
+		}
+		return
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		report(call.Pos(), "fmt.%s allocates and boxes its arguments", fn.Name())
+		return
+	}
+	if fn.Name() == "Lock" || fn.Name() == "RLock" {
+		if methodOnType(fn, "sync", "Mutex") || methodOnType(fn, "sync", "RWMutex") ||
+			methodOnType(fn, "sync", "Locker") {
+			report(call.Pos(), "%s acquires a blocking mutex", fn.Name())
+		}
+	}
+}
+
+// checkConversion flags copying string conversions and boxing
+// interface conversions.
+func checkConversion(pass *Pass, call *ast.CallExpr, target types.Type, report func(token.Pos, string, ...any)) {
+	src := pass.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	tu, su := target.Underlying(), src.Underlying()
+	if b, ok := su.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return // T(nil) allocates nothing
+	}
+	if b, ok := tu.(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		if _, ok := su.(*types.Slice); ok {
+			report(call.Pos(), "string conversion copies the slice")
+		}
+		return
+	}
+	if s, ok := tu.(*types.Slice); ok {
+		if b, ok := su.(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			e, ok := s.Elem().Underlying().(*types.Basic)
+			if ok && (e.Kind() == types.Byte || e.Kind() == types.Rune) {
+				report(call.Pos(), "[]%s conversion copies the string", e.Name())
+			}
+		}
+		return
+	}
+	if types.IsInterface(target) && !types.IsInterface(src) {
+		report(call.Pos(), "conversion to interface type boxes the value")
+	}
+}
+
+// isResetReuse matches the x[:0] (or x[0:0]) first argument of an
+// append that reuses existing capacity.
+func isResetReuse(e ast.Expr) bool {
+	se, ok := unparen(e).(*ast.SliceExpr)
+	if !ok || se.High == nil {
+		return false
+	}
+	high, ok := unparen(se.High).(*ast.BasicLit)
+	if !ok || high.Value != "0" {
+		return false
+	}
+	if se.Low != nil {
+		low, ok := unparen(se.Low).(*ast.BasicLit)
+		if !ok || low.Value != "0" {
+			return false
+		}
+	}
+	return true
+}

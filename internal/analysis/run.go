@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RunPackage applies analyzers to one loaded package: directives are
+// collected, each analyzer runs, allow directives suppress matching
+// findings, and directive problems (malformed or unused allows) are
+// appended. The returned diagnostics are position-sorted.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs := CollectDirectives(pkg.Fset, pkg.Files, KnownNames(analyzers))
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			Directives: dirs,
+			diags:      &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	var out []Diagnostic
+	for _, d := range raw {
+		if dirs.suppress(d.Analyzer, d.Position.Filename, d.Position.Line) {
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, dirs.problems...)
+	out = append(out, dirs.unusedAllows(pkg.Fset, pkg.Files)...)
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// Run loads the packages matched by patterns (under dir) and applies
+// the analyzers to each.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ds...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i].Position, ds[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}

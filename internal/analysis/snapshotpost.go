@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotPost enforces the backend snapshot-at-post contract from
+// PR 1 (core.Backend): once PostWrite (or PostWriteBatch) returns, the
+// caller may immediately reuse or recycle the payload slice — the
+// engine recycles pooled ledger-entry scratch at post time, not at
+// completion time. A backend that keeps a reference to the caller's
+// slice instead of copying or encoding it at post time corrupts
+// in-flight data the moment the pool recycles the buffer.
+//
+// The analyzer inspects every method named PostWrite or PostWriteBatch
+// and tracks its payload — []byte parameters, and the Local field of
+// elements of a []WriteReq-shaped parameter (any slice of structs with
+// a Local []byte field). It reports payload aliases that are:
+//
+//   - stored into struct fields, package-level variables, slice/map
+//     elements, or through pointers;
+//   - appended as elements into a slice;
+//   - retained in composite literals that are themselves stored
+//     (literals passed straight into a non-builtin call are a
+//     hand-off to that callee's own snapshot contract, e.g.
+//     SendWR{Local: local} given to QP.PostSend);
+//   - captured by goroutines or escaping closures;
+//   - sent on channels or returned.
+//
+// Copies are the fix: copy(frame[off:], local), append(dst,
+// local...), or encoding into a freshly built frame all pass. PostRead
+// and the atomics are exempt by design — their local slice is the
+// result destination, owned by the backend until completion.
+var SnapshotPost = &Analyzer{
+	Name: "snapshotpost",
+	Doc:  "flags backend Post* implementations that retain the caller's payload slice",
+	Run:  runSnapshotPost,
+}
+
+// payloadFieldName is the WriteReq payload field tracked through batch
+// parameters.
+const payloadFieldName = "Local"
+
+func runSnapshotPost(pass *Pass) error {
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil {
+				continue
+			}
+			if fn.Name.Name != "PostWrite" && fn.Name.Name != "PostWriteBatch" {
+				continue
+			}
+			snapshotPostFunc(pass, parents, fn)
+		}
+	}
+	return nil
+}
+
+func snapshotPostFunc(pass *Pass, parents parentMap, fn *ast.FuncDecl) {
+	tr := newBufTracker(pass, parents)
+	tr.payloadField = payloadFieldName
+	tracked := false
+	for _, field := range fn.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		switch {
+		case isByteSlice(t):
+			for _, name := range field.Names {
+				if obj := pass.ObjectOf(name); obj != nil {
+					tr.tainted[obj] = true
+					tracked = true
+				}
+			}
+		case isPayloadStructSlice(t):
+			for _, name := range field.Names {
+				if obj := pass.ObjectOf(name); obj != nil {
+					tr.rootSlices[obj] = true
+					tracked = true
+				}
+			}
+		}
+	}
+	if !tracked {
+		return
+	}
+	tr.propagate(fn.Body)
+	tr.analyze(fn.Body)
+	for _, e := range tr.escapes {
+		pass.Reportf(e.pos, "%s must snapshot the payload before returning: payload %s (copy or encode it at post time)", fn.Name.Name, e.what)
+	}
+}
+
+// isPayloadStructSlice matches []T where T (or *T) is a struct with a
+// Local []byte field — the WriteReq batch shape.
+func isPayloadStructSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem := s.Elem()
+	if p, ok := elem.Underlying().(*types.Pointer); ok {
+		elem = p.Elem()
+	}
+	st, ok := elem.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == payloadFieldName && isByteSlice(f.Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,367 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// bufTracker follows one tracked buffer (a pooled scratch slice or a
+// backend payload parameter) through a single function body and
+// classifies every way it can outlive the function's stack frame. The
+// tracking is intentionally syntactic and intraprocedural: photonvet
+// is a vet, not an escape analysis — anything it cannot prove local is
+// reported, and intentional ownership transfers are documented with
+// //photon:allow.
+type bufTracker struct {
+	pass    *Pass
+	parents parentMap
+
+	// tainted holds the buffer and every local alias created from it
+	// (y := x, y := x[a:b], y = append(x[:0], ...)).
+	tainted map[types.Object]bool
+
+	// payloadField, when non-empty, extends aliasing through struct
+	// elements: for a root slice param like []WriteReq, range/index
+	// element objects land in structs and <elem>.<payloadField> is
+	// treated as the tracked buffer.
+	payloadField string
+	structs      map[types.Object]bool
+	rootSlices   map[types.Object]bool
+
+	// releases counts hand-offs: the buffer passed as an argument to
+	// any non-builtin call (BufPool.Put, a backend post, an encoder).
+	releases int
+
+	// escapes collects retention findings.
+	escapes []escapeFinding
+}
+
+type escapeFinding struct {
+	pos  token.Pos
+	what string
+}
+
+func newBufTracker(pass *Pass, parents parentMap) *bufTracker {
+	return &bufTracker{
+		pass:       pass,
+		parents:    parents,
+		tainted:    map[types.Object]bool{},
+		structs:    map[types.Object]bool{},
+		rootSlices: map[types.Object]bool{},
+	}
+}
+
+// isLocalObj reports whether obj is function-local (including
+// parameters); package-level variables are never aliases — storing
+// into one is an escape.
+func isLocalObj(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.Parent() == nil {
+		return true // struct field / param list var
+	}
+	scope := v.Parent()
+	return scope != v.Pkg().Scope()
+}
+
+// isAlias reports whether e evaluates to the tracked buffer (or a
+// re-slice of it).
+func (tr *bufTracker) isAlias(e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := tr.pass.ObjectOf(e)
+		return obj != nil && tr.tainted[obj]
+	case *ast.SliceExpr:
+		return tr.isAlias(e.X)
+	case *ast.SelectorExpr:
+		if tr.payloadField == "" || e.Sel.Name != tr.payloadField {
+			return false
+		}
+		switch x := unparen(e.X).(type) {
+		case *ast.Ident:
+			obj := tr.pass.ObjectOf(x)
+			return obj != nil && tr.structs[obj]
+		case *ast.IndexExpr:
+			if id, ok := unparen(x.X).(*ast.Ident); ok {
+				obj := tr.pass.ObjectOf(id)
+				return obj != nil && tr.rootSlices[obj]
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		// append(x, ...) and append(x[:0], ...) may return x's array.
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" &&
+			isBuiltinCall(tr.pass.TypesInfo, e) && len(e.Args) > 0 {
+			return tr.isAlias(e.Args[0])
+		}
+	}
+	return false
+}
+
+// containsAlias reports whether any tracked buffer appears anywhere
+// inside e.
+func (tr *bufTracker) containsAlias(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if ex, ok := n.(ast.Expr); ok && tr.isAlias(ex) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// propagate runs the alias fixpoint over body: every assignment of an
+// alias to a local variable taints that variable too.
+func (tr *bufTracker) propagate(body ast.Node) {
+	for changed := true; changed; {
+		changed = false
+		add := func(id *ast.Ident) {
+			if id.Name == "_" {
+				return
+			}
+			obj := tr.pass.ObjectOf(id)
+			if obj == nil || tr.tainted[obj] || !isLocalObj(obj) {
+				return
+			}
+			tr.tainted[obj] = true
+			changed = true
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if !tr.isAlias(rhs) {
+						continue
+					}
+					if id, ok := unparen(n.Lhs[i]).(*ast.Ident); ok {
+						add(id)
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) != len(n.Values) {
+					return true
+				}
+				for i, v := range n.Values {
+					if tr.isAlias(v) {
+						add(n.Names[i])
+					}
+				}
+			case *ast.RangeStmt:
+				// for _, r := range rootSlice: r's payload field is
+				// the tracked buffer.
+				if tr.payloadField == "" || n.Value == nil {
+					return true
+				}
+				id, ok := unparen(n.X).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := tr.pass.ObjectOf(id)
+				if obj == nil || !tr.rootSlices[obj] {
+					return true
+				}
+				if vid, ok := unparen(n.Value).(*ast.Ident); ok && vid.Name != "_" {
+					vobj := tr.pass.ObjectOf(vid)
+					if vobj != nil && !tr.structs[vobj] {
+						tr.structs[vobj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (tr *bufTracker) escape(pos token.Pos, what string) {
+	tr.escapes = append(tr.escapes, escapeFinding{pos: pos, what: what})
+}
+
+// analyze walks body once, classifying stores, captures, sends,
+// returns, and hand-offs of the tracked buffer.
+func (tr *bufTracker) analyze(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if tr.isAlias(rhs) {
+						tr.classifyStore(n.Lhs[i], rhs.Pos())
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if tr.isAlias(n.Value) {
+				tr.escape(n.Value.Pos(), "sent on a channel")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if tr.isAlias(r) {
+					tr.escape(r.Pos(), "returned to the caller")
+				}
+			}
+		case *ast.CompositeLit:
+			tr.checkCompositeLit(n)
+		case *ast.CallExpr:
+			tr.checkCall(n)
+		case *ast.FuncLit:
+			tr.checkFuncLit(n)
+		}
+		return true
+	})
+}
+
+// classifyStore reports stores of an alias into anything that outlives
+// the statement.
+func (tr *bufTracker) classifyStore(lhs ast.Expr, pos token.Pos) {
+	switch lhs := unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := tr.pass.ObjectOf(lhs)
+		if obj != nil && !isLocalObj(obj) {
+			tr.escape(pos, "stored into package-level variable "+lhs.Name)
+		}
+	case *ast.SelectorExpr:
+		tr.escape(pos, "stored into struct field "+lhs.Sel.Name)
+	case *ast.IndexExpr:
+		tr.escape(pos, "stored into a slice or map element")
+	case *ast.StarExpr:
+		tr.escape(pos, "stored through a pointer")
+	}
+}
+
+// checkCompositeLit flags composite literals that retain an alias,
+// exempting literals handed directly to a non-builtin call (the callee
+// inherits the buffer under its own documented contract, e.g.
+// SendWR{Local: buf} passed to PostSend).
+func (tr *bufTracker) checkCompositeLit(cl *ast.CompositeLit) {
+	holds := false
+	for _, el := range cl.Elts {
+		v := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		if tr.isAlias(v) {
+			holds = true
+			break
+		}
+	}
+	if !holds {
+		return
+	}
+	// Climb to the node that consumes the literal.
+	var node ast.Node = cl
+	for {
+		parent := tr.parents[node]
+		switch p := parent.(type) {
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				node = p
+				continue
+			}
+		case *ast.CompositeLit, *ast.KeyValueExpr, *ast.ParenExpr:
+			node = parent
+			continue
+		case *ast.CallExpr:
+			isArg := false
+			for _, a := range p.Args {
+				if a == node {
+					isArg = true
+				}
+			}
+			if isArg && !isBuiltinCall(tr.pass.TypesInfo, p) {
+				if _, ok := tr.parents[p].(*ast.GoStmt); ok {
+					tr.escape(cl.Pos(), "captured by a goroutine via composite literal")
+				}
+				return // hand-off to the callee's contract
+			}
+			tr.escape(cl.Pos(), "retained in a composite literal (builtin call)")
+			return
+		}
+		tr.escape(cl.Pos(), "retained in a composite literal")
+		return
+	}
+}
+
+// checkCall counts hand-offs and flags goroutine arguments and
+// retaining appends.
+func (tr *bufTracker) checkCall(call *ast.CallExpr) {
+	if isBuiltinCall(tr.pass.TypesInfo, call) {
+		// append(dst, buf) retains buf when buf is appended as an
+		// element (a [][]byte collecting payloads); append(dst,
+		// buf...) spreads and copies bytes, which is safe.
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			for i, a := range call.Args {
+				if i == 0 || !tr.isAlias(a) {
+					continue
+				}
+				if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+					continue
+				}
+				tr.escape(a.Pos(), "appended as an element into a slice")
+			}
+		}
+		return
+	}
+	if _, ok := tr.parents[call].(*ast.GoStmt); ok {
+		for _, a := range call.Args {
+			if tr.containsAlias(a) {
+				tr.escape(a.Pos(), "passed to a goroutine")
+			}
+		}
+		return
+	}
+	for _, a := range call.Args {
+		if tr.containsAlias(a) {
+			tr.releases++
+			return
+		}
+	}
+}
+
+// checkFuncLit flags closures that capture the buffer and may outlive
+// the frame: anything but an immediately-invoked or deferred literal.
+func (tr *bufTracker) checkFuncLit(fl *ast.FuncLit) {
+	captures := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			obj := tr.pass.ObjectOf(id)
+			if obj != nil && tr.tainted[obj] {
+				captures = true
+			}
+		}
+		return true
+	})
+	if !captures {
+		return
+	}
+	switch p := tr.parents[fl].(type) {
+	case *ast.CallExpr:
+		if _, ok := tr.parents[p].(*ast.GoStmt); ok {
+			tr.escape(fl.Pos(), "captured by a goroutine closure")
+			return
+		}
+		if _, ok := tr.parents[p].(*ast.DeferStmt); ok {
+			return
+		}
+		if p.Fun == fl {
+			return // immediately invoked: same frame
+		}
+		tr.escape(fl.Pos(), "captured by a closure passed to a call")
+	default:
+		tr.escape(fl.Pos(), "captured by an escaping closure")
+	}
+}

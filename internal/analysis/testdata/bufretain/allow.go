@@ -1,0 +1,25 @@
+package bufretain
+
+import "photon/internal/mem"
+
+type pending struct {
+	result []byte
+}
+
+var table = map[uint64]*pending{}
+
+// parkedResult retains an atomic-result word in a pending table until
+// its completion arrives — the documented intentional retention, so the
+// finding is suppressed in place (end-of-line form).
+func parkedResult(p *mem.BufPool, tok uint64) {
+	b := p.Get(8)
+	table[tok] = &pending{result: b} //photon:allow bufretain -- result word parked until completion; completion path returns it to the pool
+}
+
+// ownLineForm suppresses via a directive on its own line above the
+// finding.
+func ownLineForm(p *mem.BufPool, h *holder) {
+	b := p.Get(64)
+	//photon:allow bufretain -- handed to the holder; release happens in holder teardown
+	h.buf = b
+}

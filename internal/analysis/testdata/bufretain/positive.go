@@ -1,0 +1,79 @@
+// Package bufretain exercises the bufretain analyzer: pooled buffers
+// that escape the borrowing frame or are never released must be
+// reported.
+package bufretain
+
+import "photon/internal/mem"
+
+type holder struct {
+	buf    []byte
+	frames [][]byte
+}
+
+var global []byte
+
+// fieldStore stashes the pooled buffer in a struct field that outlives
+// the call.
+func fieldStore(p *mem.BufPool, h *holder) {
+	b := p.Get(64)
+	h.buf = b // want `pooled buffer b stored into struct field buf`
+}
+
+// globalStore parks the buffer in a package-level variable.
+func globalStore(p *mem.BufPool) {
+	b := p.Get(64)
+	global = b // want `pooled buffer b stored into package-level variable global`
+}
+
+// returned leaks the buffer to the caller.
+func returned(p *mem.BufPool) []byte {
+	b := p.Get(64)
+	return b // want `pooled buffer b returned to the caller`
+}
+
+// resliceReturned leaks through a re-slice alias.
+func resliceReturned(p *mem.BufPool) []byte {
+	b := p.Get(64)
+	head := b[:8]
+	return head // want `pooled buffer b returned to the caller`
+}
+
+// appended collects the buffer itself as a slice element.
+func appended(p *mem.BufPool, h *holder) {
+	b := p.Get(64)
+	h.frames = append(h.frames, b) // want `pooled buffer b appended as an element into a slice`
+}
+
+// sent ships the buffer over a channel.
+func sent(p *mem.BufPool, ch chan []byte) {
+	b := p.Get(64)
+	ch <- b // want `pooled buffer b sent on a channel`
+}
+
+// goCapture hands the buffer to a goroutine that may outlive the frame.
+func goCapture(p *mem.BufPool, done func([]byte)) {
+	b := p.Get(64)
+	go func() { // want `pooled buffer b captured by a goroutine closure`
+		done(b)
+	}()
+}
+
+// literalRetained keeps the buffer inside a composite literal that is
+// itself stored.
+func literalRetained(p *mem.BufPool) holder {
+	b := p.Get(64)
+	h := holder{buf: b} // want `pooled buffer b retained in a composite literal`
+	return h
+}
+
+// droppedPut is the acceptance demo: the Put that used to close the
+// lifetime was deleted, so the Get is never released by anything.
+func droppedPut(p *mem.BufPool) {
+	b := p.Get(64) // want `pooled buffer b is never released: no BufPool.Put and no hand-off call`
+	b[0] = 1
+}
+
+// discarded throws the handle away immediately.
+func discarded(p *mem.BufPool) {
+	_ = p.Get(64) // want `pooled buffer from BufPool.Get is discarded without release`
+}

@@ -1,0 +1,25 @@
+package hotpathalloc
+
+import "fmt"
+
+// coldError formats an error on the already-failed branch: documented
+// as acceptable with an end-of-line allow.
+//
+//photon:hotpath
+func coldError(s *state, n int) error {
+	if n > len(s.scratch) {
+		return fmt.Errorf("short scratch: need %d", n) //photon:allow hotpathalloc -- cold error path; the op already failed
+	}
+	return nil
+}
+
+// amortizedGrowth documents warm-up growth with the own-line form, and
+// shows stacked allows sharing one target line.
+//
+//photon:hotpath
+func amortizedGrowth(s *state, n int) {
+	//photon:allow hotpathalloc -- amortized warm-up growth; steady state reuses capacity
+	s.peers = append(s.peers, n)
+	s.mu.Lock() //photon:allow hotpathalloc -- per-peer lock held for two loads; uncontended by design
+	s.mu.Unlock()
+}

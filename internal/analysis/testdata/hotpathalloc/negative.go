@@ -1,0 +1,57 @@
+package hotpathalloc
+
+import "sync"
+
+type entry struct {
+	off int
+	n   int
+}
+
+// coldPath is not annotated: the same constructs draw no diagnostics
+// outside //photon:hotpath functions.
+func coldPath(s *state, n int) {
+	b := make([]byte, n)
+	_ = b
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.peers = append(s.peers, n)
+}
+
+// warmScratch reuses existing capacity: the x[:0] reset idiom and
+// copy() never allocate.
+//
+//photon:hotpath
+func warmScratch(s *state, payload []byte) {
+	s.scratch = append(s.scratch[:0], payload...)
+	copy(s.scratch, payload)
+	_ = len(payload)
+}
+
+// stackValues builds struct and array values, which stay on the stack.
+//
+//photon:hotpath
+func stackValues(off, n int) entry {
+	e := entry{off: off, n: n}
+	var window [4]int
+	window[0] = n
+	return e
+}
+
+// tryLock uses the non-blocking coalescing entry, which is the
+// documented progress-engine idiom.
+//
+//photon:hotpath
+func tryLock(mu *sync.Mutex) bool {
+	if mu.TryLock() {
+		mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// widening conversions between numeric types are free.
+//
+//photon:hotpath
+func widening(tok uint64) uint64 {
+	return uint64(uint(tok>>32)) + tok
+}

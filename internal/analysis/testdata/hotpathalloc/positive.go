@@ -1,0 +1,72 @@
+// Package hotpathalloc exercises the hotpathalloc analyzer:
+// allocations and blocking locks inside //photon:hotpath functions
+// must be reported.
+package hotpathalloc
+
+import (
+	"fmt"
+	"sync"
+)
+
+type state struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	scratch []byte
+	peers   []int
+}
+
+// allocEverywhere is the acceptance demo: adding make([]byte, n) (or
+// any of its friends) under //photon:hotpath fails the build.
+//
+//photon:hotpath
+func allocEverywhere(s *state, n int) {
+	b := make([]byte, n) // want `make allocates in //photon:hotpath function allocEverywhere`
+	_ = b
+	p := new(state) // want `new allocates in //photon:hotpath function allocEverywhere`
+	_ = p
+	s.peers = append(s.peers, n) // want `append may grow and allocate in //photon:hotpath function allocEverywhere`
+}
+
+//photon:hotpath
+func literals(n int) {
+	xs := []int{n} // want `slice literal allocates in //photon:hotpath function literals`
+	_ = xs
+	m := map[int]int{} // want `map literal allocates in //photon:hotpath function literals`
+	_ = m
+	p := &state{} // want `&composite literal escapes to the heap in //photon:hotpath function literals`
+	_ = p
+}
+
+//photon:hotpath
+func formatting(err error) {
+	fmt.Println(err) // want `fmt.Println allocates and boxes its arguments in //photon:hotpath function formatting`
+}
+
+//photon:hotpath
+func conversions(b []byte, s string, n int) {
+	_ = string(b) // want `string conversion copies the slice in //photon:hotpath function conversions`
+	_ = []byte(s) // want `\[\]byte conversion copies the string in //photon:hotpath function conversions`
+	_ = any(n)    // want `conversion to interface type boxes the value in //photon:hotpath function conversions`
+}
+
+//photon:hotpath
+func locking(s *state) {
+	s.mu.Lock() // want `Lock acquires a blocking mutex in //photon:hotpath function locking`
+	s.mu.Unlock()
+	s.rw.RLock() // want `RLock acquires a blocking mutex in //photon:hotpath function locking`
+	s.rw.RUnlock()
+}
+
+//photon:hotpath
+func lockerIface(l sync.Locker) {
+	l.Lock() // want `Lock acquires a blocking mutex in //photon:hotpath function lockerIface`
+	l.Unlock()
+}
+
+//photon:hotpath
+func spawning(s *state) {
+	go func() { // want `go statement spawns a goroutine in //photon:hotpath function spawning` `function literal allocates a closure in //photon:hotpath function spawning`
+		s.mu.Lock() // want `Lock acquires a blocking mutex in //photon:hotpath function spawning`
+		s.mu.Unlock()
+	}()
+}

@@ -1,0 +1,69 @@
+package snapshotpost
+
+type sendWR struct {
+	Local []byte
+	Op    int
+}
+
+type qp struct{}
+
+func (q *qp) post(wr sendWR) error { return nil }
+
+type copyingBackend struct {
+	frames [][]byte
+}
+
+// PostWrite snapshots the payload into a fresh frame at post time —
+// the contract implemented by the tcp backend.
+func (b *copyingBackend) PostWrite(local []byte, rkey uint64) error {
+	frame := make([]byte, 16+len(local))
+	copy(frame[16:], local)
+	b.frames = append(b.frames, frame)
+	return nil
+}
+
+type spreadBackend struct {
+	wire []byte
+}
+
+// PostWrite appends the payload's bytes (spread copies), not the slice
+// itself.
+func (b *spreadBackend) PostWrite(local []byte) error {
+	b.wire = append(b.wire[:0], local...)
+	return nil
+}
+
+type handoffBackend struct {
+	q *qp
+}
+
+// PostWrite passes a literal holding the payload straight into the
+// next post layer — the vsim idiom: the callee's own snapshot contract
+// takes over.
+func (b *handoffBackend) PostWrite(local []byte) error {
+	return b.q.post(sendWR{Local: local, Op: 1})
+}
+
+type batchCopyBackend struct {
+	frames [][]byte
+}
+
+// PostWriteBatch copies each payload before return.
+func (b *batchCopyBackend) PostWriteBatch(reqs []writeReq) error {
+	for _, r := range reqs {
+		frame := make([]byte, len(r.Local))
+		copy(frame, r.Local)
+		b.frames = append(b.frames, frame)
+	}
+	return nil
+}
+
+type unrelated struct{}
+
+// PostWrite without a payload parameter is out of scope.
+func (u *unrelated) PostWrite(n int) error { return nil }
+
+// postWrite (unexported, not the interface method) is out of scope.
+type notBackend struct{ held []byte }
+
+func (n *notBackend) postWrite(local []byte) { n.held = local }

@@ -1,0 +1,77 @@
+// Package snapshotpost exercises the snapshotpost analyzer: PostWrite
+// and PostWriteBatch implementations must not retain the caller's
+// payload slice past return.
+package snapshotpost
+
+// writeReq mirrors core.WriteReq's payload shape.
+type writeReq struct {
+	Local []byte
+	Rkey  uint64
+}
+
+type retainingBackend struct {
+	held   []byte
+	queue  [][]byte
+	outbox chan []byte
+}
+
+// PostWrite stashes the caller's slice instead of copying it.
+func (b *retainingBackend) PostWrite(local []byte, rkey uint64) error {
+	b.held = local // want `PostWrite must snapshot the payload before returning: payload stored into struct field held`
+	return nil
+}
+
+type queueingBackend struct {
+	queue [][]byte
+}
+
+// PostWrite queues the live slice for a background sender.
+func (b *queueingBackend) PostWrite(local []byte) error {
+	b.queue = append(b.queue, local) // want `PostWrite must snapshot the payload before returning: payload appended as an element into a slice`
+	return nil
+}
+
+type batchBackend struct {
+	held []byte
+}
+
+// PostWriteBatch retains a payload reached through the batch slice.
+func (b *batchBackend) PostWriteBatch(reqs []writeReq) error {
+	for _, r := range reqs {
+		b.held = r.Local // want `PostWriteBatch must snapshot the payload before returning: payload stored into struct field held`
+	}
+	return nil
+}
+
+type indexBackend struct {
+	held []byte
+}
+
+// PostWriteBatch retains via direct indexing rather than range.
+func (b *indexBackend) PostWriteBatch(reqs []writeReq) error {
+	if len(reqs) > 0 {
+		b.held = reqs[0].Local // want `PostWriteBatch must snapshot the payload before returning: payload stored into struct field held`
+	}
+	return nil
+}
+
+type goBackend struct{}
+
+// PostWrite hands the live payload to a goroutine that sends after
+// return.
+func (b *goBackend) PostWrite(local []byte, send func([]byte)) error {
+	go func() { // want `PostWrite must snapshot the payload before returning: payload captured by a goroutine closure`
+		send(local)
+	}()
+	return nil
+}
+
+type chanBackend struct {
+	outbox chan []byte
+}
+
+// PostWrite ships the live slice through a channel.
+func (b *chanBackend) PostWrite(local []byte) error {
+	b.outbox <- local // want `PostWrite must snapshot the payload before returning: payload sent on a channel`
+	return nil
+}

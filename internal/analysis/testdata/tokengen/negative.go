@@ -1,0 +1,40 @@
+package tokengen
+
+// take mirrors tokenTable.take: it narrows the token only after
+// extracting and checking the generation in the same function — the
+// sanctioned idiom.
+func take(tok uint64, gens []uint32) (uint32, bool) {
+	gen := uint32(tok >> 32)
+	slot := uint32(tok)
+	if int(slot) >= len(gens) || gens[slot] != gen {
+		return 0, false
+	}
+	return slot, true
+}
+
+// genOnly extracts just the generation; a >=32-bit shift keeps the tag.
+func genOnly(tok uint64) uint32 {
+	return uint32(tok >> 32)
+}
+
+// highMask keeps the generation half, which loses nothing that matters.
+func highMask(tok uint64) uint64 {
+	return tok & 0xffffffff00000000
+}
+
+// unrelatedName narrows a uint64 that is not a token; the analyzer is
+// name-seeded and stays quiet.
+func unrelatedName(seq uint64) uint32 {
+	return uint32(seq)
+}
+
+// fullWidth passes the token around at full width.
+func fullWidth(tok uint64, sink func(uint64)) {
+	sink(tok)
+}
+
+// wideningInt converts to int/uint, which are 64-bit on every platform
+// Photon targets.
+func wideningInt(tok uint64) int {
+	return int(tok)
+}

@@ -1,0 +1,48 @@
+// Package tokengen exercises the tokengen analyzer: completion tokens
+// narrowed or masked without consulting the generation tag (bits
+// 32..63) must be reported.
+package tokengen
+
+// narrowed drops the generation by conversion.
+func narrowed(tok uint64) uint32 {
+	return uint32(tok) // want `token narrowed to uint32 without consulting its generation`
+}
+
+// narrowedSmall drops even more bits.
+func narrowedSmall(token uint64) uint16 {
+	return uint16(token) // want `token narrowed to uint16 without consulting its generation`
+}
+
+// masked keeps only the low half with a constant mask.
+func masked(tok uint64) uint64 {
+	return tok & 0xffffffff // want `token masked to its low 32 bits without consulting its generation`
+}
+
+// maskedShard extracts the shard bits without ever checking the
+// generation — the recycled-slot confusion bug.
+func maskedShard(tok uint64) uint64 {
+	const shards = 16
+	return tok & (shards - 1) // want `token masked to its low 32 bits without consulting its generation`
+}
+
+// aliased narrows through a local alias of the token.
+func aliased(token uint64) uint32 {
+	t := token
+	return uint32(t) // want `token narrowed to uint32 without consulting its generation`
+}
+
+type completion struct {
+	Token uint64
+	N     int
+}
+
+// fromField narrows a completion's Token field.
+func fromField(c completion) uint32 {
+	return uint32(c.Token) // want `token narrowed to uint32 without consulting its generation`
+}
+
+// storedNarrow parks the low half in a map key, where stale and live
+// completions collide after slot recycling.
+func storedNarrow(tok uint64, pending map[uint32]bool) {
+	pending[uint32(tok)] = true // want `token narrowed to uint32 without consulting its generation`
+}

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// TokenGen enforces the completion-token generation invariant from
+// PR 1: a backend completion token packs shard (bits 0..3), slot index
+// (4..31), and slot generation (32..63), and the generation is the
+// only thing separating a live completion from a stale or duplicated
+// one after the slot recycles. Any code that narrows a token to its
+// low 32 bits — deriving a slot or shard, converting to a smaller
+// integer, masking the high half away — without also consulting the
+// generation (tok >> 32) in the same function is comparing or storing
+// tokens that can no longer be told apart across recycles.
+//
+// The analyzer identifies token values by name and type: uint64
+// parameters and locals named tok/token (and aliases assigned from
+// them), plus selections of a uint64 struct field named Token
+// (core.BackendCompletion's shape). Within one function it reports:
+//
+//   - conversions of a token to an integer type narrower than 64 bits
+//     (uint32(tok), int16(tok), ...);
+//   - masking a token with a constant whose high 32 bits are zero
+//     (tok & 0xffffffff, tok & (shards-1));
+//
+// unless the function also extracts the generation via a right shift
+// of 32 or more (uint32(tok >> 32) is exactly the sanctioned idiom —
+// tokenTable.take both indexes and checks the generation, so it
+// passes). Name-based identification is a deliberate vet-style
+// trade-off: tokens are plain uint64s on the Backend API, so there is
+// no distinct type to latch onto without changing that API.
+var TokenGen = &Analyzer{
+	Name: "tokengen",
+	Doc:  "flags completion tokens narrowed or compared without their generation tag",
+	Run:  runTokenGen,
+}
+
+func runTokenGen(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			tokenGenFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func tokenGenFunc(pass *Pass, fn *ast.FuncDecl) {
+	tainted := map[types.Object]bool{}
+
+	// Seed: uint64 params and locals literally named tok/token.
+	seed := func(id *ast.Ident) {
+		obj := pass.ObjectOf(id)
+		if obj == nil || !isUint64(obj.Type()) {
+			return
+		}
+		if n := id.Name; n == "tok" || n == "token" {
+			tainted[obj] = true
+		}
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			seed(id)
+		}
+		return true
+	})
+
+	isToken := func(e ast.Expr) bool {
+		switch e := unparen(e).(type) {
+		case *ast.Ident:
+			obj := pass.ObjectOf(e)
+			return obj != nil && tainted[obj]
+		case *ast.SelectorExpr:
+			return e.Sel.Name == "Token" && isUint64(pass.TypeOf(e))
+		}
+		return false
+	}
+	// tokenDerived: a token possibly shifted/masked but still carrying
+	// token bits (tok >> 4, tok & mask).
+	var tokenDerived func(e ast.Expr) bool
+	tokenDerived = func(e ast.Expr) bool {
+		if isToken(e) {
+			return true
+		}
+		if b, ok := unparen(e).(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.SHR, token.SHL, token.AND, token.OR, token.XOR:
+				return tokenDerived(b.X) || tokenDerived(b.Y)
+			}
+		}
+		return false
+	}
+
+	// Aliases: t := tok.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !isToken(rhs) {
+					continue
+				}
+				id, ok := unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pass.ObjectOf(id)
+				if obj != nil && !tainted[obj] && isUint64(obj.Type()) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Does this function extract the generation anywhere? A right
+	// shift of >= 32 on a token-derived value.
+	genExtracted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != token.SHR || !tokenDerived(b.X) {
+			return true
+		}
+		if c, ok := constValue(pass, b.Y); ok && c >= 32 {
+			genExtracted = true
+		}
+		return true
+	})
+	if genExtracted {
+		return
+	}
+
+	// Report narrowing uses.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			tv, ok := pass.TypesInfo.Types[n.Fun]
+			if !ok || !tv.IsType() || len(n.Args) != 1 {
+				return true
+			}
+			if !isNarrowInt(tv.Type) || !tokenDerived(n.Args[0]) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "token narrowed to %s without consulting its generation (bits 32..63); stale completions become indistinguishable after the slot recycles", tv.Type.String())
+		case *ast.BinaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			var maskSide ast.Expr
+			switch {
+			case tokenDerived(n.X):
+				maskSide = n.Y
+			case tokenDerived(n.Y):
+				maskSide = n.X
+			default:
+				return true
+			}
+			if c, ok := constValue(pass, maskSide); ok && c < 1<<32 {
+				pass.Reportf(n.Pos(), "token masked to its low 32 bits without consulting its generation (bits 32..63); compare the generation too, or extract it with tok >> 32")
+			}
+		}
+		return true
+	})
+}
+
+func isUint64(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+// isNarrowInt matches integer types narrower than 64 bits. int/uint
+// stay exempt: they are 64-bit on every platform Photon targets, and
+// flagging them would punish ordinary indexing.
+func isNarrowInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int8, types.Int16, types.Int32,
+		types.Uint8, types.Uint16, types.Uint32:
+		return true
+	}
+	return false
+}
+
+// constValue evaluates e as a non-negative integer constant.
+func constValue(pass *Pass, e ast.Expr) (uint64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	u, ok := constant.Uint64Val(v)
+	return u, ok
+}

@@ -22,6 +22,8 @@ import (
 // (or, with localRID == 0, until a later completion on the same rank).
 // Returns ErrWouldBlock when the target's completion ledger is out of
 // credits; drive Progress and retry, or use PutBlocking.
+//
+//photon:hotpath
 func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer, off uint64, localRID, remoteRID uint64) error {
 	if err := p.checkRank(rank); err != nil {
 		return err
@@ -30,7 +32,7 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 		return ErrClosed
 	}
 	if !dst.Contains(off, len(local)) {
-		return fmt.Errorf("%w: put of %d bytes at offset %d into buffer of %d", ErrTooLarge, len(local), off, dst.Len)
+		return fmt.Errorf("%w: put of %d bytes at offset %d into buffer of %d", ErrTooLarge, len(local), off, dst.Len) //photon:allow hotpathalloc -- cold error path; the op was rejected before any work
 	}
 	ps := p.peers[rank]
 	ts := p.obsStamp()
@@ -134,6 +136,8 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 // the data has landed; when remoteRID is non-zero the target is
 // additionally notified (its completion carries remoteRID) after the
 // read completes — Photon's "get with remote completion".
+//
+//photon:hotpath
 func (p *Photon) GetWithCompletion(rank int, local []byte, src mem.RemoteBuffer, off uint64, localRID, remoteRID uint64) error {
 	if err := p.checkRank(rank); err != nil {
 		return err
@@ -142,10 +146,10 @@ func (p *Photon) GetWithCompletion(rank int, local []byte, src mem.RemoteBuffer,
 		return ErrClosed
 	}
 	if len(local) == 0 {
-		return fmt.Errorf("%w: zero-length get", ErrTooLarge)
+		return fmt.Errorf("%w: zero-length get", ErrTooLarge) //photon:allow hotpathalloc -- cold error path; the op was rejected before any work
 	}
 	if !src.Contains(off, len(local)) {
-		return fmt.Errorf("%w: get of %d bytes at offset %d from buffer of %d", ErrTooLarge, len(local), off, src.Len)
+		return fmt.Errorf("%w: get of %d bytes at offset %d from buffer of %d", ErrTooLarge, len(local), off, src.Len) //photon:allow hotpathalloc -- cold error path; the op was rejected before any work
 	}
 	ts := p.obsStamp()
 	tok := p.newToken(pendingOp{
@@ -170,6 +174,8 @@ func (p *Photon) GetWithCompletion(rank int, local []byte, src mem.RemoteBuffer,
 // read, FIN). localRID, when non-zero, is surfaced here once data is
 // safely out of the caller's buffer (packed: immediately on transport
 // completion; rendezvous: on FIN).
+//
+//photon:hotpath
 func (p *Photon) Send(rank int, data []byte, localRID, remoteRID uint64) error {
 	if err := p.checkRank(rank); err != nil {
 		return err
@@ -189,6 +195,8 @@ func (p *Photon) Send(rank int, data []byte, localRID, remoteRID uint64) error {
 // [tPackedPut][remoteRID][raddr][rkey][data]. The target validates and
 // places the payload before surfacing the remote completion, so the
 // "remote RID implies data visible" invariant holds unchanged.
+//
+//photon:hotpath
 func (p *Photon) putPacked(ps *peerState, rank int, local []byte, raddr uint64, rkey uint32, localRID, remoteRID uint64, ts int64) error {
 	res, err := p.reserve(ps, classEager)
 	if err != nil {
@@ -224,6 +232,8 @@ func (p *Photon) putPacked(ps *peerState, rank int, local []byte, raddr uint64, 
 }
 
 // sendPacked copies data into an eager ledger entry: one RDMA write.
+//
+//photon:hotpath
 func (p *Photon) sendPacked(ps *peerState, rank int, data []byte, localRID, remoteRID uint64, ts int64) error {
 	res, err := p.reserve(ps, classEager)
 	if err != nil {
@@ -301,25 +311,34 @@ func (p *Photon) sendRendezvous(ps *peerState, rank int, data []byte, localRID, 
 	return nil
 }
 
+// Atomic opcodes for the shared post path. Passing the opcode and its
+// operands directly (rather than a per-call closure) keeps FetchAdd and
+// CompSwap allocation-free.
+const (
+	atomicFetchAdd = iota
+	atomicCompSwap
+)
+
 // FetchAdd atomically adds `add` to the 8-byte word at dst+off on rank.
 // The prior value is surfaced in the local completion's Value field
 // under localRID.
+//
+//photon:hotpath
 func (p *Photon) FetchAdd(rank int, dst mem.RemoteBuffer, off uint64, add uint64, localRID uint64) error {
-	return p.atomic(rank, dst, off, localRID, func(result []byte, raddr uint64, tok uint64) error {
-		return p.be.PostFetchAdd(rank, result, raddr, dst.RKey, add, tok)
-	})
+	return p.atomic(rank, dst, off, localRID, atomicFetchAdd, add, 0)
 }
 
 // CompSwap atomically compare-and-swaps the 8-byte word at dst+off on
 // rank (swap stored iff current == compare). The prior value is
 // surfaced in the local completion's Value field under localRID.
+//
+//photon:hotpath
 func (p *Photon) CompSwap(rank int, dst mem.RemoteBuffer, off uint64, compare, swap uint64, localRID uint64) error {
-	return p.atomic(rank, dst, off, localRID, func(result []byte, raddr uint64, tok uint64) error {
-		return p.be.PostCompSwap(rank, result, raddr, dst.RKey, compare, swap, tok)
-	})
+	return p.atomic(rank, dst, off, localRID, atomicCompSwap, compare, swap)
 }
 
-func (p *Photon) atomic(rank int, dst mem.RemoteBuffer, off uint64, localRID uint64, post func(result []byte, raddr uint64, tok uint64) error) error {
+//photon:hotpath
+func (p *Photon) atomic(rank int, dst mem.RemoteBuffer, off uint64, localRID uint64, op int, arg0, arg1 uint64) error {
 	if err := p.checkRank(rank); err != nil {
 		return err
 	}
@@ -327,7 +346,7 @@ func (p *Photon) atomic(rank int, dst mem.RemoteBuffer, off uint64, localRID uin
 		return ErrClosed
 	}
 	if !dst.Contains(off, 8) {
-		return fmt.Errorf("%w: atomic at offset %d of buffer len %d", ErrTooLarge, off, dst.Len)
+		return fmt.Errorf("%w: atomic at offset %d of buffer len %d", ErrTooLarge, off, dst.Len) //photon:allow hotpathalloc -- cold error path; the op was rejected before any work
 	}
 	// The result word is pool scratch; the backend owns it until the
 	// completion is reaped, where handleBackend recycles it.
@@ -342,7 +361,13 @@ func (p *Photon) atomic(rank int, dst mem.RemoteBuffer, off uint64, localRID uin
 	if ts != 0 {
 		p.traceEv(trace.KindPost, localRID, "atomic")
 	}
-	if err := post(result, dst.Addr+off, tok); err != nil {
+	var err error
+	if op == atomicFetchAdd {
+		err = p.be.PostFetchAdd(rank, result, dst.Addr+off, dst.RKey, arg0, tok)
+	} else {
+		err = p.be.PostCompSwap(rank, result, dst.Addr+off, dst.RKey, arg0, arg1, tok)
+	}
+	if err != nil {
 		p.takeToken(tok)
 		p.pool.Put(result)
 		return err
@@ -353,6 +378,8 @@ func (p *Photon) atomic(rank int, dst mem.RemoteBuffer, off uint64, localRID uin
 
 // reserve claims a ledger slot toward a peer, refreshing credits from
 // the mailbox once before giving up with ErrWouldBlock.
+//
+//photon:hotpath
 func (p *Photon) reserve(ps *peerState, class int) (ledger.Reservation, error) {
 	res, err := ps.send[class].Reserve()
 	if err == nil {
@@ -372,8 +399,10 @@ func (p *Photon) reserve(ps *peerState, class int) (ledger.Reservation, error) {
 // within each operation. Pooled entry scratch is recycled as soon as
 // the write is accepted (the Backend contract guarantees PostWrite has
 // snapshotted it by then).
+//
+//photon:hotpath
 func (p *Photon) postOrPark(ps *peerState, rank int, local []byte, raddr uint64, rkey uint32, token uint64, signaled, pooled bool) {
-	ps.mu.Lock()
+	ps.mu.Lock() //photon:allow hotpathalloc -- per-peer lock held for one length check; uncontended on the single-threaded fast path
 	parked := len(ps.pendingWire) > 0
 	ps.mu.Unlock()
 	if !parked {
@@ -389,9 +418,11 @@ func (p *Photon) postOrPark(ps *peerState, rank int, local []byte, raddr uint64,
 }
 
 // parkWire appends one write to the peer's deferred FIFO.
+//
+//photon:hotpath
 func (p *Photon) parkWire(ps *peerState, w wireOp) {
-	ps.mu.Lock()
-	ps.pendingWire = append(ps.pendingWire, w)
+	ps.mu.Lock() //photon:allow hotpathalloc -- per-peer lock guarding the deferred FIFO; only taken once the transport pushed back
+	ps.pendingWire = append(ps.pendingWire, w) //photon:allow hotpathalloc -- backpressure slow path; growth is amortized and the FIFO shrinks to zero in steady state
 	ps.mu.Unlock()
 	ps.deferred.Add(1)
 	p.parked.Add(1)
@@ -403,8 +434,10 @@ func (p *Photon) parkWire(ps *peerState, w wireOp) {
 // supports batching, falling back to sequential posts otherwise. FIFO
 // with already-parked work is preserved: if the peer has a deferred
 // backlog both writes join its tail.
+//
+//photon:hotpath
 func (p *Photon) postPair(ps *peerState, rank int, a, b wireOp) {
-	ps.mu.Lock()
+	ps.mu.Lock() //photon:allow hotpathalloc -- per-peer lock held for one length check; uncontended on the single-threaded fast path
 	parked := len(ps.pendingWire) > 0
 	ps.mu.Unlock()
 	if parked {

@@ -15,6 +15,9 @@ import (
 // ErrTimeout is returned by the Wait helpers when the deadline passes.
 var ErrTimeout = errors.New("photon: wait timed out")
 
+// maxInt bounds untrusted 64-bit size words before narrowing to int.
+const maxInt = int(^uint(0) >> 1)
+
 // Progress drives the engine: it reaps backend completions, polls every
 // peer's ledgers, retries deferred work, and performs credit
 // maintenance. It returns the number of events it handled. Progress is
@@ -28,6 +31,8 @@ var ErrTimeout = errors.New("photon: wait timed out")
 // owed — additionally skips the per-peer loop: a spinning prober then
 // costs two atomic loads beyond the backend poll, independent of job
 // size.
+//
+//photon:hotpath
 func (p *Photon) Progress() int {
 	if !p.progMu.TryLock() {
 		return 0
@@ -82,6 +87,8 @@ func (p *Photon) Progress() int {
 }
 
 // reapBackend harvests transport completions and resolves their tokens.
+//
+//photon:hotpath
 func (p *Photon) reapBackend() int {
 	buf := p.reapScratch[:]
 	n := 0
@@ -97,6 +104,7 @@ func (p *Photon) reapBackend() int {
 	}
 }
 
+//photon:hotpath
 func (p *Photon) handleBackend(bc BackendCompletion) {
 	op, ok := p.takeToken(bc.Token)
 	if !ok {
@@ -105,7 +113,7 @@ func (p *Photon) handleBackend(bc BackendCompletion) {
 	if !bc.OK {
 		err := bc.Err
 		if err == nil {
-			err = fmt.Errorf("photon: transport error on op kind %d", op.kind)
+			err = fmt.Errorf("photon: transport error on op kind %d", op.kind) //photon:allow hotpathalloc -- cold error path; transport failures are not per-op cost
 		}
 		if op.postNS != 0 {
 			p.traceEv(trace.KindComplete, op.rid, "backend.err")
@@ -162,6 +170,8 @@ func (p *Photon) handleBackend(bc BackendCompletion) {
 
 // notifyRemote writes a bare completion entry (tCompletion) into the
 // peer's PWC ledger, deferring on credit exhaustion.
+//
+//photon:hotpath
 func (p *Photon) notifyRemote(rank int, rid uint64) {
 	var payload [9]byte
 	payload[0] = tCompletion
@@ -170,6 +180,8 @@ func (p *Photon) notifyRemote(rank int, rid uint64) {
 }
 
 // sendFIN writes a rendezvous-complete entry into the peer's sys ledger.
+//
+//photon:hotpath
 func (p *Photon) sendFIN(rank int, rdzvID uint64) {
 	var payload [9]byte
 	payload[0] = tFIN
@@ -181,10 +193,13 @@ func (p *Photon) sendFIN(rank int, rdzvID uint64) {
 // the entry, parking it for Progress when out of credits. payload is
 // copied before this function returns (both paths), so callers may
 // pass stack-backed scratch.
+//
+//photon:hotpath
 func (p *Photon) postEntryOrDefer(ps *peerState, class int, payload []byte) {
 	res, err := p.reserve(ps, class)
 	if err != nil {
-		ps.mu.Lock()
+		ps.mu.Lock() //photon:allow hotpathalloc -- credit-exhaustion slow path; the fast path never takes this branch
+		//photon:allow hotpathalloc -- credit-exhaustion slow path: the deferred copy and FIFO growth happen only under backpressure
 		ps.pendingEntry = append(ps.pendingEntry, entryOp{class: class, payload: append([]byte(nil), payload...)})
 		ps.mu.Unlock()
 		ps.deferred.Add(1)
@@ -332,10 +347,12 @@ type polledEvent struct {
 
 // pollPeer drains this peer's three receive ledgers: one arena lock
 // acquisition for the whole batch, then dispatch outside the lock.
+//
+//photon:hotpath
 func (p *Photon) pollPeer(ps *peerState) int {
 	p.pollScratch = p.pollScratch[:0]
 	n := 0
-	p.arenaLk.Lock()
+	p.arenaLk.Lock() //photon:allow hotpathalloc -- one arena lock per sweep batch covers every ledger poll; taking it once here is the optimization
 	if !ps.recv[classSys].ReadyLocked() &&
 		!ps.recv[classPWC].ReadyLocked() &&
 		!ps.recv[classEager].ReadyLocked() {
@@ -351,7 +368,7 @@ func (p *Photon) pollPeer(ps *peerState) int {
 		n++
 		if ev, ok := parseSys(e); ok {
 			ev.rts.rank = ps.rank
-			p.pollScratch = append(p.pollScratch, ev)
+			p.pollScratch = append(p.pollScratch, ev) //photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
 		}
 	}
 	for {
@@ -362,6 +379,7 @@ func (p *Photon) pollPeer(ps *peerState) int {
 		ps.consumed[classPWC]++
 		n++
 		if len(e.Payload) >= 9 && e.Payload[0] == tCompletion {
+			//photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
 			p.pollScratch = append(p.pollScratch, polledEvent{
 				kind: tCompletion,
 				rid:  binary.LittleEndian.Uint64(e.Payload[1:]),
@@ -381,6 +399,7 @@ func (p *Photon) pollPeer(ps *peerState) int {
 			// caller forever — never pool scratch.
 			data := p.pool.GetOwned(len(e.Payload) - packedHdrSize)
 			copy(data, e.Payload[packedHdrSize:])
+			//photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
 			p.pollScratch = append(p.pollScratch, polledEvent{
 				kind: tPacked,
 				rid:  binary.LittleEndian.Uint64(e.Payload[1:]),
@@ -395,6 +414,8 @@ func (p *Photon) pollPeer(ps *peerState) int {
 			// places it, so it can come from the recycling pool.
 			data := p.pool.Get(len(e.Payload) - packedPutHdrSize)
 			copy(data, e.Payload[packedPutHdrSize:])
+			//photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
+			//photon:allow bufretain -- parked in pollScratch only until dispatch below; ApplyLocal consumes it and Put recycles it in the same sweep
 			p.pollScratch = append(p.pollScratch, polledEvent{
 				kind:   tPackedPut,
 				rid:    binary.LittleEndian.Uint64(e.Payload[1:]),
@@ -430,8 +451,8 @@ func (p *Photon) pollPeer(ps *peerState) int {
 		case tRTS:
 			p.traceEv(trace.KindLedger, ev.rts.remoteRID, "ledger.rts")
 			if !p.startRdzvGet(ev.rts) {
-				ps.mu.Lock()
-				ps.pendingRTS = append(ps.pendingRTS, ev.rts)
+				ps.mu.Lock() //photon:allow hotpathalloc -- staging-exhaustion slow path; only reached when the slab is full
+				ps.pendingRTS = append(ps.pendingRTS, ev.rts) //photon:allow hotpathalloc -- backpressure FIFO growth; drains to zero in steady state
 				ps.mu.Unlock()
 				ps.deferred.Add(1)
 				p.parked.Add(1)
@@ -462,12 +483,19 @@ func parseSys(e ledger.Entry) (polledEvent, bool) {
 		if len(e.Payload) < 37 {
 			return polledEvent{}, false
 		}
+		// A corrupt or hostile size word must not wrap negative when
+		// narrowed to int (slab.Alloc and block.Buf[:size] would panic);
+		// oversize values are rejected here and the entry dropped.
+		size := binary.LittleEndian.Uint64(e.Payload[17:])
+		if size > uint64(maxInt) {
+			return polledEvent{}, false
+		}
 		return polledEvent{
 			kind: tRTS,
 			rts: rtsOp{
 				rdzvID:    binary.LittleEndian.Uint64(e.Payload[1:]),
 				remoteRID: binary.LittleEndian.Uint64(e.Payload[9:]),
-				size:      int(binary.LittleEndian.Uint64(e.Payload[17:])),
+				size:      int(size),
 				addr:      binary.LittleEndian.Uint64(e.Payload[25:]),
 				rkey:      binary.LittleEndian.Uint32(e.Payload[33:]),
 			},

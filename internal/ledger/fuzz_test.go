@@ -1,0 +1,61 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzLedgerEntryParse drives DecodeEntry with arbitrary slot bytes and
+// sequence expectations. The decoder reads memory a remote peer
+// RDMA-writes, so any input must either be rejected or yield a payload
+// that stays inside the slot — a corrupt length word must clamp, never
+// index out of the slot into a neighbor.
+func FuzzLedgerEntryParse(f *testing.F) {
+	slot := make([]byte, 64)
+	binary.LittleEndian.PutUint32(slot[0:], 1)
+	binary.LittleEndian.PutUint32(slot[4:], 9)
+	copy(slot[HeaderSize:], "completion")
+	f.Add(slot, uint32(1))
+	f.Add(slot, uint32(2)) // stale: seq mismatch
+	// Lying length word: claims more payload than the slot holds.
+	liar := make([]byte, 32)
+	binary.LittleEndian.PutUint32(liar[0:], 5)
+	binary.LittleEndian.PutUint32(liar[4:], ^uint32(0))
+	f.Add(liar, uint32(5))
+	f.Add([]byte{}, uint32(0))
+	f.Add(make([]byte, MinEntrySize-1), uint32(0))
+
+	f.Fuzz(func(t *testing.T, slot []byte, want uint32) {
+		payload, ok := DecodeEntry(slot, want)
+		if !ok {
+			if payload != nil {
+				t.Fatal("rejected entry carried a payload")
+			}
+			return
+		}
+		if len(slot) < MinEntrySize {
+			t.Fatalf("accepted undersized slot of %d bytes", len(slot))
+		}
+		if binary.LittleEndian.Uint32(slot) != want {
+			t.Fatal("accepted entry with wrong sequence")
+		}
+		if len(payload) > len(slot)-HeaderSize {
+			t.Fatalf("payload of %d bytes exceeds slot capacity %d", len(payload), len(slot)-HeaderSize)
+		}
+	})
+}
+
+// TestDecodeEntryClamp pins the defensive clamp: a hostile length word
+// yields exactly the slot's payload capacity.
+func TestDecodeEntryClamp(t *testing.T) {
+	slot := make([]byte, 32)
+	binary.LittleEndian.PutUint32(slot[0:], 3)
+	binary.LittleEndian.PutUint32(slot[4:], 1<<30)
+	payload, ok := DecodeEntry(slot, 3)
+	if !ok {
+		t.Fatal("valid sequence rejected")
+	}
+	if len(payload) != len(slot)-HeaderSize {
+		t.Fatalf("clamped payload is %d bytes, want %d", len(payload), len(slot)-HeaderSize)
+	}
+}

@@ -161,6 +161,27 @@ func (r *Receiver) ReadyLocked() bool {
 	return binary.LittleEndian.Uint32(r.buf[off:]) == r.wrap+1
 }
 
+// DecodeEntry parses one entrySize-byte ledger slot, accepting the
+// entry only when its sequence word equals want (the receiver's
+// current wrap + 1 — the per-slot validity rule). The returned payload
+// aliases slot and is clamped to the slot's capacity even when the
+// length word is corrupt, so remote writes can never steer a receiver
+// out of its own slot. It is a pure function over the slot bytes (no
+// receiver state) so it can be fuzzed directly.
+func DecodeEntry(slot []byte, want uint32) (payload []byte, ok bool) {
+	if len(slot) < MinEntrySize {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(slot) != want {
+		return nil, false
+	}
+	plen := int(binary.LittleEndian.Uint32(slot[4:]))
+	if plen > len(slot)-HeaderSize {
+		plen = len(slot) - HeaderSize // corrupt length; clamp defensively
+	}
+	return slot[HeaderSize : HeaderSize+plen], true
+}
+
 // PollLocked is Poll for engines that already hold the read-locker
 // passed to NewReceiver — a progress loop draining several ledgers of
 // one registered arena acquires the arena lock once instead of per
@@ -169,18 +190,14 @@ func (r *Receiver) PollLocked() (Entry, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	off := r.head * r.entrySize
-	seq := binary.LittleEndian.Uint32(r.buf[off:])
-	if seq != r.wrap+1 {
+	payload, ok := DecodeEntry(r.buf[off:off+r.entrySize], r.wrap+1)
+	if !ok {
 		return Entry{}, false
-	}
-	plen := int(binary.LittleEndian.Uint32(r.buf[off+4:]))
-	if plen > r.entrySize-HeaderSize {
-		plen = r.entrySize - HeaderSize // corrupt length; clamp defensively
 	}
 	e := Entry{
 		Slot:    r.head,
-		Seq:     seq,
-		Payload: r.buf[off+HeaderSize : off+HeaderSize+plen],
+		Seq:     r.wrap + 1,
+		Payload: payload,
 	}
 	r.head++
 	if r.head == r.n {

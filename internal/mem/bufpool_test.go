@@ -46,6 +46,45 @@ func TestBufPoolBound(t *testing.T) {
 	}
 }
 
+// TestBufPoolPutForeignCapacity pins Put's guard: only buffers whose
+// capacity is exactly BufSize() enter the free list. Anything else — a
+// slice from elsewhere, an undersized allocation, a capacity-limited
+// three-index reslice, nil — is dropped for the GC, because adopting a
+// foreign buffer would hand later Get callers a slice that cannot be
+// re-sliced to BufSize (or worse, shares an array with the original
+// owner).
+func TestBufPoolPutForeignCapacity(t *testing.T) {
+	p := NewBufPool(64, 4)
+	if got := p.BufSize(); got != 64 {
+		t.Fatalf("BufSize = %d, want 64", got)
+	}
+	foreign := [][]byte{
+		nil,
+		make([]byte, 16),      // undersized
+		make([]byte, 65),      // oversized
+		make([]byte, 64, 128), // right length, wrong capacity
+		p.Get(64)[:8:8],       // pooled array, but capacity clipped by a 3-index reslice
+	}
+	for i, b := range foreign {
+		p.Put(b)
+		if n := len(p.free); n != 0 {
+			t.Fatalf("case %d: Put adopted a buffer with cap %d (free list %d), want rejection", i, cap(b), n)
+		}
+	}
+	// A plain reslice keeps the pooled capacity and must be accepted —
+	// callers legitimately Put the re-sliced heads they worked with.
+	b := p.Get(64)
+	p.Put(b[:8])
+	if len(p.free) != 1 {
+		t.Fatal("Put rejected a full-capacity reslice of a pooled buffer")
+	}
+	// Recycled buffers come back at full capacity regardless of the
+	// length they were returned with.
+	if got := p.Get(64); len(got) != 64 || cap(got) != 64 {
+		t.Fatalf("recycled Get = len %d cap %d, want 64/64", len(got), cap(got))
+	}
+}
+
 func TestBufPoolGetOwned(t *testing.T) {
 	p := NewBufPool(64, 4)
 	b := p.GetOwned(16)

@@ -1,0 +1,94 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzFrameDecode drives decodeFrame with arbitrary wire bytes. The
+// frame parser sits directly behind the bounce-buffer receive path, so
+// every input must either be rejected or produce a frame whose payload
+// stays inside the input buffer and whose size survives the uint64→int
+// narrowing without wrapping negative (the pre-extraction parser could
+// produce a negative RTS size and panic in make).
+func FuzzFrameDecode(f *testing.F) {
+	// Valid eager frame.
+	eager := make([]byte, 13+5)
+	eager[0] = kEager
+	binary.LittleEndian.PutUint64(eager[1:], 42)
+	binary.LittleEndian.PutUint32(eager[9:], 5)
+	copy(eager[13:], "hello")
+	f.Add(eager)
+	// Eager with a lying length word (larger than the frame).
+	liar := bytes.Clone(eager)
+	binary.LittleEndian.PutUint32(liar[9:], 1<<31)
+	f.Add(liar)
+	// Valid RTS.
+	rts := make([]byte, 37)
+	rts[0] = kRTS
+	binary.LittleEndian.PutUint64(rts[1:], 7)
+	binary.LittleEndian.PutUint64(rts[9:], 1<<20)
+	binary.LittleEndian.PutUint64(rts[17:], 0xdead0000)
+	binary.LittleEndian.PutUint32(rts[25:], 99)
+	binary.LittleEndian.PutUint64(rts[29:], 3)
+	f.Add(rts)
+	// RTS whose size word would wrap negative as int.
+	evil := bytes.Clone(rts)
+	binary.LittleEndian.PutUint64(evil[9:], ^uint64(0))
+	f.Add(evil)
+	// Valid FIN, truncated frames, unknown kind.
+	fin := make([]byte, 9)
+	fin[0] = kFIN
+	binary.LittleEndian.PutUint64(fin[1:], 11)
+	f.Add(fin)
+	f.Add([]byte{})
+	f.Add([]byte{kEager, 1, 2})
+	f.Add([]byte{0xff, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		fr, ok := decodeFrame(buf)
+		if !ok {
+			return
+		}
+		switch fr.kind {
+		case kEager:
+			if len(buf) < 13 {
+				t.Fatalf("accepted truncated eager frame of %d bytes", len(buf))
+			}
+			if len(fr.payload) > len(buf)-13 {
+				t.Fatalf("payload of %d bytes exceeds frame body of %d", len(fr.payload), len(buf)-13)
+			}
+		case kRTS:
+			if len(buf) < 37 {
+				t.Fatalf("accepted truncated RTS frame of %d bytes", len(buf))
+			}
+			if fr.size < 0 {
+				t.Fatalf("RTS size wrapped negative: %d", fr.size)
+			}
+		case kFIN:
+			if len(buf) < 9 {
+				t.Fatalf("accepted truncated FIN frame of %d bytes", len(buf))
+			}
+		default:
+			t.Fatalf("accepted unknown frame kind %d", fr.kind)
+		}
+	})
+}
+
+// TestDecodeFrameRTSOverflow pins the uint64→int hardening: a size
+// word above MaxInt must reject the frame rather than surface a
+// negative size (which panicked in make([]byte, size) downstream).
+func TestDecodeFrameRTSOverflow(t *testing.T) {
+	rts := make([]byte, 37)
+	rts[0] = kRTS
+	binary.LittleEndian.PutUint64(rts[9:], ^uint64(0))
+	if fr, ok := decodeFrame(rts); ok {
+		t.Fatalf("hostile RTS size accepted: size=%d", fr.size)
+	}
+	binary.LittleEndian.PutUint64(rts[9:], 1<<20)
+	fr, ok := decodeFrame(rts)
+	if !ok || fr.size != 1<<20 {
+		t.Fatalf("valid RTS rejected: ok=%v size=%d", ok, fr.size)
+	}
+}

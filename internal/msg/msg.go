@@ -599,46 +599,105 @@ func (ep *Endpoint) handleRecvCQE(e verbs.CQE) {
 	_ = ep.qps[peer].PostRecv(verbs.RecvWR{WRID: e.WRID, Buf: bufs[slot]})
 }
 
+// maxFrameInt bounds untrusted 64-bit size words before narrowing to
+// int: a wire value above it would wrap negative and panic downstream
+// (make, re-slicing).
+const maxFrameInt = uint64(int(^uint(0) >> 1))
+
+// frame is one decoded wire frame. Payload aliases the input buffer —
+// a retaining caller must copy it out before the bounce buffer is
+// re-posted.
+type frame struct {
+	kind    uint8
+	tag     uint64
+	payload []byte // eager: payload bytes (clamped to the frame)
+	size    int    // rts: advertised source length
+	addr    uint64 // rts: registered source address
+	rkey    uint32 // rts: source rkey
+	seq     uint64 // rts/fin: rendezvous sequence number
+}
+
+// decodeFrame parses one wire frame, returning false for truncated,
+// unknown, or malformed input. It is a pure function over the buffer
+// (no endpoint state) so it can be fuzzed directly: any input must
+// either be rejected or yield a frame whose payload is in bounds and
+// whose size is non-negative.
+func decodeFrame(buf []byte) (frame, bool) {
+	if len(buf) < 1 {
+		return frame{}, false
+	}
+	switch buf[0] {
+	case kEager:
+		if len(buf) < 13 {
+			return frame{}, false
+		}
+		plen := int(binary.LittleEndian.Uint32(buf[9:]))
+		if plen > len(buf)-13 {
+			// Tolerate short frames from truncating transports: deliver
+			// what actually arrived (historical receiver behavior).
+			plen = len(buf) - 13
+		}
+		return frame{
+			kind:    kEager,
+			tag:     binary.LittleEndian.Uint64(buf[1:]),
+			payload: buf[13 : 13+plen],
+		}, true
+	case kRTS:
+		if len(buf) < 37 {
+			return frame{}, false
+		}
+		size := binary.LittleEndian.Uint64(buf[9:])
+		if size > maxFrameInt {
+			// Would wrap negative as int; hostile or corrupt — drop.
+			return frame{}, false
+		}
+		return frame{
+			kind: kRTS,
+			tag:  binary.LittleEndian.Uint64(buf[1:]),
+			size: int(size),
+			addr: binary.LittleEndian.Uint64(buf[17:]),
+			rkey: binary.LittleEndian.Uint32(buf[25:]),
+			seq:  binary.LittleEndian.Uint64(buf[29:]),
+		}, true
+	case kFIN:
+		if len(buf) < 9 {
+			return frame{}, false
+		}
+		return frame{kind: kFIN, seq: binary.LittleEndian.Uint64(buf[1:])}, true
+	}
+	return frame{}, false
+}
+
 // dispatchFrameLocked parses one frame and runs the matching engine.
 // Caller holds ep.mu.
-func (ep *Endpoint) dispatchFrameLocked(src int, frame []byte) {
-	if len(frame) < 1 {
+func (ep *Endpoint) dispatchFrameLocked(src int, buf []byte) {
+	f, ok := decodeFrame(buf)
+	if !ok {
 		return
 	}
-	switch frame[0] {
+	switch f.kind {
 	case kEager:
-		if len(frame) < 13 {
-			return
-		}
-		tag := binary.LittleEndian.Uint64(frame[1:])
-		plen := int(binary.LittleEndian.Uint32(frame[9:]))
-		if plen > len(frame)-13 {
-			plen = len(frame) - 13
-		}
-		data := append([]byte(nil), frame[13:13+plen]...)
-		trace.Record(trace.KindLedger, ep.rank, tag, "msg.eager.rx")
+		data := append([]byte(nil), f.payload...)
+		trace.Record(trace.KindLedger, ep.rank, f.tag, "msg.eager.rx")
 		ep.stats.eagerRx++
 		for i, r := range ep.posted {
 			ep.stats.matchScans++
-			if match(r, src, tag) {
+			if match(r, src, f.tag) {
 				ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
-				r.done <- Message{Src: src, Tag: tag, Data: intoBuf(r.buf, data)}
+				r.done <- Message{Src: src, Tag: f.tag, Data: intoBuf(r.buf, data)}
 				return
 			}
 		}
-		ep.unexp = append(ep.unexp, &unexpected{src: src, tag: tag, data: data})
+		ep.unexp = append(ep.unexp, &unexpected{src: src, tag: f.tag, data: data})
 	case kRTS:
-		if len(frame) < 37 {
-			return
-		}
 		u := &unexpected{
 			src:  src,
-			tag:  binary.LittleEndian.Uint64(frame[1:]),
+			tag:  f.tag,
 			rts:  true,
-			size: int(binary.LittleEndian.Uint64(frame[9:])),
-			addr: binary.LittleEndian.Uint64(frame[17:]),
-			rkey: binary.LittleEndian.Uint32(frame[25:]),
-			seq:  binary.LittleEndian.Uint64(frame[29:]),
+			size: f.size,
+			addr: f.addr,
+			rkey: f.rkey,
+			seq:  f.seq,
 		}
 		trace.Record(trace.KindProtocol, ep.rank, u.seq, "msg.rts.rx")
 		ep.stats.rdzvRx++
@@ -652,10 +711,7 @@ func (ep *Endpoint) dispatchFrameLocked(src int, frame []byte) {
 		}
 		ep.unexp = append(ep.unexp, u)
 	case kFIN:
-		if len(frame) < 9 {
-			return
-		}
-		seq := binary.LittleEndian.Uint64(frame[1:])
+		seq := f.seq
 		trace.Record(trace.KindProtocol, ep.rank, seq, "msg.fin.rx")
 		if s, ok := ep.rdzvSrc[seq]; ok {
 			delete(ep.rdzvSrc, seq)
