@@ -33,7 +33,7 @@ var descriptions = map[string]string{
 	"E8":  "Fig 6: GUPS scaling (atomics vs request/ack)",
 	"E9":  "Fig 7: stencil halo-exchange time per iteration",
 	"E10": "Fig 8: BFS TEPS on the parcel runtime",
-	"E11": "Table 3: backend comparison (simulated verbs vs TCP)",
+	"E11": "Table 3 + TCP data-path profile: backend latency, put sweep, pipelined rate/bandwidth",
 	"E12": "Fig 9: remote atomics latency and pipelined rate",
 }
 

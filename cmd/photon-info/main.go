@@ -51,7 +51,60 @@ func main() {
 		fmt.Println()
 		fmt.Println("metrics snapshot (rank 0):")
 		fmt.Print(indent(env.Phs[0].Metrics().Render(), "  "))
+		fmt.Println()
+		fmt.Println("tcp data path (2-rank loopback job, pipelined puts):")
+		fmt.Print(indent(tcpDataPath(), "  "))
 	}
+}
+
+// tcpDataPath boots a loopback TCP job, streams pipelined puts, and
+// reports the transport's coalescing counters: the tcp_* gauges the
+// backend exports through Photon.Metrics plus the derived ratios
+// (frames per Write syscall, bytes per syscall, ack piggyback share).
+func tcpDataPath() string {
+	phs, cleanup, err := bench.NewTCPPhotons(2, core.Config{Metrics: true})
+	if err != nil {
+		return fmt.Sprintln("error:", err)
+	}
+	defer cleanup()
+	_, descs, _, err := bench.ShareBuffers(phs, 1<<20)
+	if err != nil {
+		return fmt.Sprintln("error:", err)
+	}
+	if _, err := bench.StreamBandwidthPWC(phs, descs, 4096, 16, 512); err != nil {
+		return fmt.Sprintln("error:", err)
+	}
+	// Sum both ranks: the ack-emission counters live at whichever side
+	// sends the acks (the put target), the flush counters at the
+	// initiator.
+	cs := stats.NewCounterSet()
+	get := func(name string) int64 {
+		var total int64
+		for _, ph := range phs {
+			v, _ := ph.Metrics().Gauges.Get(name)
+			total += v
+		}
+		return total
+	}
+	for _, n := range phs[0].Metrics().Gauges.Names() {
+		if len(n) >= 4 && n[:4] == "tcp_" {
+			cs.Set(n, get(n))
+		}
+	}
+	out := cs.Render()
+	flushes := get("tcp_flushes")
+	frames := get("tcp_frames_out")
+	bytesOut := get("tcp_bytes_out")
+	piggy := get("tcp_acks_piggybacked")
+	solo := get("tcp_acks_standalone")
+	if flushes > 0 {
+		out += fmt.Sprintf("frames/flush        %.2f\n", float64(frames)/float64(flushes))
+		out += fmt.Sprintf("bytes/write-syscall %.0f\n", float64(bytesOut)/float64(flushes))
+	}
+	if piggy+solo > 0 {
+		out += fmt.Sprintf("ack piggyback ratio %.2f\n", float64(piggy)/float64(piggy+solo))
+	}
+	return out
 }
 
 // hotPathCounters drives a few eager puts through rank 0 and reports

@@ -1,22 +1,45 @@
 package tcp
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"photon/internal/core"
 )
+
+// replyFrame is one queued response (or nack) with the cumulative ack
+// it carries in its frame header. The stamp is captured at push time —
+// the applied-signaled-write count from this peer at that moment — so
+// a response frame also acknowledges every write applied before the
+// operation it answers, which is what keeps cross-kind completions in
+// posting order at the initiator.
+type replyFrame struct {
+	data  []byte
+	stamp uint64
+	// nackSeq is non-zero when data is a write-failure nack for
+	// signaled write #nackSeq; the writer tracks the highest drained
+	// value to keep later stamps from overtaking a queued nack.
+	nackSeq uint64
+}
 
 // replyQueue is the unbounded per-peer response queue. Readers append
 // (never blocking) and the writer loop drains it ahead of requests;
 // keeping the reader non-blocking breaks the bidirectional-saturation
 // deadlock that bounded reply channels would allow.
+//
+// Pops advance a head index instead of reslicing (`q = q[1:]` would
+// pin every popped frame in the backing array); popped slots are
+// cleared for GC and the array is reused from the start whenever the
+// queue drains, with periodic compaction under sustained backlog.
 type replyQueue struct {
 	mu   sync.Mutex
-	q    [][]byte
+	q    []replyFrame
+	head int
 	wake chan struct{}
 }
 
@@ -24,70 +47,311 @@ func newReplyQueue() *replyQueue {
 	return &replyQueue{wake: make(chan struct{}, 1)}
 }
 
-func (r *replyQueue) push(f []byte) {
+func (r *replyQueue) push(f replyFrame) {
 	r.mu.Lock()
 	r.q = append(r.q, f)
 	r.mu.Unlock()
+	r.notify()
+}
+
+// notify nudges the writer loop (used by push, and by the reader when
+// acks are owed after a socket drain).
+func (r *replyQueue) notify() {
 	select {
 	case r.wake <- struct{}{}:
 	default:
 	}
 }
 
-func (r *replyQueue) pop() ([]byte, bool) {
+func (r *replyQueue) pop() (replyFrame, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.q) == 0 {
-		return nil, false
+	if r.head == len(r.q) {
+		r.q = r.q[:0]
+		r.head = 0
+		return replyFrame{}, false
 	}
-	f := r.q[0]
-	r.q = r.q[1:]
+	f := r.q[r.head]
+	r.q[r.head] = replyFrame{}
+	r.head++
+	if r.head == len(r.q) {
+		r.q = r.q[:0]
+		r.head = 0
+	} else if r.head >= 256 && r.head*2 >= len(r.q) {
+		n := copy(r.q, r.q[r.head:])
+		r.q = r.q[:n]
+		r.head = 0
+	}
 	return f, true
 }
 
-// writer drains a peer's request channel (and reply queue) into the
-// socket; for the self rank it applies requests locally instead.
+// ackWindow is the per-connection FIFO of signaled-write tokens in
+// wire order, awaiting the peer's cumulative ack. The writer appends
+// while building a flush (before the bytes hit the wire, so an ack can
+// never race the append); only the reader pops. done counts completed
+// sequence numbers — seqs start at 1, matching the cumAck stamps.
+type ackWindow struct {
+	mu   sync.Mutex
+	toks []uint64
+	head int
+	done uint64
+}
+
+func (w *ackWindow) push(tok uint64) {
+	w.mu.Lock()
+	w.toks = append(w.toks, tok)
+	w.mu.Unlock()
+}
+
+// takeTo pops tokens up to cumulative seq k into dst.
+func (w *ackWindow) takeTo(k uint64, dst []uint64) []uint64 {
+	w.mu.Lock()
+	for w.done < k && w.head < len(w.toks) {
+		dst = append(dst, w.toks[w.head])
+		w.head++
+		w.done++
+	}
+	w.compact()
+	w.mu.Unlock()
+	return dst
+}
+
+// takeOne pops the single next token (nack delivery).
+func (w *ackWindow) takeOne() (uint64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.head == len(w.toks) {
+		return 0, false
+	}
+	tok := w.toks[w.head]
+	w.head++
+	w.done++
+	w.compact()
+	return tok, true
+}
+
+// drain pops everything (connection loss: fail all in-flight writes).
+func (w *ackWindow) drain(dst []uint64) []uint64 {
+	w.mu.Lock()
+	dst = append(dst, w.toks[w.head:]...)
+	w.toks = w.toks[:0]
+	w.head = 0
+	w.mu.Unlock()
+	return dst
+}
+
+// compact releases popped slots; caller holds w.mu.
+func (w *ackWindow) compact() {
+	if w.head == len(w.toks) {
+		w.toks = w.toks[:0]
+		w.head = 0
+	} else if w.head >= 256 && w.head*2 >= len(w.toks) {
+		n := copy(w.toks, w.toks[w.head:])
+		w.toks = w.toks[:n]
+		w.head = 0
+	}
+}
+
+// safeStamp computes the cumulative ack a request or standalone-ack
+// frame toward peer may carry. The plain answer is recvSeqW (signaled
+// writes applied from peer), but a stamp must never overtake a queued
+// nack: if write #k failed, a data frame stamped >= k that passes the
+// nack on the wire would complete #k as OK at the initiator. The
+// writer passes the highest nack seq it has already drained into a
+// flush; while any nack is still queued we fall back to that drained
+// bound (under-acking is always safe — the real stamp follows once the
+// nack drains).
+//
+// Load order matters: recvSeqW first, then lastNack. The reader
+// advances them in the opposite order (push nack, store lastNack,
+// then advance recvSeqW), so a stamp that sees the new recvSeqW is
+// guaranteed to also see the nack that precedes it.
+func (b *Backend) safeStamp(peer int, drainedNack uint64) uint64 {
+	applied := b.recvSeqW[peer].Load()
+	if ln := b.lastNack[peer].Load(); ln != drainedNack {
+		return drainedNack
+	}
+	return applied
+}
+
+// writer drains a peer's request channel and reply queue into a gather
+// buffer and flushes it with one Write: a burst of frames costs one
+// syscall instead of one each. It flushes immediately when the queues
+// run dry — latency never waits on a timer — and keeps filling up to
+// FlushBytes while more work is queued. For the self rank it applies
+// requests locally instead.
 func (b *Backend) writer(peer int) {
 	defer b.sendWG.Done()
-	rq := b.replyQueueFor(peer)
-	conn := b.conns[peer]
-	var sendBuf []byte
-	send := func(frame []byte) bool {
-		if peer == b.rank {
-			b.handleFrame(peer, frame)
-			return true
-		}
-		// One Write per frame: header and body together, so a frame
-		// is never split across TCP segments by our own syscalls.
-		if cap(sendBuf) < 4+len(frame) {
-			sendBuf = make([]byte, 0, 4+len(frame))
-		}
-		sendBuf = sendBuf[:4+len(frame)]
-		binary.LittleEndian.PutUint32(sendBuf, uint32(len(frame)))
-		copy(sendBuf[4:], frame)
-		_, err := conn.Write(sendBuf)
-		return err == nil
+	if peer == b.rank {
+		b.loopbackWriter()
+		return
 	}
+	var (
+		rq       = b.replyQueueFor(peer)
+		conn     = b.conns[peer]
+		st       = &b.cstats[peer]
+		win      = b.windows[peer]
+		flushCap = b.cfg.FlushBytes
+		flush    = make([]byte, 0, flushCap+frameHdrLen)
+
+		drainedNack uint64 // highest nack seq drained into a flush
+		conveyed    uint64 // highest cumulative ack stamped onto the wire
+		maxStamp    uint64 // highest stamp in the flush being built
+		respToks    []uint64
+		failToks    []uint64
+		pending     outItem
+		hasPending  bool
+	)
+
+	appendFrame := func(body []byte, stamp uint64) {
+		var hdr [frameHdrLen]byte
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
+		binary.LittleEndian.PutUint64(hdr[4:], stamp)
+		flush = append(flush, hdr[:]...)
+		flush = append(flush, body...)
+		if stamp > maxStamp {
+			maxStamp = stamp
+		}
+	}
+	// appendReq stages one request frame: signaled writes enter the
+	// ack window (before the flush is written, so the peer's ack can
+	// never beat the append); response-keyed ops are remembered so a
+	// failed flush can complete them with an error.
+	appendReq := func(f outFrame, stamp uint64) {
+		if f.signaled {
+			if len(f.data) > 0 && f.data[0] == opWrite {
+				win.push(f.token)
+			} else {
+				respToks = append(respToks, f.token)
+			}
+		}
+		appendFrame(f.data, stamp)
+	}
+	fail := func(err error) {
+		failToks = win.drain(failToks[:0])
+		for _, tok := range failToks {
+			b.pushComp(core.BackendCompletion{Token: tok, OK: false, Err: err})
+		}
+		if len(respToks) > 0 {
+			b.pendMu.Lock()
+			for _, tok := range respToks {
+				delete(b.pendBuf, tok)
+			}
+			b.pendMu.Unlock()
+			for _, tok := range respToks {
+				b.pushComp(core.BackendCompletion{Token: tok, OK: false, Err: err})
+			}
+		}
+	}
+
 	for {
-		// Replies first: they unblock the peer.
-		if f, ok := rq.pop(); ok {
-			if !send(f) {
+		frames, reqFrames := 0, 0
+		soloAck := false
+		maxStamp = 0
+		// Replies first: they unblock the peer, and FIFO order keeps a
+		// nack ahead of any later response whose stamp covers it.
+		for len(flush) < flushCap {
+			rf, ok := rq.pop()
+			if !ok {
+				break
+			}
+			if rf.nackSeq > drainedNack {
+				drainedNack = rf.nackSeq
+			}
+			appendFrame(rf.data, rf.stamp)
+			frames++
+		}
+		// One stamp covers every request frame in this flush.
+		stamp := b.safeStamp(peer, drainedNack)
+		for len(flush) < flushCap {
+			var it outItem
+			if hasPending {
+				it, hasPending = pending, false
+			} else {
+				select {
+				case it = <-b.outs[peer]:
+				default:
+				}
+				if it.many == nil && it.one.data == nil {
+					break
+				}
+			}
+			if it.many != nil {
+				for _, f := range it.many {
+					appendReq(f, stamp)
+					frames++
+					reqFrames++
+				}
+			} else {
+				appendReq(it.one, stamp)
+				frames++
+				reqFrames++
+			}
+		}
+		if reqFrames > 0 && stamp > maxStamp {
+			maxStamp = stamp
+		}
+		// Standalone cumulative ack: the peer is owed acks and no
+		// frame above carries the fresh stamp (12 bytes, piggybacked
+		// on the same syscall when replies are flushing anyway).
+		if stamp > conveyed && stamp > maxStamp && reqFrames == 0 {
+			appendFrame(nil, stamp)
+			frames++
+			soloAck = true
+			st.ackFrames.Add(1)
+		}
+		if frames == 0 {
+			// Idle: flush buffer is empty; block until work arrives.
+			select {
+			case <-b.closed:
 				return
+			case <-rq.wake:
+			case it := <-b.outs[peer]:
+				pending, hasPending = it, true
 			}
 			continue
 		}
+		if maxStamp > conveyed {
+			adv := maxStamp - conveyed
+			if soloAck && frames == 1 {
+				st.acksSolo.Add(int64(adv))
+			} else {
+				st.acksPiggy.Add(int64(adv))
+			}
+			conveyed = maxStamp
+		}
+		n := len(flush)
+		if _, err := conn.Write(flush); err != nil {
+			fail(fmt.Errorf("tcp: connection to rank %d lost: %w", peer, err))
+			return
+		}
+		st.flushes.Add(1)
+		st.framesOut.Add(int64(frames))
+		st.bytesOut.Add(int64(n))
+		respToks = respToks[:0]
+		flush = flush[:0]
+		// An oversized frame (rendezvous payload beyond the cap) may
+		// have grown the buffer; don't pin that memory forever.
+		if cap(flush) > 4*(flushCap+frameHdrLen) {
+			flush = make([]byte, 0, flushCap+frameHdrLen)
+		}
+	}
+}
+
+// loopbackWriter applies self-rank requests directly: no wire, no seq
+// accounting — signaled writes complete inline in handleFrame.
+func (b *Backend) loopbackWriter() {
+	for {
 		select {
 		case <-b.closed:
 			return
-		case <-rq.wake:
-			// loop; pop above
-		case of := <-b.outs[peer]:
-			if !send(of.data) {
-				// Connection lost: fail the op locally.
-				if of.signaled {
-					b.pushComp(core.BackendCompletion{Token: of.token, OK: false, Err: fmt.Errorf("tcp: connection to rank %d lost", peer)})
+		case it := <-b.outs[b.rank]:
+			if it.many != nil {
+				for _, f := range it.many {
+					b.handleFrame(b.rank, f.data)
 				}
-				return
+			} else {
+				b.handleFrame(b.rank, it.one.data)
 			}
 		}
 	}
@@ -106,35 +370,107 @@ func (b *Backend) replyQueueFor(peer int) *replyQueue {
 	return b.replyQs[peer]
 }
 
-// reader consumes frames arriving from peer.
+// countingConn wraps a connection to count read syscalls and bytes.
+type countingConn struct {
+	net.Conn
+	calls, bytes *atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.calls.Add(1)
+	c.bytes.Add(int64(n))
+	return n, err
+}
+
+// reader consumes frames arriving from peer through a buffered reader
+// sized to the peer's flush cap, so a coalesced flush is pulled from
+// the kernel in one syscall and then parsed from memory. Each frame's
+// header cumAck is processed before its body (the ack covers writes
+// that precede this frame on the peer's stream). When the socket
+// drains with signaled writes applied since the last flush, the reader
+// nudges the writer so a standalone cumulative ack goes out — one ack
+// frame per drained burst, not per op.
 func (b *Backend) reader(peer int, conn net.Conn) {
-	var hdr [4]byte
+	st := &b.cstats[peer]
+	br := bufio.NewReaderSize(&countingConn{Conn: conn, calls: &st.readCalls, bytes: &st.bytesIn}, b.cfg.FlushBytes)
+	rq := b.replyQueueFor(peer)
+	var (
+		hdr     [frameHdrLen]byte
+		body    []byte
+		scratch []uint64
+		ackOwed bool
+	)
 	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
-		n := binary.LittleEndian.Uint32(hdr[:])
-		if n > 1<<30 {
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		if n > maxFrameLen {
 			return // absurd frame; poisoned stream
 		}
-		frame := make([]byte, n)
-		if _, err := io.ReadFull(conn, frame); err != nil {
-			return
+		if cum := binary.LittleEndian.Uint64(hdr[4:]); cum > 0 {
+			scratch = b.applyCumAck(peer, cum, scratch[:0])
 		}
-		b.handleFrame(peer, frame)
+		st.framesIn.Add(1)
+		if n > 0 {
+			// The body buffer is reused across frames: handleFrame
+			// copies anything it keeps (payloads into registrations,
+			// responses into pending buffers, exchange blobs).
+			if cap(body) < int(n) {
+				body = make([]byte, n)
+			}
+			f := body[:n]
+			if _, err := io.ReadFull(br, f); err != nil {
+				return
+			}
+			if b.handleFrame(peer, f) {
+				ackOwed = true
+			}
+		}
+		if ackOwed && br.Buffered() == 0 {
+			ackOwed = false
+			rq.notify()
+		}
 	}
 }
 
-// handleFrame dispatches one inbound frame (requests are applied
-// against local memory; responses complete pending tokens).
-func (b *Backend) handleFrame(peer int, f []byte) {
+// applyCumAck completes signaled writes 1..k toward peer, in order.
+func (b *Backend) applyCumAck(peer int, k uint64, scratch []uint64) []uint64 {
+	scratch = b.windows[peer].takeTo(k, scratch)
+	for _, tok := range scratch {
+		b.pushComp(core.BackendCompletion{Token: tok, OK: true})
+	}
+	if len(scratch) > 0 {
+		b.cstats[peer].signaledAcked.Add(int64(len(scratch)))
+	}
+	return scratch
+}
+
+// applyNack completes writes 1..seq-1 as OK and write #seq with an
+// error. The nack's own header stamp is seq-1, and reply-queue FIFO
+// order guarantees no later stamp covering seq was processed first.
+func (b *Backend) applyNack(peer int, seq uint64, scratch []uint64) []uint64 {
+	scratch = b.applyCumAck(peer, seq-1, scratch)
+	if tok, ok := b.windows[peer].takeOne(); ok {
+		b.pushComp(core.BackendCompletion{Token: tok, OK: false, Err: fmt.Errorf("tcp: remote write failed")})
+	}
+	return scratch
+}
+
+// handleFrame dispatches one inbound frame body (requests are applied
+// against local memory; responses complete pending tokens). It returns
+// true when a signaled write from a remote peer was applied, i.e. the
+// peer is owed a cumulative ack. The frame buffer is only valid during
+// the call: anything retained must be copied.
+func (b *Backend) handleFrame(peer int, f []byte) bool {
 	if len(f) < 1 {
-		return
+		return false
 	}
 	switch f[0] {
 	case opWrite:
 		if len(f) < 26 {
-			return
+			return false
 		}
 		token := binary.LittleEndian.Uint64(f[1:])
 		signaled := f[9] == 1
@@ -153,13 +489,37 @@ func (b *Backend) handleFrame(peer int, f []byte) {
 		b.memMu.Unlock()
 		if err == nil {
 			b.writeAct.Add(1)
+			b.kick()
 		}
-		if signaled {
-			b.reply(peer, ackFrame(token, err))
+		if !signaled {
+			return false
 		}
+		if peer == b.rank {
+			// Loopback: no wire, complete inline.
+			var cerr error
+			if err != nil {
+				cerr = fmt.Errorf("tcp: remote write failed")
+			}
+			b.pushComp(core.BackendCompletion{Token: token, OK: err == nil, Err: cerr})
+			return false
+		}
+		// Advance the applied-signaled-write count. On failure the
+		// explicit nack is queued first and lastNack recorded before
+		// recvSeqW advances — safeStamp's load order relies on this.
+		seq := b.recvSeqW[peer].Load() + 1
+		if err != nil {
+			nack := make([]byte, 9)
+			nack[0] = opNack
+			binary.LittleEndian.PutUint64(nack[1:], seq)
+			b.lastNack[peer].Store(seq)
+			b.replyQueueFor(peer).push(replyFrame{data: nack, stamp: seq - 1, nackSeq: seq})
+			b.cstats[peer].nacksSent.Add(1)
+		}
+		b.recvSeqW[peer].Store(seq)
+		return true
 	case opRead:
 		if len(f) < 25 {
-			return
+			return false
 		}
 		token := binary.LittleEndian.Uint64(f[1:])
 		raddr := binary.LittleEndian.Uint64(f[9:])
@@ -181,20 +541,14 @@ func (b *Backend) handleFrame(peer int, f []byte) {
 		b.reply(peer, resp)
 	case opFAdd, opCSwap:
 		b.handleAtomic(peer, f)
-	case opAck:
-		if len(f) < 10 {
-			return
+	case opNack:
+		if len(f) < 9 || peer == b.rank {
+			return false
 		}
-		token := binary.LittleEndian.Uint64(f[1:])
-		ok := f[9] == 0
-		var err error
-		if !ok {
-			err = fmt.Errorf("tcp: remote write failed")
-		}
-		b.pushComp(core.BackendCompletion{Token: token, OK: ok, Err: err})
+		b.applyNack(peer, binary.LittleEndian.Uint64(f[1:]), nil)
 	case opReadResp:
 		if len(f) < 10 {
-			return
+			return false
 		}
 		token := binary.LittleEndian.Uint64(f[1:])
 		failed := f[9] == 1
@@ -212,7 +566,7 @@ func (b *Backend) handleFrame(peer int, f []byte) {
 		b.pushComp(core.BackendCompletion{Token: token, OK: !failed, Err: err})
 	case opAtomicResp:
 		if len(f) < 18 {
-			return
+			return false
 		}
 		token := binary.LittleEndian.Uint64(f[1:])
 		failed := f[9] == 1
@@ -233,6 +587,7 @@ func (b *Backend) handleFrame(peer int, f []byte) {
 	case opExgResp:
 		b.handleExgResp(f[1:])
 	}
+	return false
 }
 
 func (b *Backend) handleAtomic(peer int, f []byte) {
@@ -276,28 +631,21 @@ func (b *Backend) handleAtomic(peer int, f []byte) {
 		resp[9] = 1
 	} else {
 		b.writeAct.Add(1)
+		b.kick()
 	}
 	b.reply(peer, resp)
 }
 
-func ackFrame(token uint64, err error) []byte {
-	f := make([]byte, 10)
-	f[0] = opAck
-	binary.LittleEndian.PutUint64(f[1:], token)
-	if err != nil {
-		f[9] = 1
-	}
-	return f
-}
-
 // reply routes a response frame back to peer (loopback applies
-// directly).
+// directly). Remote responses are stamped with the applied-write count
+// at push time, so they double as cumulative acks for every write that
+// preceded the answered operation.
 func (b *Backend) reply(peer int, f []byte) {
 	if peer == b.rank {
 		b.handleFrame(peer, f)
 		return
 	}
-	b.replyQueueFor(peer).push(f)
+	b.replyQueueFor(peer).push(replyFrame{data: f, stamp: b.recvSeqW[peer].Load()})
 }
 
 // ---------------------------------------------------------------------
@@ -319,7 +667,7 @@ func (b *Backend) Exchange(local []byte) ([][]byte, error) {
 	binary.LittleEndian.PutUint32(f[1:], uint32(len(local)))
 	copy(f[5:], local)
 	select {
-	case b.outs[0] <- outFrame{data: f}:
+	case b.outs[0] <- outItem{one: outFrame{data: f}}:
 	case <-b.closed:
 		return nil, core.ErrClosed
 	}
@@ -379,7 +727,7 @@ func (b *Backend) exchangeRoot(local []byte) ([][]byte, error) {
 	resp := encodeExgResp(out)
 	for r := 1; r < b.size; r++ {
 		select {
-		case b.outs[r] <- outFrame{data: resp}:
+		case b.outs[r] <- outItem{one: outFrame{data: resp}}:
 		case <-b.closed:
 			return nil, core.ErrClosed
 		}

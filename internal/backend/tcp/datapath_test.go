@@ -1,0 +1,399 @@
+package tcp
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"photon/internal/core"
+)
+
+// --- replyQueue retention / compaction ---
+
+// TestReplyQueueNoRetention is the regression test for the pop path:
+// a popped frame's slot in the backing array must be cleared, or the
+// array pins every response payload ever queued until the next
+// reallocation (reads of large buffers would accumulate as garbage
+// the GC cannot reclaim).
+func TestReplyQueueNoRetention(t *testing.T) {
+	rq := newReplyQueue()
+	rq.push(replyFrame{data: make([]byte, 1<<20)})
+	rq.push(replyFrame{data: make([]byte, 1<<20)})
+	rq.push(replyFrame{data: []byte("tail")})
+
+	for i := 0; i < 2; i++ {
+		if _, ok := rq.pop(); !ok {
+			t.Fatalf("pop %d: queue empty", i)
+		}
+	}
+	rq.mu.Lock()
+	for i := 0; i < rq.head; i++ {
+		if rq.q[i].data != nil {
+			t.Fatalf("popped slot %d still references its payload", i)
+		}
+	}
+	rq.mu.Unlock()
+
+	// Draining the queue must reset it to reuse the array from the
+	// start rather than appending past a stale head forever.
+	if f, ok := rq.pop(); !ok || string(f.data) != "tail" {
+		t.Fatalf("tail pop = %q, %v", f.data, ok)
+	}
+	rq.mu.Lock()
+	if rq.head != 0 || len(rq.q) != 0 {
+		t.Fatalf("drained queue not reset: head=%d len=%d", rq.head, len(rq.q))
+	}
+	rq.mu.Unlock()
+}
+
+// TestReplyQueueCompaction exercises the sustained-backlog path: once
+// enough slots have been popped, the live tail is copied down so the
+// dead prefix is released instead of growing without bound.
+func TestReplyQueueCompaction(t *testing.T) {
+	rq := newReplyQueue()
+	const n = 600
+	for i := 0; i < n; i++ {
+		rq.push(replyFrame{data: []byte{byte(i)}, stamp: uint64(i)})
+	}
+	for i := 0; i < n/2; i++ {
+		f, ok := rq.pop()
+		if !ok || f.stamp != uint64(i) {
+			t.Fatalf("pop %d = stamp %d, %v", i, f.stamp, ok)
+		}
+	}
+	rq.mu.Lock()
+	head, length := rq.head, len(rq.q)
+	rq.mu.Unlock()
+	if head != 0 || length != n/2 {
+		t.Fatalf("no compaction after %d pops: head=%d len=%d", n/2, head, length)
+	}
+	// FIFO order must survive compaction.
+	for i := n / 2; i < n; i++ {
+		f, ok := rq.pop()
+		if !ok || f.stamp != uint64(i) {
+			t.Fatalf("post-compaction pop = stamp %d, %v (want %d)", f.stamp, ok, i)
+		}
+	}
+}
+
+// --- backend-level harness ---
+
+// newBackendPair boots two connected TCP backends over loopback.
+func newBackendPair(t *testing.T, cfg Config) [2]*Backend {
+	t.Helper()
+	var lns [2]net.Listener
+	addrs := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	var bes [2]*Backend
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := cfg
+			c.Rank = r
+			c.Addrs = addrs
+			c.Listener = lns[r]
+			bes[r], errs[r] = New(c)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, be := range bes {
+			if be != nil {
+				be.Close()
+			}
+		}
+	})
+	return bes
+}
+
+// waitComps polls be until want completions arrive or the deadline
+// passes, parking on the backend's Notify channel between polls.
+func waitComps(t *testing.T, be *Backend, want int) []core.BackendCompletion {
+	t.Helper()
+	var got []core.BackendCompletion
+	buf := make([]core.BackendCompletion, 64)
+	deadline := time.Now().Add(20 * time.Second)
+	for len(got) < want {
+		n := be.Poll(buf)
+		got = append(got, buf[:n]...)
+		if n == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout: %d/%d completions", len(got), want)
+			}
+			select {
+			case <-be.Notify():
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	return got
+}
+
+// --- pipelined stress: coalescing and cumulative acks under load ---
+
+// TestTCPPipelinedStress drives bidirectional pipelined writes, reads,
+// and atomics between two ranks and then checks the data path actually
+// coalesced: multiple frames per Write syscall, cumulative acks
+// covering many signaled writes per ack event, and a nonzero share of
+// acks piggybacked on data-bearing flushes. Run under -race in CI.
+func TestTCPPipelinedStress(t *testing.T) {
+	bes := newBackendPair(t, Config{})
+	const (
+		ops    = 400
+		window = 64
+		size   = 4096
+	)
+	var sinks [2][]byte
+	var descs [2]struct {
+		addr uint64
+		rkey uint32
+	}
+	for r := 0; r < 2; r++ {
+		sinks[r] = make([]byte, 1<<20)
+		rb, _, err := bes[r].Register(sinks[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		descs[r] = struct {
+			addr uint64
+			rkey uint32
+		}{rb.Addr, rb.RKey}
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			peer := 1 - r
+			src := bytes.Repeat([]byte{byte(r + 1)}, size)
+			resBufs := make([][]byte, 0, ops/8+1)
+			inflight, completed, posted := 0, 0, 0
+			buf := make([]core.BackendCompletion, 64)
+			reap := func() {
+				n := bes[r].Poll(buf)
+				for _, c := range buf[:n] {
+					if !c.OK {
+						t.Errorf("rank %d: op %d failed: %v", r, c.Token, c.Err)
+					}
+				}
+				inflight -= n
+				completed += n
+			}
+			for posted < ops {
+				for inflight >= window {
+					reap()
+				}
+				tok := uint64(posted + 1)
+				var err error
+				switch {
+				case posted%16 == 7:
+					res := make([]byte, 8)
+					resBufs = append(resBufs, res)
+					err = bes[r].PostFetchAdd(peer, res, descs[peer].addr+uint64(size), descs[peer].rkey, 1, tok)
+				case posted%8 == 3:
+					res := make([]byte, size)
+					resBufs = append(resBufs, res)
+					err = bes[r].PostRead(peer, res, descs[peer].addr, descs[peer].rkey, tok)
+				default:
+					err = bes[r].PostWrite(peer, src, descs[peer].addr+uint64(posted%4)*size, descs[peer].rkey, tok, true)
+				}
+				if err == core.ErrWouldBlock {
+					reap()
+					continue
+				}
+				if err != nil {
+					t.Errorf("rank %d post %d: %v", r, posted, err)
+					return
+				}
+				posted++
+				inflight++
+			}
+			for completed < ops {
+				reap()
+				if inflight > 0 {
+					select {
+					case <-bes[r].Notify():
+					case <-time.After(time.Millisecond):
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	for r := 0; r < 2; r++ {
+		s := bes[r].Stats()
+		if s.FramesPerFlush() <= 1.0 {
+			t.Errorf("rank %d: frames/flush = %.2f, want > 1 (no coalescing happened): %+v", r, s.FramesPerFlush(), s)
+		}
+		if s.AckFramesSent >= s.SignaledAcked {
+			t.Errorf("rank %d: %d standalone ack frames for %d acked writes, want cumulative acks to cover several writes each",
+				r, s.AckFramesSent, s.SignaledAcked)
+		}
+		if s.AcksPiggybacked == 0 {
+			t.Errorf("rank %d: no acks piggybacked on data frames under bidirectional load", r)
+		}
+		if s.NacksSent != 0 {
+			t.Errorf("rank %d: unexpected nacks: %d", r, s.NacksSent)
+		}
+	}
+}
+
+// --- slow reader backpressure ---
+
+// TestTCPSlowReaderBackpressure stalls the target's reader (by holding
+// the registration lock its apply path needs) while the initiator
+// floods large writes. The flood must surface as ErrWouldBlock at the
+// initiator — bounded queues, no unbounded buffering — and every write
+// must still complete once the reader resumes.
+func TestTCPSlowReaderBackpressure(t *testing.T) {
+	bes := newBackendPair(t, Config{SendDepth: 8})
+	sink := make([]byte, 1<<20)
+	rb, _, err := bes[1].Register(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall rank 1's reader: its next opWrite apply blocks on memMu.
+	bes[1].memMu.Lock()
+	release := time.AfterFunc(100*time.Millisecond, bes[1].memMu.Unlock)
+	defer release.Stop()
+
+	const ops = 64
+	src := make([]byte, 64<<10)
+	wouldBlock := 0
+	for posted := 0; posted < ops; {
+		err := bes[0].PostWrite(1, src, rb.Addr, rb.RKey, uint64(posted+1), true)
+		if err == core.ErrWouldBlock {
+			wouldBlock++
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		posted++
+	}
+	if wouldBlock == 0 {
+		t.Error("4MiB flood against a stalled reader never hit ErrWouldBlock; send queue is not applying backpressure")
+	}
+	comps := waitComps(t, bes[0], ops)
+	for _, c := range comps {
+		if !c.OK {
+			t.Fatalf("write %d failed: %v", c.Token, c.Err)
+		}
+	}
+}
+
+// --- mixed-kind completion ordering ---
+
+// TestTCPAckOrderingMixed pipelines a deliberately awkward interleaving
+// toward one peer — signaled writes (one with a bad rkey, which must
+// come back as a nacked error), unsignaled writes, reads, and atomics —
+// without waiting in between, then asserts the completions arrive in
+// exact posting order with the right status. This is the backend
+// contract the engine builds on: per-rank posting order, and a
+// signaled completion implying everything earlier completed.
+func TestTCPAckOrderingMixed(t *testing.T) {
+	bes := newBackendPair(t, Config{})
+	sink := make([]byte, 4096)
+	rb, lk, err := bes[1].Register(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type step struct {
+		kind string
+		tok  uint64
+		ok   bool
+	}
+	var plan []step
+	var resBufs [][]byte
+	post := func(kind string, tok uint64, ok bool, f func() error) {
+		t.Helper()
+		for {
+			err := f()
+			if err == core.ErrWouldBlock {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("post %s tok %d: %v", kind, tok, err)
+			}
+			break
+		}
+		plan = append(plan, step{kind, tok, ok})
+	}
+
+	payload := []byte("ordering probe payload")
+	for round := 0; round < 50; round++ {
+		base := uint64(round * 10)
+		post("write", base+1, true, func() error {
+			return bes[0].PostWrite(1, payload, rb.Addr, rb.RKey, base+1, true)
+		})
+		res := make([]byte, len(payload))
+		resBufs = append(resBufs, res)
+		post("read", base+2, true, func() error {
+			return bes[0].PostRead(1, res, rb.Addr, rb.RKey, base+2)
+		})
+		post("badwrite", base+3, false, func() error {
+			return bes[0].PostWrite(1, payload, rb.Addr, 0xdead, base+3, true)
+		})
+		fres := make([]byte, 8)
+		resBufs = append(resBufs, fres)
+		post("fadd", base+4, true, func() error {
+			return bes[0].PostFetchAdd(1, fres, rb.Addr+1024, rb.RKey, 1, base+4)
+		})
+		// Unsignaled write: no completion, but later signaled ops must
+		// still ack past it correctly.
+		for {
+			err := bes[0].PostWrite(1, payload, rb.Addr+2048, rb.RKey, 0, false)
+			if err == core.ErrWouldBlock {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		post("write", base+5, true, func() error {
+			return bes[0].PostWrite(1, payload, rb.Addr, rb.RKey, base+5, true)
+		})
+	}
+
+	comps := waitComps(t, bes[0], len(plan))
+	for i, c := range comps {
+		want := plan[i]
+		if c.Token != want.tok || c.OK != want.ok {
+			t.Fatalf("completion %d = tok %d ok=%v, want %s tok %d ok=%v",
+				i, c.Token, c.OK, want.kind, want.tok, want.ok)
+		}
+	}
+	lk.Lock()
+	ok := bytes.Equal(sink[:len(payload)], payload) && bytes.Equal(sink[2048:2048+len(payload)], payload)
+	lk.Unlock()
+	if !ok {
+		t.Fatal("payloads not visible at target")
+	}
+	if n := bes[1].Stats().NacksSent; n != 50 {
+		t.Errorf("target nacks = %d, want 50", n)
+	}
+	_ = resBufs // result buffers stay owned by the backend until completion
+}

@@ -1,0 +1,119 @@
+package tcp
+
+import "sync/atomic"
+
+// connStats holds one connection's data-path counters; the writer and
+// reader goroutines update them with atomics so Stats() can snapshot
+// concurrently.
+type connStats struct {
+	flushes   atomic.Int64 // Write syscalls issued
+	framesOut atomic.Int64 // frames coalesced into those writes
+	bytesOut  atomic.Int64
+	readCalls atomic.Int64 // Read syscalls issued (buffered-reader fills)
+	framesIn  atomic.Int64
+	bytesIn   atomic.Int64
+
+	signaledAcked atomic.Int64 // our signaled writes completed by peer acks
+	acksPiggy     atomic.Int64 // acks conveyed on flushes carrying data frames
+	acksSolo      atomic.Int64 // acks conveyed by pure standalone-ack flushes
+	ackFrames     atomic.Int64 // standalone ack frames emitted
+	nacksSent     atomic.Int64 // failed signaled writes nacked to the initiator
+}
+
+// DataPathStats is a point-in-time snapshot of the TCP data path,
+// either per connection (PeerStats) or aggregated (Stats). The derived
+// ratios quantify the coalescing the writer achieved: FramesPerFlush
+// and the bytes-per-syscall pair show how many frames ride each Write
+// and Read, and PiggybackRatio shows what fraction of cumulative acks
+// traveled on frames that were going to the peer anyway.
+type DataPathStats struct {
+	Flushes   int64
+	FramesOut int64
+	BytesOut  int64
+	ReadCalls int64
+	FramesIn  int64
+	BytesIn   int64
+
+	SignaledAcked   int64
+	AcksPiggybacked int64
+	AcksStandalone  int64
+	AckFramesSent   int64
+	NacksSent       int64
+}
+
+func (s *DataPathStats) add(c *connStats) {
+	s.Flushes += c.flushes.Load()
+	s.FramesOut += c.framesOut.Load()
+	s.BytesOut += c.bytesOut.Load()
+	s.ReadCalls += c.readCalls.Load()
+	s.FramesIn += c.framesIn.Load()
+	s.BytesIn += c.bytesIn.Load()
+	s.SignaledAcked += c.signaledAcked.Load()
+	s.AcksPiggybacked += c.acksPiggy.Load()
+	s.AcksStandalone += c.acksSolo.Load()
+	s.AckFramesSent += c.ackFrames.Load()
+	s.NacksSent += c.nacksSent.Load()
+}
+
+// FramesPerFlush reports how many frames each Write syscall carried.
+func (s DataPathStats) FramesPerFlush() float64 { return ratio(s.FramesOut, s.Flushes) }
+
+// BytesPerWrite reports the mean payload of each Write syscall.
+func (s DataPathStats) BytesPerWrite() float64 { return ratio(s.BytesOut, s.Flushes) }
+
+// BytesPerRead reports the mean fill of each Read syscall.
+func (s DataPathStats) BytesPerRead() float64 { return ratio(s.BytesIn, s.ReadCalls) }
+
+// AcksCoalesced reports acks that did not cost a dedicated frame:
+// everything conveyed minus the standalone frames that carried the rest.
+func (s DataPathStats) AcksCoalesced() int64 {
+	return s.AcksPiggybacked + s.AcksStandalone - s.AckFramesSent
+}
+
+// PiggybackRatio reports the fraction of conveyed acks that rode on
+// data-bearing flushes.
+func (s DataPathStats) PiggybackRatio() float64 {
+	return ratio(s.AcksPiggybacked, s.AcksPiggybacked+s.AcksStandalone)
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Stats aggregates the data-path counters across every connection.
+func (b *Backend) Stats() DataPathStats {
+	var s DataPathStats
+	for i := range b.cstats {
+		s.add(&b.cstats[i])
+	}
+	return s
+}
+
+// PeerStats snapshots one connection's counters (zero for self/bad rank).
+func (b *Backend) PeerStats(peer int) DataPathStats {
+	var s DataPathStats
+	if peer >= 0 && peer < len(b.cstats) {
+		s.add(&b.cstats[peer])
+	}
+	return s
+}
+
+// TransportStats implements core.StatsBackend: the aggregate counters
+// surface as tcp_* gauges in Photon.Metrics() snapshots.
+func (b *Backend) TransportStats(yield func(name string, value int64)) {
+	s := b.Stats()
+	yield("tcp_flushes", s.Flushes)
+	yield("tcp_frames_out", s.FramesOut)
+	yield("tcp_bytes_out", s.BytesOut)
+	yield("tcp_read_calls", s.ReadCalls)
+	yield("tcp_frames_in", s.FramesIn)
+	yield("tcp_bytes_in", s.BytesIn)
+	yield("tcp_signaled_acked", s.SignaledAcked)
+	yield("tcp_acks_piggybacked", s.AcksPiggybacked)
+	yield("tcp_acks_standalone", s.AcksStandalone)
+	yield("tcp_ack_frames", s.AckFramesSent)
+	yield("tcp_nacks", s.NacksSent)
+}

@@ -12,6 +12,23 @@
 // pair: requests apply in posting order, and an ACK for operation k
 // implies operations 1..k-1 have been applied.
 //
+// Data path (wire format v2): every frame carries a 12-byte header,
+//
+//	u32 bodyLen | u64 cumAck | body
+//
+// where cumAck is the cumulative count of *signaled writes* this
+// sender has applied from the receiving peer (0 = no information).
+// Acks therefore piggyback on whatever traffic already flows the other
+// way; a standalone ack (bodyLen 0) is emitted only after the reader
+// drains its socket with acks still owed. The writer coalesces queued
+// frames into one gather buffer and flushes with a single Write —
+// immediately when the queue runs dry (latency never waits on a
+// timer), batching up to FlushBytes while more work is queued. Reads
+// and atomics are not in the cumAck sequence space; they complete via
+// token-keyed response frames, which are themselves stamped with the
+// applied-write count at push time so cross-kind posting order is
+// preserved at the initiator. See DESIGN.md "TCP data path".
+//
 // Bootstrap exchange is a star over rank 0: every rank ships its blob
 // to the root, which gathers and rebroadcasts. Connections form a full
 // mesh at New time from a caller-supplied address book (the moral
@@ -50,6 +67,11 @@ type Config struct {
 	// SendDepth bounds queued outbound requests per peer (default 1024);
 	// a full queue surfaces as ErrWouldBlock, like a full send queue.
 	SendDepth int
+	// FlushBytes caps the writer's gather buffer per connection
+	// (default 256KiB): while more frames are queued the writer keeps
+	// filling up to this cap before issuing the Write syscall. The
+	// read side sizes its buffered reader to match.
+	FlushBytes int
 	// Listener optionally supplies a pre-bound listener for this rank
 	// (port-0 setups and tests); when set, Addrs[Rank] is only used by
 	// peers to reach it.
@@ -66,8 +88,23 @@ func (c *Config) setDefaults() error {
 	if c.SendDepth <= 0 {
 		c.SendDepth = 1024
 	}
+	if c.FlushBytes <= 0 {
+		c.FlushBytes = 256 << 10
+	}
 	return nil
 }
+
+// Wire format v2 framing.
+const (
+	// frameHdrLen prefixes every frame: u32 body length | u64 cumAck.
+	frameHdrLen = 12
+	// maxFrameLen rejects absurd lengths from a poisoned stream.
+	maxFrameLen = 1 << 30
+	// Handshake: the dialer announces magic, wire version, and rank.
+	wireMagic   = 0x32764850 // "PHv2" little-endian
+	wireVersion = 2
+	hsLen       = 12
+)
 
 // Wire opcodes.
 const (
@@ -75,7 +112,7 @@ const (
 	opRead       = 2
 	opFAdd       = 3
 	opCSwap      = 4
-	opAck        = 5
+	opNack       = 5 // body: u8 op | u64 seq of the failed signaled write
 	opReadResp   = 6
 	opAtomicResp = 7
 	opExg        = 8
@@ -97,6 +134,14 @@ type outFrame struct {
 	signaled bool
 }
 
+// outItem is one entry on a peer's request channel: a single frame, or
+// a doorbell batch that the writer folds into one flush (and that
+// occupies one SendDepth slot, matching one doorbell ring).
+type outItem struct {
+	one  outFrame
+	many []outFrame // non-nil for batches; `one` is unused then
+}
+
 // Backend is one rank's TCP transport endpoint.
 type Backend struct {
 	cfg  Config
@@ -107,9 +152,15 @@ type Backend struct {
 	conns []net.Conn // nil at self rank
 
 	outMu   sync.Mutex
-	outs    []chan outFrame // per peer; self uses loopback dispatch
-	replyQs []*replyQueue   // per peer, lazily created
+	outs    []chan outItem // per peer; self uses loopback dispatch
+	replyQs []*replyQueue  // per peer, lazily created
 	sendWG  sync.WaitGroup
+
+	// Per-peer cumulative-ack state (self slot unused).
+	windows  []*ackWindow    // signaled-write tokens we sent, awaiting acks
+	recvSeqW []atomic.Uint64 // signaled writes applied from each peer
+	lastNack []atomic.Uint64 // highest nack seq queued toward each peer
+	cstats   []connStats     // data-path counters per connection
 
 	memMu    sync.RWMutex  // guards all registered memory (the "DMA lock")
 	writeAct atomic.Uint64 // bumped after every applied remote write/atomic
@@ -119,6 +170,7 @@ type Backend struct {
 
 	compMu sync.Mutex
 	comps  []core.BackendCompletion
+	wake   chan struct{} // cap 1: signaled on completions and applied remote data
 
 	// pending read/atomic result buffers keyed by token.
 	pendMu  sync.Mutex
@@ -137,8 +189,10 @@ type Backend struct {
 }
 
 var (
-	_ core.Backend      = (*Backend)(nil)
-	_ core.BatchBackend = (*Backend)(nil)
+	_ core.Backend       = (*Backend)(nil)
+	_ core.BatchBackend  = (*Backend)(nil)
+	_ core.StatsBackend  = (*Backend)(nil)
+	_ core.NotifyBackend = (*Backend)(nil)
 )
 
 // New builds the endpoint: it listens, forms the full mesh (lower rank
@@ -148,20 +202,29 @@ func New(cfg Config) (*Backend, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
+	n := len(cfg.Addrs)
 	b := &Backend{
 		cfg:       cfg,
 		rank:      cfg.Rank,
-		size:      len(cfg.Addrs),
-		conns:     make([]net.Conn, len(cfg.Addrs)),
-		outs:      make([]chan outFrame, len(cfg.Addrs)),
+		size:      n,
+		conns:     make([]net.Conn, n),
+		outs:      make([]chan outItem, n),
+		windows:   make([]*ackWindow, n),
+		recvSeqW:  make([]atomic.Uint64, n),
+		lastNack:  make([]atomic.Uint64, n),
+		cstats:    make([]connStats, n),
 		regs:      make(map[uint32]*registration),
 		nextRKey:  1,
 		nextBase:  0x1000,
 		pendBuf:   make(map[uint64][]byte),
 		exgGather: make(map[int][][]byte),
+		wake:      make(chan struct{}, 1),
 		closed:    make(chan struct{}),
 	}
 	b.exgCond = sync.NewCond(&b.exgMu)
+	for i := range b.windows {
+		b.windows[i] = &ackWindow{}
+	}
 
 	ln := cfg.Listener
 	if ln == nil {
@@ -193,13 +256,11 @@ func New(cfg Config) (*Backend, error) {
 				setErr(err)
 				return
 			}
-			// Handshake: dialer announces its rank.
-			var hdr [4]byte
-			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-				setErr(fmt.Errorf("%w: %v", ErrHandshake, err))
+			peer, err := readHandshake(conn)
+			if err != nil {
+				setErr(err)
 				return
 			}
-			peer := int(binary.LittleEndian.Uint32(hdr[:]))
 			if peer < 0 || peer >= b.rank {
 				setErr(fmt.Errorf("%w: rank %d dialed into slot for lower ranks", ErrHandshake, peer))
 				return
@@ -215,9 +276,7 @@ func New(cfg Config) (*Backend, error) {
 			for {
 				conn, err := net.DialTimeout("tcp", cfg.Addrs[peer], cfg.DialTimeout)
 				if err == nil {
-					var hdr [4]byte
-					binary.LittleEndian.PutUint32(hdr[:], uint32(b.rank))
-					if _, err := conn.Write(hdr[:]); err != nil {
+					if err := writeHandshake(conn, b.rank); err != nil {
 						setErr(err)
 						return
 					}
@@ -238,16 +297,47 @@ func New(cfg Config) (*Backend, error) {
 		return nil, connErr
 	}
 
-	// Start per-peer writer and reader loops.
+	// Start per-peer writer and reader loops. The kernel must not
+	// re-add the latency the coalescing writer removes, so Nagle is
+	// explicitly off on every mesh connection.
 	for peer := 0; peer < b.size; peer++ {
-		b.outs[peer] = make(chan outFrame, cfg.SendDepth)
+		b.outs[peer] = make(chan outItem, cfg.SendDepth)
 		b.sendWG.Add(1)
 		go b.writer(peer)
 		if peer != b.rank {
+			if tc, ok := b.conns[peer].(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
 			go b.reader(peer, b.conns[peer])
 		}
 	}
 	return b, nil
+}
+
+// writeHandshake announces magic, wire version, and rank to the peer.
+func writeHandshake(conn net.Conn, rank int) error {
+	var hs [hsLen]byte
+	binary.LittleEndian.PutUint32(hs[0:], wireMagic)
+	binary.LittleEndian.PutUint32(hs[4:], wireVersion)
+	binary.LittleEndian.PutUint32(hs[8:], uint32(rank))
+	_, err := conn.Write(hs[:])
+	return err
+}
+
+// readHandshake validates magic and wire version and returns the
+// dialer's rank.
+func readHandshake(conn net.Conn) (int, error) {
+	var hs [hsLen]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if m := binary.LittleEndian.Uint32(hs[0:]); m != wireMagic {
+		return 0, fmt.Errorf("%w: bad magic %#x", ErrHandshake, m)
+	}
+	if v := binary.LittleEndian.Uint32(hs[4:]); v != wireVersion {
+		return 0, fmt.Errorf("%w: wire version %d, want %d", ErrHandshake, v, wireVersion)
+	}
+	return int(binary.LittleEndian.Uint32(hs[8:])), nil
 }
 
 // Rank returns this backend's rank.
@@ -298,8 +388,8 @@ func (b *Backend) lookup(rkey uint32, addr uint64, n int) (*registration, error)
 	return r, nil
 }
 
-// enqueue places a frame on a peer's writer queue, non-blocking.
-func (b *Backend) enqueue(rank int, f outFrame) error {
+// enqueue places an item on a peer's writer queue, non-blocking.
+func (b *Backend) enqueue(rank int, it outItem) error {
 	if rank < 0 || rank >= b.size {
 		return core.ErrBadRank
 	}
@@ -309,16 +399,16 @@ func (b *Backend) enqueue(rank int, f outFrame) error {
 	default:
 	}
 	select {
-	case b.outs[rank] <- f:
-		trace.Record(trace.KindPost, b.rank, f.token, "tcp.post")
+	case b.outs[rank] <- it:
 		return nil
 	default:
 		return core.ErrWouldBlock
 	}
 }
 
-// PostWrite queues a one-sided write toward rank.
-func (b *Backend) PostWrite(rank int, local []byte, raddr uint64, rkey uint32, token uint64, signaled bool) error {
+// writeFrame builds an opWrite frame, copying the payload
+// (snapshot-at-post).
+func writeFrame(local []byte, raddr uint64, rkey uint32, token uint64, signaled bool) []byte {
 	f := make([]byte, 1+8+1+8+4+4+len(local))
 	f[0] = opWrite
 	binary.LittleEndian.PutUint64(f[1:], token)
@@ -329,19 +419,43 @@ func (b *Backend) PostWrite(rank int, local []byte, raddr uint64, rkey uint32, t
 	binary.LittleEndian.PutUint32(f[18:], rkey)
 	binary.LittleEndian.PutUint32(f[22:], uint32(len(local)))
 	copy(f[26:], local)
-	return b.enqueue(rank, outFrame{data: f, token: token, signaled: signaled})
+	return f
+}
+
+// PostWrite queues a one-sided write toward rank.
+func (b *Backend) PostWrite(rank int, local []byte, raddr uint64, rkey uint32, token uint64, signaled bool) error {
+	f := writeFrame(local, raddr, rkey, token, signaled)
+	if err := b.enqueue(rank, outItem{one: outFrame{data: f, token: token, signaled: signaled}}); err != nil {
+		return err
+	}
+	trace.Record(trace.KindPost, b.rank, token, "tcp.post")
+	return nil
 }
 
 // PostWriteBatch queues a burst of one-sided writes toward rank
-// (core.BatchBackend). Frames are built and enqueued in order; the
-// loop stops at the first full queue and returns the accepted count,
-// so the caller retries just the tail. Each frame copies its payload,
-// so the snapshot-at-post contract holds here too.
+// (core.BatchBackend). The whole batch is one queue item, so a
+// doorbell batch maps to a single writer wakeup and (queue permitting)
+// a single flush syscall. Admission is all-or-nothing: on a full queue
+// it returns (0, ErrWouldBlock) and the caller retries the whole
+// batch, which the contract permits. Each frame copies its payload, so
+// the snapshot-at-post contract holds here too.
 func (b *Backend) PostWriteBatch(rank int, reqs []core.WriteReq) (int, error) {
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	frames := make([]outFrame, len(reqs))
 	for i, r := range reqs {
-		if err := b.PostWrite(rank, r.Local, r.RemoteAddr, r.RKey, r.Token, r.Signaled); err != nil {
-			return i, err
+		frames[i] = outFrame{
+			data:     writeFrame(r.Local, r.RemoteAddr, r.RKey, r.Token, r.Signaled),
+			token:    r.Token,
+			signaled: r.Signaled,
 		}
+	}
+	if err := b.enqueue(rank, outItem{many: frames}); err != nil {
+		return 0, err
+	}
+	for _, f := range frames {
+		trace.Record(trace.KindPost, b.rank, f.token, "tcp.post")
 	}
 	return len(reqs), nil
 }
@@ -354,16 +468,7 @@ func (b *Backend) PostRead(rank int, local []byte, raddr uint64, rkey uint32, to
 	binary.LittleEndian.PutUint64(f[9:], raddr)
 	binary.LittleEndian.PutUint32(f[17:], rkey)
 	binary.LittleEndian.PutUint32(f[21:], uint32(len(local)))
-	b.pendMu.Lock()
-	b.pendBuf[token] = local
-	b.pendMu.Unlock()
-	if err := b.enqueue(rank, outFrame{data: f, token: token, signaled: true}); err != nil {
-		b.pendMu.Lock()
-		delete(b.pendBuf, token)
-		b.pendMu.Unlock()
-		return err
-	}
-	return nil
+	return b.postResponseKeyed(rank, local, token, f)
 }
 
 // PostFetchAdd queues a remote fetch-and-add.
@@ -374,7 +479,7 @@ func (b *Backend) PostFetchAdd(rank int, result []byte, raddr uint64, rkey uint3
 	binary.LittleEndian.PutUint64(f[9:], raddr)
 	binary.LittleEndian.PutUint32(f[17:], rkey)
 	binary.LittleEndian.PutUint64(f[21:], add)
-	return b.postAtomic(rank, result, token, f)
+	return b.postResponseKeyed(rank, result, token, f)
 }
 
 // PostCompSwap queues a remote compare-and-swap.
@@ -386,19 +491,23 @@ func (b *Backend) PostCompSwap(rank int, result []byte, raddr uint64, rkey uint3
 	binary.LittleEndian.PutUint32(f[17:], rkey)
 	binary.LittleEndian.PutUint64(f[21:], compare)
 	binary.LittleEndian.PutUint64(f[29:], swap)
-	return b.postAtomic(rank, result, token, f)
+	return b.postResponseKeyed(rank, result, token, f)
 }
 
-func (b *Backend) postAtomic(rank int, result []byte, token uint64, f []byte) error {
+// postResponseKeyed queues a request that completes via a token-keyed
+// response frame (reads and atomics), parking the result buffer in
+// pendBuf until the response lands.
+func (b *Backend) postResponseKeyed(rank int, result []byte, token uint64, f []byte) error {
 	b.pendMu.Lock()
 	b.pendBuf[token] = result
 	b.pendMu.Unlock()
-	if err := b.enqueue(rank, outFrame{data: f, token: token, signaled: true}); err != nil {
+	if err := b.enqueue(rank, outItem{one: outFrame{data: f, token: token, signaled: true}}); err != nil {
 		b.pendMu.Lock()
 		delete(b.pendBuf, token)
 		b.pendMu.Unlock()
 		return err
 	}
+	trace.Record(trace.KindPost, b.rank, token, "tcp.post")
 	return nil
 }
 
@@ -441,6 +550,25 @@ func (b *Backend) pushComp(c core.BackendCompletion) {
 	b.compMu.Lock()
 	b.comps = append(b.comps, c)
 	b.compMu.Unlock()
+	b.kick()
+}
+
+// Notify implements core.NotifyBackend: the returned channel receives
+// a token whenever the agent queues a completion or applies remote
+// data, so blocking waiters can park on it instead of sleep-polling.
+// Parking matters doubly on few-core hosts: a sleeping waiter frees
+// the processor for the runtime's network poller (a spinning one
+// starves it), and the channel send wakes the waiter at goroutine
+// handoff latency instead of kernel timer granularity.
+func (b *Backend) Notify() <-chan struct{} { return b.wake }
+
+// kick signals Notify's channel without blocking; a token already
+// pending means the waiter will see this event anyway.
+func (b *Backend) kick() {
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
 }
 
 // Close tears down connections and loops.

@@ -132,7 +132,13 @@ func (e *Env) Close() {
 // exchanges descriptors, returning per-rank views: bufs[r] is rank r's
 // local buffer, descs[r][p] is rank p's buffer as seen by rank r.
 func (e *Env) SharedBuffers(size int) (bufs [][]byte, descs [][]mem.RemoteBuffer, lks []sync.Locker, err error) {
-	n := len(e.Phs)
+	return ShareBuffers(e.Phs, size)
+}
+
+// ShareBuffers is SharedBuffers for a bare Photon set (any backend —
+// the TCP experiments have no Env).
+func ShareBuffers(phs []*core.Photon, size int) (bufs [][]byte, descs [][]mem.RemoteBuffer, lks []sync.Locker, err error) {
+	n := len(phs)
 	bufs = make([][]byte, n)
 	descs = make([][]mem.RemoteBuffer, n)
 	lks = make([]sync.Locker, n)
@@ -143,13 +149,13 @@ func (e *Env) SharedBuffers(size int) (bufs [][]byte, descs [][]mem.RemoteBuffer
 		go func(r int) {
 			defer wg.Done()
 			bufs[r] = make([]byte, size)
-			rb, lk, err := e.Phs[r].RegisterBuffer(bufs[r])
+			rb, lk, err := phs[r].RegisterBuffer(bufs[r])
 			if err != nil {
 				errs[r] = err
 				return
 			}
 			lks[r] = lk
-			descs[r], errs[r] = e.Phs[r].ExchangeBuffers(rb)
+			descs[r], errs[r] = phs[r].ExchangeBuffers(rb)
 		}(r)
 	}
 	wg.Wait()

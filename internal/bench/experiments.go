@@ -424,7 +424,10 @@ func runE10(scale float64) (*Report, error) {
 	return &Report{ID: "E10", Title: "BFS over parcels", Series: []*stats.Series{s}}, nil
 }
 
-// runE11 — Table 3: backend comparison (simulated verbs vs TCP).
+// runE11 — Table 3 plus the TCP data-path profile: backend latency
+// comparison, a put-latency sweep over the socket backend, and the
+// pipelined message rate / streaming bandwidth the coalescing writer
+// and cumulative acks were built for.
 func runE11(scale float64) (*Report, error) {
 	warmProcess(scaled(100, scale))
 	iters := scaled(200, scale)
@@ -448,25 +451,58 @@ func runE11(scale float64) (*Report, error) {
 		}
 		t.Row("vsim-verbs", us(small), us(big))
 	}
-	// TCP loopback.
-	{
-		phs, cleanup, err := NewTCPPhotons(2, core.Config{})
-		if err != nil {
-			return nil, err
-		}
-		small, err := PingPongSend(phs, 8, iters)
-		if err != nil {
-			cleanup()
-			return nil, err
-		}
-		big, err := PingPongSend(phs, 64*1024, iters/4+1)
-		cleanup()
-		if err != nil {
-			return nil, err
-		}
-		t.Row("tcp-sockets", us(small), us(big))
+	// TCP loopback: the Table 3 row, then the data-path profile on the
+	// same job.
+	phs, cleanup, err := NewTCPPhotons(2, core.Config{})
+	if err != nil {
+		return nil, err
 	}
-	return &Report{ID: "E11", Title: "backend comparison", Tables: []*stats.Table{t}}, nil
+	defer cleanup()
+	small, err := PingPongSend(phs, 8, iters)
+	if err != nil {
+		return nil, err
+	}
+	big, err := PingPongSend(phs, 64*1024, iters/4+1)
+	if err != nil {
+		return nil, err
+	}
+	t.Row("tcp-sockets", us(small), us(big))
+
+	_, descs, _, err := ShareBuffers(phs, 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	lat := stats.NewSeries("TCP one-way put latency (us) vs size (B)", "size", "put")
+	for size := 8; size <= 64<<10; size <<= 1 {
+		n := iters
+		if size >= 4<<10 {
+			n = iters/4 + 1
+		}
+		d, err := PingPongPWC(phs, descs, size, n)
+		if err != nil {
+			return nil, err
+		}
+		lat.Row(float64(size), us(d))
+	}
+	rate := stats.NewSeries("TCP pipelined 8B put rate (Kmsg/s) vs window", "window", "rate")
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+		bw, err := StreamBandwidthPWC(phs, descs, 8, w, scaled(4000, scale))
+		if err != nil {
+			return nil, err
+		}
+		rate.Row(float64(w), bw/8/1e3)
+	}
+	bwT := stats.NewTable("TCP 64KiB streaming bandwidth (MiB/s) vs window",
+		"window", "MiB/s")
+	for _, w := range []int{1, 16} {
+		bw, err := StreamBandwidthPWC(phs, descs, 64<<10, w, scaled(400, scale))
+		if err != nil {
+			return nil, err
+		}
+		bwT.Row(w, bw/(1<<20))
+	}
+	return &Report{ID: "E11", Title: "backend comparison",
+		Tables: []*stats.Table{t, bwT}, Series: []*stats.Series{lat, rate}}, nil
 }
 
 // runE12 — Fig. 9: remote atomics vs two-sided emulation.

@@ -14,7 +14,7 @@ import (
 const benchWait = 30 * time.Second
 
 // drainLocal runs one progress round and pops every available local
-// completion, decrementing *inflight; it yields if nothing moved.
+// completion, decrementing *inflight; it idles if nothing moved.
 func drainLocal(ph *core.Photon, inflight *int) error {
 	ph.Progress()
 	popped := false
@@ -30,9 +30,24 @@ func drainLocal(ph *core.Photon, inflight *int) error {
 		popped = true
 	}
 	if !popped {
-		gort.Gosched()
+		idleYield(ph)
 	}
 	return nil
+}
+
+// idleYield parks a dry progress loop on the backend's activity
+// channel when the transport supports it (socket backends), falling
+// back to a scheduler yield (in-process fabrics). Spinning would
+// starve the runtime's network poller on few-core hosts.
+func idleYield(ph *core.Photon) {
+	if ch := ph.BackendNotify(); ch != nil {
+		select {
+		case <-ch:
+		case <-time.After(time.Millisecond):
+		}
+		return
+	}
+	gort.Gosched()
 }
 
 // warmupIters picks a short untimed warmup for a latency measurement.
@@ -342,7 +357,7 @@ func StreamBandwidthPWC(phs []*core.Photon, descs [][]mem.RemoteBuffer, size, wi
 			if popped {
 				continue
 			}
-			gort.Gosched()
+			idleYield(ph)
 			if time.Now().After(deadline) {
 				errs[1] = fmt.Errorf("bandwidth drain stalled at %d/%d", got, iters)
 				return

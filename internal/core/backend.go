@@ -129,3 +129,31 @@ type WriteReq struct {
 type BatchBackend interface {
 	PostWriteBatch(rank int, reqs []WriteReq) (int, error)
 }
+
+// NotifyBackend is an optional Backend extension: Notify returns a
+// channel (capacity 1, signaled with non-blocking sends) that receives
+// a token whenever backend activity may have made engine progress
+// possible — a completion was queued for Poll, or remote data landed
+// in registered memory. Blocking waiters park on this channel instead
+// of sleep-polling Progress: the agent goroutine that produced the
+// event wakes them at goroutine-handoff latency, where a timer sleep
+// would round the wait up to kernel scheduler-tick granularity (~1ms
+// on HZ=1000 hosts). A single token can coalesce many events; waiters
+// must re-poll after every wakeup and never rely on one token per
+// event. Backends without edge-triggered events (in-process fabrics
+// whose delivery is driven by runnable goroutines) simply omit this
+// and waiters fall back to yield-then-sleep polling.
+type NotifyBackend interface {
+	Notify() <-chan struct{}
+}
+
+// StatsBackend is an optional Backend extension: TransportStats yields
+// transport-level data-path counters as named int64 gauges (syscall
+// coalescing, ack piggybacking, queue behavior — whatever the
+// transport measures about itself). Photon.Metrics merges them into
+// its gauge snapshot so transport behavior is observable alongside
+// engine counters. Implementations must tolerate concurrent callers
+// and must not block.
+type StatsBackend interface {
+	TransportStats(yield func(name string, value int64))
+}

@@ -130,5 +130,11 @@ func (p *Photon) Metrics() *metrics.Snapshot {
 		g.Set(prefix+"credits_unreturned", unreturned)
 	}
 	p.progMu.Unlock()
+
+	// Transport-level gauges, when the backend measures itself (the
+	// TCP backend exports its data-path coalescing counters here).
+	if sb, ok := p.be.(StatsBackend); ok {
+		sb.TransportStats(func(name string, v int64) { g.Set(name, v) })
+	}
 	return snap
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	gort "runtime"
 
 	"photon/internal/ledger"
 	"photon/internal/mem"
@@ -476,26 +475,34 @@ func (p *Photon) postPair(ps *peerState, rank int, a, b wireOp) {
 // PutBlocking wraps PutWithCompletion, driving Progress until the
 // operation can be posted.
 func (p *Photon) PutBlocking(rank int, local []byte, dst mem.RemoteBuffer, off uint64, localRID, remoteRID uint64) error {
+	w := idleWaiter{p: p}
+	defer w.stop()
 	for {
 		err := p.PutWithCompletion(rank, local, dst, off, localRID, remoteRID)
 		if err != ErrWouldBlock {
 			return err
 		}
 		if p.Progress() == 0 {
-			gort.Gosched()
+			w.wait()
+		} else {
+			w.progressed()
 		}
 	}
 }
 
 // SendBlocking wraps Send, driving Progress until it can be posted.
 func (p *Photon) SendBlocking(rank int, data []byte, localRID, remoteRID uint64) error {
+	w := idleWaiter{p: p}
+	defer w.stop()
 	for {
 		err := p.Send(rank, data, localRID, remoteRID)
 		if err != ErrWouldBlock {
 			return err
 		}
 		if p.Progress() == 0 {
-			gort.Gosched()
+			w.wait()
+		} else {
+			w.progressed()
 		}
 	}
 }

@@ -206,8 +206,9 @@ type Photon struct {
 	arena    []byte
 	arenaRB  mem.RemoteBuffer
 	arenaLk  sync.Locker
-	activity func() uint64 // arena DMA write counter (nil if unsupported)
-	lastAct  uint64        // counter value at last ledger sweep (progMu)
+	activity func() uint64   // arena DMA write counter (nil if unsupported)
+	beWake   <-chan struct{} // backend activity channel (nil if unsupported)
+	lastAct  uint64          // counter value at last ledger sweep (progMu)
 	mailOff  int
 	slabOff  int
 	slab     *mem.Slab
@@ -318,6 +319,9 @@ func Init(be Backend, cfg Config) (*Photon, error) {
 		if fn, ok := ab.WriteActivity(rb); ok {
 			p.activity = fn
 		}
+	}
+	if nb, ok := be.(NotifyBackend); ok {
+		p.beWake = nb.Notify()
 	}
 
 	slab, err := mem.NewSlabOver(p.arena[p.slabOff:], rb.Addr+uint64(p.slabOff))

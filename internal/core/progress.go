@@ -660,12 +660,87 @@ func (p *Photon) WaitRemote(rid uint64, timeout time.Duration) (Completion, erro
 	return p.waitMatch(rid, timeout, p.remoteCQ)
 }
 
+// parkGrace caps how long an idle waiter stays parked on the backend's
+// Notify channel before re-polling. It bounds the staleness of the
+// timeout and Close checks, and backstops the (already lossless)
+// notification protocol; the common wakeup path is the channel send,
+// which arrives at goroutine-handoff latency.
+const parkGrace = time.Millisecond
+
+// idleWaiter paces the dry rounds of a blocking wait loop. With a
+// NotifyBackend it parks the goroutine on the backend's activity
+// channel: the agent that queues the next completion (or applies the
+// next remote write) wakes it directly, so the wait resolves at
+// goroutine-handoff latency. This matters doubly on few-core hosts —
+// a parked waiter frees the processor for the runtime's network
+// poller, where a spinning one starves it, and a timer sleep would
+// round every blocking latency up to kernel scheduler-tick
+// granularity (~1ms on HZ=1000 hosts) regardless of the duration
+// requested. Without a NotifyBackend it falls back to yield-then-
+// sleep polling, which suits in-process fabrics whose delivery runs
+// on goroutines a yield schedules.
+type idleWaiter struct {
+	p    *Photon
+	idle int         // consecutive dry rounds (fallback pacing)
+	park *time.Timer // lazily created, reused across parks
+}
+
+// wait blocks until backend activity suggests progress is possible (or
+// a grace period elapses). Callers must re-poll after every return:
+// one Notify token can coalesce many events, and timer wakeups carry
+// no information at all.
+func (w *idleWaiter) wait() {
+	if wake := w.p.beWake; wake != nil {
+		if w.park == nil {
+			w.park = time.NewTimer(parkGrace)
+		} else {
+			w.park.Reset(parkGrace)
+		}
+		select {
+		case <-wake:
+			if !w.park.Stop() {
+				<-w.park.C
+			}
+		case <-w.park.C:
+		}
+		return
+	}
+	// Fallback: yield so transport goroutines can run; after a long
+	// dry stretch, sleep briefly so the processor can go idle and the
+	// runtime polls the network (a spinning waiter otherwise starves
+	// socket backends of netpoll service on single-core hosts).
+	w.idle++
+	if w.idle > 64 {
+		time.Sleep(5 * time.Microsecond)
+	} else {
+		gort.Gosched()
+	}
+}
+
+// progressed resets the dry-round pacing after a productive round.
+func (w *idleWaiter) progressed() { w.idle = 0 }
+
+// stop releases the park timer.
+func (w *idleWaiter) stop() {
+	if w.park != nil {
+		w.park.Stop()
+	}
+}
+
+// BackendNotify exposes the transport's activity channel when the
+// backend implements NotifyBackend (nil otherwise). External progress
+// loops — benchmark harnesses, application-level pollers — should park
+// on it between dry Progress rounds instead of yield-spinning; see
+// idleWaiter for why spinning is actively harmful on few-core hosts.
+func (p *Photon) BackendNotify() <-chan struct{} { return p.beWake }
+
 func (p *Photon) waitMatch(rid uint64, timeout time.Duration, r *compRing) (Completion, error) {
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
-	idle := 0
+	w := idleWaiter{p: p}
+	defer w.stop()
 	for {
 		n := p.Progress()
 		if c, ok := r.takeMatch(rid); ok {
@@ -679,22 +754,9 @@ func (p *Photon) waitMatch(rid uint64, timeout time.Duration, r *compRing) (Comp
 			return Completion{}, ErrClosed
 		}
 		if n == 0 {
-			// Nothing moved: yield so transport goroutines (QP
-			// engines, fabric links) can run — critical on few-core
-			// hosts where a spinning waiter would otherwise hold the
-			// processor until async preemption. After a long dry
-			// stretch, sleep briefly so the processor can go idle
-			// and the runtime polls the network immediately (a
-			// spinning waiter otherwise starves socket backends of
-			// netpoll service on single-core hosts).
-			idle++
-			if idle > 64 {
-				time.Sleep(5 * time.Microsecond)
-			} else {
-				gort.Gosched()
-			}
+			w.wait()
 		} else {
-			idle = 0
+			w.progressed()
 		}
 	}
 }
