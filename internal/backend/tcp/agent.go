@@ -85,69 +85,162 @@ func (r *replyQueue) pop() (replyFrame, bool) {
 	return f, true
 }
 
-// ackWindow is the per-connection FIFO of signaled-write tokens in
-// wire order, awaiting the peer's cumulative ack. The writer appends
-// while building a flush (before the bytes hit the wire, so an ack can
-// never race the append); only the reader pops. done counts completed
-// sequence numbers — seqs start at 1, matching the cumAck stamps.
-type ackWindow struct {
-	mu   sync.Mutex
-	toks []uint64
-	head int
-	done uint64
+// requeue returns popped frames to the FRONT of the queue in their
+// original order: a flush that failed (or whose delivery is unknown
+// after the connection was replaced mid-write) re-sends its replies on
+// the next connection. Duplicate delivery is safe — acks are
+// cumulative, nacks are idempotent at the receiver's window, and a
+// re-delivered response resolves to a stale token at the initiator.
+func (r *replyQueue) requeue(fs []replyFrame) {
+	if len(fs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	if r.head >= len(fs) {
+		r.head -= len(fs)
+		copy(r.q[r.head:], fs)
+	} else {
+		nq := make([]replyFrame, 0, len(fs)+len(r.q)-r.head)
+		nq = append(nq, fs...)
+		nq = append(nq, r.q[r.head:]...)
+		r.q = nq
+		r.head = 0
+	}
+	r.mu.Unlock()
+	r.notify()
 }
 
-func (w *ackWindow) push(tok uint64) {
+// winEntry is one outbound opWrite frame held in the send window. The
+// frame bytes themselves are retained (not just the completion token)
+// so a reconnect can replay everything the dead connection may have
+// lost. seq is the signaled-write sequence number, 0 for unsignaled
+// writes, which ride along for ordering but have no completion.
+type winEntry struct {
+	frame    []byte
+	tok      uint64
+	seq      uint64
+	signaled bool
+}
+
+// sendWindow is the per-peer retransmit window: every opWrite frame in
+// wire order, trimmed by the peer's cumulative acks. done tracks the
+// highest signaled sequence resolved (acked or nacked), which makes
+// both paths idempotent — a duplicated ack or a replayed nack after a
+// reconnect is a no-op.
+type sendWindow struct {
+	mu   sync.Mutex
+	ents []winEntry
+	head int
+	done uint64 // highest signaled seq resolved
+	next uint64 // last signaled seq assigned
+}
+
+// add appends a frame in wire order (called while building a flush,
+// before the bytes hit the wire, so the peer's ack can never race it).
+func (w *sendWindow) add(frame []byte, tok uint64, signaled bool) {
 	w.mu.Lock()
-	w.toks = append(w.toks, tok)
+	var seq uint64
+	if signaled {
+		w.next++
+		seq = w.next
+	}
+	w.ents = append(w.ents, winEntry{frame: frame, tok: tok, seq: seq, signaled: signaled})
 	w.mu.Unlock()
 }
 
-// takeTo pops tokens up to cumulative seq k into dst.
-func (w *ackWindow) takeTo(k uint64, dst []uint64) []uint64 {
+// ackTo resolves signaled writes 1..k: their tokens are appended to
+// dst and every entry through the last covered signaled write leaves
+// the window (the in-order stream delivered the unsignaled writes
+// between them). k <= done is a no-op, so duplicate and handshake
+// acks are safe.
+func (w *sendWindow) ackTo(k uint64, dst []uint64) []uint64 {
 	w.mu.Lock()
-	for w.done < k && w.head < len(w.toks) {
-		dst = append(dst, w.toks[w.head])
-		w.head++
-		w.done++
+	if k <= w.done {
+		w.mu.Unlock()
+		return dst
 	}
+	cut := -1
+	for i := w.head; i < len(w.ents); i++ {
+		e := &w.ents[i]
+		if e.seq != 0 {
+			if e.seq > k {
+				break
+			}
+			dst = append(dst, e.tok)
+			cut = i
+		}
+	}
+	if cut >= 0 {
+		for i := w.head; i <= cut; i++ {
+			w.ents[i] = winEntry{}
+		}
+		w.head = cut + 1
+	}
+	w.done = k
 	w.compact()
 	w.mu.Unlock()
 	return dst
 }
 
-// takeOne pops the single next token (nack delivery).
-func (w *ackWindow) takeOne() (uint64, bool) {
+// takeNack resolves signaled write #seq as failed, returning its
+// token. Unsignaled frames ahead of it were delivered by the stream
+// and are dropped. A replayed nack (seq already resolved) is a no-op.
+func (w *sendWindow) takeNack(seq uint64) (uint64, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.head == len(w.toks) {
+	if seq <= w.done {
 		return 0, false
 	}
-	tok := w.toks[w.head]
+	for w.head < len(w.ents) && w.ents[w.head].seq == 0 {
+		w.ents[w.head] = winEntry{}
+		w.head++
+	}
+	if w.head == len(w.ents) || w.ents[w.head].seq != seq {
+		w.compact()
+		return 0, false
+	}
+	tok := w.ents[w.head].tok
+	w.ents[w.head] = winEntry{}
 	w.head++
-	w.done++
+	w.done = seq
 	w.compact()
 	return tok, true
 }
 
-// drain pops everything (connection loss: fail all in-flight writes).
-func (w *ackWindow) drain(dst []uint64) []uint64 {
+// pending snapshots the retained frames in wire order (retransmit
+// after a reconnect).
+func (w *sendWindow) pending(dst []winEntry) []winEntry {
 	w.mu.Lock()
-	dst = append(dst, w.toks[w.head:]...)
-	w.toks = w.toks[:0]
+	dst = append(dst, w.ents[w.head:]...)
+	w.mu.Unlock()
+	return dst
+}
+
+// drainAll empties the window, returning the tokens of unresolved
+// signaled writes (peer declared down: fail them all).
+func (w *sendWindow) drainAll(dst []uint64) []uint64 {
+	w.mu.Lock()
+	for i := w.head; i < len(w.ents); i++ {
+		if e := &w.ents[i]; e.signaled {
+			dst = append(dst, e.tok)
+			w.done = e.seq
+		}
+		w.ents[i] = winEntry{}
+	}
+	w.ents = w.ents[:0]
 	w.head = 0
 	w.mu.Unlock()
 	return dst
 }
 
 // compact releases popped slots; caller holds w.mu.
-func (w *ackWindow) compact() {
-	if w.head == len(w.toks) {
-		w.toks = w.toks[:0]
+func (w *sendWindow) compact() {
+	if w.head == len(w.ents) {
+		w.ents = w.ents[:0]
 		w.head = 0
-	} else if w.head >= 256 && w.head*2 >= len(w.toks) {
-		n := copy(w.toks, w.toks[w.head:])
-		w.toks = w.toks[:n]
+	} else if w.head >= 256 && w.head*2 >= len(w.ents) {
+		n := copy(w.ents, w.ents[w.head:])
+		w.ents = w.ents[:n]
 		w.head = 0
 	}
 }
@@ -174,12 +267,21 @@ func (b *Backend) safeStamp(peer int, drainedNack uint64) uint64 {
 	return applied
 }
 
-// writer drains a peer's request channel and reply queue into a gather
-// buffer and flushes it with one Write: a burst of frames costs one
-// syscall instead of one each. It flushes immediately when the queues
-// run dry — latency never waits on a timer — and keeps filling up to
-// FlushBytes while more work is queued. For the self rank it applies
-// requests locally instead.
+// writerState is the cross-connection writer context: drainedNack and
+// a popped-but-unwritten request item both survive a reconnect (the
+// item must go out, in order, on the next connection).
+type writerState struct {
+	drainedNack uint64
+	pending     outItem
+	hasPending  bool
+}
+
+// writer owns a peer's outbound side for the life of the backend: it
+// waits for a connection, replays the unacknowledged window after a
+// reconnect, and runs the gather/flush loop until the connection dies
+// or is replaced. A peer declared down turns the writer into a drain
+// that fails whatever is still queued toward it. For the self rank it
+// applies requests locally instead.
 func (b *Backend) writer(peer int) {
 	defer b.sendWG.Done()
 	if peer == b.rank {
@@ -187,20 +289,95 @@ func (b *Backend) writer(peer int) {
 		return
 	}
 	var (
-		rq       = b.replyQueueFor(peer)
-		conn     = b.conns[peer]
+		lk   = b.links[peer]
+		rq   = b.replyQueueFor(peer)
+		win  = b.windows[peer]
+		ws   writerState
+		retx []winEntry
+	)
+	for {
+		conn, gen, needRetx, conveyed, ok := lk.awaitConn(b)
+		if !ok {
+			if lk.down.Load() && !b.isClosed() {
+				b.drainDown(peer, lk, rq, &ws)
+			}
+			return
+		}
+		if needRetx {
+			retx = win.pending(retx[:0])
+			if len(retx) > 0 && !b.retransmit(conn, peer, gen, retx) {
+				continue
+			}
+		}
+		if !b.writeLoop(peer, lk, conn, gen, rq, win, conveyed, &ws) {
+			return
+		}
+	}
+}
+
+// retransmit replays the unacknowledged window after a reconnect, in
+// original wire order, stamped 0 ("no ack information") so a replayed
+// frame can never overtake a queued nack. Unsignaled writes may be
+// re-applied at the peer — raw memory writes are idempotent — while
+// signaled writes were trimmed to the peer's reported applied count at
+// install, so each is applied exactly once.
+func (b *Backend) retransmit(conn net.Conn, peer int, gen uint64, ents []winEntry) bool {
+	st := &b.cstats[peer]
+	flushCap := b.cfg.FlushBytes
+	flush := make([]byte, 0, flushCap+frameHdrLen)
+	frames := 0
+	emit := func() bool {
+		if len(flush) == 0 {
+			return true
+		}
+		n := len(flush)
+		if _, err := conn.Write(flush); err != nil {
+			b.lostConn(peer, gen, err)
+			return false
+		}
+		st.flushes.Add(1)
+		st.framesOut.Add(int64(frames))
+		st.bytesOut.Add(int64(n))
+		flush = flush[:0]
+		frames = 0
+		return true
+	}
+	for i := range ents {
+		e := &ents[i]
+		var hdr [frameHdrLen]byte
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(e.frame)))
+		flush = append(flush, hdr[:]...)
+		flush = append(flush, e.frame...)
+		frames++
+		st.retxFrames.Add(1)
+		if len(flush) >= flushCap {
+			if !emit() {
+				return false
+			}
+		}
+	}
+	if !emit() {
+		return false
+	}
+	b.links[peer].lastTx.Store(nowNano())
+	return true
+}
+
+// writeLoop drains a peer's request channel and reply queue into a
+// gather buffer and flushes it with one Write: a burst of frames costs
+// one syscall instead of one each. It flushes immediately when the
+// queues run dry — latency never waits on a timer — and keeps filling
+// up to FlushBytes while more work is queued. It returns false when
+// the backend closed (the writer exits) and true when the connection
+// died or was replaced (the writer re-enters awaitConn).
+func (b *Backend) writeLoop(peer int, lk *link, conn net.Conn, gen uint64, rq *replyQueue, win *sendWindow, conveyed uint64, ws *writerState) bool {
+	var (
 		st       = &b.cstats[peer]
-		win      = b.windows[peer]
 		flushCap = b.cfg.FlushBytes
 		flush    = make([]byte, 0, flushCap+frameHdrLen)
-
-		drainedNack uint64 // highest nack seq drained into a flush
-		conveyed    uint64 // highest cumulative ack stamped onto the wire
-		maxStamp    uint64 // highest stamp in the flush being built
-		respToks    []uint64
-		failToks    []uint64
-		pending     outItem
-		hasPending  bool
+		maxStamp uint64
+		respToks []uint64
+		popped   []replyFrame // replies in the flush being built (requeued on loss)
 	)
 
 	appendFrame := func(body []byte, stamp uint64) {
@@ -213,41 +390,27 @@ func (b *Backend) writer(peer int) {
 			maxStamp = stamp
 		}
 	}
-	// appendReq stages one request frame: signaled writes enter the
-	// ack window (before the flush is written, so the peer's ack can
-	// never beat the append); response-keyed ops are remembered so a
-	// failed flush can complete them with an error.
+	// appendReq stages one request frame: every opWrite enters the send
+	// window (before the flush is written, so the peer's ack can never
+	// beat the append); response-keyed ops are remembered so a dead
+	// connection can fail them (they are never replayed).
 	appendReq := func(f outFrame, stamp uint64) {
-		if f.signaled {
-			if len(f.data) > 0 && f.data[0] == opWrite {
-				win.push(f.token)
-			} else {
-				respToks = append(respToks, f.token)
-			}
+		if len(f.data) > 0 && f.data[0] == opWrite {
+			win.add(f.data, f.token, f.signaled)
+		} else if f.signaled {
+			respToks = append(respToks, f.token)
 		}
 		appendFrame(f.data, stamp)
 	}
-	fail := func(err error) {
-		failToks = win.drain(failToks[:0])
-		for _, tok := range failToks {
-			b.pushComp(core.BackendCompletion{Token: tok, OK: false, Err: err})
-		}
-		if len(respToks) > 0 {
-			b.pendMu.Lock()
-			for _, tok := range respToks {
-				delete(b.pendBuf, tok)
-			}
-			b.pendMu.Unlock()
-			for _, tok := range respToks {
-				b.pushComp(core.BackendCompletion{Token: tok, OK: false, Err: err})
-			}
-		}
-	}
 
 	for {
+		if lk.genA.Load() != gen {
+			return true // replaced: the new connection's retransmit covers the window
+		}
 		frames, reqFrames := 0, 0
 		soloAck := false
 		maxStamp = 0
+		popped = popped[:0]
 		// Replies first: they unblock the peer, and FIFO order keeps a
 		// nack ahead of any later response whose stamp covers it.
 		for len(flush) < flushCap {
@@ -255,18 +418,20 @@ func (b *Backend) writer(peer int) {
 			if !ok {
 				break
 			}
-			if rf.nackSeq > drainedNack {
-				drainedNack = rf.nackSeq
+			if rf.nackSeq > ws.drainedNack {
+				ws.drainedNack = rf.nackSeq
 			}
+			popped = append(popped, rf)
 			appendFrame(rf.data, rf.stamp)
 			frames++
 		}
 		// One stamp covers every request frame in this flush.
-		stamp := b.safeStamp(peer, drainedNack)
+		stamp := b.safeStamp(peer, ws.drainedNack)
 		for len(flush) < flushCap {
 			var it outItem
-			if hasPending {
-				it, hasPending = pending, false
+			if ws.hasPending {
+				it, ws.hasPending = ws.pending, false
+				ws.pending = outItem{}
 			} else {
 				select {
 				case it = <-b.outs[peer]:
@@ -304,10 +469,12 @@ func (b *Backend) writer(peer int) {
 			// Idle: flush buffer is empty; block until work arrives.
 			select {
 			case <-b.closed:
-				return
+				return false
+			case <-lk.reconn: // conn replaced or link down
+				continue
 			case <-rq.wake:
 			case it := <-b.outs[peer]:
-				pending, hasPending = it, true
+				ws.pending, ws.hasPending = it, true
 			}
 			continue
 		}
@@ -320,21 +487,93 @@ func (b *Backend) writer(peer int) {
 			}
 			conveyed = maxStamp
 		}
+		if len(respToks) > 0 {
+			// Registered before the Write: if the flush fails (or its
+			// delivery is unknown), these non-idempotent ops must fail.
+			b.markSentResp(peer, respToks)
+			respToks = respToks[:0]
+		}
 		n := len(flush)
 		if _, err := conn.Write(flush); err != nil {
-			fail(fmt.Errorf("tcp: connection to rank %d lost: %w", peer, err))
-			return
+			rq.requeue(popped)
+			b.lostConn(peer, gen, fmt.Errorf("tcp: connection to rank %d lost: %w", peer, err))
+			return true
+		}
+		lk.lastTx.Store(nowNano())
+		if lk.genA.Load() != gen {
+			// Replaced mid-write: delivery of this flush is unknown.
+			// Window frames are covered by the new connection's
+			// retransmit; replies are re-sent (duplicates are safe).
+			rq.requeue(popped)
+			return true
 		}
 		st.flushes.Add(1)
 		st.framesOut.Add(int64(frames))
 		st.bytesOut.Add(int64(n))
-		respToks = respToks[:0]
 		flush = flush[:0]
 		// An oversized frame (rendezvous payload beyond the cap) may
 		// have grown the buffer; don't pin that memory forever.
 		if cap(flush) > 4*(flushCap+frameHdrLen) {
 			flush = make([]byte, 0, flushCap+frameHdrLen)
 		}
+	}
+}
+
+// drainDown is the writer's terminal mode for a down peer: keep
+// consuming the request channel (so posters racing the down latch
+// never wedge) and fail everything with the peer's down error.
+func (b *Backend) drainDown(peer int, lk *link, rq *replyQueue, ws *writerState) {
+	lk.mu.Lock()
+	err := lk.downErr
+	lk.mu.Unlock()
+	if err == nil {
+		err = fmt.Errorf("tcp: rank %d: %w", peer, core.ErrPeerDown)
+	}
+	if ws.hasPending {
+		b.failItem(ws.pending, err)
+		ws.pending, ws.hasPending = outItem{}, false
+	}
+	for {
+		for {
+			if _, ok := rq.pop(); !ok {
+				break
+			}
+		}
+		select {
+		case <-b.closed:
+			return
+		case it := <-b.outs[peer]:
+			b.failItem(it, err)
+		case <-rq.wake:
+		}
+	}
+}
+
+// failItem fails the completion-bearing frames of one queued item that
+// will never reach the wire.
+func (b *Backend) failItem(it outItem, err error) {
+	fail1 := func(f outFrame) {
+		if !f.signaled || len(f.data) == 0 {
+			return
+		}
+		if f.data[0] != opWrite {
+			// Response-keyed: release the parked result buffer.
+			b.pendMu.Lock()
+			_, ok := b.pendBuf[f.token]
+			delete(b.pendBuf, f.token)
+			b.pendMu.Unlock()
+			if !ok {
+				return // already failed via failPend
+			}
+		}
+		b.pushComp(core.BackendCompletion{Token: f.token, OK: false, Err: err})
+	}
+	if it.many != nil {
+		for _, f := range it.many {
+			fail1(f)
+		}
+	} else {
+		fail1(it.one)
 	}
 }
 
@@ -383,16 +622,27 @@ func (c *countingConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// reader consumes frames arriving from peer through a buffered reader
-// sized to the peer's flush cap, so a coalesced flush is pulled from
-// the kernel in one syscall and then parsed from memory. Each frame's
-// header cumAck is processed before its body (the ack covers writes
-// that precede this frame on the peer's stream). When the socket
-// drains with signaled writes applied since the last flush, the reader
-// nudges the writer so a standalone cumulative ack goes out — one ack
-// frame per drained burst, not per op.
-func (b *Backend) reader(peer int, conn net.Conn) {
+// reader runs one connection generation's receive side and, when the
+// stream dies, reports the loss (after readerDone closes — the
+// recovery path waits on it so the applied-write count is final
+// before any new handshake).
+func (b *Backend) reader(peer int, conn net.Conn, gen uint64, done chan struct{}) {
+	err := b.readLoop(peer, conn)
+	close(done)
+	b.lostConn(peer, gen, err)
+}
+
+// readLoop consumes frames arriving from peer through a buffered
+// reader sized to the peer's flush cap, so a coalesced flush is pulled
+// from the kernel in one syscall and then parsed from memory. Each
+// frame's header cumAck is processed before its body (the ack covers
+// writes that precede this frame on the peer's stream). When the
+// socket drains with signaled writes applied since the last flush, the
+// reader nudges the writer so a standalone cumulative ack goes out —
+// one ack frame per drained burst, not per op.
+func (b *Backend) readLoop(peer int, conn net.Conn) error {
 	st := &b.cstats[peer]
+	lk := b.links[peer]
 	br := bufio.NewReaderSize(&countingConn{Conn: conn, calls: &st.readCalls, bytes: &st.bytesIn}, b.cfg.FlushBytes)
 	rq := b.replyQueueFor(peer)
 	var (
@@ -403,11 +653,14 @@ func (b *Backend) reader(peer int, conn net.Conn) {
 	)
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return
+			return err
+		}
+		if b.hbNS.Load() != 0 {
+			lk.lastRx.Store(nowNano())
 		}
 		n := binary.LittleEndian.Uint32(hdr[:4])
 		if n > maxFrameLen {
-			return // absurd frame; poisoned stream
+			return fmt.Errorf("tcp: absurd frame length %d from rank %d", n, peer)
 		}
 		if cum := binary.LittleEndian.Uint64(hdr[4:]); cum > 0 {
 			scratch = b.applyCumAck(peer, cum, scratch[:0])
@@ -422,7 +675,7 @@ func (b *Backend) reader(peer int, conn net.Conn) {
 			}
 			f := body[:n]
 			if _, err := io.ReadFull(br, f); err != nil {
-				return
+				return err
 			}
 			if b.handleFrame(peer, f) {
 				ackOwed = true
@@ -437,7 +690,7 @@ func (b *Backend) reader(peer int, conn net.Conn) {
 
 // applyCumAck completes signaled writes 1..k toward peer, in order.
 func (b *Backend) applyCumAck(peer int, k uint64, scratch []uint64) []uint64 {
-	scratch = b.windows[peer].takeTo(k, scratch)
+	scratch = b.windows[peer].ackTo(k, scratch)
 	for _, tok := range scratch {
 		b.pushComp(core.BackendCompletion{Token: tok, OK: true})
 	}
@@ -450,9 +703,11 @@ func (b *Backend) applyCumAck(peer int, k uint64, scratch []uint64) []uint64 {
 // applyNack completes writes 1..seq-1 as OK and write #seq with an
 // error. The nack's own header stamp is seq-1, and reply-queue FIFO
 // order guarantees no later stamp covering seq was processed first.
+// Both steps are idempotent, so a nack replayed across a reconnect is
+// a no-op.
 func (b *Backend) applyNack(peer int, seq uint64, scratch []uint64) []uint64 {
 	scratch = b.applyCumAck(peer, seq-1, scratch)
-	if tok, ok := b.windows[peer].takeOne(); ok {
+	if tok, ok := b.windows[peer].takeNack(seq); ok {
 		b.pushComp(core.BackendCompletion{Token: tok, OK: false, Err: fmt.Errorf("tcp: remote write failed")})
 	}
 	return scratch
@@ -552,10 +807,10 @@ func (b *Backend) handleFrame(peer int, f []byte) bool {
 		}
 		token := binary.LittleEndian.Uint64(f[1:])
 		failed := f[9] == 1
-		b.pendMu.Lock()
-		dst := b.pendBuf[token]
-		delete(b.pendBuf, token)
-		b.pendMu.Unlock()
+		dst, ok := b.takePend(peer, token)
+		if !ok {
+			return false // already failed (link reset); drop the late response
+		}
 		if !failed && dst != nil {
 			copy(dst, f[10:])
 		}
@@ -570,10 +825,10 @@ func (b *Backend) handleFrame(peer int, f []byte) bool {
 		}
 		token := binary.LittleEndian.Uint64(f[1:])
 		failed := f[9] == 1
-		b.pendMu.Lock()
-		dst := b.pendBuf[token]
-		delete(b.pendBuf, token)
-		b.pendMu.Unlock()
+		dst, ok := b.takePend(peer, token)
+		if !ok {
+			return false
+		}
 		if !failed && dst != nil {
 			copy(dst, f[10:18])
 		}
@@ -586,8 +841,29 @@ func (b *Backend) handleFrame(peer int, f []byte) bool {
 		b.handleExg(peer, f[1:])
 	case opExgResp:
 		b.handleExgResp(f[1:])
+	case opHeartbeat:
+		// Liveness probe: the header read already refreshed lastRx, and
+		// its stamp (processed above) doubled as a cumulative ack.
+		return false
 	}
 	return false
+}
+
+// takePend claims a parked response buffer, clearing the sent-tracking
+// entry. ok is false when the op was already failed by the recovery
+// path (the response raced the link teardown).
+func (b *Backend) takePend(peer int, token uint64) ([]byte, bool) {
+	b.pendMu.Lock()
+	defer b.pendMu.Unlock()
+	pd, ok := b.pendBuf[token]
+	if !ok {
+		return nil, false
+	}
+	delete(b.pendBuf, token)
+	if sr := b.sentResp[peer]; sr != nil {
+		delete(sr, token)
+	}
+	return pd.buf, true
 }
 
 func (b *Backend) handleAtomic(peer int, f []byte) {
@@ -683,15 +959,6 @@ func (b *Backend) Exchange(local []byte) ([][]byte, error) {
 	out := b.exgResp[0]
 	b.exgResp = b.exgResp[1:]
 	return out, nil
-}
-
-func (b *Backend) isClosed() bool {
-	select {
-	case <-b.closed:
-		return true
-	default:
-		return false
-	}
 }
 
 func (b *Backend) exchangeRoot(local []byte) ([][]byte, error) {

@@ -18,6 +18,10 @@ type connStats struct {
 	acksSolo      atomic.Int64 // acks conveyed by pure standalone-ack flushes
 	ackFrames     atomic.Int64 // standalone ack frames emitted
 	nacksSent     atomic.Int64 // failed signaled writes nacked to the initiator
+
+	heartbeats atomic.Int64 // liveness probes sent (suppressed ones excluded)
+	reconnects atomic.Int64 // connections re-established after a loss
+	retxFrames atomic.Int64 // window frames replayed after reconnects
 }
 
 // DataPathStats is a point-in-time snapshot of the TCP data path,
@@ -39,6 +43,10 @@ type DataPathStats struct {
 	AcksStandalone  int64
 	AckFramesSent   int64
 	NacksSent       int64
+
+	Heartbeats       int64
+	Reconnects       int64
+	RetransmitFrames int64
 }
 
 func (s *DataPathStats) add(c *connStats) {
@@ -53,6 +61,9 @@ func (s *DataPathStats) add(c *connStats) {
 	s.AcksStandalone += c.acksSolo.Load()
 	s.AckFramesSent += c.ackFrames.Load()
 	s.NacksSent += c.nacksSent.Load()
+	s.Heartbeats += c.heartbeats.Load()
+	s.Reconnects += c.reconnects.Load()
+	s.RetransmitFrames += c.retxFrames.Load()
 }
 
 // FramesPerFlush reports how many frames each Write syscall carried.
@@ -116,4 +127,7 @@ func (b *Backend) TransportStats(yield func(name string, value int64)) {
 	yield("tcp_acks_standalone", s.AcksStandalone)
 	yield("tcp_ack_frames", s.AckFramesSent)
 	yield("tcp_nacks", s.NacksSent)
+	yield("tcp_heartbeats", s.Heartbeats)
+	yield("tcp_reconnects", s.Reconnects)
+	yield("tcp_retransmit_frames", s.RetransmitFrames)
 }

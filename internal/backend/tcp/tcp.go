@@ -12,7 +12,7 @@
 // pair: requests apply in posting order, and an ACK for operation k
 // implies operations 1..k-1 have been applied.
 //
-// Data path (wire format v2): every frame carries a 12-byte header,
+// Data path (wire format v3): every frame carries a 12-byte header,
 //
 //	u32 bodyLen | u64 cumAck | body
 //
@@ -29,10 +29,24 @@
 // applied-write count at push time so cross-kind posting order is
 // preserved at the initiator. See DESIGN.md "TCP data path".
 //
+// Fault tolerance: a lost connection is redialed with bounded
+// exponential backoff inside Config.ReconnectWindow. The v3 handshake
+// is symmetric — both sides report how many of the peer's signaled
+// writes they have applied — so after a reconnect each writer trims
+// its retransmit window to the peer's report and replays exactly the
+// frames the dead connection may have lost, preserving the RC
+// ordering contract. Non-idempotent operations (reads, atomics) in
+// flight on a dead connection are never replayed; they complete with
+// core.ErrPeerDown. When the window expires the peer is declared down
+// and everything queued toward it fails. See DESIGN.md "Fault
+// tolerance" and recover.go for the link state machine.
+//
 // Bootstrap exchange is a star over rank 0: every rank ships its blob
 // to the root, which gathers and rebroadcasts. Connections form a full
 // mesh at New time from a caller-supplied address book (the moral
-// equivalent of a launcher's hostfile).
+// equivalent of a launcher's hostfile). Exchange frames are not
+// retransmitted: the bootstrap collective is expected to run before
+// the job starts injecting faults.
 package tcp
 
 import (
@@ -72,6 +86,14 @@ type Config struct {
 	// filling up to this cap before issuing the Write syscall. The
 	// read side sizes its buffered reader to match.
 	FlushBytes int
+	// ReconnectWindow bounds how long a lost connection is redialed
+	// before the peer is declared down (default 5s). Negative disables
+	// recovery entirely: a lost connection immediately declares the
+	// peer down, failing everything in flight with core.ErrPeerDown.
+	ReconnectWindow time.Duration
+	// ReconnectBackoff is the initial redial delay (default 25ms); it
+	// doubles per failed attempt, with jitter, capped at one second.
+	ReconnectBackoff time.Duration
 	// Listener optionally supplies a pre-bound listener for this rank
 	// (port-0 setups and tests); when set, Addrs[Rank] is only used by
 	// peers to reach it.
@@ -91,19 +113,30 @@ func (c *Config) setDefaults() error {
 	if c.FlushBytes <= 0 {
 		c.FlushBytes = 256 << 10
 	}
+	if c.ReconnectWindow == 0 {
+		c.ReconnectWindow = 5 * time.Second
+	}
+	if c.ReconnectBackoff <= 0 {
+		c.ReconnectBackoff = 25 * time.Millisecond
+	}
 	return nil
 }
 
-// Wire format v2 framing.
+// Wire format v3 framing.
 const (
 	// frameHdrLen prefixes every frame: u32 body length | u64 cumAck.
 	frameHdrLen = 12
 	// maxFrameLen rejects absurd lengths from a poisoned stream.
 	maxFrameLen = 1 << 30
-	// Handshake: the dialer announces magic, wire version, and rank.
-	wireMagic   = 0x32764850 // "PHv2" little-endian
-	wireVersion = 2
-	hsLen       = 12
+	// Handshake (symmetric, 24 bytes each way): magic, wire version,
+	// rank, flags, and the cumulative count of the peer's signaled
+	// writes this side has applied — the retransmit cut point.
+	wireMagic   = 0x32764850
+	wireVersion = 3
+	hsLen       = 24
+	// hsFlagReconnect marks a handshake that replaces an earlier
+	// connection (informational; both paths are handled identically).
+	hsFlagReconnect = 1 << 0
 )
 
 // Wire opcodes.
@@ -117,7 +150,14 @@ const (
 	opAtomicResp = 7
 	opExg        = 8
 	opExgResp    = 9
+	opHeartbeat  = 10 // body: u8 op; liveness probe, suppressed by data
 )
+
+// tcpEpoch anchors the backend's monotonic timestamps (liveness
+// tracking); time.Since against a fixed epoch never allocates.
+var tcpEpoch = time.Now()
+
+func nowNano() int64 { return int64(time.Since(tcpEpoch)) }
 
 // registration is one pinned buffer.
 type registration struct {
@@ -142,6 +182,13 @@ type outItem struct {
 	many []outFrame // non-nil for batches; `one` is unused then
 }
 
+// pendDst is a parked read/atomic result buffer and the rank the
+// request went to (so a dead link can fail exactly its own ops).
+type pendDst struct {
+	buf  []byte
+	rank int
+}
+
 // Backend is one rank's TCP transport endpoint.
 type Backend struct {
 	cfg  Config
@@ -149,7 +196,7 @@ type Backend struct {
 	size int
 
 	ln    net.Listener
-	conns []net.Conn // nil at self rank
+	links []*link // per-peer connection state (nil at self rank)
 
 	outMu   sync.Mutex
 	outs    []chan outItem // per peer; self uses loopback dispatch
@@ -157,7 +204,7 @@ type Backend struct {
 	sendWG  sync.WaitGroup
 
 	// Per-peer cumulative-ack state (self slot unused).
-	windows  []*ackWindow    // signaled-write tokens we sent, awaiting acks
+	windows  []*sendWindow   // unacked opWrite frames, retained for retransmit
 	recvSeqW []atomic.Uint64 // signaled writes applied from each peer
 	lastNack []atomic.Uint64 // highest nack seq queued toward each peer
 	cstats   []connStats     // data-path counters per connection
@@ -172,9 +219,17 @@ type Backend struct {
 	comps  []core.BackendCompletion
 	wake   chan struct{} // cap 1: signaled on completions and applied remote data
 
-	// pending read/atomic result buffers keyed by token.
-	pendMu  sync.Mutex
-	pendBuf map[uint64][]byte
+	// pending read/atomic result buffers keyed by token; sentResp
+	// tracks, per peer, which of them actually hit the wire (those are
+	// the non-idempotent ops a reconnect cannot replay).
+	pendMu   sync.Mutex
+	pendBuf  map[uint64]pendDst
+	sentResp []map[uint64]struct{}
+
+	// Liveness plane, armed by ConfigureLiveness (core.HealthBackend).
+	hbNS      atomic.Int64 // heartbeat interval; 0 = heartbeats off
+	suspectNS atomic.Int64
+	hbOnce    sync.Once
 
 	// exchange state.
 	exgMu     sync.Mutex
@@ -193,11 +248,13 @@ var (
 	_ core.BatchBackend  = (*Backend)(nil)
 	_ core.StatsBackend  = (*Backend)(nil)
 	_ core.NotifyBackend = (*Backend)(nil)
+	_ core.HealthBackend = (*Backend)(nil)
 )
 
 // New builds the endpoint: it listens, forms the full mesh (lower rank
 // dials higher rank), and starts the agent loops. New is collective
-// across the job.
+// across the job. The accept loop stays up for the life of the
+// backend so a reconnecting lower-rank peer can always dial back in.
 func New(cfg Config) (*Backend, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
@@ -207,23 +264,27 @@ func New(cfg Config) (*Backend, error) {
 		cfg:       cfg,
 		rank:      cfg.Rank,
 		size:      n,
-		conns:     make([]net.Conn, n),
+		links:     make([]*link, n),
 		outs:      make([]chan outItem, n),
-		windows:   make([]*ackWindow, n),
+		windows:   make([]*sendWindow, n),
 		recvSeqW:  make([]atomic.Uint64, n),
 		lastNack:  make([]atomic.Uint64, n),
 		cstats:    make([]connStats, n),
 		regs:      make(map[uint32]*registration),
 		nextRKey:  1,
 		nextBase:  0x1000,
-		pendBuf:   make(map[uint64][]byte),
+		pendBuf:   make(map[uint64]pendDst),
+		sentResp:  make([]map[uint64]struct{}, n),
 		exgGather: make(map[int][][]byte),
 		wake:      make(chan struct{}, 1),
 		closed:    make(chan struct{}),
 	}
 	b.exgCond = sync.NewCond(&b.exgMu)
 	for i := range b.windows {
-		b.windows[i] = &ackWindow{}
+		b.windows[i] = &sendWindow{}
+		if i != b.rank {
+			b.links[i] = newLink(i)
+		}
 	}
 
 	ln := cfg.Listener
@@ -236,7 +297,16 @@ func New(cfg Config) (*Backend, error) {
 	}
 	b.ln = ln
 
-	// Accept from lower ranks, dial higher ranks, in parallel.
+	// Writers first: each parks in awaitConn until a connection is
+	// installed, so the mesh can form in any order.
+	for peer := 0; peer < b.size; peer++ {
+		b.outs[peer] = make(chan outItem, cfg.SendDepth)
+		b.sendWG.Add(1)
+		go b.writer(peer)
+	}
+	go b.acceptLoop()
+
+	// Dial higher ranks in parallel; lower ranks dial into acceptLoop.
 	var wg sync.WaitGroup
 	var connErr error
 	var errMu sync.Mutex
@@ -247,97 +317,135 @@ func New(cfg Config) (*Backend, error) {
 		}
 		errMu.Unlock()
 	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for i := 0; i < b.rank; i++ {
-			conn, err := ln.Accept()
-			if err != nil {
-				setErr(err)
-				return
-			}
-			peer, err := readHandshake(conn)
-			if err != nil {
-				setErr(err)
-				return
-			}
-			if peer < 0 || peer >= b.rank {
-				setErr(fmt.Errorf("%w: rank %d dialed into slot for lower ranks", ErrHandshake, peer))
-				return
-			}
-			b.conns[peer] = conn
-		}
-	}()
 	for peer := b.rank + 1; peer < b.size; peer++ {
 		wg.Add(1)
 		go func(peer int) {
 			defer wg.Done()
-			deadline := time.Now().Add(cfg.DialTimeout)
-			for {
-				conn, err := net.DialTimeout("tcp", cfg.Addrs[peer], cfg.DialTimeout)
-				if err == nil {
-					if err := writeHandshake(conn, b.rank); err != nil {
-						setErr(err)
-						return
-					}
-					b.conns[peer] = conn
-					return
-				}
-				if time.Now().After(deadline) {
-					setErr(fmt.Errorf("tcp: dial rank %d (%s): %w", peer, cfg.Addrs[peer], err))
-					return
-				}
-				time.Sleep(10 * time.Millisecond)
+			if err := b.dialPeer(peer, cfg.DialTimeout); err != nil {
+				setErr(err)
 			}
 		}(peer)
 	}
 	wg.Wait()
+	if connErr == nil {
+		connErr = b.awaitMesh(cfg.DialTimeout)
+	}
 	if connErr != nil {
 		b.Close()
 		return nil, connErr
 	}
-
-	// Start per-peer writer and reader loops. The kernel must not
-	// re-add the latency the coalescing writer removes, so Nagle is
-	// explicitly off on every mesh connection.
-	for peer := 0; peer < b.size; peer++ {
-		b.outs[peer] = make(chan outItem, cfg.SendDepth)
-		b.sendWG.Add(1)
-		go b.writer(peer)
-		if peer != b.rank {
-			if tc, ok := b.conns[peer].(*net.TCPConn); ok {
-				tc.SetNoDelay(true)
-			}
-			go b.reader(peer, b.conns[peer])
-		}
-	}
 	return b, nil
 }
 
-// writeHandshake announces magic, wire version, and rank to the peer.
-func writeHandshake(conn net.Conn, rank int) error {
+// dialPeer establishes the initial connection to a higher rank,
+// retrying connection-refused (the peer may not be listening yet)
+// until the budget expires.
+func (b *Backend) dialPeer(peer int, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		conn, err := net.DialTimeout("tcp", b.cfg.Addrs[peer], budget)
+		if err == nil {
+			applied, sent, herr := b.clientHandshake(conn, peer)
+			if herr == nil {
+				b.installConn(peer, conn, applied, sent)
+				return nil
+			}
+			conn.Close()
+			err = herr
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("tcp: dial rank %d (%s): %w", peer, b.cfg.Addrs[peer], err)
+		}
+		select {
+		case <-b.closed:
+			return core.ErrClosed
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// awaitMesh waits for every lower rank to have dialed in.
+func (b *Backend) awaitMesh(budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		missing := -1
+		for peer := 0; peer < b.rank; peer++ {
+			if b.links[peer].genA.Load() == 0 {
+				missing = peer
+				break
+			}
+		}
+		if missing < 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: rank %d never connected", ErrHandshake, missing)
+		}
+		select {
+		case <-b.closed:
+			return core.ErrClosed
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// writeHello sends one side of the symmetric handshake: magic, wire
+// version, rank, flags, and the cumulative count of the peer's
+// signaled writes this side has applied (the retransmit cut point; 0
+// on an initial connection, where nothing has been applied yet).
+func writeHello(conn net.Conn, rank int, flags uint32, applied uint64) error {
 	var hs [hsLen]byte
 	binary.LittleEndian.PutUint32(hs[0:], wireMagic)
 	binary.LittleEndian.PutUint32(hs[4:], wireVersion)
 	binary.LittleEndian.PutUint32(hs[8:], uint32(rank))
+	binary.LittleEndian.PutUint32(hs[12:], flags)
+	binary.LittleEndian.PutUint64(hs[16:], applied)
 	_, err := conn.Write(hs[:])
 	return err
 }
 
-// readHandshake validates magic and wire version and returns the
-// dialer's rank.
-func readHandshake(conn net.Conn) (int, error) {
+// readHello validates magic and wire version and returns the sender's
+// rank, flags, and applied count.
+func readHello(conn net.Conn) (rank int, flags uint32, applied uint64, err error) {
 	var hs [hsLen]byte
-	if _, err := io.ReadFull(conn, hs[:]); err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrHandshake, err)
+	if _, rerr := io.ReadFull(conn, hs[:]); rerr != nil {
+		return 0, 0, 0, fmt.Errorf("%w: %v", ErrHandshake, rerr)
 	}
 	if m := binary.LittleEndian.Uint32(hs[0:]); m != wireMagic {
-		return 0, fmt.Errorf("%w: bad magic %#x", ErrHandshake, m)
+		return 0, 0, 0, fmt.Errorf("%w: bad magic %#x", ErrHandshake, m)
 	}
 	if v := binary.LittleEndian.Uint32(hs[4:]); v != wireVersion {
-		return 0, fmt.Errorf("%w: wire version %d, want %d", ErrHandshake, v, wireVersion)
+		return 0, 0, 0, fmt.Errorf("%w: wire version %d, want %d", ErrHandshake, v, wireVersion)
 	}
-	return int(binary.LittleEndian.Uint32(hs[8:])), nil
+	rank = int(binary.LittleEndian.Uint32(hs[8:]))
+	flags = binary.LittleEndian.Uint32(hs[12:])
+	applied = binary.LittleEndian.Uint64(hs[16:])
+	return rank, flags, applied, nil
+}
+
+// clientHandshake runs the dialer side: send our hello, read the
+// peer's response. Returns the peer's applied count (our retransmit
+// cut) and the applied count we reported (the new connection's
+// conveyed-ack floor).
+func (b *Backend) clientHandshake(conn net.Conn, peer int) (peerApplied, sentApplied uint64, err error) {
+	conn.SetDeadline(time.Now().Add(b.cfg.DialTimeout))
+	defer conn.SetDeadline(time.Time{})
+	var flags uint32
+	if b.links[peer].genA.Load() > 0 {
+		flags = hsFlagReconnect
+	}
+	sentApplied = b.recvSeqW[peer].Load()
+	if err = writeHello(conn, b.rank, flags, sentApplied); err != nil {
+		return 0, 0, err
+	}
+	rank, _, applied, rerr := readHello(conn)
+	if rerr != nil {
+		return 0, 0, rerr
+	}
+	if rank != peer {
+		return 0, 0, fmt.Errorf("%w: dialed rank %d, got %d", ErrHandshake, peer, rank)
+	}
+	return applied, sentApplied, nil
 }
 
 // Rank returns this backend's rank.
@@ -388,7 +496,8 @@ func (b *Backend) lookup(rkey uint32, addr uint64, n int) (*registration, error)
 	return r, nil
 }
 
-// enqueue places an item on a peer's writer queue, non-blocking.
+// enqueue places an item on a peer's writer queue, non-blocking. A
+// peer latched down fails fast with core.ErrPeerDown.
 func (b *Backend) enqueue(rank int, it outItem) error {
 	if rank < 0 || rank >= b.size {
 		return core.ErrBadRank
@@ -397,6 +506,9 @@ func (b *Backend) enqueue(rank int, it outItem) error {
 	case <-b.closed:
 		return core.ErrClosed
 	default:
+	}
+	if lk := b.links[rank]; lk != nil && lk.down.Load() {
+		return core.ErrPeerDown
 	}
 	select {
 	case b.outs[rank] <- it:
@@ -499,7 +611,7 @@ func (b *Backend) PostCompSwap(rank int, result []byte, raddr uint64, rkey uint3
 // pendBuf until the response lands.
 func (b *Backend) postResponseKeyed(rank int, result []byte, token uint64, f []byte) error {
 	b.pendMu.Lock()
-	b.pendBuf[token] = result
+	b.pendBuf[token] = pendDst{buf: result, rank: rank}
 	b.pendMu.Unlock()
 	if err := b.enqueue(rank, outItem{one: outFrame{data: f, token: token, signaled: true}}); err != nil {
 		b.pendMu.Lock()
@@ -509,6 +621,23 @@ func (b *Backend) postResponseKeyed(rank int, result []byte, token uint64, f []b
 	}
 	trace.Record(trace.KindPost, b.rank, token, "tcp.post")
 	return nil
+}
+
+// markSentResp records response-keyed tokens whose request frames are
+// about to hit the wire toward peer: if that connection dies, exactly
+// these ops are the non-idempotent in-flight ones a reconnect cannot
+// replay.
+func (b *Backend) markSentResp(peer int, toks []uint64) {
+	b.pendMu.Lock()
+	sr := b.sentResp[peer]
+	if sr == nil {
+		sr = make(map[uint64]struct{})
+		b.sentResp[peer] = sr
+	}
+	for _, tok := range toks {
+		sr[tok] = struct{}{}
+	}
+	b.pendMu.Unlock()
 }
 
 // ApplyLocal places data into this rank's own registered memory with
@@ -571,6 +700,14 @@ func (b *Backend) kick() {
 	}
 }
 
+// nudge signals a cap-1 event channel without blocking.
+func nudge(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
 // Close tears down connections and loops.
 func (b *Backend) Close() error {
 	b.closeMu.Lock()
@@ -584,13 +721,30 @@ func (b *Backend) Close() error {
 	if b.ln != nil {
 		b.ln.Close()
 	}
-	for _, c := range b.conns {
-		if c != nil {
-			c.Close()
+	for _, lk := range b.links {
+		if lk == nil {
+			continue
 		}
+		lk.mu.Lock()
+		if lk.conn != nil {
+			lk.conn.Close()
+		}
+		lk.cond.Broadcast()
+		lk.mu.Unlock()
+		nudge(lk.reconn)
+		nudge(lk.installed)
 	}
 	b.exgMu.Lock()
 	b.exgCond.Broadcast()
 	b.exgMu.Unlock()
 	return nil
+}
+
+func (b *Backend) isClosed() bool {
+	select {
+	case <-b.closed:
+		return true
+	default:
+		return false
+	}
 }

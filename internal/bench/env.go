@@ -170,17 +170,26 @@ func ShareBuffers(phs []*core.Photon, size int) (bufs [][]byte, descs [][]mem.Re
 // NewTCPPhotons boots an n-rank Photon job over the loopback TCP
 // backend (for the backend-comparison experiment).
 func NewTCPPhotons(n int, cfg core.Config) ([]*core.Photon, func(), error) {
+	phs, _, cleanup, err := NewTCPPhotonsFT(n, cfg, nil)
+	return phs, cleanup, err
+}
+
+// NewTCPPhotonsFT is NewTCPPhotons with the transport's recovery knobs
+// exposed: tune edits each rank's tcp.Config before dialing, and the
+// returned backends let fault experiments sever live connections.
+func NewTCPPhotonsFT(n int, cfg core.Config, tune func(*tcp.Config)) ([]*core.Photon, []*tcp.Backend, func(), error) {
 	cfg = overlayObs(cfg)
 	lns := make([]net.Listener, n)
 	addrs := make([]string, n)
 	for i := range lns {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		lns[i] = ln
 		addrs[i] = ln.Addr().String()
 	}
+	bes := make([]*tcp.Backend, n)
 	phs := make([]*core.Photon, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -188,11 +197,16 @@ func NewTCPPhotons(n int, cfg core.Config) ([]*core.Photon, func(), error) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			be, err := tcp.New(tcp.Config{Rank: r, Addrs: addrs, Listener: lns[r]})
+			tc := tcp.Config{Rank: r, Addrs: addrs, Listener: lns[r]}
+			if tune != nil {
+				tune(&tc)
+			}
+			be, err := tcp.New(tc)
 			if err != nil {
 				errs[r] = err
 				return
 			}
+			bes[r] = be
 			phs[r], errs[r] = core.Init(be, cfg)
 		}(r)
 	}
@@ -207,8 +221,8 @@ func NewTCPPhotons(n int, cfg core.Config) ([]*core.Photon, func(), error) {
 	for r, err := range errs {
 		if err != nil {
 			cleanup()
-			return nil, nil, fmt.Errorf("tcp rank %d: %w", r, err)
+			return nil, nil, nil, fmt.Errorf("tcp rank %d: %w", r, err)
 		}
 	}
-	return phs, cleanup, nil
+	return phs, bes, cleanup, nil
 }

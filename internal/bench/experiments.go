@@ -70,6 +70,7 @@ var registry = map[string]func(scale float64) (*Report, error){
 	"E10": runE10,
 	"E11": runE11,
 	"E12": runE12,
+	"E13": runE13,
 }
 
 // warmProcess runs a short untimed traffic burst on scratch
@@ -542,4 +543,53 @@ func runE12(scale float64) (*Report, error) {
 	return &Report{ID: "E12", Title: "remote atomics", Series: []*stats.Series{s}, Tables: []*stats.Table{t}}, nil
 }
 
+// runE13 — fault injection & recovery (no paper figure: the paper
+// asserts fault tolerance qualitatively; this quantifies the
+// reconstruction's machinery). Three measurements: how long a severed
+// TCP link takes to carry traffic again as the heartbeat interval
+// varies, sustained send goodput while a saboteur severs the link
+// periodically, and the contrast case — frames lost above the
+// transport, where no retransmit window exists and goodput collapses
+// onto the OpTimeout sweep.
+func runE13(scale float64) (*Report, error) {
+	trials := scaled(8, scale)
+	rec := stats.NewTable("E13a: recovery time after link sever vs heartbeat interval (TCP, 1ms backoff)",
+		"heartbeat", "mean-recovery-ms", "max-recovery-ms")
+	for _, hb := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
+		mean, max, err := SeverRecoveryTime(hb, trials)
+		if err != nil {
+			return nil, fmt.Errorf("E13a hb %v: %w", hb, err)
+		}
+		rec.Row(hb.String(), ms(mean), ms(max))
+	}
+	iters := scaled(4000, scale)
+	good := stats.NewTable("E13b: sustained 8B send goodput (Kmsg/s) under periodic link severs (TCP)",
+		"fault-injection", "Kmsg/s")
+	for _, every := range []time.Duration{0, 100 * time.Millisecond, 25 * time.Millisecond} {
+		rate, err := GoodputUnderSevers(iters, every)
+		if err != nil {
+			return nil, fmt.Errorf("E13b sever %v: %w", every, err)
+		}
+		label := "none"
+		if every > 0 {
+			label = "sever every " + every.String()
+		}
+		good.Row(label, rate/1e3)
+	}
+	loss := stats.NewTable("E13c: goodput when frames are lost above the transport (vsim + chaos, OpTimeout 150ms)",
+		"drop-rate", "sends-ok", "goodput-Kmsg/s")
+	sends := scaled(600, scale)
+	for _, p := range []float64{0, 0.01} {
+		ok, rate, err := LossyGoodput(sends, p)
+		if err != nil {
+			return nil, fmt.Errorf("E13c drop %.2f: %w", p, err)
+		}
+		loss.Row(fmt.Sprintf("%.0f%%", p*100), fmt.Sprintf("%d/%d", ok, sends), rate/1e3)
+	}
+	return &Report{ID: "E13", Title: "fault injection & recovery",
+		Tables: []*stats.Table{rec, good, loss}}, nil
+}
+
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

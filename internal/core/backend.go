@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"photon/internal/mem"
 )
@@ -20,7 +21,57 @@ var (
 	ErrBadRank = errors.New("photon: rank out of range")
 	// ErrTooLarge is returned when a payload exceeds a protocol limit.
 	ErrTooLarge = errors.New("photon: payload too large")
+	// ErrPeerDown is returned (or carried by error completions) when a
+	// peer has been declared dead: its transport connection could not
+	// be recovered within the reconnect budget, or the failure detector
+	// latched it down. Ops toward a down peer fail fast rather than
+	// waiting out OpTimeout.
+	ErrPeerDown = errors.New("photon: peer down")
 )
+
+// PeerHealth is the liveness state of one peer as seen by the failure
+// detector: healthy → suspect (no traffic for SuspectAfter) → down
+// (reconnect budget exhausted; terminal), with recovering covering the
+// window where the transport has lost the connection and is actively
+// re-establishing it.
+type PeerHealth int32
+
+// PeerHealth states.
+const (
+	PeerHealthy PeerHealth = iota
+	PeerSuspect
+	PeerRecovering
+	PeerDown
+)
+
+// String names the health state for logs and gauges.
+func (h PeerHealth) String() string {
+	switch h {
+	case PeerHealthy:
+		return "healthy"
+	case PeerSuspect:
+		return "suspect"
+	case PeerRecovering:
+		return "recovering"
+	case PeerDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// HealthBackend is an optional Backend extension implemented by
+// transports with a failure detector. ConfigureLiveness arms it:
+// the backend emits heartbeat traffic on links idle longer than the
+// heartbeat interval (piggyback-suppressed when data is flowing) and
+// reports a peer suspect once nothing has been received from it for
+// suspectAfter. PeerHealth must be cheap and callable concurrently:
+// the progress engine polls it to drive the core peer state machine.
+// Backends without liveness (in-process fabrics) simply omit this;
+// the engine then relies on OpTimeout alone.
+type HealthBackend interface {
+	ConfigureLiveness(heartbeat, suspectAfter time.Duration)
+	PeerHealth(rank int) PeerHealth
+}
 
 // ActivityBackend is an optional Backend extension: WriteActivity
 // returns a loader for a monotonic count of remote writes applied to a

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"photon/internal/ledger"
 	"photon/internal/metrics"
@@ -66,6 +67,24 @@ type Config struct {
 	// small payloads (ablation knob: the packed small-put fold is one
 	// of Photon's headline optimizations).
 	DisablePackedPut bool
+	// HeartbeatInterval arms the transport's failure detector (on
+	// backends implementing HealthBackend): links idle longer than the
+	// interval carry a heartbeat frame, suppressed while data flows.
+	// Zero (the default) disables liveness tracking entirely — no
+	// heartbeat traffic, no peer state machine, no per-frame clock
+	// reads.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is how long a peer may stay silent before the
+	// detector reports it suspect (default 4×HeartbeatInterval). It
+	// must be at least HeartbeatInterval, or every gap between
+	// heartbeats would trip the detector.
+	SuspectAfter time.Duration
+	// OpTimeout bounds every signaled operation: ops still in flight
+	// after it are swept by Progress into error completions carrying
+	// ErrTimeout, so waiters never wedge on a dead rank. Zero (the
+	// default) disables the sweep. When set, blocking waits without an
+	// explicit timeout are implicitly bounded by 2×OpTimeout.
+	OpTimeout time.Duration
 	// CompQueueDepth is the fixed capacity of each harvested-completion
 	// ring (local and remote), rounded up to a power of two (default
 	// 1024). Overflow spills to an unbounded list — nothing is dropped
@@ -131,6 +150,15 @@ func (c *Config) setDefaults() error {
 	}
 	if c.TraceSampleShift < 0 || c.TraceSampleShift > 62 {
 		return fmt.Errorf("photon: trace sample shift %d out of range [0, 62]", c.TraceSampleShift)
+	}
+	if c.HeartbeatInterval < 0 || c.SuspectAfter < 0 || c.OpTimeout < 0 {
+		return fmt.Errorf("photon: fault-tolerance intervals must be non-negative")
+	}
+	if c.HeartbeatInterval > 0 && c.SuspectAfter == 0 {
+		c.SuspectAfter = 4 * c.HeartbeatInterval
+	}
+	if c.HeartbeatInterval > 0 && c.SuspectAfter < c.HeartbeatInterval {
+		return fmt.Errorf("photon: SuspectAfter %v shorter than HeartbeatInterval %v", c.SuspectAfter, c.HeartbeatInterval)
 	}
 	return nil
 }

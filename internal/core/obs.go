@@ -109,6 +109,12 @@ func (p *Photon) Metrics() *metrics.Snapshot {
 	g.Set("deferred_parked", p.parked.Load())
 	g.Set("credit_hint_pending", p.creditHintTotal.Load())
 
+	// Failure-path gauges: always exported (0 when the fault plane is
+	// disarmed) so dashboards and smoke tests can rely on the names.
+	g.Set("ops_timed_out", p.opsTimedOut.Load())
+	g.Set("peer_suspect_transitions", p.suspectTransitions.Load())
+	g.Set("peers_down", p.peersDown.Load())
+
 	// Per-peer gauges. consumed/lastReturned are progress-engine and
 	// peer-mutex state respectively; take the same locks the engine
 	// does so a snapshot during live traffic stays race-free.

@@ -33,6 +33,9 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 	if !dst.Contains(off, len(local)) {
 		return fmt.Errorf("%w: put of %d bytes at offset %d into buffer of %d", ErrTooLarge, len(local), off, dst.Len) //photon:allow hotpathalloc -- cold error path; the op was rejected before any work
 	}
+	if p.peerDown(rank) {
+		return ErrPeerDown
+	}
 	ps := p.peers[rank]
 	ts := p.obsStamp()
 
@@ -150,6 +153,9 @@ func (p *Photon) GetWithCompletion(rank int, local []byte, src mem.RemoteBuffer,
 	if !src.Contains(off, len(local)) {
 		return fmt.Errorf("%w: get of %d bytes at offset %d from buffer of %d", ErrTooLarge, len(local), off, src.Len) //photon:allow hotpathalloc -- cold error path; the op was rejected before any work
 	}
+	if p.peerDown(rank) {
+		return ErrPeerDown
+	}
 	ts := p.obsStamp()
 	tok := p.newToken(pendingOp{
 		kind: opGetLocal, rank: rank, rid: localRID, remoteRID: remoteRID,
@@ -181,6 +187,9 @@ func (p *Photon) Send(rank int, data []byte, localRID, remoteRID uint64) error {
 	}
 	if p.closed.Load() {
 		return ErrClosed
+	}
+	if p.peerDown(rank) {
+		return ErrPeerDown
 	}
 	ps := p.peers[rank]
 	ts := p.obsStamp()
@@ -282,10 +291,14 @@ func (p *Photon) sendRendezvous(ps *peerState, rank int, data []byte, localRID, 
 	if err != nil {
 		return err
 	}
+	var deadline int64
+	if p.opTimeoutNS != 0 {
+		deadline = nowNanos() + p.opTimeoutNS
+	}
 	p.rdzvMu.Lock()
 	id := p.nextRdzvID
 	p.nextRdzvID++
-	p.rdzvSends[id] = rdzvSend{rid: localRID, rb: rb, postNS: ts}
+	p.rdzvSends[id] = rdzvSend{rank: rank, rid: localRID, rb: rb, postNS: ts, deadlineNS: deadline}
 	p.rdzvMu.Unlock()
 	if ts != 0 {
 		p.traceEv(trace.KindPost, remoteRID, "send.rdzv")
@@ -347,6 +360,9 @@ func (p *Photon) atomic(rank int, dst mem.RemoteBuffer, off uint64, localRID uin
 	if !dst.Contains(off, 8) {
 		return fmt.Errorf("%w: atomic at offset %d of buffer len %d", ErrTooLarge, off, dst.Len) //photon:allow hotpathalloc -- cold error path; the op was rejected before any work
 	}
+	if p.peerDown(rank) {
+		return ErrPeerDown
+	}
 	// The result word is pool scratch; the backend owns it until the
 	// completion is reaped, where handleBackend recycles it.
 	result := p.pool.Get(8)
@@ -397,7 +413,10 @@ func (p *Photon) reserve(ps *peerState, class int) (ledger.Reservation, error) {
 // order by Progress, preserving the data-before-notification order
 // within each operation. Pooled entry scratch is recycled as soon as
 // the write is accepted (the Backend contract guarantees PostWrite has
-// snapshotted it by then).
+// snapshotted it by then). Hard transport errors — anything other
+// than ErrWouldBlock, e.g. ErrPeerDown or ErrClosed — fail the op
+// immediately instead of parking it: a write the transport has
+// rejected outright would otherwise wedge the deferred FIFO forever.
 //
 //photon:hotpath
 func (p *Photon) postOrPark(ps *peerState, rank int, local []byte, raddr uint64, rkey uint32, token uint64, signaled, pooled bool) {
@@ -410,6 +429,11 @@ func (p *Photon) postOrPark(ps *peerState, rank int, local []byte, raddr uint64,
 			if pooled {
 				p.pool.Put(local)
 			}
+			return
+		}
+		if err != ErrWouldBlock {
+			w := wireOp{local: local, token: token, signaled: signaled, pooled: pooled}
+			p.failWire(&w, err)
 			return
 		}
 	}
@@ -453,7 +477,7 @@ func (p *Photon) postPair(ps *peerState, rank int, a, b wireOp) {
 	reqs := append((*rp)[:0],
 		WriteReq{Local: a.local, RemoteAddr: a.raddr, RKey: a.rkey, Token: a.token, Signaled: a.signaled},
 		WriteReq{Local: b.local, RemoteAddr: b.raddr, RKey: b.rkey, Token: b.token, Signaled: b.signaled})
-	n, _ := p.bbe.PostWriteBatch(rank, reqs)
+	n, err := p.bbe.PostWriteBatch(rank, reqs)
 	reqs[0], reqs[1] = WriteReq{}, WriteReq{}
 	*rp = reqs[:0]
 	p.reqPool.Put(rp)
@@ -468,6 +492,12 @@ func (p *Photon) postPair(ps *peerState, rank int, a, b wireOp) {
 		}
 	}
 	for i := n; i < 2; i++ {
+		if err != nil && err != ErrWouldBlock {
+			// Hard rejection (peer down, closed): fail instead of
+			// parking a write that can never be retried successfully.
+			p.failWire(&ops[i], err)
+			continue
+		}
 		p.parkWire(ps, ops[i])
 	}
 }

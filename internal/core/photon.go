@@ -119,6 +119,11 @@ type pendingOp struct {
 	size      int
 	rdzvID    uint64 // rendezvous transfer id (FIN key)
 
+	// deadlineNS is the nowNanos instant after which the op is swept
+	// into an ErrTimeout error completion; 0 = no deadline (OpTimeout
+	// disabled).
+	deadlineNS int64
+
 	// Observability state (see obs.go). postNS is the obsStamp taken
 	// when the op was posted; 0 means the op is not sampled and every
 	// lifecycle site skips in one comparison. remoteVis marks ops whose
@@ -163,9 +168,11 @@ type rtsOp struct {
 
 // rdzvSend tracks an outstanding rendezvous send awaiting FIN.
 type rdzvSend struct {
-	rid    uint64 // local RID to surface on FIN
-	rb     mem.RemoteBuffer
-	postNS int64 // obsStamp at RTS post (0 = unsampled)
+	rank       int    // target rank (fault sweeps select by peer)
+	rid        uint64 // local RID to surface on FIN
+	rb         mem.RemoteBuffer
+	postNS     int64 // obsStamp at RTS post (0 = unsampled)
+	deadlineNS int64 // OpTimeout deadline (0 = none)
 }
 
 // peerState holds all per-peer protocol state.
@@ -180,6 +187,11 @@ type peerState struct {
 	// taking their mutexes.
 	deferred     atomic.Int64
 	consumedHint atomic.Int64
+
+	// health mirrors the failure detector's view of this peer
+	// (PeerHealth values); written by the fault sweep under progMu,
+	// read lock-free by the op fast paths. Down is terminal.
+	health atomic.Int32
 
 	// consumed counts entries drained from each receive ledger; it is
 	// written only by the progress engine (serialized by progMu), so
@@ -252,6 +264,20 @@ type Photon struct {
 
 	closed atomic.Bool
 
+	// Fault-tolerance plane (see fault.go). hbe is the backend's
+	// failure detector (nil when unsupported or unconfigured);
+	// faultPollNS gates the whole sweep behind one int64 comparison
+	// per Progress round when both OpTimeout and liveness are off.
+	hbe          HealthBackend
+	opTimeoutNS  int64
+	faultPollNS  int64
+	nextFaultNS  int64       // progMu-serialized
+	faultScratch []pendingOp // reused by fault sweeps (progMu / Close)
+
+	suspectTransitions atomic.Int64
+	opsTimedOut        atomic.Int64
+	peersDown          atomic.Int64
+
 	// obs is the observability plane: trace ring, metrics registry,
 	// sampling state (see obs.go).
 	obs obsState
@@ -323,6 +349,12 @@ func Init(be Backend, cfg Config) (*Photon, error) {
 	if nb, ok := be.(NotifyBackend); ok {
 		p.beWake = nb.Notify()
 	}
+	if hb, ok := be.(HealthBackend); ok && cfg.HeartbeatInterval > 0 {
+		hb.ConfigureLiveness(cfg.HeartbeatInterval, cfg.SuspectAfter)
+		p.hbe = hb
+	}
+	p.opTimeoutNS = int64(cfg.OpTimeout)
+	p.initFaultPoll()
 
 	slab, err := mem.NewSlabOver(p.arena[p.slabOff:], rb.Addr+uint64(p.slabOff))
 	if err != nil {
@@ -469,16 +501,32 @@ func (p *Photon) ExchangeBuffers(rb mem.RemoteBuffer) ([]mem.RemoteBuffer, error
 // layers (collectives use it during their own setup).
 func (p *Photon) Exchange(local []byte) ([][]byte, error) { return p.be.Exchange(local) }
 
-// Close shuts the instance down. In-flight operations are abandoned.
+// Close shuts the instance down deterministically: every in-flight
+// operation — pending backend tokens, parked deferred work, open
+// rendezvous sends — is failed with an ErrClosed error completion
+// before the transport is torn down, so concurrent waiters observe
+// either their completion or the error rather than hanging.
 func (p *Photon) Close() error {
 	if p.closed.Swap(true) {
 		return nil
 	}
+	// Serialize with the progress engine: once progMu is held the
+	// engine is quiescent and every remaining token is ours to sweep.
+	p.progMu.Lock()
+	p.failAllInflight()
+	p.progMu.Unlock()
 	return p.be.Close()
 }
 
-// newToken registers a pending op and returns its token.
-func (p *Photon) newToken(op pendingOp) uint64 { return p.tok.put(op) }
+// newToken registers a pending op and returns its token, stamping the
+// OpTimeout deadline when deadlines are armed (one comparison and a
+// monotonic clock read; no allocation).
+func (p *Photon) newToken(op pendingOp) uint64 {
+	if p.opTimeoutNS != 0 {
+		op.deadlineNS = nowNanos() + p.opTimeoutNS
+	}
+	return p.tok.put(op)
+}
 
 // takeToken resolves and removes a pending op. Stale tokens — late or
 // duplicated completions whose slot generation has moved on — return

@@ -2,18 +2,20 @@ package core
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	gort "runtime"
 	"time"
 
+	"photon/internal/errs"
 	"photon/internal/ledger"
 	"photon/internal/metrics"
 	"photon/internal/trace"
 )
 
 // ErrTimeout is returned by the Wait helpers when the deadline passes.
-var ErrTimeout = errors.New("photon: wait timed out")
+// It aliases the shared root sentinel, so errors.Is against it also
+// matches timeouts surfaced by the verbs, msg, and runtime layers.
+var ErrTimeout = errs.ErrTimeout
 
 // maxInt bounds untrusted 64-bit size words before narrowing to int.
 const maxInt = int(^uint(0) >> 1)
@@ -53,6 +55,13 @@ func (p *Photon) Progress() int {
 	if mOn {
 		t1 = nowNanos()
 		p.obs.reg.RecordPhase(metrics.PhaseReap, t1-t0)
+	}
+	// Fault sweep: one int64 comparison when OpTimeout and liveness are
+	// both off; otherwise rate-limited inside pollFaults. It must run
+	// before the idle early-out — a wedged op toward a dead peer
+	// produces no ledger activity and parks nothing.
+	if p.faultPollNS != 0 {
+		n += p.pollFaults()
 	}
 	sweep := true
 	if p.activity != nil {
@@ -243,12 +252,13 @@ func (p *Photon) retryDeferred(ps *peerState) int {
 		ps.mu.Unlock()
 
 		posted := 0
+		var perr error
 		if p.bbe != nil && k > 1 {
 			reqs := p.reqScratch[:0]
 			for _, w := range batch {
 				reqs = append(reqs, WriteReq{Local: w.local, RemoteAddr: w.raddr, RKey: w.rkey, Token: w.token, Signaled: w.signaled})
 			}
-			posted, _ = p.bbe.PostWriteBatch(ps.rank, reqs)
+			posted, perr = p.bbe.PostWriteBatch(ps.rank, reqs)
 			for i := range reqs {
 				reqs[i] = WriteReq{}
 			}
@@ -258,28 +268,34 @@ func (p *Photon) retryDeferred(ps *peerState) int {
 			}
 		} else {
 			for _, w := range batch {
-				if p.be.PostWrite(ps.rank, w.local, w.raddr, w.rkey, w.token, w.signaled) != nil {
+				if perr = p.be.PostWrite(ps.rank, w.local, w.raddr, w.rkey, w.token, w.signaled); perr != nil {
 					break
 				}
 				posted++
 			}
 		}
-		if posted == 0 {
-			break // transport still busy; keep FIFO order
-		}
-		ps.mu.Lock()
-		ps.pendingWire = ps.pendingWire[posted:]
-		ps.mu.Unlock()
-		for i := 0; i < posted; i++ {
-			if batch[i].pooled {
-				p.pool.Put(batch[i].local)
+		if posted > 0 {
+			ps.mu.Lock()
+			ps.pendingWire = ps.pendingWire[posted:]
+			ps.mu.Unlock()
+			for i := 0; i < posted; i++ {
+				if batch[i].pooled {
+					p.pool.Put(batch[i].local)
+				}
 			}
+			ps.deferred.Add(-int64(posted))
+			p.parked.Add(-int64(posted))
+			n += posted
 		}
-		ps.deferred.Add(-int64(posted))
-		p.parked.Add(-int64(posted))
-		n += posted
-		if posted < k {
+		if perr != nil && perr != ErrWouldBlock {
+			// Hard rejection (peer down, transport closed): every
+			// remaining parked write toward this peer would fail the
+			// same way, so fail them now instead of wedging the FIFO.
+			n += p.failDeferredWire(ps, perr)
 			break
+		}
+		if posted < k {
+			break // transport still busy; keep FIFO order
 		}
 	}
 	// Ledger entries awaiting credits.
@@ -738,6 +754,13 @@ func (p *Photon) waitMatch(rid uint64, timeout time.Duration, r *compRing) (Comp
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
+	} else if p.opTimeoutNS > 0 {
+		// With op deadlines armed, even "wait forever" calls are
+		// bounded: an in-flight op surfaces its error completion within
+		// ~OpTimeout plus one sweep period, so 2×OpTimeout covers every
+		// waiter — including ones waiting on a remote RID that no local
+		// op ever carried (e.g. the peer died before posting).
+		deadline = time.Now().Add(2 * time.Duration(p.opTimeoutNS))
 	}
 	w := idleWaiter{p: p}
 	defer w.stop()

@@ -95,3 +95,48 @@ func (t *tokenTable) take(tok uint64) (pendingOp, bool) {
 	sh.mu.Unlock()
 	return op, true
 }
+
+// sweep removes every live op for which keep returns false, appending
+// the removed ops to dst. Each removed slot's generation is bumped, so
+// a backend completion for a swept op arrives stale and is rejected —
+// the op cannot complete twice (once via the sweep, once via the
+// transport). Cold path: fault sweeps, peer-down fail-fast, Close.
+func (t *tokenTable) sweep(keep func(*pendingOp) bool, dst []pendingOp) []pendingOp {
+	for si := range t.shards {
+		sh := &t.shards[si]
+		sh.mu.Lock()
+		for i := range sh.slots {
+			s := &sh.slots[i]
+			if !s.live || keep(&s.op) {
+				continue
+			}
+			dst = append(dst, s.op)
+			s.op = pendingOp{}
+			s.live = false
+			s.gen++
+			if s.gen == 0 {
+				s.gen = 1
+			}
+			sh.free = append(sh.free, uint32(i))
+		}
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
+// sweepExpired removes ops whose deadline has passed.
+func (t *tokenTable) sweepExpired(now int64, dst []pendingOp) []pendingOp {
+	return t.sweep(func(op *pendingOp) bool {
+		return op.deadlineNS == 0 || op.deadlineNS > now
+	}, dst)
+}
+
+// sweepRank removes every op toward one peer.
+func (t *tokenTable) sweepRank(rank int, dst []pendingOp) []pendingOp {
+	return t.sweep(func(op *pendingOp) bool { return op.rank != rank }, dst)
+}
+
+// sweepAll removes every live op (Close).
+func (t *tokenTable) sweepAll(dst []pendingOp) []pendingOp {
+	return t.sweep(func(*pendingOp) bool { return false }, dst)
+}

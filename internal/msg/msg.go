@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"photon/internal/errs"
 	"photon/internal/fabric"
 	"photon/internal/mem"
 	"photon/internal/nicsim"
@@ -35,11 +36,13 @@ import (
 	"photon/internal/verbs"
 )
 
-// Errors returned by the message layer.
+// Errors returned by the message layer. ErrTimeout wraps the shared
+// root sentinel (aliased as core.ErrTimeout), so errors.Is against
+// either name matches timeouts from this layer.
 var (
 	ErrClosed  = errors.New("msg: endpoint closed")
 	ErrBadRank = errors.New("msg: rank out of range")
-	ErrTimeout = errors.New("msg: wait timed out")
+	ErrTimeout = fmt.Errorf("msg: wait timed out: %w", errs.ErrTimeout)
 )
 
 // AnyTag matches any tag in Recv.

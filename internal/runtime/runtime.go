@@ -41,12 +41,13 @@ const (
 	bitFuture = uint64(1) << 61
 )
 
-// Errors returned by the runtime.
+// Errors returned by the runtime. ErrTimeout wraps core.ErrTimeout,
+// so errors.Is against either name matches timeouts from this layer.
 var (
 	ErrStopped        = errors.New("runtime: locality stopped")
 	ErrUnknownAction  = errors.New("runtime: unknown action")
 	ErrActionConflict = errors.New("runtime: action name hash collision")
-	ErrTimeout        = errors.New("runtime: wait timed out")
+	ErrTimeout        = fmt.Errorf("runtime: wait timed out: %w", core.ErrTimeout)
 )
 
 // ActionID names a registered handler, stable across ranks (FNV-1a of

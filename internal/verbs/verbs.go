@@ -10,10 +10,10 @@
 package verbs
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
+	"photon/internal/errs"
 	"photon/internal/fabric"
 	"photon/internal/nicsim"
 )
@@ -55,8 +55,10 @@ const (
 	AccessRemoteAtomic = nicsim.AccessRemoteAtomic
 )
 
-// ErrTimeout is returned by PollN when completions do not arrive in time.
-var ErrTimeout = errors.New("verbs: poll timed out")
+// ErrTimeout is returned by PollN when completions do not arrive in
+// time. It wraps the shared root sentinel (aliased as core.ErrTimeout),
+// so errors.Is(err, core.ErrTimeout) matches timeouts from this layer.
+var ErrTimeout = fmt.Errorf("verbs: poll timed out: %w", errs.ErrTimeout)
 
 // Device is an opened RDMA device on one fabric node.
 type Device struct {
