@@ -35,6 +35,8 @@ var descriptions = map[string]string{
 	"E10": "Fig 8: BFS TEPS on the parcel runtime",
 	"E11": "Table 3 + TCP data-path profile: backend latency, put sweep, pipelined rate/bandwidth",
 	"E12": "Fig 9: remote atomics latency and pipelined rate",
+	"E13": "fault injection & recovery: link severs, frame loss, heartbeat sweep",
+	"E14": "engine-shard scaling at a hot sink + shm backend latency/rate",
 }
 
 func main() {
@@ -44,8 +46,12 @@ func main() {
 		listFlag    = flag.Bool("list", false, "list experiments and exit")
 		metricsFlag = flag.Bool("metrics", false, "record op latencies across experiments and print a snapshot at the end")
 		debugAddr   = flag.String("debug", "", "serve live /metrics, /vars and /trace on this address while experiments run")
+		shardsFlag  = flag.Int("shards", 0, "force this engine shard count on every Photon (0 = per-experiment default); E14 sweeps only this count")
+		backendFlag = flag.String("backend", "", "restrict backend-sweep experiments to one transport: vsim, tcp, or shm")
 	)
 	flag.Parse()
+	bench.ShardsOverride = *shardsFlag
+	bench.BackendOverride = *backendFlag
 
 	// Every Photon the harness boots records into one shared registry
 	// and ring (bench.Obs overlay), so the endpoint and the final

@@ -32,7 +32,8 @@ func main() {
 	fmt.Println("photon-go: Remote Memory Access middleware (reconstruction)")
 	fmt.Printf("  go:                 %s on %s/%s (%d CPUs)\n",
 		goruntime.Version(), goruntime.GOOS, goruntime.GOARCH, goruntime.NumCPU())
-	fmt.Println("  backends:           vsim (simulated IB verbs), tcp (loopback sockets)")
+	fmt.Println("  backends:           vsim (simulated IB verbs), tcp (loopback sockets), shm (intra-host SPSC rings)")
+	fmt.Printf("  engine shards:      %d (peers partitioned rank %% shards)\n", eff.EngineShards)
 	fmt.Printf("  ledger slots:       %d (pwc/eager), %d (sys)\n", eff.LedgerSlots, eff.SysSlots)
 	fmt.Printf("  eager entry:        %d B (packed payload cap %d B)\n",
 		eff.EagerEntrySize, env.Phs[0].EagerThreshold())
@@ -54,7 +55,50 @@ func main() {
 		fmt.Println()
 		fmt.Println("tcp data path (2-rank loopback job, pipelined puts):")
 		fmt.Print(indent(tcpDataPath(), "  "))
+		fmt.Println()
+		fmt.Println("sharded engine + shm transport (2-rank shm job, 2 shards):")
+		fmt.Print(indent(shmDataPath(), "  "))
 	}
+}
+
+// shmDataPath boots a shared-memory job with a sharded engine, streams
+// pipelined puts, and reports the per-shard engine gauges plus the
+// shm_* ring counters.
+func shmDataPath() string {
+	phs, cleanup, err := bench.NewShmPhotons(2, core.Config{Metrics: true, EngineShards: 2})
+	if err != nil {
+		return fmt.Sprintln("error:", err)
+	}
+	defer cleanup()
+	_, descs, _, err := bench.ShareBuffers(phs, 1<<20)
+	if err != nil {
+		return fmt.Sprintln("error:", err)
+	}
+	if _, err := bench.StreamBandwidthPWC(phs, descs, 4096, 16, 512); err != nil {
+		return fmt.Sprintln("error:", err)
+	}
+	cs := stats.NewCounterSet()
+	// Engine-shard gauges from the initiator rank; shm ring counters
+	// summed across both ranks (frames out at one side arrive at the
+	// other).
+	snap0 := phs[0].Metrics()
+	for _, n := range snap0.Gauges.Names() {
+		if len(n) >= 12 && n[:12] == "engine_shard" {
+			v, _ := snap0.Gauges.Get(n)
+			cs.Set(n, v)
+		}
+	}
+	for _, ph := range phs {
+		snap := ph.Metrics()
+		for _, n := range snap.Gauges.Names() {
+			if len(n) >= 4 && n[:4] == "shm_" {
+				v, _ := snap.Gauges.Get(n)
+				prev, _ := cs.Get(n)
+				cs.Set(n, prev+v)
+			}
+		}
+	}
+	return cs.Render()
 }
 
 // tcpDataPath boots a loopback TCP job, streams pipelined puts, and

@@ -215,9 +215,10 @@ type Backend struct {
 	nextRKey uint32
 	nextBase uint64
 
-	compMu sync.Mutex
-	comps  []core.BackendCompletion
-	wake   chan struct{} // cap 1: signaled on completions and applied remote data
+	// compq carries agent→engine completions and doubles as the
+	// NotifyBackend/WakeSinkBackend event source (kicked on completions
+	// and applied remote data).
+	compq *core.CompQueue
 
 	// pending read/atomic result buffers keyed by token; sentResp
 	// tracks, per peer, which of them actually hit the wire (those are
@@ -244,11 +245,12 @@ type Backend struct {
 }
 
 var (
-	_ core.Backend       = (*Backend)(nil)
-	_ core.BatchBackend  = (*Backend)(nil)
-	_ core.StatsBackend  = (*Backend)(nil)
-	_ core.NotifyBackend = (*Backend)(nil)
-	_ core.HealthBackend = (*Backend)(nil)
+	_ core.Backend         = (*Backend)(nil)
+	_ core.BatchBackend    = (*Backend)(nil)
+	_ core.StatsBackend    = (*Backend)(nil)
+	_ core.NotifyBackend   = (*Backend)(nil)
+	_ core.WakeSinkBackend = (*Backend)(nil)
+	_ core.HealthBackend   = (*Backend)(nil)
 )
 
 // New builds the endpoint: it listens, forms the full mesh (lower rank
@@ -276,7 +278,7 @@ func New(cfg Config) (*Backend, error) {
 		pendBuf:   make(map[uint64]pendDst),
 		sentResp:  make([]map[uint64]struct{}, n),
 		exgGather: make(map[int][][]byte),
-		wake:      make(chan struct{}, 1),
+		compq:     core.NewCompQueue(),
 		closed:    make(chan struct{}),
 	}
 	b.exgCond = sync.NewCond(&b.exgMu)
@@ -663,23 +665,12 @@ func (b *Backend) WriteActivity(rb mem.RemoteBuffer) (func() uint64, bool) {
 
 // Poll reaps completions.
 func (b *Backend) Poll(dst []core.BackendCompletion) int {
-	b.compMu.Lock()
-	defer b.compMu.Unlock()
-	n := len(b.comps)
-	if n > len(dst) {
-		n = len(dst)
-	}
-	copy(dst, b.comps[:n])
-	b.comps = b.comps[n:]
-	return n
+	return b.compq.Drain(dst)
 }
 
 func (b *Backend) pushComp(c core.BackendCompletion) {
 	trace.Record(trace.KindComplete, b.rank, c.Token, "tcp.comp")
-	b.compMu.Lock()
-	b.comps = append(b.comps, c)
-	b.compMu.Unlock()
-	b.kick()
+	b.compq.Push(c)
 }
 
 // Notify implements core.NotifyBackend: the returned channel receives
@@ -689,16 +680,16 @@ func (b *Backend) pushComp(c core.BackendCompletion) {
 // the processor for the runtime's network poller (a spinning one
 // starves it), and the channel send wakes the waiter at goroutine
 // handoff latency instead of kernel timer granularity.
-func (b *Backend) Notify() <-chan struct{} { return b.wake }
+func (b *Backend) Notify() <-chan struct{} { return b.compq.Wake().Chan() }
 
-// kick signals Notify's channel without blocking; a token already
-// pending means the waiter will see this event anyway.
-func (b *Backend) kick() {
-	select {
-	case b.wake <- struct{}{}:
-	default:
-	}
-}
+// SetWakeSink implements core.WakeSinkBackend: completion and
+// remote-data events call fn directly instead of latching the Notify
+// channel, sparing the engine a relay goroutine.
+func (b *Backend) SetWakeSink(fn func()) { b.compq.Wake().SetSink(fn) }
+
+// kick signals the wake latch without blocking; an event already
+// pending means the waiter will see this one anyway.
+func (b *Backend) kick() { b.compq.Kick() }
 
 // nudge signals a cap-1 event channel without blocking.
 func nudge(ch chan struct{}) {

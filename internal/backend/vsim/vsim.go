@@ -75,7 +75,13 @@ func NewClusterOver(fab *fabric.Fabric, nc nicsim.Config) (*Cluster, error) {
 			cq:      dev.CreateCQ(8192),
 			qps:     make([]*verbs.QP, n),
 			mrs:     make(map[uint64]*verbs.MR),
+			wake:    core.NewWakeChan(),
 		}
+		// Latch both event sources: local completions (CQ push) and
+		// remote data landing in this rank's memory (NIC write hook),
+		// so parked progress runners wake for either.
+		b.cq.SetWakeHook(b.wake.Kick)
+		dev.NIC().SetWriteHook(b.wake.Kick)
 		c.backends[r] = b
 	}
 	// Full QP mesh: one QP at each rank toward every rank (self
@@ -168,12 +174,29 @@ type Backend struct {
 
 	pollMu      sync.Mutex
 	pollScratch []verbs.CQE // reused across Poll calls (no per-call alloc)
+
+	// wake latches backend activity for NotifyBackend/WakeSinkBackend:
+	// kicked by the simulated NIC after every completion push and every
+	// remote write applied to this rank's memory, so engine waiters
+	// park instead of yield-spinning.
+	wake *core.WakeChan
 }
 
 var (
-	_ core.Backend      = (*Backend)(nil)
-	_ core.BatchBackend = (*Backend)(nil)
+	_ core.Backend         = (*Backend)(nil)
+	_ core.BatchBackend    = (*Backend)(nil)
+	_ core.NotifyBackend   = (*Backend)(nil)
+	_ core.WakeSinkBackend = (*Backend)(nil)
 )
+
+// Notify implements core.NotifyBackend: the returned channel receives
+// a token whenever a completion is queued or remote data lands in
+// registered memory.
+func (b *Backend) Notify() <-chan struct{} { return b.wake.Chan() }
+
+// SetWakeSink implements core.WakeSinkBackend: redirect activity
+// events to fn instead of the Notify channel.
+func (b *Backend) SetWakeSink(fn func()) { b.wake.SetSink(fn) }
 
 // Rank returns this backend's rank.
 func (b *Backend) Rank() int { return b.rank }

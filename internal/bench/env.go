@@ -15,6 +15,7 @@ import (
 	"net"
 	"sync"
 
+	"photon/internal/backend/shm"
 	"photon/internal/backend/tcp"
 	"photon/internal/backend/vsim"
 	"photon/internal/core"
@@ -32,7 +33,20 @@ import (
 // win over the overlay.
 var Obs core.Config
 
+// ShardsOverride, when non-zero, forces EngineShards on every Photon
+// the harness boots whose config leaves it defaulted (the CLI -shards
+// flag). Experiments that sweep shard counts themselves (E14) instead
+// restrict their sweep to this value.
+var ShardsOverride int
+
+// BackendOverride, when non-empty, restricts backend-sweep experiments
+// to one transport: "vsim", "tcp", or "shm" (the CLI -backend flag).
+var BackendOverride string
+
 func overlayObs(cfg core.Config) core.Config {
+	if cfg.EngineShards == 0 && ShardsOverride != 0 {
+		cfg.EngineShards = ShardsOverride
+	}
 	if cfg.Trace == nil {
 		cfg.Trace = Obs.Trace
 	}
@@ -165,6 +179,42 @@ func ShareBuffers(phs []*core.Photon, size int) (bufs [][]byte, descs [][]mem.Re
 		}
 	}
 	return bufs, descs, lks, nil
+}
+
+// NewShmPhotons boots an n-rank Photon job over the intra-host
+// shared-memory backend (same-process peers over SPSC rings).
+func NewShmPhotons(n int, cfg core.Config) ([]*core.Photon, func(), error) {
+	cfg = overlayObs(cfg)
+	cl, err := shm.NewCluster(n, shm.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	phs := make([]*core.Photon, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			phs[r], errs[r] = core.Init(cl.Backend(r), cfg)
+		}(r)
+	}
+	wg.Wait()
+	cleanup := func() {
+		for _, p := range phs {
+			if p != nil {
+				p.Close()
+			}
+		}
+		cl.Close()
+	}
+	for r, err := range errs {
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("shm rank %d: %w", r, err)
+		}
+	}
+	return phs, cleanup, nil
 }
 
 // NewTCPPhotons boots an n-rank Photon job over the loopback TCP

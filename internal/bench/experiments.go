@@ -71,6 +71,7 @@ var registry = map[string]func(scale float64) (*Report, error){
 	"E11": runE11,
 	"E12": runE12,
 	"E13": runE13,
+	"E14": runE14,
 }
 
 // warmProcess runs a short untimed traffic burst on scratch

@@ -198,6 +198,19 @@ type NotifyBackend interface {
 	Notify() <-chan struct{}
 }
 
+// WakeSinkBackend is an optional refinement of NotifyBackend:
+// SetWakeSink redirects the backend's activity events from the Notify
+// channel to a direct function call on the event-producing goroutine.
+// The engine installs its shard fan-out here so one backend event wakes
+// every shard runner and every parked waiter without a relay goroutine
+// consuming the Notify channel (which would add a scheduler hop to
+// every wakeup). The sink must be treated exactly like a channel kick:
+// non-blocking, callable from any goroutine, coalescing. Backends built
+// on WakeChan get this for free.
+type WakeSinkBackend interface {
+	SetWakeSink(fn func())
+}
+
 // StatsBackend is an optional Backend extension: TransportStats yields
 // transport-level data-path counters as named int64 gauges (syscall
 // coalescing, ack piggybacking, queue behavior — whatever the

@@ -91,6 +91,15 @@ type Config struct {
 	// — but spilling re-introduces allocation, so size this above the
 	// workload's harvest lag (Stats.RingOverflows counts spills).
 	CompQueueDepth int
+	// EngineShards partitions peers across independent progress-engine
+	// shards (rank % EngineShards), each with its own completion rings,
+	// sweep state, and notify latch, so progress scales with cores
+	// under heavy multi-peer traffic (default 1: the classic single
+	// engine). Drive shards together with Progress/ProgressAll, singly
+	// with ProgressShard, or pin one background goroutine per shard
+	// with StartProgress. Per-peer ordering is unaffected; completions
+	// for peers on different shards may interleave arbitrarily.
+	EngineShards int
 
 	// Trace, when non-nil, receives this instance's op-lifecycle events
 	// instead of the process-wide trace.Global ring. The ring must also
@@ -147,6 +156,12 @@ func (c *Config) setDefaults() error {
 	}
 	if c.CompQueueDepth < 1 {
 		return fmt.Errorf("photon: completion queue depth must be positive")
+	}
+	if c.EngineShards == 0 {
+		c.EngineShards = 1
+	}
+	if c.EngineShards < 1 || c.EngineShards > 256 {
+		return fmt.Errorf("photon: engine shard count %d out of range [1, 256]", c.EngineShards)
 	}
 	if c.TraceSampleShift < 0 || c.TraceSampleShift > 62 {
 		return fmt.Errorf("photon: trace sample shift %d out of range [0, 62]", c.TraceSampleShift)

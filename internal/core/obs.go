@@ -103,11 +103,34 @@ func (p *Photon) MetricsRegistry() *metrics.Registry { return p.obs.reg }
 func (p *Photon) Metrics() *metrics.Snapshot {
 	snap := p.obs.reg.Snapshot()
 	g := snap.Gauges
-	g.Set("local_cq_highwater", p.localCQ.highWater())
-	g.Set("remote_cq_highwater", p.remoteCQ.highWater())
-	g.Set("ring_overflows", p.localCQ.overflowCount()+p.remoteCQ.overflowCount())
-	g.Set("deferred_parked", p.parked.Load())
-	g.Set("credit_hint_pending", p.creditHintTotal.Load())
+	var localHW, remoteHW, overflows, parked, hints, reaps int64
+	for _, s := range p.shards {
+		if hw := s.localCQ.highWater(); hw > localHW {
+			localHW = hw
+		}
+		if hw := s.remoteCQ.highWater(); hw > remoteHW {
+			remoteHW = hw
+		}
+		overflows += s.localCQ.overflowCount() + s.remoteCQ.overflowCount()
+		parked += s.parked.Load()
+		hints += s.creditHintTotal.Load()
+		reaps += s.reaps.Load()
+	}
+	g.Set("local_cq_highwater", localHW)
+	g.Set("remote_cq_highwater", remoteHW)
+	g.Set("ring_overflows", overflows)
+	g.Set("deferred_parked", parked)
+	g.Set("credit_hint_pending", hints)
+
+	// Shard gauges: the aggregate reap count plus per-shard activity,
+	// so load imbalance across shards is directly observable.
+	g.Set("engine_shards", int64(len(p.shards)))
+	g.Set("engine_shard_reaps", reaps)
+	for _, s := range p.shards {
+		prefix := fmt.Sprintf("engine_shard%d_", s.idx)
+		g.Set(prefix+"reaps", s.reaps.Load())
+		g.Set(prefix+"sweeps", s.sweeps.Load())
+	}
 
 	// Failure-path gauges: always exported (0 when the fault plane is
 	// disarmed) so dashboards and smoke tests can rely on the names.
@@ -115,27 +138,29 @@ func (p *Photon) Metrics() *metrics.Snapshot {
 	g.Set("peer_suspect_transitions", p.suspectTransitions.Load())
 	g.Set("peers_down", p.peersDown.Load())
 
-	// Per-peer gauges. consumed/lastReturned are progress-engine and
-	// peer-mutex state respectively; take the same locks the engine
-	// does so a snapshot during live traffic stays race-free.
-	p.progMu.Lock()
-	for _, ps := range p.peers {
-		if ps.rank == p.rank {
-			continue
+	// Per-peer gauges. consumed/lastReturned are owning-shard-engine
+	// and peer-mutex state respectively; take the same locks the
+	// engine does so a snapshot during live traffic stays race-free.
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, ps := range s.peers {
+			if ps.rank == p.rank {
+				continue
+			}
+			var consumed, unreturned int64
+			ps.mu.Lock()
+			for cl := 0; cl < numClasses; cl++ {
+				consumed += ps.consumed[cl]
+				unreturned += ps.consumed[cl] - ps.lastReturned[cl]
+			}
+			ps.mu.Unlock()
+			prefix := fmt.Sprintf("peer%d_", ps.rank)
+			g.Set(prefix+"deferred", ps.deferred.Load())
+			g.Set(prefix+"entries_consumed", consumed)
+			g.Set(prefix+"credits_unreturned", unreturned)
 		}
-		var consumed, unreturned int64
-		ps.mu.Lock()
-		for cl := 0; cl < numClasses; cl++ {
-			consumed += ps.consumed[cl]
-			unreturned += ps.consumed[cl] - ps.lastReturned[cl]
-		}
-		ps.mu.Unlock()
-		prefix := fmt.Sprintf("peer%d_", ps.rank)
-		g.Set(prefix+"deferred", ps.deferred.Load())
-		g.Set(prefix+"entries_consumed", consumed)
-		g.Set(prefix+"credits_unreturned", unreturned)
+		s.mu.Unlock()
 	}
-	p.progMu.Unlock()
 
 	// Transport-level gauges, when the backend measures itself (the
 	// TCP backend exports its data-path coalescing counters here).

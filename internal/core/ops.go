@@ -448,7 +448,7 @@ func (p *Photon) parkWire(ps *peerState, w wireOp) {
 	ps.pendingWire = append(ps.pendingWire, w) //photon:allow hotpathalloc -- backpressure slow path; growth is amortized and the FIFO shrinks to zero in steady state
 	ps.mu.Unlock()
 	ps.deferred.Add(1)
-	p.parked.Add(1)
+	ps.shard.parked.Add(1)
 	p.stats.deferred.Add(1)
 }
 

@@ -194,9 +194,14 @@ type peerState struct {
 	health atomic.Int32
 
 	// consumed counts entries drained from each receive ledger; it is
-	// written only by the progress engine (serialized by progMu), so
-	// credit maintenance reads it without touching ledger mutexes.
+	// written only by the owning shard's engine (serialized by the
+	// shard mutex), so credit maintenance reads it without touching
+	// ledger mutexes.
 	consumed [numClasses]int64
+
+	// shard is the engine shard that owns this peer (rank %
+	// Config.EngineShards), set once at Init.
+	shard *engineShard
 
 	mu           sync.Mutex
 	lastMail     [numClasses]uint64 // mailbox value already credited
@@ -240,26 +245,25 @@ type Photon struct {
 	rdzvSends  map[uint64]rdzvSend
 	nextRdzvID uint64
 
-	// Harvested completions, split so producers and consumers do not
-	// share a lock (see ring.go).
-	localCQ  *compRing
-	remoteCQ *compRing
+	// shards are the progress-engine partitions (see shard.go): every
+	// peer belongs to exactly one, and each carries its own completion
+	// rings, sweep scratch, idle counters, and notify latch.
+	shards []*engineShard
 
-	// parked mirrors the sum of every peer's deferred count and
-	// creditHintTotal the sum of their consumedHint counters, so a
-	// fully idle Progress call can return after two atomic loads
-	// without touching any per-peer state.
-	parked          atomic.Int64
-	creditHintTotal atomic.Int64
+	// nfy fans backend activity events out to shard runners and parked
+	// waiters (nil when the backend has no NotifyBackend).
+	nfy *notifier
 
-	progMu      sync.Mutex            // serializes the progress engine (try-lock)
-	pollScratch []polledEvent         // reused across pollPeer batches (progress is serialized)
-	reapScratch [64]BackendCompletion // reused by reapBackend (progress is serialized)
-	wireScratch []wireOp              // reused by retryDeferred (progress is serialized)
-	reqScratch  []WriteReq            // reused by retryDeferred batch posting
+	// Background progress mode (StartProgress): one runner per shard.
+	runnersOn atomic.Bool
+	runWG     sync.WaitGroup
+
+	// popCursor rotates Pop scans across shards so no shard's
+	// completion ring is structurally favored.
+	popCursor atomic.Uint64
 
 	// reqPool recycles WriteReq slices for op-path doorbell batches
-	// (ops run concurrently, so these cannot share the progMu scratch).
+	// (ops run concurrently, so these cannot share the shard scratch).
 	reqPool sync.Pool
 
 	closed atomic.Bool
@@ -271,8 +275,8 @@ type Photon struct {
 	hbe          HealthBackend
 	opTimeoutNS  int64
 	faultPollNS  int64
-	nextFaultNS  int64       // progMu-serialized
-	faultScratch []pendingOp // reused by fault sweeps (progMu / Close)
+	nextFaultNS  int64       // serialized by shard 0's mutex
+	faultScratch []pendingOp // reused by fault sweeps (shard 0 / Close)
 
 	suspectTransitions atomic.Int64
 	opsTimedOut        atomic.Int64
@@ -303,17 +307,13 @@ func Init(be Backend, cfg Config) (*Photon, error) {
 		poolBuf = 64
 	}
 	p := &Photon{
-		be:          be,
-		cfg:         cfg,
-		rank:        be.Rank(),
-		size:        be.Size(),
-		pool:        mem.NewBufPool(poolBuf, 256),
-		rdzvSends:   make(map[uint64]rdzvSend),
-		nextRdzvID:  1,
-		localCQ:     newCompRing(cfg.CompQueueDepth),
-		remoteCQ:    newCompRing(cfg.CompQueueDepth),
-		wireScratch: make([]wireOp, 0, wireBatchMax),
-		reqScratch:  make([]WriteReq, 0, wireBatchMax),
+		be:         be,
+		cfg:        cfg,
+		rank:       be.Rank(),
+		size:       be.Size(),
+		pool:       mem.NewBufPool(poolBuf, 256),
+		rdzvSends:  make(map[uint64]rdzvSend),
+		nextRdzvID: 1,
 	}
 	p.bbe, _ = be.(BatchBackend)
 	p.initObs(&cfg)
@@ -414,6 +414,8 @@ func Init(be Backend, cfg Config) (*Photon, error) {
 		}
 		p.peers[peer] = ps
 	}
+	p.initShards()
+	p.initNotifier()
 	return p, nil
 }
 
@@ -437,6 +439,10 @@ func (p *Photon) EagerThreshold() int {
 // Stats returns an activity snapshot.
 func (p *Photon) Stats() Stats {
 	hits, misses := p.pool.Counters()
+	var overflows int64
+	for _, s := range p.shards {
+		overflows += s.localCQ.overflowCount() + s.remoteCQ.overflowCount()
+	}
 	return Stats{
 		PutsDirect:     p.stats.putsDirect.Load(),
 		PutsPacked:     p.stats.putsPacked.Load(),
@@ -450,7 +456,7 @@ func (p *Photon) Stats() Stats {
 
 		EntryPoolHits:   hits,
 		EntryPoolMisses: misses,
-		RingOverflows:   p.localCQ.overflowCount() + p.remoteCQ.overflowCount(),
+		RingOverflows:   overflows,
 		BatchPosts:      p.stats.batchPosts.Load(),
 		BatchedOps:      p.stats.batchedOps.Load(),
 	}
@@ -510,11 +516,27 @@ func (p *Photon) Close() error {
 	if p.closed.Swap(true) {
 		return nil
 	}
-	// Serialize with the progress engine: once progMu is held the
-	// engine is quiescent and every remaining token is ours to sweep.
-	p.progMu.Lock()
+	// Stop the notifier relay (if any) and nudge every shard runner so
+	// background progress observes closed promptly, then wait the
+	// runners out — a runner inside progressShard holds its shard
+	// mutex, which the drain below must be able to take.
+	if p.nfy != nil {
+		close(p.nfy.stop)
+	}
+	for _, s := range p.shards {
+		s.kick()
+	}
+	p.runWG.Wait()
+	// Serialize with the progress engines: with every shard mutex held
+	// (ascending index, the fault plane's lock order) the engine is
+	// quiescent and every remaining token is ours to sweep.
+	for _, s := range p.shards {
+		s.mu.Lock()
+	}
 	p.failAllInflight()
-	p.progMu.Unlock()
+	for i := len(p.shards) - 1; i >= 0; i-- {
+		p.shards[i].mu.Unlock()
+	}
 	return p.be.Close()
 }
 
@@ -541,13 +563,17 @@ func (p *Photon) checkRank(rank int) error {
 	return nil
 }
 
-// pushLocal enqueues a local completion.
+// pushLocal enqueues a local completion on the peer's owning shard.
+//
+//photon:hotpath
 func (p *Photon) pushLocal(c Completion) {
 	c.Local = true
-	p.localCQ.push(c)
+	p.peers[c.Rank].shard.localCQ.push(c)
 }
 
-// pushRemote enqueues a remote completion.
+// pushRemote enqueues a remote completion on the peer's owning shard.
+//
+//photon:hotpath
 func (p *Photon) pushRemote(c Completion) {
-	p.remoteCQ.push(c)
+	p.peers[c.Rank].shard.remoteCQ.push(c)
 }

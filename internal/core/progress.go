@@ -20,27 +20,42 @@ var ErrTimeout = errs.ErrTimeout
 // maxInt bounds untrusted 64-bit size words before narrowing to int.
 const maxInt = int(^uint(0) >> 1)
 
-// Progress drives the engine: it reaps backend completions, polls every
-// peer's ledgers, retries deferred work, and performs credit
-// maintenance. It returns the number of events it handled. Progress is
-// safe to call from multiple goroutines; concurrent callers coalesce
-// (only one runs the engine, others return immediately), mirroring
-// Photon's caller-driven progress model.
+// Progress drives the whole engine: every shard reaps backend
+// completions, polls its peers' ledgers, retries deferred work, and
+// performs credit maintenance. It returns the number of events it
+// handled. Progress is safe to call from multiple goroutines;
+// concurrent callers coalesce per shard (each shard's engine runs on
+// one caller, others skip it), mirroring Photon's caller-driven
+// progress model. With EngineShards > 1, concurrent callers (or the
+// StartProgress runners) drive distinct shards genuinely in parallel.
 //
 // When the backend exposes a DMA write-activity counter, the ledger
 // sweep is skipped entirely while the counter is unchanged. A fully
 // idle round — no ledger activity, no parked work anywhere, no credits
 // owed — additionally skips the per-peer loop: a spinning prober then
-// costs two atomic loads beyond the backend poll, independent of job
-// size.
+// costs two atomic loads per shard beyond the backend poll,
+// independent of job size.
 //
 //photon:hotpath
 func (p *Photon) Progress() int {
-	if !p.progMu.TryLock() {
+	p.stats.progress.Add(1)
+	n := 0
+	for _, s := range p.shards {
+		n += p.progressShard(s)
+	}
+	return n
+}
+
+// progressShard runs one shard's engine round. Entry is a try-lock:
+// the shard is either advanced by this caller or already being
+// advanced by another.
+//
+//photon:hotpath
+func (p *Photon) progressShard(s *engineShard) int {
+	if !s.mu.TryLock() {
 		return 0
 	}
-	defer p.progMu.Unlock()
-	p.stats.progress.Add(1)
+	defer s.mu.Unlock()
 	// Phase timing: reap is the backend-CQ drain, sweep the per-peer
 	// ledger/deferred/credit pass; a round that handled nothing is
 	// charged to idle instead. Gated on the registry so the disabled
@@ -51,36 +66,37 @@ func (p *Photon) Progress() int {
 		t0 = nowNanos()
 	}
 	n := 0
-	n += p.reapBackend()
+	n += p.reapBackend(s)
 	if mOn {
 		t1 = nowNanos()
 		p.obs.reg.RecordPhase(metrics.PhaseReap, t1-t0)
 	}
-	// Fault sweep: one int64 comparison when OpTimeout and liveness are
-	// both off; otherwise rate-limited inside pollFaults. It must run
-	// before the idle early-out — a wedged op toward a dead peer
-	// produces no ledger activity and parks nothing.
-	if p.faultPollNS != 0 {
-		n += p.pollFaults()
+	// Fault sweep: whole-instance, so it runs on shard 0 only — one
+	// int64 comparison when OpTimeout and liveness are both off;
+	// otherwise rate-limited inside pollFaults. It must run before the
+	// idle early-out — a wedged op toward a dead peer produces no
+	// ledger activity and parks nothing.
+	if s.idx == 0 && p.faultPollNS != 0 {
+		n += p.pollFaults(s)
 	}
 	sweep := true
 	if p.activity != nil {
-		if cur := p.activity(); cur != p.lastAct {
-			p.lastAct = cur
+		if cur := p.activity(); cur != s.lastAct {
+			s.lastAct = cur
 		} else {
 			sweep = false
 		}
 	}
-	if !sweep && p.parked.Load() == 0 && p.creditHintTotal.Load() == 0 {
+	if !sweep && s.parked.Load() == 0 && s.creditHintTotal.Load() == 0 {
 		if mOn && n == 0 {
 			p.obs.reg.RecordPhase(metrics.PhaseIdle, nowNanos()-t0)
 		}
 		return n
 	}
-	for _, ps := range p.peers {
-		n += p.retryDeferred(ps)
+	for _, ps := range s.peers {
+		n += p.retryDeferred(s, ps)
 		if sweep {
-			n += p.pollPeer(ps)
+			n += p.pollPeer(s, ps)
 		}
 		p.returnCredits(ps, false)
 	}
@@ -92,14 +108,22 @@ func (p *Photon) Progress() int {
 			p.obs.reg.RecordPhase(metrics.PhaseSweep, t2-t1)
 		}
 	}
+	if n > 0 {
+		s.sweeps.Add(1)
+	}
 	return n
 }
 
-// reapBackend harvests transport completions and resolves their tokens.
+// reapBackend harvests transport completions and resolves their
+// tokens. The backend queue is shared: any shard may reap any
+// completion (the token table routes it to the right op, and the
+// resulting completion is pushed onto its peer's owning shard), so
+// reaping is work-stealing rather than partitioned — a busy shard
+// never leaves the transport queue to back up.
 //
 //photon:hotpath
-func (p *Photon) reapBackend() int {
-	buf := p.reapScratch[:]
+func (p *Photon) reapBackend(s *engineShard) int {
+	buf := s.reapScratch[:]
 	n := 0
 	for {
 		k := p.be.Poll(buf)
@@ -108,6 +132,9 @@ func (p *Photon) reapBackend() int {
 		}
 		n += k
 		if k < len(buf) {
+			if n > 0 {
+				s.reaps.Add(int64(n))
+			}
 			return n
 		}
 	}
@@ -212,7 +239,7 @@ func (p *Photon) postEntryOrDefer(ps *peerState, class int, payload []byte) {
 		ps.pendingEntry = append(ps.pendingEntry, entryOp{class: class, payload: append([]byte(nil), payload...)})
 		ps.mu.Unlock()
 		ps.deferred.Add(1)
-		p.parked.Add(1)
+		ps.shard.parked.Add(1)
 		p.stats.deferred.Add(1)
 		return
 	}
@@ -229,15 +256,16 @@ func (p *Photon) postEntryOrDefer(ps *peerState, class int, payload []byte) {
 // first fully-specified wire writes (FIFO; slots already reserved),
 // then unreserved ledger entries, then queued inbound rendezvous.
 // Wire writes drain in doorbell batches when the backend supports it.
-func (p *Photon) retryDeferred(ps *peerState) int {
+func (p *Photon) retryDeferred(s *engineShard, ps *peerState) int {
 	if ps.deferred.Load() == 0 {
 		return 0
 	}
 	n := 0
 	// Wire writes. Snapshot a batch under the lock, post it outside,
-	// then pop what was accepted. Only this engine (serialized by
-	// progMu) removes from pendingWire, and producers append at the
-	// tail, so the snapshot stays valid.
+	// then pop what was accepted. Only this peer's owning shard engine
+	// (serialized by its mutex, which the fault plane also takes before
+	// dropping these queues) removes from pendingWire, and producers
+	// append at the tail, so the snapshot stays valid.
 	for {
 		ps.mu.Lock()
 		k := len(ps.pendingWire)
@@ -248,13 +276,13 @@ func (p *Photon) retryDeferred(ps *peerState) int {
 		if k > wireBatchMax {
 			k = wireBatchMax
 		}
-		batch := append(p.wireScratch[:0], ps.pendingWire[:k]...)
+		batch := append(s.wireScratch[:0], ps.pendingWire[:k]...)
 		ps.mu.Unlock()
 
 		posted := 0
 		var perr error
 		if p.bbe != nil && k > 1 {
-			reqs := p.reqScratch[:0]
+			reqs := s.reqScratch[:0]
 			for _, w := range batch {
 				reqs = append(reqs, WriteReq{Local: w.local, RemoteAddr: w.raddr, RKey: w.rkey, Token: w.token, Signaled: w.signaled})
 			}
@@ -284,7 +312,7 @@ func (p *Photon) retryDeferred(ps *peerState) int {
 				}
 			}
 			ps.deferred.Add(-int64(posted))
-			p.parked.Add(-int64(posted))
+			s.parked.Add(-int64(posted))
 			n += posted
 		}
 		if perr != nil && perr != ErrWouldBlock {
@@ -321,7 +349,7 @@ func (p *Photon) retryDeferred(ps *peerState) int {
 		ps.pendingEntry = ps.pendingEntry[1:]
 		ps.mu.Unlock()
 		ps.deferred.Add(-1)
-		p.parked.Add(-1)
+		s.parked.Add(-1)
 		n++
 	}
 	// Inbound rendezvous awaiting slab space.
@@ -340,7 +368,7 @@ func (p *Photon) retryDeferred(ps *peerState) int {
 		ps.pendingRTS = ps.pendingRTS[1:]
 		ps.mu.Unlock()
 		ps.deferred.Add(-1)
-		p.parked.Add(-1)
+		s.parked.Add(-1)
 		n++
 	}
 	return n
@@ -365,8 +393,8 @@ type polledEvent struct {
 // acquisition for the whole batch, then dispatch outside the lock.
 //
 //photon:hotpath
-func (p *Photon) pollPeer(ps *peerState) int {
-	p.pollScratch = p.pollScratch[:0]
+func (p *Photon) pollPeer(s *engineShard, ps *peerState) int {
+	s.pollScratch = s.pollScratch[:0]
 	n := 0
 	p.arenaLk.Lock() //photon:allow hotpathalloc -- one arena lock per sweep batch covers every ledger poll; taking it once here is the optimization
 	if !ps.recv[classSys].ReadyLocked() &&
@@ -384,7 +412,7 @@ func (p *Photon) pollPeer(ps *peerState) int {
 		n++
 		if ev, ok := parseSys(e); ok {
 			ev.rts.rank = ps.rank
-			p.pollScratch = append(p.pollScratch, ev) //photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
+			s.pollScratch = append(s.pollScratch, ev) //photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
 		}
 	}
 	for {
@@ -396,7 +424,7 @@ func (p *Photon) pollPeer(ps *peerState) int {
 		n++
 		if len(e.Payload) >= 9 && e.Payload[0] == tCompletion {
 			//photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
-			p.pollScratch = append(p.pollScratch, polledEvent{
+			s.pollScratch = append(s.pollScratch, polledEvent{
 				kind: tCompletion,
 				rid:  binary.LittleEndian.Uint64(e.Payload[1:]),
 			})
@@ -416,7 +444,7 @@ func (p *Photon) pollPeer(ps *peerState) int {
 			data := p.pool.GetOwned(len(e.Payload) - packedHdrSize)
 			copy(data, e.Payload[packedHdrSize:])
 			//photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
-			p.pollScratch = append(p.pollScratch, polledEvent{
+			s.pollScratch = append(s.pollScratch, polledEvent{
 				kind: tPacked,
 				rid:  binary.LittleEndian.Uint64(e.Payload[1:]),
 				data: data,
@@ -432,7 +460,7 @@ func (p *Photon) pollPeer(ps *peerState) int {
 			copy(data, e.Payload[packedPutHdrSize:])
 			//photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
 			//photon:allow bufretain -- parked in pollScratch only until dispatch below; ApplyLocal consumes it and Put recycles it in the same sweep
-			p.pollScratch = append(p.pollScratch, polledEvent{
+			s.pollScratch = append(s.pollScratch, polledEvent{
 				kind:   tPackedPut,
 				rid:    binary.LittleEndian.Uint64(e.Payload[1:]),
 				raddr:  binary.LittleEndian.Uint64(e.Payload[9:]),
@@ -444,8 +472,8 @@ func (p *Photon) pollPeer(ps *peerState) int {
 	}
 	p.arenaLk.Unlock()
 
-	for i := range p.pollScratch {
-		ev := &p.pollScratch[i]
+	for i := range s.pollScratch {
+		ev := &s.pollScratch[i]
 		// Ledger-delivery trace events carry the RID the initiator
 		// posted (its remote RID), correlating both sides of the op.
 		// They are not sampled: the target cannot know whether the
@@ -471,7 +499,7 @@ func (p *Photon) pollPeer(ps *peerState) int {
 				ps.pendingRTS = append(ps.pendingRTS, ev.rts) //photon:allow hotpathalloc -- backpressure FIFO growth; drains to zero in steady state
 				ps.mu.Unlock()
 				ps.deferred.Add(1)
-				p.parked.Add(1)
+				s.parked.Add(1)
 			}
 		case tFIN:
 			p.traceEv(trace.KindProtocol, ev.rid, "fin.rx")
@@ -484,7 +512,7 @@ func (p *Photon) pollPeer(ps *peerState) int {
 	}
 	if n > 0 {
 		ps.consumedHint.Add(int64(n))
-		p.creditHintTotal.Add(int64(n))
+		s.creditHintTotal.Add(int64(n))
 	}
 	return n
 }
@@ -574,12 +602,12 @@ func (p *Photon) startRdzvGet(r rtsOp) bool {
 func (p *Photon) returnCredits(ps *peerState, force bool) {
 	h := ps.consumedHint.Swap(0)
 	if h != 0 {
-		p.creditHintTotal.Add(-h)
+		ps.shard.creditHintTotal.Add(-h)
 	} else if !force {
 		return
 	}
 	for cl := 0; cl < numClasses; cl++ {
-		total := ps.consumed[cl] // progress-engine-owned; no ledger locks
+		total := ps.consumed[cl] // owning-shard-engine-owned; no ledger locks
 		ps.mu.Lock()
 		due := total-ps.lastReturned[cl] >= int64(p.cfg.CreditBatch) || (force && total > ps.lastReturned[cl])
 		if due {
@@ -645,75 +673,123 @@ func (p *Photon) Probe(flags ProbeFlags) (Completion, bool) {
 }
 
 // PopLocal pops the oldest harvested local completion without driving
-// progress.
+// progress. With multiple shards the scan starts at a rotating cursor,
+// so no shard's ring is structurally favored.
 func (p *Photon) PopLocal() (Completion, bool) {
-	c, ok := p.localCQ.pop()
-	if ok {
-		p.traceEv(trace.KindReap, c.RID, "reap.local")
-	}
-	return c, ok
+	return p.popRing(true)
 }
 
 // PopRemote pops the oldest harvested remote completion.
 func (p *Photon) PopRemote() (Completion, bool) {
-	c, ok := p.remoteCQ.pop()
-	if ok {
-		p.traceEv(trace.KindReap, c.RID, "reap.remote")
+	return p.popRing(false)
+}
+
+//photon:hotpath
+func (p *Photon) popRing(local bool) (Completion, bool) {
+	if len(p.shards) == 1 {
+		s := p.shards[0]
+		r := s.remoteCQ
+		if local {
+			r = s.localCQ
+		}
+		c, ok := r.pop()
+		if ok {
+			p.traceEv(trace.KindReap, c.RID, "reap.pop")
+		}
+		return c, ok
 	}
-	return c, ok
+	start := int(p.popCursor.Add(1))
+	for i := 0; i < len(p.shards); i++ {
+		s := p.shards[(start+i)%len(p.shards)]
+		r := s.remoteCQ
+		if local {
+			r = s.localCQ
+		}
+		if c, ok := r.pop(); ok {
+			p.traceEv(trace.KindReap, c.RID, "reap.pop")
+			return c, true
+		}
+	}
+	return Completion{}, false
+}
+
+// takeMatchAny removes the completion with the given RID from whichever
+// shard ring holds it.
+func (p *Photon) takeMatchAny(rid uint64, local bool) (Completion, bool) {
+	for _, s := range p.shards {
+		r := s.remoteCQ
+		if local {
+			r = s.localCQ
+		}
+		if c, ok := r.takeMatch(rid); ok {
+			return c, true
+		}
+	}
+	return Completion{}, false
 }
 
 // WaitLocal spins (driving progress) until the local completion with
 // the given RID arrives, removing it from the stream; other completions
 // are left queued. A non-positive timeout waits forever.
 func (p *Photon) WaitLocal(rid uint64, timeout time.Duration) (Completion, error) {
-	return p.waitMatch(rid, timeout, p.localCQ)
+	return p.waitMatch(rid, timeout, true)
 }
 
 // WaitRemote spins until the remote completion with the given RID
 // arrives.
 func (p *Photon) WaitRemote(rid uint64, timeout time.Duration) (Completion, error) {
-	return p.waitMatch(rid, timeout, p.remoteCQ)
+	return p.waitMatch(rid, timeout, false)
 }
 
-// parkGrace caps how long an idle waiter stays parked on the backend's
-// Notify channel before re-polling. It bounds the staleness of the
-// timeout and Close checks, and backstops the (already lossless)
-// notification protocol; the common wakeup path is the channel send,
-// which arrives at goroutine-handoff latency.
+// parkGrace caps how long an idle waiter stays parked on its notify
+// channel before re-polling. It bounds the staleness of the timeout
+// and Close checks, and backstops the (already lossless) notification
+// protocol; the common wakeup path is the channel send, which arrives
+// at goroutine-handoff latency.
 const parkGrace = time.Millisecond
 
 // idleWaiter paces the dry rounds of a blocking wait loop. With a
-// NotifyBackend it parks the goroutine on the backend's activity
-// channel: the agent that queues the next completion (or applies the
-// next remote write) wakes it directly, so the wait resolves at
-// goroutine-handoff latency. This matters doubly on few-core hosts —
-// a parked waiter frees the processor for the runtime's network
-// poller, where a spinning one starves it, and a timer sleep would
-// round every blocking latency up to kernel scheduler-tick
-// granularity (~1ms on HZ=1000 hosts) regardless of the duration
-// requested. Without a NotifyBackend it falls back to yield-then-
-// sleep polling, which suits in-process fabrics whose delivery runs
-// on goroutines a yield schedules.
+// NotifyBackend it subscribes a private capacity-1 channel to the
+// engine's notifier fan-out and parks on it: the agent that queues the
+// next completion (or applies the next remote write) wakes every
+// parked waiter directly, so the wait resolves at goroutine-handoff
+// latency and one waiter consuming a wake can never starve another
+// (each waiter holds its own latch — the fairness fix over a single
+// shared notify channel). This matters doubly on few-core hosts — a
+// parked waiter frees the processor for the runtime's network poller,
+// where a spinning one starves it, and a timer sleep would round every
+// blocking latency up to kernel scheduler-tick granularity (~1ms on
+// HZ=1000 hosts). Without a NotifyBackend it falls back to yield-then-
+// sleep polling, which suits in-process fabrics whose delivery runs on
+// goroutines a yield schedules.
 type idleWaiter struct {
 	p    *Photon
-	idle int         // consecutive dry rounds (fallback pacing)
-	park *time.Timer // lazily created, reused across parks
+	idle int           // consecutive dry rounds (fallback pacing)
+	park *time.Timer   // lazily created, reused across parks
+	ch   chan struct{} // private notifier subscription (recycled)
 }
 
 // wait blocks until backend activity suggests progress is possible (or
 // a grace period elapses). Callers must re-poll after every return:
-// one Notify token can coalesce many events, and timer wakeups carry
-// no information at all.
+// one wake token can coalesce many events, and timer wakeups carry no
+// information at all.
 func (w *idleWaiter) wait() {
-	if wake := w.p.beWake; wake != nil {
+	if w.ch == nil && w.p.nfy != nil {
+		// First dry round: subscribe, then re-poll immediately — an
+		// event delivered before the subscription existed was never
+		// routed to this channel, so parking now could stall a wait
+		// by a full parkGrace.
+		w.ch = w.p.nfy.subscribe()
+		return
+	}
+	if w.ch != nil {
 		if w.park == nil {
 			w.park = time.NewTimer(parkGrace)
 		} else {
 			w.park.Reset(parkGrace)
 		}
 		select {
-		case <-wake:
+		case <-w.ch:
 			if !w.park.Stop() {
 				<-w.park.C
 			}
@@ -736,21 +812,32 @@ func (w *idleWaiter) wait() {
 // progressed resets the dry-round pacing after a productive round.
 func (w *idleWaiter) progressed() { w.idle = 0 }
 
-// stop releases the park timer.
+// stop releases the park timer and retires the notifier subscription.
 func (w *idleWaiter) stop() {
+	if w.ch != nil {
+		w.p.nfy.unsubscribe(w.ch)
+		w.ch = nil
+	}
 	if w.park != nil {
 		w.park.Stop()
 	}
 }
 
-// BackendNotify exposes the transport's activity channel when the
+// BackendNotify exposes an engine-maintained activity latch when the
 // backend implements NotifyBackend (nil otherwise). External progress
 // loops — benchmark harnesses, application-level pollers — should park
 // on it between dry Progress rounds instead of yield-spinning; see
 // idleWaiter for why spinning is actively harmful on few-core hosts.
-func (p *Photon) BackendNotify() <-chan struct{} { return p.beWake }
+// The latch is fanned out alongside (not instead of) the engine's own
+// shard and waiter wakeups, so parking on it cannot starve them.
+func (p *Photon) BackendNotify() <-chan struct{} {
+	if p.nfy != nil {
+		return p.nfy.extern
+	}
+	return nil
+}
 
-func (p *Photon) waitMatch(rid uint64, timeout time.Duration, r *compRing) (Completion, error) {
+func (p *Photon) waitMatch(rid uint64, timeout time.Duration, local bool) (Completion, error) {
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
@@ -766,7 +853,7 @@ func (p *Photon) waitMatch(rid uint64, timeout time.Duration, r *compRing) (Comp
 	defer w.stop()
 	for {
 		n := p.Progress()
-		if c, ok := r.takeMatch(rid); ok {
+		if c, ok := p.takeMatchAny(rid, local); ok {
 			p.traceEv(trace.KindReap, c.RID, "reap.wait")
 			return c, nil
 		}
@@ -785,24 +872,35 @@ func (p *Photon) waitMatch(rid uint64, timeout time.Duration, r *compRing) (Comp
 }
 
 // Flush forces pending credit returns out (used before quiescing, e.g.
-// by barriers, so peers are never left starved of credits).
+// by barriers, so peers are never left starved of credits). Shards
+// already being driven elsewhere are skipped, like Progress.
 func (p *Photon) Flush() {
-	if !p.progMu.TryLock() {
-		return
-	}
-	defer p.progMu.Unlock()
-	for _, ps := range p.peers {
-		p.retryDeferred(ps)
-		p.returnCredits(ps, true)
+	for _, s := range p.shards {
+		if !s.mu.TryLock() {
+			continue
+		}
+		for _, ps := range s.peers {
+			p.retryDeferred(s, ps)
+			p.returnCredits(ps, true)
+		}
+		s.mu.Unlock()
 	}
 }
 
 // PendingLocal and PendingRemote report queue depths (test aid).
 func (p *Photon) PendingLocal() int {
-	return p.localCQ.length()
+	n := 0
+	for _, s := range p.shards {
+		n += s.localCQ.length()
+	}
+	return n
 }
 
 // PendingRemote reports the remote completion queue depth.
 func (p *Photon) PendingRemote() int {
-	return p.remoteCQ.length()
+	n := 0
+	for _, s := range p.shards {
+		n += s.remoteCQ.length()
+	}
+	return n
 }

@@ -1,0 +1,239 @@
+package core_test
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"photon/internal/core"
+)
+
+// TestShardConfigValidation pins the EngineShards range check and the
+// shard-count accessor.
+func TestShardConfigValidation(t *testing.T) {
+	phs := newJob(t, 2, core.Config{EngineShards: 3})
+	for _, p := range phs {
+		if p.NumShards() != 3 {
+			t.Fatalf("NumShards = %d, want 3", p.NumShards())
+		}
+	}
+	lb := newLoopBackend()
+	if _, err := core.Init(lb, core.Config{EngineShards: 257}); err == nil {
+		t.Fatal("EngineShards=257 accepted")
+	}
+	if _, err := core.Init(lb, core.Config{EngineShards: -1}); err == nil {
+		t.Fatal("EngineShards=-1 accepted")
+	}
+}
+
+// TestShardedPutGet runs the standard put/get pair with peers spread
+// over multiple engine shards (4 ranks, 2 shards → two peers per
+// shard at every rank).
+func TestShardedPutGet(t *testing.T) {
+	phs := newJob(t, 4, core.Config{EngineShards: 2})
+	buf := make([]byte, 4096)
+	descs, _ := registerAndShare(t, phs, 3, buf)
+	for src := 0; src < 3; src++ {
+		payload := []byte{byte(0xA0 + src)}
+		rid := uint64(1000 + src)
+		if err := phs[src].PutBlocking(3, payload, descs[3], uint64(src), rid, rid+100); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := phs[src].WaitLocal(rid, waitT); err != nil {
+			t.Fatalf("src %d local: %v", src, err)
+		}
+		if _, err := phs[3].WaitRemote(rid+100, waitT); err != nil {
+			t.Fatalf("src %d remote: %v", src, err)
+		}
+	}
+	if !bytes.Equal(buf[:3], []byte{0xA0, 0xA1, 0xA2}) {
+		t.Fatalf("buf = %x", buf[:3])
+	}
+}
+
+// TestConcurrentShardProgressRace is the satellite-2 regression: two
+// goroutines driving the two shards of one rank concurrently (the
+// background-runner topology) while posters on other ranks keep both
+// shards' peers busy. Run under -race in CI; the per-shard TryLock
+// mutexes and work-stealing backend reap must keep this data-race
+// free.
+func TestConcurrentShardProgressRace(t *testing.T) {
+	phs := newJob(t, 3, core.Config{EngineShards: 2})
+	buf := make([]byte, 4096)
+	descs, _ := registerAndShare(t, phs, 0, buf)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for shard := 0; shard < phs[0].NumShards(); shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for !stop.Load() {
+				phs[0].ProgressShard(shard)
+			}
+		}(shard)
+	}
+
+	const perSrc = 50
+	for src := 1; src <= 2; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < perSrc; i++ {
+				rid := uint64(src*1000 + i)
+				if err := phs[src].PutBlocking(0, []byte{byte(src)}, descs[0], uint64(src), rid, rid); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := phs[src].WaitLocal(rid, waitT); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(src)
+	}
+
+	// Harvest the remote completions on rank 0 without driving
+	// progress ourselves: the shard goroutines above are the engine.
+	got := 0
+	deadline := time.Now().Add(waitT)
+	for got < 2*perSrc {
+		if c, ok := phs[0].PopRemote(); ok {
+			if c.Err != nil {
+				t.Fatal(c.Err)
+			}
+			got++
+			continue
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: %d/%d remote completions", got, 2*perSrc)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestBackgroundRunners exercises StartProgress: one pinned runner
+// per shard reaps and sweeps with no caller-driven Progress at all.
+func TestBackgroundRunners(t *testing.T) {
+	phs := newJob(t, 3, core.Config{EngineShards: 2})
+	buf := make([]byte, 4096)
+	descs, _ := registerAndShare(t, phs, 0, buf)
+	for _, p := range phs {
+		p.StartProgress()
+	}
+	for src := 1; src <= 2; src++ {
+		rid := uint64(src * 11)
+		if err := phs[src].PutBlocking(0, []byte{byte(src)}, descs[0], uint64(src), rid, rid+1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := phs[src].WaitLocal(rid, waitT); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := phs[0].WaitRemote(rid+1, waitT); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf[1] != 1 || buf[2] != 2 {
+		t.Fatalf("buf = %x", buf[1:3])
+	}
+}
+
+// TestConcurrentWaitersNotStarved is the satellite-1 fairness
+// regression: multiple goroutines parked in Wait* at once, each
+// holding its own notify subscription. With the old single
+// engine-level notify channel one waiter could swallow the only wake
+// token and leave the others sleeping out their grace timers; with
+// per-waiter subscriptions every backend event reaches every parked
+// waiter, so all of them must harvest promptly.
+func TestConcurrentWaitersNotStarved(t *testing.T) {
+	phs := newJob(t, 3, core.Config{EngineShards: 2})
+	buf := make([]byte, 4096)
+	descs, _ := registerAndShare(t, phs, 0, buf)
+
+	const waiters = 4
+	errCh := make(chan error, waiters)
+	var wg sync.WaitGroup
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, err := phs[0].WaitRemote(uint64(500+w), waitT)
+			errCh <- err
+		}(w)
+	}
+	// Let the waiters park, then satisfy them from two source ranks
+	// (peers living on different shards of rank 0).
+	time.Sleep(10 * time.Millisecond)
+	for w := 0; w < waiters; w++ {
+		src := 1 + w%2
+		rid := uint64(900 + w)
+		if err := phs[src].PutBlocking(0, []byte{byte(w)}, descs[0], uint64(16+w), rid, uint64(500+w)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := phs[src].WaitLocal(rid, waitT); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatalf("starved waiter: %v", err)
+		}
+	}
+}
+
+// TestShardedPutAllocGuard extends the zero-allocation guard to the
+// multi-shard engine: Progress over two shards, the rotating pop
+// cursor, and the per-shard completion rings must all stay off the
+// heap in steady state.
+func TestShardedPutAllocGuard(t *testing.T) {
+	p, dst := loopEnv(t, core.Config{EngineShards: 2})
+	payload := make([]byte, 8)
+	put := func() {
+		for {
+			err := p.PutWithCompletion(0, payload, dst, 0, 1, 2)
+			if err == nil {
+				break
+			}
+			if err != core.ErrWouldBlock {
+				t.Fatal(err)
+			}
+			p.Progress()
+		}
+		drainPair(t, p)
+	}
+	for i := 0; i < 100; i++ {
+		put()
+	}
+	allocs := testing.AllocsPerRun(200, put)
+	t.Logf("sharded put round trip: %.2f allocs/op", allocs)
+	if allocs > 1 {
+		t.Fatalf("sharded put allocates %.2f times per op, want <= 1", allocs)
+	}
+}
+
+// TestShardMetricsExported checks the per-shard gauges surface.
+func TestShardMetricsExported(t *testing.T) {
+	phs := newJob(t, 2, core.Config{EngineShards: 2, Metrics: true})
+	buf := make([]byte, 256)
+	descs, _ := registerAndShare(t, phs, 1, buf)
+	if err := phs[0].PutBlocking(1, []byte{1}, descs[1], 0, 7, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := phs[0].WaitLocal(7, waitT); err != nil {
+		t.Fatal(err)
+	}
+	snap := phs[0].Metrics()
+	if v, ok := snap.Gauges.Get("engine_shards"); !ok || v != 2 {
+		t.Fatalf("engine_shards = %d ok=%v", v, ok)
+	}
+	for _, name := range []string{"engine_shard_reaps", "engine_shard0_sweeps", "engine_shard1_sweeps"} {
+		if _, ok := snap.Gauges.Get(name); !ok {
+			t.Fatalf("gauge %s missing", name)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Shared backend wake/completion plumbing. Every transport used to
+// hand-roll the same pattern — a mutex-guarded completion slice plus a
+// capacity-1 "kick" channel signaled with non-blocking sends — and the
+// engine's shard fan-out needs one more consumer of the same event.
+// WakeChan and CompQueue centralize it: backends push completions and
+// kick; the engine either parks on the channel (NotifyBackend) or
+// installs a sink that fans the event out to every shard
+// (WakeSinkBackend).
+
+// WakeChan is an edge-triggered event latch: a capacity-1 channel
+// signaled with non-blocking sends, with an optionally installed sink
+// function that replaces the channel delivery. One token coalesces any
+// number of events; consumers must re-poll after every wakeup.
+type WakeChan struct {
+	ch   chan struct{}
+	sink atomic.Pointer[func()]
+}
+
+// NewWakeChan creates a ready-to-use wake latch.
+func NewWakeChan() *WakeChan {
+	return &WakeChan{ch: make(chan struct{}, 1)}
+}
+
+// Kick signals the latch: the installed sink if any, else a
+// non-blocking token on the channel. Callable from any goroutine;
+// never blocks.
+//
+//photon:hotpath
+func (w *WakeChan) Kick() {
+	if f := w.sink.Load(); f != nil {
+		(*f)()
+		return
+	}
+	select {
+	case w.ch <- struct{}{}:
+	default:
+	}
+}
+
+// Chan returns the latch channel for consumers that park on it.
+func (w *WakeChan) Chan() <-chan struct{} { return w.ch }
+
+// SetSink redirects subsequent kicks to fn (which must be non-blocking
+// and callable from any goroutine); nil restores channel delivery.
+// Installing a sink leaves the channel idle — the engine uses this to
+// fan one backend event out to every shard without a relay goroutine.
+func (w *WakeChan) SetSink(fn func()) {
+	if fn == nil {
+		w.sink.Store(nil)
+		return
+	}
+	w.sink.Store(&fn)
+}
+
+// CompQueue is the shared backend completion queue: agents Push
+// finished operations, the engine Drains them from Poll. Push kicks the
+// embedded wake latch, so a single CompQueue gives a transport both its
+// Poll buffer and its NotifyBackend/WakeSinkBackend implementation.
+type CompQueue struct {
+	mu    sync.Mutex
+	comps []BackendCompletion
+	wake  *WakeChan
+}
+
+// NewCompQueue creates an empty completion queue.
+func NewCompQueue() *CompQueue {
+	return &CompQueue{wake: NewWakeChan()}
+}
+
+// Push appends one completion and kicks the wake latch.
+//
+//photon:hotpath
+func (q *CompQueue) Push(c BackendCompletion) {
+	q.mu.Lock() //photon:allow hotpathalloc -- queue mutex is the completion handoff point; held only for one append
+	q.comps = append(q.comps, c) //photon:allow hotpathalloc -- amortized queue growth; the slice is drained to length 0 and its capacity reused
+	q.mu.Unlock()
+	q.wake.Kick()
+}
+
+// Drain moves up to len(dst) completions into dst, returning the count.
+// It never blocks.
+//
+//photon:hotpath
+func (q *CompQueue) Drain(dst []BackendCompletion) int {
+	q.mu.Lock() //photon:allow hotpathalloc -- queue mutex is the completion handoff point; held only for the copy
+	n := copy(dst, q.comps)
+	if n > 0 {
+		rest := copy(q.comps, q.comps[n:])
+		for i := rest; i < len(q.comps); i++ {
+			q.comps[i] = BackendCompletion{}
+		}
+		q.comps = q.comps[:rest]
+	}
+	q.mu.Unlock()
+	return n
+}
+
+// Kick signals the wake latch without queueing a completion (remote
+// data landed in registered memory, credits may have returned).
+//
+//photon:hotpath
+func (q *CompQueue) Kick() { q.wake.Kick() }
+
+// Wake exposes the embedded latch for Notify/SetWakeSink plumbing.
+func (q *CompQueue) Wake() *WakeChan { return q.wake }
+
+// Len reports the queued completion count.
+func (q *CompQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.comps)
+}

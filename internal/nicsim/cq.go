@@ -78,6 +78,12 @@ type CQ struct {
 	head, sz int
 	overflow int64
 	fastLen  atomic.Int32 // lock-free mirror of sz for empty checks
+
+	// wakeHook, when set, is invoked (outside the queue lock) after
+	// every push — the simulated analogue of a completion-channel
+	// event. Middleware installs its notify kick here so pollers can
+	// park instead of spinning.
+	wakeHook atomic.Pointer[func()]
 }
 
 // NewCQ creates a completion queue with the given capacity (minimum 1).
@@ -112,6 +118,20 @@ func (c *CQ) push(e CQE) {
 	c.fastLen.Store(int32(c.sz))
 	c.cond.Signal()
 	c.mu.Unlock()
+	if f := c.wakeHook.Load(); f != nil {
+		(*f)()
+	}
+}
+
+// SetWakeHook installs fn to run after every completion push (nil
+// clears it). fn must be non-blocking and callable from any goroutine;
+// it fires outside the queue lock.
+func (c *CQ) SetWakeHook(fn func()) {
+	if fn == nil {
+		c.wakeHook.Store(nil)
+		return
+	}
+	c.wakeHook.Store(&fn)
 }
 
 // Poll reaps up to max completions without blocking, returning however

@@ -169,6 +169,13 @@ type NIC struct {
 
 	atomicMu sync.Mutex // serializes remote atomics against this NIC's memory
 
+	// writeHook, when set, runs after every remote write or atomic is
+	// applied to this NIC's registered memory (and after loopback
+	// LocalWrite) — the simulated analogue of a DMA-completion
+	// interrupt. Middleware installs its notify kick here so waiters
+	// park instead of polling for ledger arrivals.
+	writeHook atomic.Pointer[func()]
+
 	counters struct {
 		sendsPosted, recvsPosted            atomic.Int64
 		wireFrames, wireBytes               atomic.Int64
@@ -255,7 +262,25 @@ func (n *NIC) LocalWrite(addr uint64, rkey uint32, data []byte) error {
 	mr.mu.Unlock()
 	mr.writes.Add(1)
 	n.counters.remoteWrites.Add(1)
+	n.kickWriteHook()
 	return nil
+}
+
+// SetWriteHook installs fn to run after every remote write/atomic
+// applied to this NIC's memory (nil clears it). fn must be
+// non-blocking and callable from any goroutine.
+func (n *NIC) SetWriteHook(fn func()) {
+	if fn == nil {
+		n.writeHook.Store(nil)
+		return
+	}
+	n.writeHook.Store(&fn)
+}
+
+func (n *NIC) kickWriteHook() {
+	if f := n.writeHook.Load(); f != nil {
+		(*f)()
+	}
 }
 
 // DeregisterMemory removes a registration. In-flight remote operations

@@ -529,6 +529,7 @@ func (qp *QP) handleWrite(h header, body []byte, src int) {
 	mr.mu.Unlock()
 	mr.writes.Add(1)
 	qp.nic.counters.remoteWrites.Add(1)
+	qp.nic.kickWriteHook()
 	if hasImm {
 		// WRITE WITH IMM additionally consumes a receive WR to
 		// deliver the immediate; the ACK is sent on delivery.
@@ -602,6 +603,7 @@ func (qp *QP) handleAtomic(h header, body []byte, src int) {
 	qp.nic.atomicMu.Unlock()
 	mr.writes.Add(1)
 	qp.nic.counters.remoteAt.Add(1)
+	qp.nic.kickWriteHook()
 	rh.typ = fAtomicResp
 	qp.respond(src, encodeAtomicResp(rh, orig))
 }
