@@ -37,6 +37,7 @@ var descriptions = map[string]string{
 	"E12": "Fig 9: remote atomics latency and pipelined rate",
 	"E13": "fault injection & recovery: link severs, frame loss, heartbeat sweep",
 	"E14": "engine-shard scaling at a hot sink + shm backend latency/rate",
+	"E15": "cluster observability: tracing overhead, merged cross-peer traces, collector scrape cost",
 }
 
 func main() {

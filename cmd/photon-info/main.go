@@ -7,18 +7,34 @@ import (
 	"flag"
 	"fmt"
 	goruntime "runtime"
+	"strings"
+	"time"
 
+	"photon/internal/backend/tcp"
 	"photon/internal/bench"
 	"photon/internal/core"
 	"photon/internal/fabric"
+	"photon/internal/metrics"
 	"photon/internal/stats"
+	"photon/internal/trace"
 )
 
 func main() {
 	slots := flag.Int("slots", 0, "ledger slots (0 = default)")
 	eager := flag.Int("eager", 0, "eager entry size (0 = default)")
 	metricsFlag := flag.Bool("metrics", false, "record op latencies during the warm-up and print the snapshot")
+	clusterFlag := flag.Bool("cluster", false, "boot a 4-rank job, scrape every rank's registry (in-process + HTTP), print the cluster aggregation")
+	flightFlag := flag.Bool("flight", false, "boot a 2-rank TCP job, kill one peer, print the fault flight recorder's JSON dump")
 	flag.Parse()
+
+	if *clusterFlag {
+		fmt.Print(clusterInfo())
+		return
+	}
+	if *flightFlag {
+		fmt.Print(flightInfo())
+		return
+	}
 
 	cfg := core.Config{LedgerSlots: *slots, EagerEntrySize: *eager, Metrics: *metricsFlag}
 	env, err := bench.NewPhotonOnly(2, fabric.Model{}, cfg)
@@ -59,6 +75,113 @@ func main() {
 		fmt.Println("sharded engine + shm transport (2-rank shm job, 2 shards):")
 		fmt.Print(indent(shmDataPath(), "  "))
 	}
+}
+
+// clusterInfo boots a 4-rank simulated job, drives a put ring so every
+// rank's registry has observations, then scrapes all four registries
+// through a Collector — ranks 0 and 1 through the in-process path,
+// ranks 2 and 3 over their debug HTTP /snapshot endpoints — and prints
+// the cluster-wide aggregation (exact merged histograms, summed
+// gauges, slowest-peer ranking).
+func clusterInfo() string {
+	env, err := bench.NewPhotonOnly(4, fabric.Model{}, core.Config{Metrics: true})
+	if err != nil {
+		return fmt.Sprintln("error:", err)
+	}
+	defer env.Close()
+	phs := env.Phs
+	_, descs, _, err := env.SharedBuffers(1 << 12)
+	if err != nil {
+		return fmt.Sprintln("error:", err)
+	}
+	// Put ring: every rank both initiates and receives, so all four
+	// registries carry initiator- and remote-stage distributions.
+	payload := []byte("cluster-info")
+	for i := 0; i < 64; i++ {
+		for src := range phs {
+			dst := (src + 1) % len(phs)
+			rid := uint64(1 + i)
+			if err := phs[src].PutBlocking(dst, payload, descs[src][dst], 0, rid, rid); err != nil {
+				return fmt.Sprintln("error:", err)
+			}
+			if _, err := phs[src].WaitLocal(rid, 5*time.Second); err != nil {
+				return fmt.Sprintln("error:", err)
+			}
+			if _, err := phs[dst].WaitRemote(rid, 5*time.Second); err != nil {
+				return fmt.Sprintln("error:", err)
+			}
+		}
+	}
+
+	sources := make([]metrics.PeerSource, len(phs))
+	for r := range phs {
+		r := r
+		if r < 2 {
+			sources[r] = metrics.PeerSource{Rank: r, Snap: func() *metrics.Snapshot { return phs[r].Metrics() }}
+			continue
+		}
+		srv, err := metrics.Serve("127.0.0.1:0", func() *metrics.Snapshot { return phs[r].Metrics() }, nil)
+		if err != nil {
+			return fmt.Sprintln("error:", err)
+		}
+		defer srv.Close()
+		sources[r] = metrics.PeerSource{Rank: r, URL: "http://" + srv.Addr()}
+	}
+	cs := metrics.NewCollector(sources).Collect()
+
+	var b strings.Builder
+	b.WriteString("cluster metrics plane (4-rank vsim job; ranks 0-1 scraped in-process, 2-3 over HTTP /snapshot):\n")
+	b.WriteString(indent(cs.Render(), "  "))
+	return b.String()
+}
+
+// flightInfo boots a 2-rank TCP job with the flight recorder armed,
+// streams a little traffic, kills rank 1 outright, waits for rank 0's
+// fault plane to latch the peer down, and prints the black box.
+func flightInfo() string {
+	ring := trace.NewRing(1024)
+	ring.Enable(true)
+	phs, _, cleanup, err := bench.NewTCPPhotonsFT(2, core.Config{
+		OpTimeout:         300 * time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+		Metrics:           true,
+		Trace:             ring,
+		FlightRecords:     8,
+	}, func(c *tcp.Config) {
+		c.ReconnectWindow = 300 * time.Millisecond
+		c.ReconnectBackoff = 10 * time.Millisecond
+	})
+	if err != nil {
+		return fmt.Sprintln("error:", err)
+	}
+	defer cleanup()
+	_, descs, _, err := bench.ShareBuffers(phs, 1<<12)
+	if err != nil {
+		return fmt.Sprintln("error:", err)
+	}
+	for i := uint64(1); i <= 16; i++ {
+		if err := phs[0].PutBlocking(1, []byte{byte(i)}, descs[0][1], 0, i, i); err != nil {
+			return fmt.Sprintln("error:", err)
+		}
+		if _, err := phs[0].WaitLocal(i, 5*time.Second); err != nil {
+			return fmt.Sprintln("error:", err)
+		}
+	}
+	phs[1].Close() // peer dies for good
+	deadline := time.Now().Add(10 * time.Second)
+	for phs[0].PeerHealthState(1) != core.PeerDown {
+		if time.Now().After(deadline) {
+			return fmt.Sprintln("error: peer never latched down")
+		}
+		phs[0].Progress()
+		time.Sleep(time.Millisecond)
+	}
+	var b strings.Builder
+	b.WriteString("fault flight recorder (2-rank TCP job, rank 1 killed; rank 0's black box):\n")
+	if err := phs[0].FlightDump(&b); err != nil {
+		return fmt.Sprintln("error:", err)
+	}
+	return b.String()
 }
 
 // shmDataPath boots a shared-memory job with a sharded engine, streams
@@ -106,7 +229,10 @@ func shmDataPath() string {
 // backend exports through Photon.Metrics plus the derived ratios
 // (frames per Write syscall, bytes per syscall, ack piggyback share).
 func tcpDataPath() string {
-	phs, cleanup, err := bench.NewTCPPhotons(2, core.Config{Metrics: true})
+	phs, bes, cleanup, err := bench.NewTCPPhotonsFT(2, core.Config{
+		Metrics:           true,
+		HeartbeatInterval: 20 * time.Millisecond,
+	}, nil)
 	if err != nil {
 		return fmt.Sprintln("error:", err)
 	}
@@ -148,7 +274,28 @@ func tcpDataPath() string {
 	if piggy+solo > 0 {
 		out += fmt.Sprintf("ack piggyback ratio %.2f\n", float64(piggy)/float64(piggy+solo))
 	}
+	out += healthTable(phs[0], bes[0])
 	return out
+}
+
+// healthTable renders rank 0's per-peer liveness view: the engine's
+// health state, when it last changed, and the transport's recovery
+// counters for that connection.
+func healthTable(p *core.Photon, be *tcp.Backend) string {
+	t := stats.NewTable("peer health (rank 0 view)",
+		"peer", "state", "last transition", "reconnects", "retx frames")
+	for peer := 0; peer < p.Size(); peer++ {
+		if peer == p.Rank() {
+			continue
+		}
+		last := "-"
+		if ns := p.PeerLastTransitionNS(peer); ns != 0 {
+			last = time.Unix(0, ns).Format("15:04:05.000")
+		}
+		ps := be.PeerStats(peer)
+		t.Row(peer, p.PeerHealthState(peer).String(), last, ps.Reconnects, ps.RetransmitFrames)
+	}
+	return t.Render()
 }
 
 // hotPathCounters drives a few eager puts through rank 0 and reports

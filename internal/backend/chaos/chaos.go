@@ -31,11 +31,13 @@
 package chaos
 
 import (
+	"io"
 	"math/rand"
 	"sync"
 	"time"
 
 	"photon/internal/core"
+	"photon/internal/flight"
 	"photon/internal/mem"
 )
 
@@ -323,4 +325,24 @@ func (b *Backend) PeerHealth(rank int) core.PeerHealth {
 		return hb.PeerHealth(rank)
 	}
 	return core.PeerHealthy
+}
+
+// ArmFlightDump installs an auto-dump hook on the instance's fault
+// flight recorder: every captured record (peer suspect/down) triggers
+// a full JSON dump to w, so a chaos run that kills a peer leaves its
+// black box on disk even if the test or job then dies. Dumps are
+// serialized; w needs no locking of its own. Returns false when the
+// instance was built without Config.FlightRecords.
+func ArmFlightDump(p *core.Photon, w io.Writer) bool {
+	fr := p.FlightRecorder()
+	if fr == nil {
+		return false
+	}
+	var mu sync.Mutex
+	fr.SetHook(func(flight.Record) {
+		mu.Lock()
+		defer mu.Unlock()
+		_ = p.FlightDump(w)
+	})
+	return true
 }

@@ -2,6 +2,7 @@ package chaos_test
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -302,8 +303,13 @@ func TestChaosCrashPeerFailsFast(t *testing.T) {
 			OpTimeout:         100 * time.Millisecond,
 			HeartbeatInterval: 5 * time.Millisecond,
 			SuspectAfter:      20 * time.Millisecond,
+			FlightRecords:     4,
 		},
 		chaos.Plan{Seed: 17})
+	var blackBox strings.Builder
+	if !chaos.ArmFlightDump(phs[0], &blackBox) {
+		t.Fatal("flight recorder not armed despite FlightRecords > 0")
+	}
 	for i := 1; i <= 3; i++ {
 		_ = phs[0].Send(1, []byte{byte(i)}, uint64(i), uint64(i))
 	}
@@ -342,6 +348,14 @@ func TestChaosCrashPeerFailsFast(t *testing.T) {
 		}
 		phs[0].Progress()
 		time.Sleep(time.Millisecond)
+	}
+	// The crash must have auto-dumped a non-empty black box.
+	dump := blackBox.String()
+	if !strings.Contains(dump, `"to": "down"`) {
+		t.Fatalf("chaos crash left no →down flight record:\n%s", dump)
+	}
+	if !strings.Contains(dump, "chaos_dropped") {
+		t.Fatalf("flight record missing chaos transport gauges:\n%s", dump)
 	}
 }
 

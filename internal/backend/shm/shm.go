@@ -338,6 +338,12 @@ func (b *Backend) TransportStats(yield func(name string, v int64)) {
 	yield("shm_ring_full_spins", spins)
 }
 
+// ClockOffset implements core.ClockBackend: every rank lives in one
+// process, so all clocks are identical by construction.
+func (b *Backend) ClockOffset(rank int) (offsetNS, rttNS int64, ok bool) {
+	return 0, 0, rank >= 0 && rank < b.size
+}
+
 // Exchange performs the collective bootstrap allgather.
 func (b *Backend) Exchange(local []byte) ([][]byte, error) {
 	return b.cluster.exchange(b.rank, local)
@@ -714,7 +720,7 @@ func (b *Backend) applyFrame(src int, r *spscRing, pos uint64, bodyLen int, hdr 
 		} else if signaled {
 			peer.compq.Push(core.BackendCompletion{Token: token, OK: false, Err: err})
 		}
-		trace.Record(trace.KindComplete, b.rank, token, "shm.write")
+		trace.RecordLink(trace.KindWire, b.rank, src, token, 0, "shm.apply")
 	case opRead:
 		raddr := binary.LittleEndian.Uint64(h[9:])
 		rkey := binary.LittleEndian.Uint32(h[17:])

@@ -10,6 +10,7 @@ import (
 	"photon/internal/backend/shm"
 	"photon/internal/core"
 	"photon/internal/mem"
+	"photon/internal/trace"
 )
 
 const waitT = 5 * time.Second
@@ -419,5 +420,61 @@ func TestShmPutAllocGuard(t *testing.T) {
 	t.Logf("shm put round trip: %.2f allocs/op", allocs)
 	if allocs > 1 {
 		t.Fatalf("shm put allocates %.2f times per op, want <= 1", allocs)
+	}
+}
+
+// TestTracedShmPutAllocGuard is the fully-observed variant of the put
+// guard: an enabled trace ring with every op sampled, so each round
+// trip records post, wire-context link, complete, and reap events and
+// carries the trace context through the shm ring frame — and must
+// still never touch the heap.
+func TestTracedShmPutAllocGuard(t *testing.T) {
+	ring := trace.NewRing(4096)
+	ring.Enable(true)
+	phs := newShmJob(t, 2, core.Config{EngineShards: 2, Trace: ring})
+	buf := make([]byte, 4096)
+	d0 := shareTarget(t, phs, buf)
+	payload := make([]byte, 8)
+	put := func() {
+		for {
+			err := phs[0].PutWithCompletion(1, payload, d0[1], 0, 1, 2)
+			if err == nil {
+				break
+			}
+			if err != core.ErrWouldBlock {
+				t.Fatal(err)
+			}
+			phs[0].Progress()
+		}
+		gotL, gotR := false, false
+		for !gotL || !gotR {
+			if !gotL {
+				if c, ok := phs[0].Probe(core.ProbeLocal); ok {
+					if c.Err != nil {
+						t.Fatal(c.Err)
+					}
+					gotL = true
+				}
+			}
+			if !gotR {
+				if c, ok := phs[1].Probe(core.ProbeRemote); ok {
+					if c.Err != nil {
+						t.Fatal(c.Err)
+					}
+					gotR = true
+				}
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		put()
+	}
+	allocs := testing.AllocsPerRun(200, put)
+	t.Logf("traced shm put round trip: %.2f allocs/op", allocs)
+	if allocs > 0 {
+		t.Fatalf("traced shm put allocates %.2f times per op, want 0", allocs)
+	}
+	if ring.CountByKind()[trace.KindPost] == 0 {
+		t.Fatal("trace ring recorded no post events — tracing was not active")
 	}
 }

@@ -843,7 +843,12 @@ func (b *Backend) handleFrame(peer int, f []byte) bool {
 		b.handleExgResp(f[1:])
 	case opHeartbeat:
 		// Liveness probe: the header read already refreshed lastRx, and
-		// its stamp (processed above) doubled as a cumulative ack.
+		// its stamp (processed above) doubled as a cumulative ack. A v4
+		// body also carries clock-sync timestamps (legacy 1-byte bodies
+		// are bare probes).
+		if len(f) >= hbBodyLen && peer != b.rank {
+			b.handleHeartbeatSync(peer, f)
+		}
 		return false
 	}
 	return false

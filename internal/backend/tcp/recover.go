@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"net"
@@ -50,6 +51,16 @@ type link struct {
 
 	lastRx atomic.Int64 // nowNano of the last frame header read from peer
 	lastTx atomic.Int64 // nowNano of the last successful flush toward peer
+
+	// Clock-sync state fed by heartbeat exchanges (wall-clock UnixNano).
+	// hbPeerTx/hbPeerRx remember the peer's last heartbeat tx stamp and
+	// our receipt time, echoed back on our next heartbeat to close the
+	// NTP-style exchange. clockOff/clockRTT hold the best (minimum-RTT)
+	// offset sample: peer wall clock minus ours, in nanoseconds.
+	hbPeerTx atomic.Int64
+	hbPeerRx atomic.Int64
+	clockOff atomic.Int64
+	clockRTT atomic.Int64 // 0 = no sample yet
 }
 
 func newLink(peer int) *link {
@@ -449,6 +460,54 @@ func (b *Backend) PeerHealth(rank int) core.PeerHealth {
 	return core.PeerHealthy
 }
 
+// handleHeartbeatSync processes the clock-sync fields of an inbound v4
+// heartbeat from peer. The frame's tx stamp and our receipt time are
+// remembered for the echo on our next heartbeat; when the frame echoes
+// one of our own earlier heartbeats, the four timestamps close an
+// NTP-style exchange and yield an offset/RTT sample. Only the
+// minimum-RTT sample is kept — queueing delay inflates both legs, and
+// the tightest round trip bounds the offset error by rtt/2.
+func (b *Backend) handleHeartbeatSync(peer int, f []byte) {
+	t3 := time.Now().UnixNano()
+	t2 := int64(binary.LittleEndian.Uint64(f[1:]))  // peer's send time
+	t0 := int64(binary.LittleEndian.Uint64(f[9:]))  // our echoed tx
+	t1 := int64(binary.LittleEndian.Uint64(f[17:])) // peer's receipt of it
+	lk := b.links[peer]
+	lk.hbPeerTx.Store(t2)
+	lk.hbPeerRx.Store(t3)
+	if t0 == 0 || t1 == 0 {
+		return // no exchange closed yet (peer hasn't heard us)
+	}
+	rtt := (t3 - t0) - (t2 - t1)
+	if rtt < 0 {
+		return // clock stepped mid-exchange; discard
+	}
+	if best := lk.clockRTT.Load(); best == 0 || rtt < best {
+		lk.clockOff.Store(((t1 - t0) + (t2 - t3)) / 2)
+		lk.clockRTT.Store(rtt)
+		b.cstats[peer].clockSamples.Add(1)
+	}
+}
+
+// ClockOffset reports the best clock-offset estimate toward peer: the
+// peer's wall clock minus this process's, in nanoseconds, with the RTT
+// of the sample that produced it. ok is false until at least one
+// heartbeat exchange has completed (heartbeats must be armed via
+// ConfigureLiveness, and suppression means busy links sample rarely).
+// The offset feeds trace.PeerDump.OffsetNS when merging per-process
+// trace rings into one cluster timeline.
+func (b *Backend) ClockOffset(peer int) (offsetNS, rttNS int64, ok bool) {
+	if peer < 0 || peer >= b.size || peer == b.rank {
+		return 0, 0, peer == b.rank && peer >= 0
+	}
+	lk := b.links[peer]
+	rtt := lk.clockRTT.Load()
+	if rtt == 0 {
+		return 0, 0, false
+	}
+	return lk.clockOff.Load(), rtt, true
+}
+
 func (b *Backend) heartbeatLoop(hb, suspectAfter time.Duration) {
 	tick := time.NewTicker(hb)
 	defer tick.Stop()
@@ -478,9 +537,16 @@ func (b *Backend) heartbeatLoop(hb, suspectAfter time.Duration) {
 				continue // suppressed: recent traffic already proves liveness
 			}
 			// Ride the reply path: FIFO keeps any queued nack ahead of
-			// this frame's stamp, and the stamp doubles as an ack.
+			// this frame's stamp, and the stamp doubles as an ack. The
+			// body carries this side's wall clock plus an echo of the
+			// peer's last heartbeat, closing one NTP-style exchange.
+			hb := make([]byte, hbBodyLen)
+			hb[0] = opHeartbeat
+			binary.LittleEndian.PutUint64(hb[1:], uint64(time.Now().UnixNano()))
+			binary.LittleEndian.PutUint64(hb[9:], uint64(lk.hbPeerTx.Load()))
+			binary.LittleEndian.PutUint64(hb[17:], uint64(lk.hbPeerRx.Load()))
 			b.replyQueueFor(peer).push(replyFrame{
-				data:  []byte{opHeartbeat},
+				data:  hb,
 				stamp: b.recvSeqW[peer].Load(),
 			})
 			b.cstats[peer].heartbeats.Add(1)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -13,6 +14,8 @@ import (
 	"photon/internal/backend/chaos"
 	"photon/internal/backend/tcp"
 	"photon/internal/core"
+	"photon/internal/flight"
+	"photon/internal/trace"
 )
 
 // newFTJob boots n ranks like newTCPJob but exposes the backends (for
@@ -79,6 +82,39 @@ func checkRIDPayload(t *testing.T, rid uint64, data []byte) {
 	t.Helper()
 	if len(data) != 9 || binary.LittleEndian.Uint64(data) != rid || data[8] != byte(rid*7) {
 		t.Fatalf("corrupted payload for RID %d: %v", rid, data)
+	}
+}
+
+// TestTCPClockOffsetEstimated checks the heartbeat-piggybacked clock
+// sync: with heartbeats armed, both ranks converge on an offset
+// estimate for each other. The two ranks share one process clock, so
+// the estimate must land near zero with a positive RTT behind it.
+func TestTCPClockOffsetEstimated(t *testing.T) {
+	_, phs := newFTJob(t, 2, core.Config{HeartbeatInterval: 10 * time.Millisecond}, nil)
+	deadline := time.Now().Add(waitT)
+	for {
+		phs[0].Progress()
+		phs[1].Progress()
+		off, rtt, ok := phs[0].PeerClockOffset(1)
+		if ok {
+			if rtt <= 0 {
+				t.Fatalf("clock sample has non-positive RTT %d", rtt)
+			}
+			// Same host, same process: the loopback offset estimate
+			// must be far below a second (it is typically < 1ms).
+			if off > int64(time.Second) || off < -int64(time.Second) {
+				t.Fatalf("loopback clock offset %dns implausibly large", off)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no clock offset estimate after heartbeat exchange")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The self estimate is trivially synchronized.
+	if off, rtt, ok := phs[0].PeerClockOffset(0); !ok || off != 0 || rtt != 0 {
+		t.Fatalf("self clock offset = (%d, %d, %v), want (0, 0, true)", off, rtt, ok)
 	}
 }
 
@@ -206,6 +242,84 @@ func TestTCPPeerKillSurfacesPeerDown(t *testing.T) {
 		}
 		phs[0].Progress()
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// A chaos-grade peer death with the flight recorder armed must leave a
+// non-empty black box: at least the terminal →down record, carrying
+// trace events, the health table, and transport gauges — and the JSON
+// dump must render it all.
+func TestFlightRecorderCapturesPeerDown(t *testing.T) {
+	ring := trace.NewRing(512)
+	ring.Enable(true)
+	_, phs := newFTJob(t, 2, core.Config{
+		OpTimeout:         300 * time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+		Trace:             ring,
+		Metrics:           true,
+		FlightRecords:     8,
+		FlightWindow:      64,
+	}, func(c *tcp.Config) {
+		c.ReconnectWindow = 150 * time.Millisecond
+		c.ReconnectBackoff = 10 * time.Millisecond
+	})
+	fr := phs[0].FlightRecorder()
+	if fr == nil {
+		t.Fatal("FlightRecords > 0 but FlightRecorder() is nil")
+	}
+	var hooked atomic.Int64
+	fr.SetHook(func(flight.Record) { hooked.Add(1) })
+
+	// Some traffic so the black box has events and histograms to show.
+	for i := uint64(1); i <= 8; i++ {
+		_ = phs[0].Send(1, ridPayload(i), i, i)
+	}
+	phs[0].Progress()
+	phs[1].Close() // peer dies for good
+
+	deadline := time.Now().Add(5 * time.Second)
+	for phs[0].PeerHealthState(1) != core.PeerDown {
+		if time.Now().After(deadline) {
+			t.Fatalf("peer never latched down: %v", phs[0].PeerHealthState(1))
+		}
+		phs[0].Progress()
+		time.Sleep(time.Millisecond)
+	}
+
+	recs := fr.Records()
+	if len(recs) == 0 {
+		t.Fatal("peer down produced an empty flight recorder")
+	}
+	if hooked.Load() != int64(len(recs)) {
+		t.Fatalf("hook fired %d times for %d records", hooked.Load(), len(recs))
+	}
+	last := recs[len(recs)-1]
+	if last.To != "down" || last.Peer != 1 {
+		t.Fatalf("last record is %s→%s for peer %d, want →down for peer 1",
+			last.From, last.To, last.Peer)
+	}
+	if len(last.Events) == 0 {
+		t.Fatal("down record carries no trace events")
+	}
+	if len(last.Health) != 1 || last.Health[0].State != "down" || last.Health[0].LastTransitionNS == 0 {
+		t.Fatalf("down record health table wrong: %+v", last.Health)
+	}
+	if _, ok := last.Gauges["tcp_reconnects"]; !ok {
+		t.Fatalf("down record missing transport gauges: %v", last.Gauges)
+	}
+	if phs[0].PeerLastTransitionNS(1) == 0 {
+		t.Fatal("PeerLastTransitionNS not stamped")
+	}
+
+	var b strings.Builder
+	if err := phs[0].FlightDump(&b); err != nil {
+		t.Fatal(err)
+	}
+	dump := b.String()
+	for _, want := range []string{`"to": "down"`, `"events"`, `"tcp_reconnects"`} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("flight dump missing %q:\n%s", want, dump)
+		}
 	}
 }
 

@@ -1,6 +1,9 @@
 package tcp
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // connStats holds one connection's data-path counters; the writer and
 // reader goroutines update them with atomics so Stats() can snapshot
@@ -19,9 +22,10 @@ type connStats struct {
 	ackFrames     atomic.Int64 // standalone ack frames emitted
 	nacksSent     atomic.Int64 // failed signaled writes nacked to the initiator
 
-	heartbeats atomic.Int64 // liveness probes sent (suppressed ones excluded)
-	reconnects atomic.Int64 // connections re-established after a loss
-	retxFrames atomic.Int64 // window frames replayed after reconnects
+	heartbeats   atomic.Int64 // liveness probes sent (suppressed ones excluded)
+	reconnects   atomic.Int64 // connections re-established after a loss
+	retxFrames   atomic.Int64 // window frames replayed after reconnects
+	clockSamples atomic.Int64 // accepted (min-RTT) clock-offset samples
 }
 
 // DataPathStats is a point-in-time snapshot of the TCP data path,
@@ -47,6 +51,7 @@ type DataPathStats struct {
 	Heartbeats       int64
 	Reconnects       int64
 	RetransmitFrames int64
+	ClockSamples     int64
 }
 
 func (s *DataPathStats) add(c *connStats) {
@@ -64,6 +69,7 @@ func (s *DataPathStats) add(c *connStats) {
 	s.Heartbeats += c.heartbeats.Load()
 	s.Reconnects += c.reconnects.Load()
 	s.RetransmitFrames += c.retxFrames.Load()
+	s.ClockSamples += c.clockSamples.Load()
 }
 
 // FramesPerFlush reports how many frames each Write syscall carried.
@@ -130,4 +136,16 @@ func (b *Backend) TransportStats(yield func(name string, value int64)) {
 	yield("tcp_heartbeats", s.Heartbeats)
 	yield("tcp_reconnects", s.Reconnects)
 	yield("tcp_retransmit_frames", s.RetransmitFrames)
+	yield("tcp_clock_samples", s.ClockSamples)
+	// Per-peer clock-sync gauges, exported only once a sample exists so
+	// dashboards can distinguish "no estimate" from "zero offset".
+	for peer, lk := range b.links {
+		if lk == nil {
+			continue
+		}
+		if off, rtt, ok := b.ClockOffset(peer); ok {
+			yield(fmt.Sprintf("tcp_peer%d_clock_offset_ns", peer), off)
+			yield(fmt.Sprintf("tcp_peer%d_clock_rtt_ns", peer), rtt)
+		}
+	}
 }

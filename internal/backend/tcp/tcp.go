@@ -132,7 +132,7 @@ const (
 	// rank, flags, and the cumulative count of the peer's signaled
 	// writes this side has applied — the retransmit cut point.
 	wireMagic   = 0x32764850
-	wireVersion = 3
+	wireVersion = 4
 	hsLen       = 24
 	// hsFlagReconnect marks a handshake that replaces an earlier
 	// connection (informational; both paths are handled identically).
@@ -150,8 +150,16 @@ const (
 	opAtomicResp = 7
 	opExg        = 8
 	opExgResp    = 9
-	opHeartbeat  = 10 // body: u8 op; liveness probe, suppressed by data
+	opHeartbeat  = 10 // liveness probe + clock sync, suppressed by data
 )
+
+// Heartbeat body (wire v4): u8 op | i64 txNS | i64 echoTxNS | i64
+// echoRxNS, all wall-clock UnixNano in the sender's clock domain
+// except echoTxNS, which echoes the receiver's own earlier tx stamp.
+// The four timestamps of two opposing heartbeats form one NTP-style
+// exchange: offset = ((t1-t0)+(t2-t3))/2, rtt = (t3-t0)-(t2-t1).
+// A 1-byte legacy body is still accepted as a bare liveness probe.
+const hbBodyLen = 1 + 8 + 8 + 8
 
 // tcpEpoch anchors the backend's monotonic timestamps (liveness
 // tracking); time.Since against a fixed epoch never allocates.

@@ -258,7 +258,7 @@ func (b *Backend) PostWrite(rank int, local []byte, raddr uint64, rkey uint32, t
 		RemoteAddr: raddr, RKey: rkey, Signaled: signaled,
 	}))
 	if err == nil {
-		trace.Record(trace.KindPost, b.rank, token, "vsim.write")
+		trace.RecordLink(trace.KindWire, b.rank, rank, token, 0, "vsim.write")
 	}
 	return err
 }
@@ -356,9 +356,15 @@ func (b *Backend) Poll(dst []core.BackendCompletion) int {
 		if tmp[i].Status != verbs.StatusOK {
 			dst[i].Err = fmt.Errorf("vsim: completion status %v", tmp[i].Status)
 		}
-		trace.Record(trace.KindComplete, b.rank, tmp[i].WRID, "vsim.cqe")
+		trace.Record(trace.KindWire, b.rank, tmp[i].WRID, "vsim.cqe")
 	}
 	return n
+}
+
+// ClockOffset implements core.ClockBackend: every rank lives in one
+// process, so all clocks are identical by construction.
+func (b *Backend) ClockOffset(rank int) (offsetNS, rttNS int64, ok bool) {
+	return 0, 0, rank >= 0 && rank < len(b.qps)
 }
 
 // Exchange performs the collective bootstrap allgather.

@@ -72,6 +72,7 @@ var registry = map[string]func(scale float64) (*Report, error){
 	"E12": runE12,
 	"E13": runE13,
 	"E14": runE14,
+	"E15": runE15,
 }
 
 // warmProcess runs a short untimed traffic burst on scratch

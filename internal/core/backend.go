@@ -211,6 +211,18 @@ type WakeSinkBackend interface {
 	SetWakeSink(fn func())
 }
 
+// ClockBackend is an optional Backend extension implemented by
+// transports that estimate per-peer clock offsets (the TCP backend
+// closes NTP-style exchanges over its heartbeat frames). ClockOffset
+// reports the peer's wall clock minus the local one in nanoseconds,
+// with the round-trip time of the minimum-RTT sample that produced the
+// estimate; ok is false until at least one exchange has completed.
+// The merged trace exporter consumes these offsets to place events
+// from different processes on one timeline.
+type ClockBackend interface {
+	ClockOffset(rank int) (offsetNS, rttNS int64, ok bool)
+}
+
 // StatsBackend is an optional Backend extension: TransportStats yields
 // transport-level data-path counters as named int64 gauges (syscall
 // coalescing, ack piggybacking, queue behavior — whatever the

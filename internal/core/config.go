@@ -27,7 +27,25 @@ const (
 	tPackedPut  = 5 // eager: [type][rid8][raddr8][rkey4][data...] — a
 	// small direct put folded into one ledger write; the target's
 	// middleware places the payload (Photon's small-PWC optimization)
+
+	// Traced variants: the same layouts with a trace context —
+	// [origin rank u32][post timestamp i64] — appended to the payload.
+	// Posted only for sampled ops (TraceSampleShift gate), so the
+	// target's delivery event carries the initiator's identity and post
+	// time and the merged Chrome exporter can stitch both rings into
+	// one causal lane. The context rides in existing entry headroom
+	// (pwc entries use 21 of 24 payload bytes, sys 49 of 56); eager
+	// entries whose payload would no longer fit fall back to the
+	// untraced tag.
+	tCompletionT = 6
+	tPackedT     = 7
+	tPackedPutT  = 8
+	tRTST        = 9
 )
+
+// traceCtxSize is the wire size of the sampled trace context appended
+// to traced ledger entries.
+const traceCtxSize = 4 + 8
 
 // Fixed entry sizes for the non-eager classes.
 const (
@@ -120,6 +138,17 @@ type Config struct {
 	// into a caller-owned shared registry (job-wide dashboards across
 	// in-process ranks); it implies Metrics.
 	MetricsTo *metrics.Registry
+	// FlightRecords arms the fault flight recorder: every
+	// healthy→suspect and →down peer transition snapshots the last
+	// FlightWindow trace events, the metrics registry, and the per-peer
+	// health counters into a bounded in-memory black box holding up to
+	// FlightRecords records (Photon.FlightRecorder / FlightDump). Zero
+	// (the default) disables recording. Snapshots run on the fault
+	// plane, never on the op hot path.
+	FlightRecords int
+	// FlightWindow is how many of the most recent trace-ring events
+	// each flight record retains (default 256).
+	FlightWindow int
 }
 
 func (c *Config) setDefaults() error {
@@ -174,6 +203,12 @@ func (c *Config) setDefaults() error {
 	}
 	if c.HeartbeatInterval > 0 && c.SuspectAfter < c.HeartbeatInterval {
 		return fmt.Errorf("photon: SuspectAfter %v shorter than HeartbeatInterval %v", c.SuspectAfter, c.HeartbeatInterval)
+	}
+	if c.FlightRecords < 0 || c.FlightWindow < 0 {
+		return fmt.Errorf("photon: flight-recorder bounds must be non-negative")
+	}
+	if c.FlightRecords > 0 && c.FlightWindow == 0 {
+		c.FlightWindow = 256
 	}
 	return nil
 }

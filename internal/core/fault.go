@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"photon/internal/trace"
 )
@@ -92,8 +93,15 @@ func (p *Photon) pollHealth(s0 *engineShard) int {
 			continue
 		}
 		ps.health.Store(int32(got))
+		ps.lastTransitionNS.Store(time.Now().UnixNano())
 		if cur == PeerHealthy && got != PeerHealthy {
 			p.suspectTransitions.Add(1)
+		}
+		// Black-box capture at degradation onset and at the terminal
+		// down latch — before failPeer sweeps the in-flight state away,
+		// so the record shows the engine as it was at detection time.
+		if (cur == PeerHealthy && got != PeerHealthy) || got == PeerDown {
+			p.captureFlight(ps, cur, got)
 		}
 		switch got {
 		case PeerSuspect:
@@ -166,7 +174,7 @@ func (p *Photon) sweepRdzvSends(now int64, rank int, err error) int {
 			p.opsTimedOut.Add(1)
 		}
 		p.traceEv(trace.KindComplete, f.rs.rid, "rdzv.fail")
-		p.pushLocal(Completion{Rank: f.rs.rank, RID: f.rs.rid, Err: err})
+		p.pushLocal(Completion{Rank: f.rs.rank, RID: f.rs.rid, Err: err, traced: f.rs.postNS != 0})
 	}
 	return len(fails)
 }
@@ -271,10 +279,10 @@ func (p *Photon) completeFailed(op *pendingOp, err error) {
 	if op.kind == opRdzvGet {
 		// Target-side staging read: the waiter is whoever waits for
 		// the message delivery, keyed by the initiator's remote RID.
-		p.pushRemote(Completion{Rank: op.rank, RID: op.remoteRID, Err: err})
+		p.pushRemote(Completion{Rank: op.rank, RID: op.remoteRID, Err: err, traced: op.traced})
 		return
 	}
-	p.pushLocal(Completion{Rank: op.rank, RID: op.rid, Err: err})
+	p.pushLocal(Completion{Rank: op.rank, RID: op.rid, Err: err, traced: op.postNS != 0})
 }
 
 // peerDown reports whether the engine has latched a peer down; op

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"photon/internal/flight"
+	"photon/internal/trace"
+)
+
+// Flight-recorder capture (see package flight for the black box
+// itself). Armed by Config.FlightRecords; the fault sweep calls
+// captureFlight on every healthy→degraded and →down transition.
+//
+// captureFlight runs inside pollHealth, which holds shard 0's mutex
+// (and, for the down case, may go on to take the owning shard's
+// mutex). It therefore must NOT call Photon.Metrics() — that locks
+// every shard and would self-deadlock — and instead reads only
+// lock-free sources: the trace ring snapshot, the metrics registry
+// (atomic buckets), per-peer health atomics, and the backend's
+// TransportStats (which the StatsBackend contract requires to be safe
+// during operation). Allocation here is fine; transitions are rare,
+// cold events.
+
+// captureFlight snapshots the engine into the flight recorder at one
+// peer-health transition. No-op when the recorder is unarmed.
+func (p *Photon) captureFlight(ps *peerState, from, to PeerHealth) {
+	fr := p.flightRec
+	if fr == nil {
+		return
+	}
+	rec := flight.Record{
+		WhenNS: time.Now().UnixNano(),
+		Rank:   p.rank,
+		Peer:   ps.rank,
+		From:   from.String(),
+		To:     to.String(),
+		Gauges: map[string]int64{
+			"peer_suspect_transitions": p.suspectTransitions.Load(),
+			"peers_down":               p.peersDown.Load(),
+			"ops_timed_out":            p.opsTimedOut.Load(),
+			"puts_direct":              p.stats.putsDirect.Load(),
+			"puts_packed":              p.stats.putsPacked.Load(),
+			"gets":                     p.stats.gets.Load(),
+			"rdzv_sends":               p.stats.rdzvSends.Load(),
+			"progress_calls":           p.stats.progress.Load(),
+		},
+	}
+	if p.obs.ring != nil {
+		rec.Events = p.obs.ring.Snapshot()
+	}
+	if p.obs.reg != nil {
+		snap := p.obs.reg.Snapshot()
+		for i := range snap.Hists {
+			h := &snap.Hists[i].Hist
+			if h.N() == 0 {
+				continue
+			}
+			rec.Hists = append(rec.Hists, flight.HistSummary{
+				Name:   snap.Hists[i].Name,
+				N:      h.N(),
+				MeanNS: h.Mean(),
+				P50NS:  h.Quantile(0.50),
+				P99NS:  h.Quantile(0.99),
+				MaxNS:  h.Quantile(1),
+			})
+		}
+	}
+	if sb, ok := p.be.(StatsBackend); ok {
+		sb.TransportStats(func(name string, v int64) {
+			rec.Gauges[name] = v
+		})
+	}
+	for _, peer := range p.peers {
+		if peer.rank == p.rank {
+			continue
+		}
+		st := PeerHealth(peer.health.Load())
+		if peer == ps {
+			st = to // this transition's store may not have landed yet
+		}
+		rec.Health = append(rec.Health, flight.PeerHealthInfo{
+			Rank:             peer.rank,
+			State:            st.String(),
+			LastTransitionNS: peer.lastTransitionNS.Load(),
+		})
+	}
+	fr.Add(rec)
+	p.traceEv(trace.KindProtocol, uint64(ps.rank), "flight.capture")
+}
+
+// FlightRecorder returns the fault flight recorder, or nil when
+// Config.FlightRecords is zero. Use it to install an auto-dump hook
+// (Recorder.SetHook) or inspect records programmatically.
+func (p *Photon) FlightRecorder() *flight.Recorder { return p.flightRec }
+
+// FlightDump writes the flight recorder's contents as indented JSON.
+// It is safe to call at any time, including while the engine is live.
+func (p *Photon) FlightDump(w io.Writer) error {
+	if p.flightRec == nil {
+		return fmt.Errorf("photon: flight recorder disabled (Config.FlightRecords == 0)")
+	}
+	return p.flightRec.WriteJSON(w)
+}
+
+// PeerLastTransitionNS returns the wall-clock UnixNano of the peer's
+// last health transition, or 0 if it never transitioned.
+func (p *Photon) PeerLastTransitionNS(rank int) int64 {
+	if rank < 0 || rank >= p.size {
+		return 0
+	}
+	return p.peers[rank].lastTransitionNS.Load()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,17 @@ type obsState struct {
 	reg  *metrics.Registry // nil unless Config.Metrics/MetricsTo
 	mask uint64            // 2^TraceSampleShift - 1; 0 = sample every op
 	seq  atomic.Uint64     // post counter driving the sampling decision
+
+	// idleSeq drives the 1-in-64 sampling of idle progress-round
+	// phase observations (see progressShard): its own stream, so a
+	// storm of empty polls never perturbs the op sampling draw.
+	idleSeq atomic.Uint64
+
+	// delSeq drives the sampling of untraced ledger deliveries
+	// (traceDelivery). Deliveries interleave 1:1 with posts on a
+	// loopback or ping-pong path; a shared counter would phase-lock
+	// the two draws and could starve one stream entirely.
+	delSeq atomic.Uint64
 }
 
 // obsEpoch anchors observability timestamps: time.Since against a
@@ -69,6 +81,75 @@ func (p *Photon) traceEv(kind trace.Kind, arg uint64, msg string) {
 	p.obs.ring.Record(kind, p.rank, arg, msg)
 }
 
+// tracePost records a sampled post event. Arg is the wire-correlated
+// RID — the one the target's delivery event will carry — and Arg2 the
+// local RID the initiator's completion/reap events will carry, so the
+// merged exporter can stitch post → remote apply → ack/reap into one
+// flow. Peer names the target rank.
+//
+//photon:hotpath
+func (p *Photon) tracePost(peer int, arg, arg2 uint64, msg string) {
+	p.obs.ring.RecordFull(trace.KindPost, p.rank, peer, arg, arg2, 0, msg)
+}
+
+// traceDelivery records a ledger-delivery event. Entries that carried
+// a wire trace context become span-link events (KindLink) holding the
+// initiator's rank and post timestamp — the initiator already paid the
+// sampling draw, so these always land. Untraced entries record a plain
+// KindLedger event that still names the sender, subject to this rank's
+// own sampling stream: a sampled cluster stays sampled on the receive
+// side even when senders run dark.
+//
+//photon:hotpath
+func (p *Photon) traceDelivery(sender int, ev *polledEvent, arg uint64, msg string) {
+	if ev.hasCtx {
+		p.obs.ring.RecordLink(trace.KindLink, p.rank, ev.origin, arg, ev.ctxNS, msg)
+		return
+	}
+	o := &p.obs
+	if !o.ring.Enabled() {
+		return
+	}
+	if o.mask != 0 && o.delSeq.Add(1)&o.mask != 0 {
+		return
+	}
+	o.ring.RecordLink(trace.KindLedger, p.rank, sender, arg, 0, msg)
+}
+
+// traceShard records a shard-engine event (KindShard, Peer = shard
+// index). Entry events share the op-post sampling stream
+// (TraceSampleShift) so a hot caller-driven progress loop does not
+// flood the ring; pass sampled=false for rare events (park/wake,
+// steals of already-sampled ops) that should always land.
+//
+//photon:hotpath
+func (p *Photon) traceShard(shard int, arg uint64, sampled bool, msg string) {
+	o := &p.obs
+	if !o.ring.Enabled() {
+		return
+	}
+	if sampled && o.mask != 0 && o.seq.Add(1)&o.mask != 0 {
+		return
+	}
+	o.ring.RecordFull(trace.KindShard, p.rank, shard, arg, 0, 0, msg)
+}
+
+// putTraceCtx writes the wire trace context — this rank and the op's
+// sampled post timestamp — at b[off:off+traceCtxSize].
+//
+//photon:hotpath
+func (p *Photon) putTraceCtx(b []byte, off int, ts int64) {
+	binary.LittleEndian.PutUint32(b[off:], uint32(p.rank))
+	binary.LittleEndian.PutUint64(b[off+4:], uint64(ts))
+}
+
+// parseTraceCtx decodes a wire trace context into the polled event.
+func parseTraceCtx(ev *polledEvent, ctx []byte) {
+	ev.hasCtx = true
+	ev.origin = int(binary.LittleEndian.Uint32(ctx))
+	ev.ctxNS = int64(binary.LittleEndian.Uint64(ctx[4:]))
+}
+
 // opDone records the initiator-side end of a sampled op: the
 // backend-complete trace event plus the post→completion latencies.
 // remoteVis marks ops whose signaled completion also fences remote
@@ -95,6 +176,23 @@ func (p *Photon) TraceRing() *trace.Ring { return p.obs.ring }
 // MetricsRegistry returns the registry this instance records into, or
 // nil when metrics are disabled.
 func (p *Photon) MetricsRegistry() *metrics.Registry { return p.obs.reg }
+
+// PeerClockOffset reports the transport's estimate of rank's wall
+// clock minus this process's, in nanoseconds, with the RTT of the
+// sample behind it (see ClockBackend). The self rank is trivially
+// synchronized; backends without clock estimation report ok=false and
+// callers should fall back to offset 0 (co-located processes) or an
+// external source. Feed the result into trace.PeerDump.OffsetNS when
+// stitching per-rank rings into one merged timeline.
+func (p *Photon) PeerClockOffset(rank int) (offsetNS, rttNS int64, ok bool) {
+	if rank == p.rank {
+		return 0, 0, true
+	}
+	if cb, isCB := p.be.(ClockBackend); isCB {
+		return cb.ClockOffset(rank)
+	}
+	return 0, 0, false
+}
 
 // Metrics snapshots the latency registry and attaches engine gauges:
 // completion-ring depth high-water marks and overflow counts, parked

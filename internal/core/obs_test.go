@@ -3,10 +3,17 @@ package core_test
 import (
 	"bytes"
 	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"photon/internal/backend/vsim"
 	"photon/internal/bench"
 	"photon/internal/core"
+	"photon/internal/fabric"
+	"photon/internal/nicsim"
 	"photon/internal/trace"
 )
 
@@ -91,7 +98,7 @@ func TestTraceRIDCorrelationLoopback(t *testing.T) {
 	evs := ring.Snapshot()
 	delivered := map[uint64]bool{}
 	for _, e := range evs {
-		if e.Kind == trace.KindLedger || e.Kind == trace.KindComplete {
+		if e.Kind == trace.KindLedger || e.Kind == trace.KindLink || e.Kind == trace.KindComplete {
 			delivered[e.Arg] = true
 		}
 	}
@@ -172,9 +179,33 @@ func assertOpLatencies(t *testing.T, phs []*core.Photon) {
 			t.Errorf("histogram %q empty, want non-zero (snapshot: %v)", name, byName)
 		}
 	}
-	// Progress-phase timing must have accumulated on the driving rank.
-	if byName["progress/reap"] == 0 {
-		t.Errorf("progress/reap histogram empty")
+	// Progress-phase timing must accumulate on the driving rank. Phase
+	// observations are 1-in-64 round samples, so pump puts until a
+	// sampled round coincides with backend work (bounded: ~64 samples'
+	// worth of traffic before declaring failure).
+	reapSeen := func() bool {
+		s := phs[0].Metrics()
+		for i := range s.Hists {
+			if s.Hists[i].Name == "progress/reap" && s.Hists[i].Hist.N() > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 4096 && !reapSeen(); i++ {
+		rid := uint64(100 + 2*i)
+		if err := phs[0].PutWithCompletion(1, []byte{1}, descs[1], 0, rid, rid+1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := phs[0].WaitLocal(rid, waitT); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := phs[1].WaitRemote(rid+1, waitT); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reapSeen() {
+		t.Errorf("progress/reap histogram empty after sustained traffic")
 	}
 	// Engine gauges ride along even without traffic-specific state.
 	if _, ok := snap.Gauges.Get("local_cq_highwater"); !ok {
@@ -269,6 +300,163 @@ func TestObsDisabledAllocGuard(t *testing.T) {
 	if ring.Len() != 0 {
 		t.Fatalf("disabled ring recorded %d events", ring.Len())
 	}
+}
+
+// TestMergedTraceAcrossPeers is the cluster-tracing acceptance test: a
+// 4-rank vsim job where every rank records into its own private ring,
+// one sampled put flows rank 0 → rank 2, and the four rings are
+// stitched (with per-peer clock offsets, identically zero under vsim)
+// into one merged Chrome trace. The merged timeline must carry the
+// causal chain across the two rings: rank 0's post, rank 2's
+// wire-context link event naming rank 0 as origin, and the flow
+// begin/step/finish events connecting them.
+func TestMergedTraceAcrossPeers(t *testing.T) {
+	const n = 4
+	cl, err := vsim.NewCluster(n, fabric.Model{}, nicsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	rings := make([]*trace.Ring, n)
+	phs := make([]*core.Photon, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		rings[r] = trace.NewRing(4096)
+		rings[r].Enable(true)
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			phs[r], errs[r] = core.Init(cl.Backend(r), core.Config{Trace: rings[r]})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d init: %v", r, err)
+		}
+	}
+	for _, p := range phs {
+		defer p.Close()
+	}
+	buf := make([]byte, 256)
+	descs, _ := registerAndShare(t, phs, 2, buf)
+
+	// Post without driving rank 0's progress, harvest the remote side
+	// first, then reap locally — so the merged timeline orders
+	// post → remote link → local complete and the chain resolves.
+	if err := phs[0].PutWithCompletion(2, []byte("traced"), descs[2], 0, 7, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := phs[2].WaitRemote(9, waitT); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := phs[0].WaitLocal(7, waitT); err != nil {
+		t.Fatal(err)
+	}
+
+	// The target ring must hold a span-link event naming the true
+	// origin (rank 0) with its post timestamp from the wire context.
+	linked := false
+	for _, ev := range rings[2].Snapshot() {
+		if ev.Kind == trace.KindLink && ev.Peer == 0 && ev.PeerNS != 0 {
+			linked = true
+			break
+		}
+	}
+	if !linked {
+		t.Fatal("rank 2 ring has no KindLink event carrying rank 0's wire trace context")
+	}
+
+	dumps := make([]trace.PeerDump, n)
+	for r := 0; r < n; r++ {
+		off, _, ok := phs[0].PeerClockOffset(r)
+		if !ok {
+			t.Fatalf("no clock offset for rank %d", r)
+		}
+		dumps[r] = trace.PeerDump{Rank: r, OffsetNS: off, Events: rings[r].Snapshot()}
+	}
+	var out bytes.Buffer
+	if err := trace.WriteChromeJSONMerged(&out, dumps); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		`"ph": "s"`,       // flow begin at rank 0's post
+		`"ph": "t"`,       // flow step at rank 2's remote apply
+		`"ph": "f"`,       // flow finish back at rank 0's completion
+		`"wire_delay_ns"`, // link instant annotated with wire latency
+		`"rank 0"`,        // per-rank process naming
+		`"rank 2"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("merged trace missing %s:\n%s", want, got)
+		}
+	}
+}
+
+// TestMetricsConcurrentWithTraffic hammers Metrics() from a dedicated
+// goroutine while puts flow into a sharded rank driven by background
+// runners. The per-peer gauge section walks shard- and peer-mutex
+// state, so a snapshot during live traffic must be race-free (this
+// test runs under -race in CI).
+func TestMetricsConcurrentWithTraffic(t *testing.T) {
+	ring := trace.NewRing(4096)
+	ring.Enable(true)
+	phs := newJob(t, 3, core.Config{EngineShards: 2, Metrics: true, Trace: ring})
+	buf := make([]byte, 4096)
+	descs, _ := registerAndShare(t, phs, 0, buf)
+	phs[0].StartProgress()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			snap := phs[0].Metrics()
+			if _, ok := snap.Gauges.Get("engine_shards"); !ok {
+				t.Error("engine_shards gauge missing from concurrent snapshot")
+				return
+			}
+		}
+	}()
+
+	const perSrc = 40
+	for src := 1; src <= 2; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < perSrc; i++ {
+				rid := uint64(src*1000 + i)
+				if err := phs[src].PutBlocking(0, []byte{byte(src)}, descs[0], uint64(src), rid, rid+500); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := phs[src].WaitLocal(rid, waitT); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(src)
+	}
+
+	got := 0
+	deadline := time.Now().Add(waitT)
+	for got < 2*perSrc {
+		if c, ok := phs[0].PopRemote(); ok {
+			if c.Err != nil {
+				t.Fatal(c.Err)
+			}
+			got++
+			continue
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: %d/%d remote completions", got, 2*perSrc)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
 }
 
 // TestTraceSampling checks TraceSampleShift thins op posts: with a

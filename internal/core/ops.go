@@ -44,7 +44,7 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 	if len(local) == 0 {
 		if remoteRID == 0 {
 			if localRID != 0 {
-				p.pushLocal(Completion{Rank: rank, RID: localRID})
+				p.pushLocal(Completion{Rank: rank, RID: localRID, traced: ts != 0})
 			}
 			return nil
 		}
@@ -52,10 +52,18 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 		if err != nil {
 			return err
 		}
-		ent := p.pool.Get(ledger.HeaderSize + 9)
+		plen := 9
+		if ts != 0 {
+			plen += traceCtxSize
+		}
+		ent := p.pool.Get(ledger.HeaderSize + plen)
 		ent[ledger.HeaderSize] = tCompletion
 		binary.LittleEndian.PutUint64(ent[ledger.HeaderSize+1:], remoteRID)
-		if err := ledger.EncodeHeader(ent, res.Seq, 9); err != nil {
+		if ts != 0 {
+			ent[ledger.HeaderSize] = tCompletionT
+			p.putTraceCtx(ent, ledger.HeaderSize+9, ts)
+		}
+		if err := ledger.EncodeHeader(ent, res.Seq, plen); err != nil {
 			p.pool.Put(ent)
 			return err
 		}
@@ -72,7 +80,7 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 			})
 		}
 		if ts != 0 {
-			p.traceEv(trace.KindPost, remoteRID, "put.notify")
+			p.tracePost(rank, remoteRID, localRID, "put.notify")
 		}
 		p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled, true)
 		p.stats.putsDirect.Add(1)
@@ -98,7 +106,7 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 			postNS: ts, mkind: metrics.OpPut,
 		})
 		if ts != 0 {
-			p.traceEv(trace.KindPost, localRID, "put.direct")
+			p.tracePost(rank, localRID, localRID, "put.direct")
 		}
 		p.postOrPark(ps, rank, local, dst.Addr+off, dst.RKey, tok, true, false)
 		p.stats.putsDirect.Add(1)
@@ -109,10 +117,18 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 	if err != nil {
 		return err
 	}
-	ent := p.pool.Get(ledger.HeaderSize + 9)
+	plen := 9
+	if ts != 0 {
+		plen += traceCtxSize
+	}
+	ent := p.pool.Get(ledger.HeaderSize + plen)
 	ent[ledger.HeaderSize] = tCompletion
 	binary.LittleEndian.PutUint64(ent[ledger.HeaderSize+1:], remoteRID)
-	if err := ledger.EncodeHeader(ent, res.Seq, 9); err != nil {
+	if ts != 0 {
+		ent[ledger.HeaderSize] = tCompletionT
+		p.putTraceCtx(ent, ledger.HeaderSize+9, ts)
+	}
+	if err := ledger.EncodeHeader(ent, res.Seq, plen); err != nil {
 		p.pool.Put(ent)
 		return err
 	}
@@ -121,7 +137,7 @@ func (p *Photon) PutWithCompletion(rank int, local []byte, dst mem.RemoteBuffer,
 		postNS: ts, mkind: metrics.OpPut, remoteVis: true,
 	})
 	if ts != 0 {
-		p.traceEv(trace.KindPost, remoteRID, "put.direct")
+		p.tracePost(rank, remoteRID, localRID, "put.direct")
 	}
 	// Data write first, then the notification entry: RC ordering makes
 	// the entry's arrival imply the data is visible. Both writes leave
@@ -162,7 +178,7 @@ func (p *Photon) GetWithCompletion(rank int, local []byte, src mem.RemoteBuffer,
 		postNS: ts, mkind: metrics.OpGet,
 	})
 	if ts != 0 {
-		p.traceEv(trace.KindPost, localRID, "get")
+		p.tracePost(rank, localRID, localRID, "get")
 	}
 	if err := p.be.PostRead(rank, local, src.Addr+off, src.RKey, tok); err != nil {
 		p.takeToken(tok)
@@ -210,14 +226,25 @@ func (p *Photon) putPacked(ps *peerState, rank int, local []byte, raddr uint64, 
 	if err != nil {
 		return err
 	}
-	ent := p.pool.Get(ledger.HeaderSize + packedPutHdrSize + len(local))
+	// Traced entries append the wire trace context when the eager entry
+	// still has room for it; max-payload puts fall back to untraced.
+	plen := packedPutHdrSize + len(local)
+	traced := ts != 0 && ledger.HeaderSize+plen+traceCtxSize <= p.cfg.EagerEntrySize
+	if traced {
+		plen += traceCtxSize
+	}
+	ent := p.pool.Get(ledger.HeaderSize + plen)
 	b := ent[ledger.HeaderSize:]
 	b[0] = tPackedPut
 	binary.LittleEndian.PutUint64(b[1:], remoteRID)
 	binary.LittleEndian.PutUint64(b[9:], raddr)
 	binary.LittleEndian.PutUint32(b[17:], rkey)
 	copy(b[packedPutHdrSize:], local)
-	if err := ledger.EncodeHeader(ent, res.Seq, packedPutHdrSize+len(local)); err != nil {
+	if traced {
+		b[0] = tPackedPutT
+		p.putTraceCtx(b, packedPutHdrSize+len(local), ts)
+	}
+	if err := ledger.EncodeHeader(ent, res.Seq, plen); err != nil {
 		p.pool.Put(ent)
 		return err
 	}
@@ -232,7 +259,7 @@ func (p *Photon) putPacked(ps *peerState, rank int, local []byte, raddr uint64, 
 		})
 	}
 	if ts != 0 {
-		p.traceEv(trace.KindPost, remoteRID, "put.packed")
+		p.tracePost(rank, remoteRID, localRID, "put.packed")
 	}
 	p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled, true)
 	p.stats.putsPacked.Add(1)
@@ -249,12 +276,21 @@ func (p *Photon) sendPacked(ps *peerState, rank int, data []byte, localRID, remo
 	}
 	// Only the used prefix of the slot travels on the wire; the
 	// receiver reads the payload length from the entry header.
-	ent := p.pool.Get(ledger.HeaderSize + packedHdrSize + len(data))
+	plen := packedHdrSize + len(data)
+	traced := ts != 0 && ledger.HeaderSize+plen+traceCtxSize <= p.cfg.EagerEntrySize
+	if traced {
+		plen += traceCtxSize
+	}
+	ent := p.pool.Get(ledger.HeaderSize + plen)
 	b := ent[ledger.HeaderSize:]
 	b[0] = tPacked
 	binary.LittleEndian.PutUint64(b[1:], remoteRID)
 	copy(b[packedHdrSize:], data)
-	if err := ledger.EncodeHeader(ent, res.Seq, packedHdrSize+len(data)); err != nil {
+	if traced {
+		b[0] = tPackedT
+		p.putTraceCtx(b, packedHdrSize+len(data), ts)
+	}
+	if err := ledger.EncodeHeader(ent, res.Seq, plen); err != nil {
 		p.pool.Put(ent)
 		return err
 	}
@@ -269,7 +305,7 @@ func (p *Photon) sendPacked(ps *peerState, rank int, data []byte, localRID, remo
 		})
 	}
 	if ts != 0 {
-		p.traceEv(trace.KindPost, remoteRID, "send.eager")
+		p.tracePost(rank, remoteRID, localRID, "send.eager")
 	}
 	p.postOrPark(ps, rank, ent, res.RemoteAddr, res.RKey, tok, signaled, true)
 	p.stats.putsPacked.Add(1)
@@ -301,12 +337,16 @@ func (p *Photon) sendRendezvous(ps *peerState, rank int, data []byte, localRID, 
 	p.rdzvSends[id] = rdzvSend{rank: rank, rid: localRID, rb: rb, postNS: ts, deadlineNS: deadline}
 	p.rdzvMu.Unlock()
 	if ts != 0 {
-		p.traceEv(trace.KindPost, remoteRID, "send.rdzv")
+		p.tracePost(rank, remoteRID, localRID, "send.rdzv")
 		p.traceEv(trace.KindProtocol, id, "rts.tx")
 	}
 
 	const rtsLen = 1 + 8 + 8 + 8 + 8 + 4
-	ent := p.pool.Get(ledger.HeaderSize + rtsLen)
+	plen := rtsLen
+	if ts != 0 {
+		plen += traceCtxSize
+	}
+	ent := p.pool.Get(ledger.HeaderSize + plen)
 	b := ent[ledger.HeaderSize:]
 	b[0] = tRTS
 	binary.LittleEndian.PutUint64(b[1:], id)
@@ -314,7 +354,11 @@ func (p *Photon) sendRendezvous(ps *peerState, rank int, data []byte, localRID, 
 	binary.LittleEndian.PutUint64(b[17:], uint64(len(data)))
 	binary.LittleEndian.PutUint64(b[25:], rb.Addr)
 	binary.LittleEndian.PutUint32(b[33:], rb.RKey)
-	if err := ledger.EncodeHeader(ent, res.Seq, rtsLen); err != nil {
+	if ts != 0 {
+		b[0] = tRTST
+		p.putTraceCtx(b, rtsLen, ts)
+	}
+	if err := ledger.EncodeHeader(ent, res.Seq, plen); err != nil {
 		p.pool.Put(ent)
 		return err
 	}
@@ -374,7 +418,7 @@ func (p *Photon) atomic(rank int, dst mem.RemoteBuffer, off uint64, localRID uin
 		postNS: ts, mkind: metrics.OpAtomic, remoteVis: true,
 	})
 	if ts != 0 {
-		p.traceEv(trace.KindPost, localRID, "atomic")
+		p.tracePost(rank, localRID, localRID, "atomic")
 	}
 	var err error
 	if op == atomicFetchAdd {

@@ -42,6 +42,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"photon/internal/flight"
 	"photon/internal/ledger"
 	"photon/internal/mem"
 	"photon/internal/metrics"
@@ -66,6 +67,13 @@ type Completion struct {
 	Local bool
 	// Err is non-nil when the underlying operation failed.
 	Err error
+
+	// traced marks completions of observed ops — sampled at post time
+	// on the initiator, or carrying a wire trace context on the target
+	// — so the harvest-side reap events record only for ops that are
+	// already in the trace. Unsampled traffic pops with zero ring
+	// writes.
+	traced bool
 }
 
 // ProbeFlags selects which completion stream Probe consults.
@@ -132,6 +140,10 @@ type pendingOp struct {
 	postNS    int64
 	mkind     metrics.OpKind
 	remoteVis bool
+	// traced marks target-side ops (rendezvous staging reads) whose
+	// initiator sampled the op: no local post timestamp exists, but
+	// the surfaced delivery should still carry the trace marker.
+	traced bool
 }
 
 // wireBatchMax caps how many deferred writes one doorbell batch
@@ -164,6 +176,7 @@ type rtsOp struct {
 	size      int
 	addr      uint64
 	rkey      uint32
+	traced    bool // RTS carried a wire trace context (sampled send)
 }
 
 // rdzvSend tracks an outstanding rendezvous send awaiting FIN.
@@ -192,6 +205,11 @@ type peerState struct {
 	// (PeerHealth values); written by the fault sweep under progMu,
 	// read lock-free by the op fast paths. Down is terminal.
 	health atomic.Int32
+
+	// lastTransitionNS is the wall-clock UnixNano of the peer's last
+	// health transition (0 = never transitioned); written by the fault
+	// sweep, read by the health table and the flight recorder.
+	lastTransitionNS atomic.Int64
 
 	// consumed counts entries drained from each receive ledger; it is
 	// written only by the owning shard's engine (serialized by the
@@ -286,6 +304,10 @@ type Photon struct {
 	// sampling state (see obs.go).
 	obs obsState
 
+	// flightRec is the fault flight recorder (see flightrec.go); nil
+	// unless Config.FlightRecords > 0.
+	flightRec *flight.Recorder
+
 	stats struct {
 		putsDirect, putsPacked, gets     atomic.Int64
 		rdzvSends, rdzvRecvs, atomics    atomic.Int64
@@ -355,6 +377,9 @@ func Init(be Backend, cfg Config) (*Photon, error) {
 	}
 	p.opTimeoutNS = int64(cfg.OpTimeout)
 	p.initFaultPoll()
+	if cfg.FlightRecords > 0 {
+		p.flightRec = flight.NewRecorder(cfg.FlightRecords, cfg.FlightWindow)
+	}
 
 	slab, err := mem.NewSlabOver(p.arena[p.slabOff:], rb.Addr+uint64(p.slabOff))
 	if err != nil {

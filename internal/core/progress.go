@@ -59,17 +59,27 @@ func (p *Photon) progressShard(s *engineShard) int {
 	// Phase timing: reap is the backend-CQ drain, sweep the per-peer
 	// ledger/deferred/credit pass; a round that handled nothing is
 	// charged to idle instead. Gated on the registry so the disabled
-	// cost is one atomic load.
-	mOn := p.obs.reg.Enabled()
+	// cost is one atomic load. All three phase distributions are
+	// 1-in-64 sampled: rounds — idle ones especially — are the
+	// engine's innermost loop, and even a clock read per round shows
+	// up on a spin-driven caller. An unsampled round costs one atomic
+	// add; the sampled 1/64 keeps every distribution's shape.
 	var t0, t1 int64
-	if mOn {
-		t0 = nowNanos()
+	sample := false
+	if p.obs.reg.Enabled() {
+		sample = p.obs.idleSeq.Add(1)&63 == 0
+		if sample {
+			t0 = nowNanos()
+		}
 	}
 	n := 0
-	n += p.reapBackend(s)
-	if mOn {
+	nReap := p.reapBackend(s)
+	n += nReap
+	if sample {
 		t1 = nowNanos()
-		p.obs.reg.RecordPhase(metrics.PhaseReap, t1-t0)
+		if nReap > 0 {
+			p.obs.reg.RecordPhase(metrics.PhaseReap, t1-t0)
+		}
 	}
 	// Fault sweep: whole-instance, so it runs on shard 0 only — one
 	// int64 comparison when OpTimeout and liveness are both off;
@@ -88,7 +98,7 @@ func (p *Photon) progressShard(s *engineShard) int {
 		}
 	}
 	if !sweep && s.parked.Load() == 0 && s.creditHintTotal.Load() == 0 {
-		if mOn && n == 0 {
+		if sample && n == 0 {
 			p.obs.reg.RecordPhase(metrics.PhaseIdle, nowNanos()-t0)
 		}
 		return n
@@ -100,12 +110,11 @@ func (p *Photon) progressShard(s *engineShard) int {
 		}
 		p.returnCredits(ps, false)
 	}
-	if mOn {
-		t2 := nowNanos()
+	if sample {
 		if n == 0 {
-			p.obs.reg.RecordPhase(metrics.PhaseIdle, t2-t0)
+			p.obs.reg.RecordPhase(metrics.PhaseIdle, nowNanos()-t0)
 		} else {
-			p.obs.reg.RecordPhase(metrics.PhaseSweep, t2-t1)
+			p.obs.reg.RecordPhase(metrics.PhaseSweep, nowNanos()-t1)
 		}
 	}
 	if n > 0 {
@@ -128,7 +137,7 @@ func (p *Photon) reapBackend(s *engineShard) int {
 	for {
 		k := p.be.Poll(buf)
 		for i := 0; i < k; i++ {
-			p.handleBackend(buf[i])
+			p.handleBackend(s, buf[i])
 		}
 		n += k
 		if k < len(buf) {
@@ -141,10 +150,17 @@ func (p *Photon) reapBackend(s *engineShard) int {
 }
 
 //photon:hotpath
-func (p *Photon) handleBackend(bc BackendCompletion) {
+func (p *Photon) handleBackend(s *engineShard, bc BackendCompletion) {
 	op, ok := p.takeToken(bc.Token)
 	if !ok {
 		return // unsignaled op surfaced an error CQE, or stale token
+	}
+	// Backend-CQ reaping is work-stealing: any shard may drain the
+	// transport queue. For sampled ops, record when the reaping shard
+	// is not the op's owning shard — the event that makes cross-shard
+	// load flow visible in traces.
+	if op.postNS != 0 && uint(op.rank) < uint(len(p.peers)) && p.peers[op.rank].shard != s {
+		p.traceShard(s.idx, op.rid, false, "shard.steal")
 	}
 	if !bc.OK {
 		err := bc.Err
@@ -154,7 +170,7 @@ func (p *Photon) handleBackend(bc BackendCompletion) {
 		if op.postNS != 0 {
 			p.traceEv(trace.KindComplete, op.rid, "backend.err")
 		}
-		p.pushLocal(Completion{Rank: op.rank, RID: op.rid, Err: err})
+		p.pushLocal(Completion{Rank: op.rank, RID: op.rid, Err: err, traced: op.postNS != 0})
 		if op.block != nil {
 			_ = p.slab.Release(op.block)
 		}
@@ -167,12 +183,12 @@ func (p *Photon) handleBackend(bc BackendCompletion) {
 	case opPutLocal:
 		p.opDone(&op, "put.done")
 		if op.rid != 0 {
-			p.pushLocal(Completion{Rank: op.rank, RID: op.rid})
+			p.pushLocal(Completion{Rank: op.rank, RID: op.rid, traced: op.postNS != 0})
 		}
 	case opGetLocal:
 		p.opDone(&op, "get.done")
 		if op.rid != 0 {
-			p.pushLocal(Completion{Rank: op.rank, RID: op.rid})
+			p.pushLocal(Completion{Rank: op.rank, RID: op.rid, traced: op.postNS != 0})
 		}
 		if op.remoteRID != 0 {
 			p.notifyRemote(op.rank, op.remoteRID)
@@ -188,14 +204,15 @@ func (p *Photon) handleBackend(bc BackendCompletion) {
 		p.traceEv(trace.KindProtocol, op.rdzvID, "rdzv.read.done")
 		p.sendFIN(op.rank, op.rdzvID)
 		p.stats.rdzvRecvs.Add(1)
-		p.pushRemote(Completion{Rank: op.rank, RID: op.remoteRID, Data: data})
+		p.pushRemote(Completion{Rank: op.rank, RID: op.remoteRID, Data: data, traced: op.traced})
 	case opAtomic:
 		p.opDone(&op, "atomic.done")
 		if op.rid != 0 {
 			p.pushLocal(Completion{
-				Rank:  op.rank,
-				RID:   op.rid,
-				Value: binary.LittleEndian.Uint64(op.result),
+				Rank:   op.rank,
+				RID:    op.rid,
+				Value:  binary.LittleEndian.Uint64(op.result),
+				traced: op.postNS != 0,
 			})
 		}
 		// The backend wrote the result before reporting the
@@ -379,7 +396,7 @@ func (p *Photon) retryDeferred(s *engineShard, ps *peerState) int {
 // re-acquire arena-guarded state, and RWMutex read locks must not
 // nest).
 type polledEvent struct {
-	kind   uint8 // reuses the entry type tags
+	kind   uint8 // reuses the entry type tags (traced variants normalized)
 	rid    uint64
 	raddr  uint64
 	rkey   uint32
@@ -387,6 +404,9 @@ type polledEvent struct {
 	data   []byte // copied out of the ledger slot
 	pooled bool   // data is pool scratch to recycle after dispatch
 	rts    rtsOp
+	hasCtx bool  // entry carried a wire trace context
+	origin int   // initiator rank from the context
+	ctxNS  int64 // initiator post timestamp from the context
 }
 
 // pollPeer drains this peer's three receive ledgers: one arena lock
@@ -422,12 +442,16 @@ func (p *Photon) pollPeer(s *engineShard, ps *peerState) int {
 		}
 		ps.consumed[classPWC]++
 		n++
-		if len(e.Payload) >= 9 && e.Payload[0] == tCompletion {
-			//photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
-			s.pollScratch = append(s.pollScratch, polledEvent{
+		if len(e.Payload) >= 9 && (e.Payload[0] == tCompletion || e.Payload[0] == tCompletionT) {
+			pe := polledEvent{
 				kind: tCompletion,
 				rid:  binary.LittleEndian.Uint64(e.Payload[1:]),
-			})
+			}
+			if e.Payload[0] == tCompletionT && len(e.Payload) >= 9+traceCtxSize {
+				parseTraceCtx(&pe, e.Payload[9:])
+			}
+			//photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
+			s.pollScratch = append(s.pollScratch, pe)
 		}
 	}
 	for {
@@ -438,36 +462,48 @@ func (p *Photon) pollPeer(s *engineShard, ps *peerState) int {
 		ps.consumed[classEager]++
 		n++
 		switch {
-		case len(e.Payload) >= packedHdrSize && e.Payload[0] == tPacked:
-			// The payload copy becomes Completion.Data, owned by the
-			// caller forever — never pool scratch.
-			data := p.pool.GetOwned(len(e.Payload) - packedHdrSize)
-			copy(data, e.Payload[packedHdrSize:])
-			//photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
-			s.pollScratch = append(s.pollScratch, polledEvent{
+		case len(e.Payload) >= packedHdrSize && (e.Payload[0] == tPacked || e.Payload[0] == tPackedT):
+			dlen := len(e.Payload) - packedHdrSize
+			pe := polledEvent{
 				kind: tPacked,
 				rid:  binary.LittleEndian.Uint64(e.Payload[1:]),
-				data: data,
-			})
-		case len(e.Payload) >= packedPutHdrSize && e.Payload[0] == tPackedPut:
+			}
+			if e.Payload[0] == tPackedT && dlen >= traceCtxSize {
+				dlen -= traceCtxSize
+				parseTraceCtx(&pe, e.Payload[packedHdrSize+dlen:])
+			}
+			// The payload copy becomes Completion.Data, owned by the
+			// caller forever — never pool scratch.
+			data := p.pool.GetOwned(dlen)
+			copy(data, e.Payload[packedHdrSize:packedHdrSize+dlen])
+			pe.data = data
+			//photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
+			s.pollScratch = append(s.pollScratch, pe)
+		case len(e.Payload) >= packedPutHdrSize && (e.Payload[0] == tPackedPut || e.Payload[0] == tPackedPutT):
+			dlen := len(e.Payload) - packedPutHdrSize
+			pe := polledEvent{
+				kind:   tPackedPut,
+				rid:    binary.LittleEndian.Uint64(e.Payload[1:]),
+				raddr:  binary.LittleEndian.Uint64(e.Payload[9:]),
+				rkey:   binary.LittleEndian.Uint32(e.Payload[17:]),
+				pooled: true,
+			}
+			if e.Payload[0] == tPackedPutT && dlen >= traceCtxSize {
+				dlen -= traceCtxSize
+				parseTraceCtx(&pe, e.Payload[packedPutHdrSize+dlen:])
+			}
 			// Copy the payload out and place it after the arena lock
 			// is released: ApplyLocal takes registration locks that
 			// may be the very lock guarding this sweep (the TCP
 			// backend uses one table-wide RWMutex), so it must never
 			// run under it. This copy only lives until ApplyLocal
 			// places it, so it can come from the recycling pool.
-			data := p.pool.Get(len(e.Payload) - packedPutHdrSize)
-			copy(data, e.Payload[packedPutHdrSize:])
-			//photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
+			data := p.pool.Get(dlen)
+			copy(data, e.Payload[packedPutHdrSize:packedPutHdrSize+dlen])
 			//photon:allow bufretain -- parked in pollScratch only until dispatch below; ApplyLocal consumes it and Put recycles it in the same sweep
-			s.pollScratch = append(s.pollScratch, polledEvent{
-				kind:   tPackedPut,
-				rid:    binary.LittleEndian.Uint64(e.Payload[1:]),
-				raddr:  binary.LittleEndian.Uint64(e.Payload[9:]),
-				rkey:   binary.LittleEndian.Uint32(e.Payload[17:]),
-				data:   data,
-				pooled: true,
-			})
+			pe.data = data
+			//photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
+			s.pollScratch = append(s.pollScratch, pe)
 		}
 	}
 	p.arenaLk.Unlock()
@@ -476,24 +512,27 @@ func (p *Photon) pollPeer(s *engineShard, ps *peerState) int {
 		ev := &s.pollScratch[i]
 		// Ledger-delivery trace events carry the RID the initiator
 		// posted (its remote RID), correlating both sides of the op.
-		// They are not sampled: the target cannot know whether the
-		// initiator sampled this op, and a disabled ring keeps the
-		// cost to one atomic load per entry.
+		// Sampling is the initiator's choice, carried by the wire trace
+		// context: entries with a context become span-link events
+		// holding the initiator's rank and post timestamp; the rest
+		// record plain ledger events. A disabled ring keeps the cost to
+		// one atomic load per entry either way.
 		switch ev.kind {
 		case tCompletion:
-			p.traceEv(trace.KindLedger, ev.rid, "ledger.pwc")
-			p.pushRemote(Completion{Rank: ps.rank, RID: ev.rid, Err: ev.err})
+			p.traceDelivery(ps.rank, ev, ev.rid, "ledger.pwc")
+			p.pushRemote(Completion{Rank: ps.rank, RID: ev.rid, Err: ev.err, traced: ev.hasCtx})
 		case tPacked:
-			p.traceEv(trace.KindLedger, ev.rid, "ledger.eager")
-			p.pushRemote(Completion{Rank: ps.rank, RID: ev.rid, Data: ev.data})
+			p.traceDelivery(ps.rank, ev, ev.rid, "ledger.eager")
+			p.pushRemote(Completion{Rank: ps.rank, RID: ev.rid, Data: ev.data, traced: ev.hasCtx})
 		case tPackedPut:
-			p.traceEv(trace.KindLedger, ev.rid, "ledger.put")
+			p.traceDelivery(ps.rank, ev, ev.rid, "ledger.put")
 			err := p.be.ApplyLocal(ev.raddr, ev.rkey, ev.data)
 			if ev.rid != 0 || err != nil {
-				p.pushRemote(Completion{Rank: ps.rank, RID: ev.rid, Err: err})
+				p.pushRemote(Completion{Rank: ps.rank, RID: ev.rid, Err: err, traced: ev.hasCtx})
 			}
 		case tRTS:
-			p.traceEv(trace.KindLedger, ev.rts.remoteRID, "ledger.rts")
+			p.traceDelivery(ps.rank, ev, ev.rts.remoteRID, "ledger.rts")
+			ev.rts.traced = ev.hasCtx
 			if !p.startRdzvGet(ev.rts) {
 				ps.mu.Lock() //photon:allow hotpathalloc -- staging-exhaustion slow path; only reached when the slab is full
 				ps.pendingRTS = append(ps.pendingRTS, ev.rts) //photon:allow hotpathalloc -- backpressure FIFO growth; drains to zero in steady state
@@ -523,7 +562,7 @@ func parseSys(e ledger.Entry) (polledEvent, bool) {
 		return polledEvent{}, false
 	}
 	switch e.Payload[0] {
-	case tRTS:
+	case tRTS, tRTST:
 		if len(e.Payload) < 37 {
 			return polledEvent{}, false
 		}
@@ -534,7 +573,7 @@ func parseSys(e ledger.Entry) (polledEvent, bool) {
 		if size > uint64(maxInt) {
 			return polledEvent{}, false
 		}
-		return polledEvent{
+		pe := polledEvent{
 			kind: tRTS,
 			rts: rtsOp{
 				rdzvID:    binary.LittleEndian.Uint64(e.Payload[1:]),
@@ -543,7 +582,11 @@ func parseSys(e ledger.Entry) (polledEvent, bool) {
 				addr:      binary.LittleEndian.Uint64(e.Payload[25:]),
 				rkey:      binary.LittleEndian.Uint32(e.Payload[33:]),
 			},
-		}, true
+		}
+		if e.Payload[0] == tRTST && len(e.Payload) >= 37+traceCtxSize {
+			parseTraceCtx(&pe, e.Payload[37:])
+		}
+		return pe, true
 	case tFIN:
 		return polledEvent{kind: tFIN, rid: binary.LittleEndian.Uint64(e.Payload[1:])}, true
 	}
@@ -572,7 +615,7 @@ func (p *Photon) handleFIN(ps *peerState, id uint64) {
 			}
 		}
 		if rs.rid != 0 {
-			p.pushLocal(Completion{Rank: ps.rank, RID: rs.rid})
+			p.pushLocal(Completion{Rank: ps.rank, RID: rs.rid, traced: rs.postNS != 0})
 		}
 	}
 }
@@ -586,7 +629,7 @@ func (p *Photon) startRdzvGet(r rtsOp) bool {
 	}
 	tok := p.newToken(pendingOp{
 		kind: opRdzvGet, rank: r.rank, remoteRID: r.remoteRID,
-		block: block, size: r.size, rdzvID: r.rdzvID,
+		block: block, size: r.size, rdzvID: r.rdzvID, traced: r.traced,
 	})
 	if err := p.be.PostRead(r.rank, block.Buf[:r.size], r.addr, r.rkey, tok); err != nil {
 		p.takeToken(tok)
@@ -693,7 +736,7 @@ func (p *Photon) popRing(local bool) (Completion, bool) {
 			r = s.localCQ
 		}
 		c, ok := r.pop()
-		if ok {
+		if ok && c.traced {
 			p.traceEv(trace.KindReap, c.RID, "reap.pop")
 		}
 		return c, ok
@@ -706,7 +749,9 @@ func (p *Photon) popRing(local bool) (Completion, bool) {
 			r = s.localCQ
 		}
 		if c, ok := r.pop(); ok {
-			p.traceEv(trace.KindReap, c.RID, "reap.pop")
+			if c.traced {
+				p.traceEv(trace.KindReap, c.RID, "reap.pop")
+			}
 			return c, true
 		}
 	}
@@ -854,7 +899,9 @@ func (p *Photon) waitMatch(rid uint64, timeout time.Duration, local bool) (Compl
 	for {
 		n := p.Progress()
 		if c, ok := p.takeMatchAny(rid, local); ok {
-			p.traceEv(trace.KindReap, c.RID, "reap.wait")
+			if c.traced {
+				p.traceEv(trace.KindReap, c.RID, "reap.wait")
+			}
 			return c, nil
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {

@@ -107,6 +107,7 @@ func (p *Photon) ProgressShard(i int) int {
 		return 0
 	}
 	p.stats.progress.Add(1)
+	p.traceShard(i, 0, true, "shard.enter")
 	return p.progressShard(p.shards[i])
 }
 
@@ -152,11 +153,13 @@ func (p *Photon) runShard(s *engineShard) {
 			} else {
 				park.Reset(parkGrace)
 			}
+			p.traceShard(s.idx, uint64(idle), false, "shard.park")
 			select {
 			case <-s.wake:
 				if !park.Stop() {
 					<-park.C
 				}
+				p.traceShard(s.idx, 0, false, "shard.wake")
 			case <-park.C:
 			}
 			continue

@@ -1,0 +1,98 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"photon/internal/trace"
+)
+
+func mkEvents(n int) []trace.Event {
+	evs := make([]trace.Event, n)
+	for i := range evs {
+		evs[i] = trace.Event{
+			Seq:  uint64(i + 1),
+			When: time.Unix(0, int64(1000+i)),
+			Kind: trace.KindPost,
+			Rank: 0,
+			Arg:  uint64(i + 1),
+			Msg:  "put.direct",
+		}
+	}
+	return evs
+}
+
+// TestRecorderBoundsAndSeq checks FIFO eviction at the record cap,
+// per-record event-window trimming, and monotonic sequence numbers
+// that keep counting across evictions.
+func TestRecorderBoundsAndSeq(t *testing.T) {
+	r := NewRecorder(3, 4)
+	for i := 0; i < 5; i++ {
+		r.Add(Record{Peer: i, Events: mkEvents(10)})
+	}
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want cap 3", len(recs))
+	}
+	// Oldest two evicted: peers 2,3,4 remain with seqs 3,4,5.
+	for i, rec := range recs {
+		if rec.Peer != i+2 || rec.Seq != uint64(i+3) {
+			t.Fatalf("record %d: peer=%d seq=%d, want peer=%d seq=%d",
+				i, rec.Peer, rec.Seq, i+2, i+3)
+		}
+		if len(rec.Events) != 4 {
+			t.Fatalf("record %d holds %d events, want window 4", i, len(rec.Events))
+		}
+		// Window keeps the most recent events.
+		if rec.Events[3].Seq != 10 {
+			t.Fatalf("window kept wrong tail: last seq %d, want 10", rec.Events[3].Seq)
+		}
+	}
+}
+
+// TestRecorderHook checks the auto-dump hook fires per Add with the
+// finalized record.
+func TestRecorderHook(t *testing.T) {
+	r := NewRecorder(8, 2)
+	var got []uint64
+	r.SetHook(func(rec Record) { got = append(got, rec.Seq) })
+	r.Add(Record{})
+	r.Add(Record{})
+	r.SetHook(nil)
+	r.Add(Record{})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("hook fired with seqs %v, want [1 2]", got)
+	}
+}
+
+// TestWriteJSON checks the dump carries transition metadata, readable
+// event kinds, and the summary blocks.
+func TestWriteJSON(t *testing.T) {
+	r := NewRecorder(4, 8)
+	r.Add(Record{
+		WhenNS: 12345,
+		Rank:   0,
+		Peer:   1,
+		From:   "healthy",
+		To:     "down",
+		Events: mkEvents(2),
+		Gauges: map[string]int64{"peers_down": 1},
+		Hists:  []HistSummary{{Name: "put/initiator", N: 9, MeanNS: 800}},
+		Health: []PeerHealthInfo{{Rank: 1, State: "down", LastTransitionNS: 12345}},
+	})
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`"from": "healthy"`, `"to": "down"`, `"kind": "post"`,
+		`"put.direct"`, `"peers_down": 1`, `"put/initiator"`,
+		`"state": "down"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

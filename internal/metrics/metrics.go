@@ -93,15 +93,16 @@ func (p Phase) String() string {
 // noticeable false sharing.
 const latShards = 8
 
-// latShard is one lock-free accumulator: per-log2-bucket observation
-// counts and nanosecond sums. 64 buckets mirror stats.Histogram.
+// latShard is one lock-free accumulator: per-bucket observation
+// counts and nanosecond sums. The bucket layout mirrors
+// stats.Histogram's log-linear scheme exactly.
 type latShard struct {
-	count [64]atomic.Int64
-	sum   [64]atomic.Int64
+	count [stats.NumBuckets]atomic.Int64
+	sum   [stats.NumBuckets]atomic.Int64
 }
 
-// LatHist is a lock-free log2 latency histogram. The zero value is
-// ready to use. Record never allocates.
+// LatHist is a lock-free log-linear latency histogram. The zero value
+// is ready to use. Record never allocates.
 type LatHist struct {
 	shards [latShards]latShard
 }
@@ -125,7 +126,7 @@ func (h *LatHist) Record(ns int64) {
 func (h *LatHist) MergeInto(dst *stats.Histogram) {
 	for si := range h.shards {
 		s := &h.shards[si]
-		for b := 0; b < 64; b++ {
+		for b := 0; b < stats.NumBuckets; b++ {
 			c := s.count[b].Load()
 			if c == 0 {
 				continue
@@ -140,7 +141,7 @@ func (h *LatHist) N() int64 {
 	var n int64
 	for si := range h.shards {
 		s := &h.shards[si]
-		for b := 0; b < 64; b++ {
+		for b := 0; b < stats.NumBuckets; b++ {
 			n += s.count[b].Load()
 		}
 	}
@@ -273,7 +274,7 @@ func (s *Snapshot) Render() string {
 
 // WritePrometheus renders the snapshot in the Prometheus text
 // exposition format (version 0.0.4): each histogram as a *_bucket /
-// *_sum / *_count family with power-of-two `le` bounds, each gauge as
+// *_sum / *_count family with log-linear `le` bounds, each gauge as
 // an untyped sample.
 func (s *Snapshot) WritePrometheus(b *strings.Builder) {
 	families := map[string]bool{}
@@ -301,7 +302,7 @@ func writePromHist(b *strings.Builder, nh *NamedHist) {
 	h := &nh.Hist
 	var cum int64
 	var sum float64
-	for bk := 0; bk < 64; bk++ {
+	for bk := 0; bk < stats.NumBuckets; bk++ {
 		c := h.BucketCount(bk)
 		if c == 0 {
 			continue

@@ -100,7 +100,7 @@ func TestSnapshotRenderAndPrometheus(t *testing.T) {
 	prom := b.String()
 	for _, want := range []string{
 		"# TYPE photon_op_latency_ns histogram",
-		`photon_op_latency_ns_bucket{op="send",stage="remote",le="2048"} 1`,
+		`photon_op_latency_ns_bucket{op="send",stage="remote",le="1536"} 1`,
 		`photon_op_latency_ns_bucket{op="send",stage="remote",le="+Inf"} 1`,
 		`photon_op_latency_ns_count{op="send",stage="remote"} 1`,
 		"# TYPE photon_ring_overflows gauge",

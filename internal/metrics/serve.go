@@ -7,19 +7,28 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"photon/internal/trace"
 )
 
 // Server is the optional debug HTTP endpoint: Prometheus text at
-// /metrics, a JSON snapshot at /vars, Go runtime expvars at
-// /debug/vars, and a Chrome trace-event dump at /trace. It is meant
-// for benchmark and example binaries behind a -debug flag, not for
-// production exposure.
+// /metrics, a JSON snapshot at /vars, a bucket-level JSON snapshot at
+// /snapshot (the collector's scrape target), Go runtime expvars at
+// /debug/vars, a Chrome trace-event dump at /trace, and — once
+// SetCollector arms it — the cluster-wide aggregation at /cluster. It
+// is meant for benchmark and example binaries behind a -debug flag,
+// not for production exposure.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln        net.Listener
+	srv       *http.Server
+	collector atomic.Pointer[Collector]
 }
+
+// SetCollector arms the /cluster endpoint: each request runs one
+// Collect round over the collector's peer sources and renders the
+// result (text, or JSON with ?format=json).
+func (s *Server) SetCollector(c *Collector) { s.collector.Store(c) }
 
 // Serve binds addr (e.g. "127.0.0.1:0") and serves the debug plane in
 // a background goroutine. snap is called per request and must be safe
@@ -39,6 +48,8 @@ func Serve(addr string, snap func() *Snapshot, rings map[string]*trace.Ring) (*S
 		fmt.Fprintln(w, "photon debug endpoint")
 		fmt.Fprintln(w, "  /metrics     Prometheus text exposition")
 		fmt.Fprintln(w, "  /vars        metrics snapshot as JSON")
+		fmt.Fprintln(w, "  /snapshot    bucket-level JSON snapshot (collector scrape target)")
+		fmt.Fprintln(w, "  /cluster     cluster-wide aggregation (when a collector is armed)")
 		fmt.Fprintln(w, "  /debug/vars  Go runtime expvars")
 		fmt.Fprintln(w, "  /trace       Chrome trace-event JSON (open in Perfetto)")
 	})
@@ -80,6 +91,32 @@ func Serve(addr string, snap func() *Snapshot, rings map[string]*trace.Ring) (*S
 		enc.SetIndent("", " ")
 		enc.Encode(out)
 	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ws := &WireSnapshot{Gauges: map[string]int64{}}
+		if snap != nil {
+			ws = snap().Wire()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(ws)
+	})
+	s := &Server{ln: ln}
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		c := s.collector.Load()
+		if c == nil {
+			http.Error(w, "no collector armed (Server.SetCollector)", http.StatusNotFound)
+			return
+		}
+		cs := c.Collect()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			cs.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, cs.Render())
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -91,7 +128,7 @@ func Serve(addr string, snap func() *Snapshot, rings map[string]*trace.Ring) (*S
 		}
 		trace.WriteChromeJSON(w, evs)
 	})
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -126,15 +126,33 @@ func (ss *SharedSample) Snapshot() Sample {
 	return ss.s
 }
 
-// Histogram is a log2-bucketed latency histogram covering 1ns..~292y.
-// The zero value is ready to use. Concurrent Add calls must be
-// externally synchronized.
+// Log-linear bucket layout (HDR-histogram style). Observations below
+// linearCutoff nanoseconds get one bucket per nanosecond; above it,
+// each power-of-two octave is split into subPerOctave linear
+// sub-buckets, so relative bucket width never exceeds 1/subPerOctave
+// (12.5%). At the 4 µs range typical of shm puts a bucket is 512 ns
+// wide — sub-µs resolution — where the old pure-log2 scheme had 4 µs
+// buckets.
+const (
+	linearCutoff = 32 // identity buckets for ns in [0, 32)
+	subBits      = 3
+	subPerOctave = 1 << subBits
+
+	// NumBuckets covers int64 nanoseconds: 32 linear buckets plus 8
+	// sub-buckets for each octave 2^5..2^62.
+	NumBuckets = linearCutoff + (62-5+1)*subPerOctave
+)
+
+// Histogram is a log-linear-bucketed latency histogram covering
+// 1ns..~292y with <=12.5% bucket width. The zero value is ready to
+// use. Concurrent Add calls must be externally synchronized.
 type Histogram struct {
-	buckets [64]int64
+	buckets [NumBuckets]int64
+	sums    [NumBuckets]float64
 	sample  Sample
 }
 
-// Bucket returns the log2 bucket index an observation of ns nanoseconds
+// Bucket returns the bucket index an observation of ns nanoseconds
 // falls into (non-positive observations land in bucket 0). Exported so
 // external accumulators (the lock-free metrics registry) bucket exactly
 // the way Histogram does.
@@ -142,25 +160,43 @@ func Bucket(ns int64) int {
 	if ns <= 0 {
 		return 0
 	}
-	return 63 - bits.LeadingZeros64(uint64(ns))
+	if ns < linearCutoff {
+		return int(ns)
+	}
+	o := bits.Len64(uint64(ns)) - 1 // octave, >= 5
+	sub := int((uint64(ns) >> uint(o-subBits)) & (subPerOctave - 1))
+	return linearCutoff + (o-5)*subPerOctave + sub
 }
 
 // BucketBounds returns the [lo, hi) nanosecond range of bucket b.
 func BucketBounds(b int) (lo, hi int64) {
 	if b <= 0 {
-		return 1, 2
+		return 0, 1
 	}
-	if b >= 63 {
-		return 1 << 62, math.MaxInt64
+	if b >= NumBuckets {
+		b = NumBuckets - 1
 	}
-	return 1 << uint(b), 1 << uint(b+1)
+	if b < linearCutoff {
+		return int64(b), int64(b) + 1
+	}
+	o := 5 + (b-linearCutoff)/subPerOctave
+	sub := (b - linearCutoff) % subPerOctave
+	shift := uint(o - subBits)
+	lo = int64(subPerOctave+sub) << shift
+	width := int64(1) << shift
+	if lo > math.MaxInt64-width {
+		return lo, math.MaxInt64
+	}
+	return lo, lo + width
 }
 
 func bucketFor(ns int64) int { return Bucket(ns) }
 
 // Add records a nanosecond observation.
 func (h *Histogram) Add(ns int64) {
-	h.buckets[bucketFor(ns)]++
+	b := bucketFor(ns)
+	h.buckets[b]++
+	h.sums[b] += float64(ns)
 	h.sample.Add(float64(ns))
 }
 
@@ -170,7 +206,7 @@ func (h *Histogram) AddDuration(d time.Duration) { h.Add(d.Nanoseconds()) }
 // N returns the total number of observations.
 func (h *Histogram) N() int64 { return h.sample.N() }
 
-// BucketCount returns the observation count of log2 bucket b
+// BucketCount returns the observation count of bucket b
 // (0 for out-of-range b), for exporters that re-render the
 // distribution in another format.
 func (h *Histogram) BucketCount(b int) int64 {
@@ -180,14 +216,26 @@ func (h *Histogram) BucketCount(b int) int64 {
 	return h.buckets[b]
 }
 
+// BucketSum returns the total nanoseconds observed in bucket b, kept
+// so cross-peer aggregation (metrics.Collector) can merge histograms
+// with an exact mean rather than approximating from bucket bounds.
+func (h *Histogram) BucketSum(b int) float64 {
+	if b < 0 || b >= len(h.sums) {
+		return 0
+	}
+	return h.sums[b]
+}
+
 // Mean returns the mean in nanoseconds.
 func (h *Histogram) Mean() float64 { return h.sample.Mean() }
 
 // Quantile returns an approximate q-quantile (0<=q<=1) in nanoseconds.
 // Within the bucket containing the q-th observation the estimate
-// interpolates geometrically by the observation's rank (the geometric
-// midpoint at the bucket's center), rather than always reporting the
-// bucket upper bound — which overstated p50/p99 by up to 2x.
+// interpolates linearly by the observation's rank between the bucket
+// bounds — with log-linear buckets the bounds are at most 12.5% apart,
+// so the interpolation error is bounded by the bucket width rather
+// than a full octave (frac = 1 recovers the upper bound, so
+// Quantile(1) still dominates the max sample).
 func (h *Histogram) Quantile(q float64) int64 {
 	total := h.sample.N()
 	if total == 0 {
@@ -204,16 +252,12 @@ func (h *Histogram) Quantile(q float64) int64 {
 		}
 		cum += c
 		if cum > target {
-			if i >= 62 {
+			lo, hi := BucketBounds(i)
+			if hi == math.MaxInt64 {
 				return math.MaxInt64
 			}
-			// Rank of the target within this bucket, in (0, 1]; the
-			// estimate is lo * 2^frac, i.e. geometric interpolation
-			// between the bucket bounds (frac = 1 recovers the upper
-			// bound, so Quantile(1) still dominates the max sample).
-			lo := float64(int64(1) << uint(i))
 			frac := float64(target-(cum-c)+1) / float64(c)
-			return int64(lo * math.Pow(2, frac))
+			return lo + int64(frac*float64(hi-lo))
 		}
 	}
 	return math.MaxInt64
@@ -231,10 +275,11 @@ func (h *Histogram) AccumulateBucket(b int, count int64, sumNS float64) {
 	if b < 0 {
 		b = 0
 	}
-	if b > 63 {
-		b = 63
+	if b > NumBuckets-1 {
+		b = NumBuckets - 1
 	}
 	h.buckets[b] += count
+	h.sums[b] += sumNS
 	lo, hi := BucketBounds(b)
 	s := Sample{n: count, mean: sumNS / float64(count), min: float64(lo), max: float64(hi)}
 	if s.mean < s.min || s.mean > s.max {

@@ -315,3 +315,86 @@ func TestHistogramString(t *testing.T) {
 		t.Fatalf("String = %q", s)
 	}
 }
+
+func TestBucketSubMicrosecondResolution(t *testing.T) {
+	// The log-linear scheme must keep relative bucket width <= 12.5%
+	// across the latency ranges the backends actually produce: shm puts
+	// around 4us sit in 512ns-wide buckets, not a 4us-wide octave.
+	for _, ns := range []int64{900, 1500, 4200, 9700, 100000} {
+		b := Bucket(ns)
+		lo, hi := BucketBounds(b)
+		if ns < lo || ns >= hi {
+			t.Fatalf("Bucket(%d)=%d bounds [%d,%d) exclude the value", ns, b, lo, hi)
+		}
+		if width := hi - lo; float64(width) > float64(lo)/8+1 {
+			t.Fatalf("bucket %d for %dns is %dns wide (lo=%d): > 12.5%%", b, ns, width, lo)
+		}
+	}
+	if b := Bucket(4200); func() int64 { lo, hi := BucketBounds(b); return hi - lo }() != 512 {
+		t.Fatalf("4.2us bucket should be 512ns wide")
+	}
+	// Identity region: 1ns resolution below the cutoff.
+	for ns := int64(1); ns < linearCutoff; ns++ {
+		if Bucket(ns) != int(ns) {
+			t.Fatalf("Bucket(%d) = %d, want identity", ns, Bucket(ns))
+		}
+	}
+	// Bucket indices are monotone and within range over the full domain.
+	prev := -1
+	for shift := uint(0); shift < 63; shift++ {
+		for _, ns := range []int64{int64(1) << shift, int64(1)<<shift + int64(1)<<shift/2} {
+			b := Bucket(ns)
+			if b < prev || b >= NumBuckets {
+				t.Fatalf("Bucket(%d) = %d out of order/range (prev %d)", ns, b, prev)
+			}
+			prev = b
+		}
+	}
+}
+
+func TestQuantileInterpolationRegression(t *testing.T) {
+	// A tight cluster at 4.2us: every quantile estimate must land
+	// within the 512ns-wide bucket, where the old log2 scheme could be
+	// off by up to a full octave (4096 -> 8192).
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Add(4200)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		v := h.Quantile(q)
+		if v < 4096 || v > 4608 {
+			t.Fatalf("Quantile(%v) = %d, want within the [4096,4608) bucket", q, v)
+		}
+	}
+	// Uniform 4000..5000ns: p50 must interpolate to ~4500 within one
+	// bucket width (512ns), far tighter than the octave bound.
+	var u Histogram
+	for ns := int64(4000); ns < 5000; ns++ {
+		u.Add(ns)
+	}
+	p50 := u.Quantile(0.5)
+	if p50 < 4500-512 || p50 > 4500+512 {
+		t.Fatalf("uniform p50 = %d, want 4500 +- 512", p50)
+	}
+}
+
+func TestHistogramBucketSums(t *testing.T) {
+	var h Histogram
+	h.Add(4200)
+	h.Add(4300)
+	b := Bucket(4200)
+	if Bucket(4300) != b {
+		t.Fatalf("test assumes 4200 and 4300 share a bucket")
+	}
+	if got := h.BucketSum(b); got != 8500 {
+		t.Fatalf("BucketSum = %v, want 8500", got)
+	}
+	var m Histogram
+	m.AccumulateBucket(b, h.BucketCount(b), h.BucketSum(b))
+	if m.N() != 2 || m.Mean() != 4250 {
+		t.Fatalf("merged n=%d mean=%v, want 2/4250", m.N(), m.Mean())
+	}
+	if m.BucketSum(b) != 8500 {
+		t.Fatalf("merged BucketSum = %v", m.BucketSum(b))
+	}
+}

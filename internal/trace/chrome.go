@@ -18,6 +18,7 @@ type chromeEvent struct {
 	TID   int                    `json:"tid"`
 	ID    string                 `json:"id,omitempty"`
 	Scope string                 `json:"s,omitempty"`
+	BP    string                 `json:"bp,omitempty"` // flow binding point ("e" on finish)
 	Args  map[string]interface{} `json:"args,omitempty"`
 }
 
@@ -92,7 +93,7 @@ func WriteChromeJSON(w io.Writer, evs []Event) error {
 				})
 				pending[e.Arg] = append(pending[e.Arg], open{ev: *e, idx: len(out.TraceEvents) - 1})
 			}
-		case KindLedger, KindComplete, KindReap:
+		case KindLedger, KindLink, KindComplete, KindReap:
 			if q := pending[e.Arg]; len(q) > 0 {
 				po := q[0]
 				pending[e.Arg] = q[1:]

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PeerDump is one peer's ring snapshot plus the clock offset that maps
+// its local timestamps into the merged (reference) clock: OffsetNS is
+// added to every nanosecond timestamp this peer recorded. Offsets come
+// from heartbeat RTT estimation (Photon.PeerClockOffset) for real
+// transports and are zero for co-located in-process peers that share
+// one clock.
+type PeerDump struct {
+	Rank     int
+	OffsetNS int64
+	Events   []Event
+}
+
+// mergedEvent pairs an event with its owning peer and its adjusted
+// (offset-corrected) absolute nanosecond timestamp.
+type mergedEvent struct {
+	ev    Event
+	rank  int
+	adjNS int64
+}
+
+// WriteChromeJSONMerged stitches N peers' ring snapshots into one
+// Chrome trace. Each peer renders as a process lane (pid = rank+1).
+// Timestamps are corrected by the per-peer clock offset before the
+// lanes are merged onto one axis.
+//
+// Causal links are resolved from the wire trace context: a KindPost
+// event on the origin (Arg = wire RID, Arg2 = local RID) is matched to
+// the target's KindLink delivery event carrying Peer = origin rank and
+// the same Arg, and then back to the origin's KindComplete/KindReap
+// event with Arg = the post's local RID. Each resolved chain is
+// emitted as a Chrome flow (ph "s" → "t" → "f"), so the put renders as
+// one causally-linked lane: post → remote apply → ack/reap.
+func WriteChromeJSONMerged(w io.Writer, peers []PeerDump) error {
+	var all []mergedEvent
+	for _, p := range peers {
+		for _, e := range p.Events {
+			all = append(all, mergedEvent{ev: e, rank: p.Rank, adjNS: e.When.UnixNano() + p.OffsetNS})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].adjNS != all[j].adjNS {
+			return all[i].adjNS < all[j].adjNS
+		}
+		if all[i].rank != all[j].rank {
+			return all[i].rank < all[j].rank
+		}
+		return all[i].ev.Seq < all[j].ev.Seq
+	})
+
+	out := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
+	if len(all) == 0 {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(&out)
+	}
+	t0 := all[0].adjNS
+	ts := func(m *mergedEvent) float64 { return float64(m.adjNS-t0) / 1e3 }
+
+	// Process-name metadata, one lane per peer, sorted by rank.
+	ranks := append([]PeerDump(nil), peers...)
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i].Rank < ranks[j].Rank })
+	for _, p := range ranks {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   p.Rank + 1,
+			Args:  map[string]interface{}{"name": fmt.Sprintf("rank %d", p.Rank)},
+		})
+	}
+
+	// Pass 1: resolve causal chains. Posts queue FIFO per
+	// (origin, wire RID); a link event consumes the oldest matching
+	// post; the origin's first later complete/reap with Arg equal to
+	// the post's local RID closes the chain.
+	type flowKey struct {
+		origin int
+		rid    uint64
+	}
+	pending := make(map[flowKey][]int)
+	var chains []chain
+	for i := range all {
+		m := &all[i]
+		switch m.ev.Kind {
+		case KindPost:
+			if m.ev.Arg != 0 {
+				pending[flowKey{m.rank, m.ev.Arg}] = append(pending[flowKey{m.rank, m.ev.Arg}], i)
+			}
+		case KindLink:
+			if m.ev.Peer >= 0 {
+				k := flowKey{m.ev.Peer, m.ev.Arg}
+				if q := pending[k]; len(q) > 0 {
+					chains = append(chains, chain{post: q[0], link: i, end: -1})
+					pending[k] = q[1:]
+				}
+			}
+		case KindComplete, KindReap:
+			// Close the oldest open chain whose post came from this
+			// rank with a matching local RID.
+			for ci := range chains {
+				c := &chains[ci]
+				if c.end >= 0 {
+					continue
+				}
+				p := &all[c.post]
+				if p.rank == m.rank && p.ev.Arg2 != 0 && p.ev.Arg2 == m.ev.Arg {
+					c.end = i
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 2: instants for every event (annotated with link context),
+	// then the resolved flows in deterministic order.
+	for i := range all {
+		m := &all[i]
+		args := map[string]interface{}{"seq": m.ev.Seq, "arg": m.ev.Arg, "rank": m.rank}
+		if m.ev.Peer >= 0 {
+			args["peer"] = m.ev.Peer
+		}
+		if m.ev.Arg2 != 0 {
+			args["arg2"] = m.ev.Arg2
+		}
+		if m.ev.Kind == KindLink {
+			if ci, ok2 := linkChain(chains, i); ok2 {
+				// One-way delay estimate after clock correction.
+				args["wire_delay_ns"] = m.adjNS - all[chains[ci].post].adjNS
+			}
+			if m.ev.PeerNS != 0 {
+				args["ctx_post_ns"] = m.ev.PeerNS
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  m.ev.Msg,
+			Cat:   m.ev.Kind.String(),
+			Phase: "i",
+			Scope: "t",
+			TS:    ts(m),
+			PID:   m.rank + 1,
+			TID:   int(m.ev.Kind),
+			Args:  args,
+		})
+	}
+	for ci, c := range chains {
+		p, l := &all[c.post], &all[c.link]
+		id := fmt.Sprintf("f%d", ci)
+		args := map[string]interface{}{"origin": p.rank, "rid": p.ev.Arg}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: p.ev.Msg, Cat: "flow", Phase: "s", TS: ts(p),
+			PID: p.rank + 1, TID: int(p.ev.Kind), ID: id, Args: args,
+		})
+		if c.end >= 0 {
+			e := &all[c.end]
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: l.ev.Msg, Cat: "flow", Phase: "t", TS: ts(l),
+				PID: l.rank + 1, TID: int(l.ev.Kind), ID: id, Args: args,
+			})
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.ev.Msg, Cat: "flow", Phase: "f", BP: "e", TS: ts(e),
+				PID: e.rank + 1, TID: int(e.ev.Kind), ID: id, Args: args,
+			})
+		} else {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: l.ev.Msg, Cat: "flow", Phase: "f", BP: "e", TS: ts(l),
+				PID: l.rank + 1, TID: int(l.ev.Kind), ID: id, Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&out)
+}
+
+// chain is one resolved causal path: indices into the merged event
+// list for the origin post, the remote link delivery, and the origin's
+// closing complete/reap (-1 when the op never completed locally).
+type chain struct {
+	post, link, end int
+}
+
+// linkChain finds the chain whose link event index is i.
+func linkChain(chains []chain, i int) (int, bool) {
+	for ci := range chains {
+		if chains[ci].link == i {
+			return ci, true
+		}
+	}
+	return -1, false
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// mergedFixture is a deterministic two-peer put chain: rank 0 posts
+// wire RID 7 (local RID 9), rank 1 — whose clock runs 1000ns behind,
+// so OffsetNS corrects it forward — records the link delivery, and
+// rank 0 closes with complete and reap. Timestamps are synthetic
+// (time.Unix(0, n)) so the rendering is fully reproducible.
+func mergedFixture() []PeerDump {
+	return []PeerDump{
+		{Rank: 0, OffsetNS: 0, Events: []Event{
+			{Seq: 1, When: time.Unix(0, 1000), Kind: KindPost, Rank: 0, Peer: 1, Arg: 7, Arg2: 9, Msg: "put.packed"},
+			{Seq: 2, When: time.Unix(0, 5000), Kind: KindComplete, Rank: 0, Peer: -1, Arg: 9, Msg: "put.done"},
+			{Seq: 3, When: time.Unix(0, 6000), Kind: KindReap, Rank: 0, Peer: -1, Arg: 9, Msg: "reap.local"},
+		}},
+		{Rank: 1, OffsetNS: 1000, Events: []Event{
+			{Seq: 1, When: time.Unix(0, 1500), Kind: KindLink, Rank: 1, Peer: 0, Arg: 7, PeerNS: 1000, Msg: "send.deliver"},
+		}},
+	}
+}
+
+// TestWriteChromeJSONMergedGolden pins the merged exporter's exact
+// output: process lanes per rank, offset-corrected instants (the link
+// lands at adjusted t=2500, i.e. 1.5us past the post), the
+// wire_delay_ns annotation computed across the corrected clocks, and
+// one resolved flow s -> t -> f spanning both lanes. Args maps marshal
+// with sorted keys, so the bytes are stable.
+func TestWriteChromeJSONMergedGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeJSONMerged(&b, mergedFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != mergedGolden {
+		t.Fatalf("merged Chrome JSON drifted from golden.\ngot:\n%s\nwant:\n%s", got, mergedGolden)
+	}
+}
+
+// TestWriteChromeJSONMergedUnresolved checks a chain whose op never
+// completed locally still renders: the flow finishes at the link
+// event instead of dangling.
+func TestWriteChromeJSONMergedUnresolved(t *testing.T) {
+	peers := mergedFixture()
+	peers[0].Events = peers[0].Events[:1] // drop complete and reap
+	var b strings.Builder
+	if err := WriteChromeJSONMerged(&b, peers); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"ph": "s"`) {
+		t.Fatalf("no flow start:\n%s", out)
+	}
+	if strings.Contains(out, `"ph": "t"`) {
+		t.Fatalf("unresolved chain emitted a flow step:\n%s", out)
+	}
+	if !strings.Contains(out, `"bp": "e"`) {
+		t.Fatalf("no flow finish:\n%s", out)
+	}
+}
+
+const mergedGolden = `{
+ "traceEvents": [
+  {
+   "name": "process_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "name": "rank 0"
+   }
+  },
+  {
+   "name": "process_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 2,
+   "tid": 0,
+   "args": {
+    "name": "rank 1"
+   }
+  },
+  {
+   "name": "put.packed",
+   "cat": "post",
+   "ph": "i",
+   "ts": 0,
+   "pid": 1,
+   "tid": 1,
+   "s": "t",
+   "args": {
+    "arg": 7,
+    "arg2": 9,
+    "peer": 1,
+    "rank": 0,
+    "seq": 1
+   }
+  },
+  {
+   "name": "send.deliver",
+   "cat": "link",
+   "ph": "i",
+   "ts": 1.5,
+   "pid": 2,
+   "tid": 8,
+   "s": "t",
+   "args": {
+    "arg": 7,
+    "ctx_post_ns": 1000,
+    "peer": 0,
+    "rank": 1,
+    "seq": 1,
+    "wire_delay_ns": 1500
+   }
+  },
+  {
+   "name": "put.done",
+   "cat": "complete",
+   "ph": "i",
+   "ts": 4,
+   "pid": 1,
+   "tid": 2,
+   "s": "t",
+   "args": {
+    "arg": 9,
+    "rank": 0,
+    "seq": 2
+   }
+  },
+  {
+   "name": "reap.local",
+   "cat": "reap",
+   "ph": "i",
+   "ts": 5,
+   "pid": 1,
+   "tid": 7,
+   "s": "t",
+   "args": {
+    "arg": 9,
+    "rank": 0,
+    "seq": 3
+   }
+  },
+  {
+   "name": "put.packed",
+   "cat": "flow",
+   "ph": "s",
+   "ts": 0,
+   "pid": 1,
+   "tid": 1,
+   "id": "f0",
+   "args": {
+    "origin": 0,
+    "rid": 7
+   }
+  },
+  {
+   "name": "send.deliver",
+   "cat": "flow",
+   "ph": "t",
+   "ts": 1.5,
+   "pid": 2,
+   "tid": 8,
+   "id": "f0",
+   "args": {
+    "origin": 0,
+    "rid": 7
+   }
+  },
+  {
+   "name": "put.done",
+   "cat": "flow",
+   "ph": "f",
+   "ts": 4,
+   "pid": 1,
+   "tid": 2,
+   "id": "f0",
+   "bp": "e",
+   "args": {
+    "origin": 0,
+    "rid": 7
+   }
+  }
+ ],
+ "displayTimeUnit": "ns"
+}
+`

@@ -30,9 +30,12 @@ const (
 	KindProgress      // progress-engine iteration
 	KindUser          // application-defined
 	KindReap          // completion handed to the application (Probe/Test/Wait)
+	KindLink          // span link: remote delivery carrying the initiator's context
+	KindWire          // transport frame event (apply/tx at the backend layer)
+	KindShard         // shard-engine event (enter/park/wake/steal)
 )
 
-var kindNames = [...]string{"none", "post", "complete", "ledger", "protocol", "progress", "user", "reap"}
+var kindNames = [...]string{"none", "post", "complete", "ledger", "protocol", "progress", "user", "reap", "link", "wire", "shard"}
 
 // String returns the lowercase name of the kind.
 func (k Kind) String() string {
@@ -48,8 +51,13 @@ type Event struct {
 	When time.Time
 	Kind Kind
 	Rank int    // locality the event refers to (-1 if n/a)
-	Arg  uint64 // kind-specific argument (RID, slot index, ...)
-	Msg  string // static-ish label; avoid per-event formatting in hot paths
+	Peer int    // the other side of a cross-peer event: target rank on
+	//             a post, origin rank on a delivery (-1 if n/a)
+	Arg    uint64 // kind-specific argument (RID, slot index, ...)
+	Arg2   uint64 // secondary correlation id (local RID on a post; 0 if n/a)
+	PeerNS int64  // initiator's post timestamp in the origin clock, carried
+	//              by the wire trace context (0 = no context)
+	Msg string // static-ish label; avoid per-event formatting in hot paths
 }
 
 // Ring is a bounded trace buffer. The zero value is disabled; create
@@ -89,6 +97,19 @@ func (r *Ring) Cap() int { return len(r.slots) }
 // Record stores one event if the ring is enabled. Safe for concurrent
 // use.
 func (r *Ring) Record(kind Kind, rank int, arg uint64, msg string) {
+	r.RecordFull(kind, rank, -1, arg, 0, 0, msg)
+}
+
+// RecordLink stores a cross-peer span-link event: a delivery or apply
+// whose initiator is peer, carrying the initiator's post timestamp
+// peerNS (0 when the wire frame had no trace context).
+func (r *Ring) RecordLink(kind Kind, rank, peer int, arg uint64, peerNS int64, msg string) {
+	r.RecordFull(kind, rank, peer, arg, 0, peerNS, msg)
+}
+
+// RecordFull is the fully-general entry point; Record and RecordLink
+// delegate here. Safe for concurrent use.
+func (r *Ring) RecordFull(kind Kind, rank, peer int, arg, arg2 uint64, peerNS int64, msg string) {
 	if !r.enabled.Load() {
 		return
 	}
@@ -100,7 +121,7 @@ func (r *Ring) Record(kind Kind, rank int, arg uint64, msg string) {
 	// event: overwriting it with the stale one would leave Snapshot with
 	// a hole at the head of the retained window.
 	if !s.ok || s.ev.Seq <= seq {
-		s.ev = Event{Seq: seq, When: time.Now(), Kind: kind, Rank: rank, Arg: arg, Msg: msg}
+		s.ev = Event{Seq: seq, When: time.Now(), Kind: kind, Rank: rank, Peer: peer, Arg: arg, Arg2: arg2, PeerNS: peerNS, Msg: msg}
 		s.ok = true
 	}
 	s.mu.Unlock()
@@ -146,7 +167,11 @@ func (r *Ring) Dump() string {
 	evs := r.Snapshot()
 	var b strings.Builder
 	for _, e := range evs {
-		fmt.Fprintf(&b, "%8d %-9s rank=%-3d arg=%-8d %s\n", e.Seq, e.Kind, e.Rank, e.Arg, e.Msg)
+		if e.Peer >= 0 {
+			fmt.Fprintf(&b, "%8d %-9s rank=%-3d arg=%-8d peer=%-3d %s\n", e.Seq, e.Kind, e.Rank, e.Arg, e.Peer, e.Msg)
+		} else {
+			fmt.Fprintf(&b, "%8d %-9s rank=%-3d arg=%-8d %s\n", e.Seq, e.Kind, e.Rank, e.Arg, e.Msg)
+		}
 	}
 	return b.String()
 }
@@ -166,3 +191,8 @@ var Global = NewRing(4096)
 
 // Record logs to the global ring.
 func Record(kind Kind, rank int, arg uint64, msg string) { Global.Record(kind, rank, arg, msg) }
+
+// RecordLink logs a span-link event to the global ring.
+func RecordLink(kind Kind, rank, peer int, arg uint64, peerNS int64, msg string) {
+	Global.RecordLink(kind, rank, peer, arg, peerNS, msg)
+}
