@@ -4,6 +4,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	goruntime "runtime"
@@ -313,7 +314,7 @@ func hotPathCounters(env *bench.Env) string {
 			if err == nil {
 				break
 			}
-			if err != core.ErrWouldBlock {
+			if !errors.Is(err, core.ErrWouldBlock) {
 				return fmt.Sprintln("error:", err)
 			}
 			p0.Progress()
@@ -338,7 +339,7 @@ func hotPathCounters(env *bench.Env) string {
 			if err == nil {
 				break
 			}
-			if err != core.ErrWouldBlock {
+			if !errors.Is(err, core.ErrWouldBlock) {
 				return fmt.Sprintln("error:", err)
 			}
 			p0.Progress()

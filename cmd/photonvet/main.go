@@ -8,6 +8,10 @@
 //
 //	internal/core/ops.go:42:7: [hotpathalloc] make allocates in //photon:hotpath function Send
 //
+// With -json the findings are emitted instead as a single JSON array
+// of {analyzer, file, line, col, message} objects on stdout (an empty
+// array when clean), for CI artifact upload and tooling.
+//
 // The exit status is 0 when the tree is clean, 1 when any diagnostic
 // (including a malformed or stale //photon: directive) survives, 2 on
 // usage or load errors. See DESIGN.md "Static analysis & invariants"
@@ -15,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +29,15 @@ import (
 	"photon/internal/analysis"
 )
 
+// jsonDiag is the -json wire shape of one finding.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -32,9 +46,10 @@ func run() int {
 	var (
 		runNames = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 		list     = flag.Bool("list", false, "list available analyzers and exit")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: photonvet [-run name,name] [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: photonvet [-run name,name] [-list] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -86,12 +101,31 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "photonvet: %v\n", err)
 		return 2
 	}
+	out := make([]jsonDiag, 0, len(diags))
 	for _, d := range diags {
 		pos := d.Position
 		if rel, rerr := filepath.Rel(root, pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
 			pos.Filename = rel
 		}
+		if *jsonOut {
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+			})
+			continue
+		}
 		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "photonvet: %v\n", err)
+			return 2
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "photonvet: %d finding(s)\n", len(diags))

@@ -1,0 +1,60 @@
+package analysis_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"photon/internal/analysis"
+)
+
+// TestAnalyzerRaceAgreement is the analyzer/runtime agreement check:
+// the racecheck fixture deliberately violates the locking discipline,
+// and both the runtime race detector and photonvet must catch it — the
+// analyzers statically, `go run -race` dynamically. The fixture also
+// carries a lock-order inversion, the hazard class only the static
+// side can see (a potential deadlock is not a data race).
+func TestAnalyzerRaceAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the fixture under the race detector")
+	}
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Static side: lockorder flags the inversion, atomicfield the
+	// mixed atomic/plain access.
+	pkg, err := analysis.LoadDir(root, filepath.Join("testdata", "racecheck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{analysis.LockOrder, analysis.AtomicField})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawInversion, sawRace bool
+	for _, d := range diags {
+		if d.Analyzer == "lockorder" && strings.Contains(d.Message, "inverts the declared lock order") {
+			sawInversion = true
+		}
+		if d.Analyzer == "atomicfield" && strings.Contains(d.Message, "plain access races with it") {
+			sawRace = true
+		}
+	}
+	if !sawInversion {
+		t.Errorf("lockorder missed the deliberate inversion; diagnostics: %v", diags)
+	}
+	if !sawRace {
+		t.Errorf("atomicfield missed the deliberate mixed access; diagnostics: %v", diags)
+	}
+
+	// Dynamic side: the same fixture trips the race detector.
+	cmd := exec.Command("go", "run", "-race", "./internal/analysis/testdata/racecheck")
+	cmd.Dir = root
+	out, _ := cmd.CombinedOutput()
+	if !strings.Contains(string(out), "DATA RACE") {
+		t.Errorf("go run -race did not report the race photonvet flagged; output:\n%s", out)
+	}
+}

@@ -16,12 +16,25 @@
 // type-checking from source against compiler export data — the same
 // strategy x/tools' own minimal drivers use.
 //
-// Two source annotations steer the suite (see DESIGN.md "Static
+// Since v2 the suite is call-graph aware: callgraph.go resolves each
+// package's static call sites and lets analyzers propagate per-function
+// summaries (lock sets, blocking behavior) to a fixpoint, so lockorder
+// sees an inversion even when the two acquisitions live three calls
+// apart.
+//
+// Three source annotations steer the suite (see DESIGN.md "Static
 // analysis & invariants" for the full grammar):
 //
 //	//photon:hotpath
 //	    Placed in a function's doc comment. Marks the function as part
 //	    of the allocation-free fast path; hotpathalloc checks its body.
+//
+//	//photon:lock <name> <rank>
+//	    Placed on (or immediately above) a sync.Mutex/RWMutex/Locker
+//	    struct-field or package-var declaration. Classifies the lock
+//	    into the named class at the given rank in the package's
+//	    acquisition order (lower rank = acquired first); lockorder
+//	    enforces the order and reports unclassified declarations.
 //
 //	//photon:allow <analyzer>[,<analyzer>...] -- <justification>
 //	    Suppresses the named analyzers' diagnostics on the same source
@@ -101,7 +114,10 @@ func (d Diagnostic) String() string {
 
 // All returns the full photonvet analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{BufRetain, HotpathAlloc, SnapshotPost, TokenGen}
+	return []*Analyzer{
+		AtomicField, BufRetain, ErrWrap, HotpathAlloc,
+		LockOrder, SnapshotPost, TokenGen, WireProto,
+	}
 }
 
 // KnownNames returns the set of analyzer names valid in

@@ -7,7 +7,11 @@ import (
 	"photon/internal/analysis/analysistest"
 )
 
+func TestAtomicField(t *testing.T)  { analysistest.Run(t, analysis.AtomicField, "atomicfield") }
 func TestBufRetain(t *testing.T)    { analysistest.Run(t, analysis.BufRetain, "bufretain") }
+func TestErrWrap(t *testing.T)      { analysistest.Run(t, analysis.ErrWrap, "errwrap") }
+func TestLockOrder(t *testing.T)    { analysistest.Run(t, analysis.LockOrder, "lockorder") }
+func TestWireProto(t *testing.T)    { analysistest.Run(t, analysis.WireProto, "wireproto") }
 func TestHotpathAlloc(t *testing.T) { analysistest.Run(t, analysis.HotpathAlloc, "hotpathalloc") }
 func TestSnapshotPost(t *testing.T) { analysistest.Run(t, analysis.SnapshotPost, "snapshotpost") }
 func TestTokenGen(t *testing.T)     { analysistest.Run(t, analysis.TokenGen, "tokengen") }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"strconv"
 	"strings"
 )
 
@@ -15,7 +16,21 @@ const DirectiveAnalyzerName = "directive"
 const (
 	hotpathDirective = "photon:hotpath"
 	allowDirective   = "photon:allow"
+	lockDirective    = "photon:lock"
 )
+
+// A lockDecl is one parsed //photon:lock <name> <rank> directive,
+// classifying the mutex declared on its target line. name identifies
+// the lock class; rank is its position in the package's declared
+// acquisition order (lower ranks are acquired first / held outermost).
+type lockDecl struct {
+	name   string
+	rank   int
+	file   string
+	line   int // source line of the comment itself
+	target int // declaration line the classification applies to
+	pos    token.Pos
+}
 
 // An allow is one parsed //photon:allow directive.
 type allow struct {
@@ -29,14 +44,20 @@ type allow struct {
 
 // Directives holds one package's parsed //photon: annotations.
 type Directives struct {
-	hotpath  map[*ast.FuncDecl]bool
-	allows   []*allow
-	byLine   map[string]map[int][]*allow // file -> target line -> allows
-	problems []Diagnostic
+	hotpath    map[*ast.FuncDecl]bool
+	allows     []*allow
+	byLine     map[string]map[int][]*allow // file -> target line -> allows
+	locks      []*lockDecl
+	lockByLine map[string]map[int]*lockDecl // file -> target line -> lock class
+	problems   []Diagnostic
 }
 
 // Hotpath reports whether fn's doc comment carries //photon:hotpath.
 func (d *Directives) Hotpath(fn *ast.FuncDecl) bool { return d.hotpath[fn] }
+
+// LockAt returns the //photon:lock classification targeting the given
+// declaration line, or nil.
+func (d *Directives) LockAt(file string, line int) *lockDecl { return d.lockByLine[file][line] }
 
 // suppress consumes an allow matching (analyzer, file, line) if one
 // exists, marking it used.
@@ -89,13 +110,37 @@ func posForLine(fset *token.FileSet, files []*ast.File, filename string, line in
 // reported as a problem.
 func CollectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) *Directives {
 	d := &Directives{
-		hotpath: map[*ast.FuncDecl]bool{},
-		byLine:  map[string]map[int][]*allow{},
+		hotpath:    map[*ast.FuncDecl]bool{},
+		byLine:     map[string]map[int][]*allow{},
+		lockByLine: map[string]map[int]*lockDecl{},
 	}
 	for _, f := range files {
 		d.collectFile(fset, f, known)
 	}
+	d.checkLockConsistency()
 	return d
+}
+
+// checkLockConsistency rejects one lock-class name declared at two
+// different ranks: the declared partial order would be ambiguous.
+func (d *Directives) checkLockConsistency() {
+	rankOf := map[string]*lockDecl{}
+	for _, l := range d.locks {
+		prev, ok := rankOf[l.name]
+		if !ok {
+			rankOf[l.name] = l
+			continue
+		}
+		if prev.rank != l.rank {
+			d.problems = append(d.problems, Diagnostic{
+				Analyzer: DirectiveAnalyzerName,
+				Pos:      l.pos,
+				Position: token.Position{Filename: l.file, Line: l.line},
+				Message: sprintf("//photon:lock %s declared with rank %d here but rank %d elsewhere",
+					l.name, l.rank, prev.rank),
+			})
+		}
+	}
 }
 
 func (d *Directives) collectFile(fset *token.FileSet, f *ast.File, known map[string]bool) {
@@ -111,6 +156,14 @@ func (d *Directives) collectFile(fset *token.FileSet, f *ast.File, known map[str
 		}
 		if _, ok := n.(*ast.File); ok {
 			return true
+		}
+		// Doc comments are walked as AST nodes (Field.Doc, GenDecl.Doc,
+		// ...) but they are not code: a directive alone on its own line
+		// must stay in own-line form even when the parser attaches it to
+		// the declaration below as documentation.
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			return false
 		}
 		codeLines[fset.Position(n.Pos()).Line] = true
 		codeLines[fset.Position(n.End()).Line] = true
@@ -159,6 +212,31 @@ func (d *Directives) collectFile(fset *token.FileSet, f *ast.File, known map[str
 				}
 			case strings.HasPrefix(trimmed, hotpathDirective):
 				problem(c.Pos(), "malformed //photon:hotpath directive (no arguments allowed)")
+			case strings.HasPrefix(trimmed, lockDirective):
+				l := d.parseLock(c, trimmed, filename, problem)
+				if l == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				l.line = line
+				if codeLines[line] {
+					l.target = line // end-of-line form
+				} else {
+					t := line + 1
+					for commentLines[t] {
+						t++
+					}
+					l.target = t
+				}
+				if d.lockByLine[filename] == nil {
+					d.lockByLine[filename] = map[int]*lockDecl{}
+				}
+				if prev := d.lockByLine[filename][l.target]; prev != nil {
+					problem(c.Pos(), "multiple //photon:lock directives target line %d (already classified as %q)", l.target, prev.name)
+					continue
+				}
+				d.locks = append(d.locks, l)
+				d.lockByLine[filename][l.target] = l
 			case strings.HasPrefix(trimmed, allowDirective):
 				a := d.parseAllow(c, trimmed, filename, fset, known, problem)
 				if a == nil {
@@ -186,6 +264,47 @@ func (d *Directives) collectFile(fset *token.FileSet, f *ast.File, known map[str
 			}
 		}
 	}
+}
+
+// parseLock parses "photon:lock <name> <rank>". name is an identifier
+// for the lock class; rank must be a non-negative decimal integer.
+func (d *Directives) parseLock(c *ast.Comment, trimmed, filename string, problem func(token.Pos, string, ...any)) *lockDecl {
+	rest := strings.TrimSpace(strings.TrimPrefix(trimmed, lockDirective))
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		problem(c.Pos(), "//photon:lock wants exactly <name> <rank>, got %d argument(s)", len(fields))
+		return nil
+	}
+	name := fields[0]
+	if !validLockName(name) {
+		problem(c.Pos(), "//photon:lock name %q is not an identifier", name)
+		return nil
+	}
+	rank, err := strconv.Atoi(fields[1])
+	if err != nil || rank < 0 {
+		problem(c.Pos(), "//photon:lock rank %q is not a non-negative integer", fields[1])
+		return nil
+	}
+	return &lockDecl{name: name, rank: rank, file: filename, pos: c.Pos()}
+}
+
+// validLockName accepts identifier-shaped lock class names.
+func validLockName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9', r == '-', r == '.':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // parseAllow parses "photon:allow name1,name2 -- justification".

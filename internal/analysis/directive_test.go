@@ -148,3 +148,83 @@ func f() {
 		t.Errorf("used allow still reported: %v", got)
 	}
 }
+
+func TestLockDirectiveTargets(t *testing.T) {
+	_, _, d := parseDirectives(t, `package p
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex //photon:lock inline 10
+	//photon:lock above 20
+	other sync.Mutex
+}
+`)
+	if len(d.problems) != 0 {
+		t.Fatalf("unexpected problems: %v", d.problems)
+	}
+	inline := d.LockAt("dir_test.go", 6)
+	if inline == nil || inline.name != "inline" || inline.rank != 10 {
+		t.Errorf("end-of-line lock = %+v, want inline/10", inline)
+	}
+	above := d.LockAt("dir_test.go", 8)
+	if above == nil || above.name != "above" || above.rank != 20 {
+		t.Errorf("own-line lock = %+v, want above/20", above)
+	}
+}
+
+func TestMalformedLockDirectives(t *testing.T) {
+	_, _, d := parseDirectives(t, `package p
+
+import "sync"
+
+type s struct {
+	a sync.Mutex //photon:lock onlyname
+	b sync.Mutex //photon:lock name rank extra
+	c sync.Mutex //photon:lock name notanumber
+	d sync.Mutex //photon:lock name -3
+	e sync.Mutex //photon:lock 9bad 10
+}
+`)
+	if len(d.locks) != 0 {
+		t.Errorf("malformed lock directives were accepted: %+v", d.locks)
+	}
+	var msgs []string
+	for _, p := range d.problems {
+		msgs = append(msgs, p.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, wanted := range []string{
+		"wants exactly <name> <rank>, got 1 argument(s)",
+		"wants exactly <name> <rank>, got 3 argument(s)",
+		`rank "notanumber" is not a non-negative integer`,
+		`rank "-3" is not a non-negative integer`,
+		`name "9bad" is not an identifier`,
+	} {
+		if !strings.Contains(joined, wanted) {
+			t.Errorf("missing problem %q in:\n%s", wanted, joined)
+		}
+	}
+}
+
+func TestConflictingLockRanks(t *testing.T) {
+	fset, files, d := parseDirectives(t, `package p
+
+import "sync"
+
+type s struct {
+	a sync.Mutex //photon:lock shared 10
+	b sync.Mutex //photon:lock shared 20
+}
+`)
+	_ = fset
+	_ = files
+	var msgs []string
+	for _, p := range d.problems {
+		msgs = append(msgs, p.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	if !strings.Contains(joined, "declared with rank") {
+		t.Errorf("conflicting ranks not reported:\n%s", joined)
+	}
+}

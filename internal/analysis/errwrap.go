@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the sentinel-error contract unified under
+// internal/errs: sentinels travel through layers wrapped, so they must
+// be matched with errors.Is and wrapped with %w. An identity comparison
+// (err == ErrWouldBlock) is a latent bug, not a style issue — the
+// moment any layer in between wraps the error (the chaos backend, a
+// transport adding context), the comparison silently stops matching
+// and a would-block turns into a hard failure.
+//
+// A sentinel is a package-level variable of type error whose name
+// matches (Err|err)Xxx, whether declared in this package or imported
+// (errs.ErrTimeout, core.ErrWouldBlock). Reported:
+//
+//   - ==/!= between an error and a sentinel (nil comparisons are
+//     fine): use errors.Is;
+//   - switch err { case ErrX: } — the same identity comparison in
+//     switch clothing;
+//   - fmt.Errorf with an error-typed argument but no %w verb in its
+//     format literal: the cause is stringified and the chain is cut,
+//     so errors.Is can never match through it.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "sentinel errors must be matched with errors.Is and wrapped with %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				var sentinel types.Object
+				var other ast.Expr
+				if obj := sentinelOf(pass, n.X); obj != nil {
+					sentinel, other = obj, n.Y
+				} else if obj := sentinelOf(pass, n.Y); obj != nil {
+					sentinel, other = obj, n.X
+				}
+				if sentinel == nil || isNilExpr(pass, other) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "sentinel %s compared with %s; use errors.Is so wrapped errors still match",
+					sentinel.Name(), n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorType(pass.TypeOf(n.Tag)) {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if obj := sentinelOf(pass, e); obj != nil {
+							pass.Reportf(e.Pos(), "sentinel %s matched by switch case identity; use errors.Is so wrapped errors still match",
+								obj.Name())
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelOf resolves e to a sentinel error variable: package-level,
+// error-typed, named (Err|err)Xxx. Works for both local idents and
+// imported selectors.
+func sentinelOf(pass *Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(obj.Type()) || !sentinelName(obj.Name()) {
+		return nil
+	}
+	return obj
+}
+
+func sentinelName(name string) bool {
+	rest, ok := strings.CutPrefix(name, "Err")
+	if !ok {
+		rest, ok = strings.CutPrefix(name, "err")
+	}
+	return ok && rest != "" && rest[0] >= 'A' && rest[0] <= 'Z'
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isNilExpr(pass *Pass, e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+// checkErrorf flags fmt.Errorf calls that stringify an error instead
+// of wrapping it.
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || format.Kind != token.STRING {
+		return
+	}
+	if strings.Contains(format.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if isErrorType(t) || implementsError(t) {
+			pass.Reportf(call.Pos(), "fmt.Errorf stringifies an error argument without %%w; the cause is cut from the chain and errors.Is cannot match it")
+			return
+		}
+	}
+}
+
+// implementsError reports whether t (or *t) satisfies the error
+// interface — concrete error types passed as causes count too.
+func implementsError(t types.Type) bool {
+	iface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}

@@ -53,7 +53,7 @@ func goList(dir string, patterns []string) (targets []listPkg, exports map[strin
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+		return nil, nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
 	exports = map[string]string{}
 	dec := json.NewDecoder(bytes.NewReader(out))
@@ -62,7 +62,7 @@ func goList(dir string, patterns []string) (targets []listPkg, exports map[strin
 		if derr := dec.Decode(&p); derr == io.EOF {
 			break
 		} else if derr != nil {
-			return nil, nil, fmt.Errorf("go list output: %v", derr)
+			return nil, nil, fmt.Errorf("go list output: %w", derr)
 		}
 		if p.Error != nil {
 			return nil, nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
@@ -115,7 +115,7 @@ func typecheck(fset *token.FileSet, imp types.Importer, importPath, dir string, 
 	conf := types.Config{Importer: imp}
 	tpkg, err := conf.Check(importPath, fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %v", importPath, err)
+		return nil, fmt.Errorf("%s: %w", importPath, err)
 	}
 	return &Package{
 		ImportPath: importPath,

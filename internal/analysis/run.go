@@ -23,7 +23,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			diags:      &raw,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
 		}
 	}
 	var out []Diagnostic

@@ -1,0 +1,18 @@
+package atomicfield
+
+import "sync/atomic"
+
+type snapshotted struct {
+	written uint64
+}
+
+// record is the hot-path writer.
+func (s *snapshotted) record() {
+	atomic.AddUint64(&s.written, 1)
+}
+
+// dump reads the counter plainly from a quiesced context; the allow
+// records the external synchronization that makes it safe.
+func (s *snapshotted) dump() uint64 {
+	return s.written //photon:allow atomicfield -- read after Close barriers every writer; no concurrent Add can exist
+}

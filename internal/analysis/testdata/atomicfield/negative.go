@@ -1,0 +1,40 @@
+package atomicfield
+
+import "sync/atomic"
+
+type gauges struct {
+	level   atomic.Uint64
+	armed   atomic.Bool
+	plainN  int
+	ordinal uint64 // never touched by sync/atomic: plain access is fine
+}
+
+// methods uses the typed API exclusively.
+func (g *gauges) methods() uint64 {
+	g.level.Add(1)
+	g.armed.Store(true)
+	if g.armed.Load() {
+		g.level.CompareAndSwap(3, 4)
+	}
+	return g.level.Load()
+}
+
+// address passes the atomic by pointer, which preserves the API.
+func (g *gauges) address() *atomic.Uint64 {
+	return &g.level
+}
+
+// plainFields never meet sync/atomic, so ordinary access is fine.
+func (g *gauges) plainFields() int {
+	g.plainN++
+	g.ordinal = uint64(g.plainN)
+	return g.plainN + int(g.ordinal)
+}
+
+// localWord applies the old API to a local variable, not a field; the
+// analyzer only tracks struct fields.
+func localWord() uint64 {
+	var w uint64
+	atomic.AddUint64(&w, 1)
+	return atomic.LoadUint64(&w)
+}

@@ -1,0 +1,47 @@
+// Package atomicfield exercises the atomicfield analyzer: a field
+// accessed through sync/atomic anywhere in the package must never be
+// read or written plainly, and the typed atomics must only be used
+// through their methods.
+package atomicfield
+
+import (
+	"sync/atomic"
+)
+
+type counters struct {
+	hits  uint64
+	seq   uint64
+	depth atomic.Int64
+}
+
+// bump uses the old free-function API on hits and seq.
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.StoreUint64(&c.seq, 42)
+}
+
+// read races: hits is atomically written elsewhere in the package.
+func (c *counters) read() uint64 {
+	return c.hits // want `field hits is accessed via sync/atomic elsewhere in this package; plain access races with it`
+}
+
+// write races on the same field.
+func (c *counters) write(v uint64) {
+	c.seq = v // want `field seq is accessed via sync/atomic elsewhere in this package; plain access races with it`
+}
+
+// typedCopy copies the atomic by value, forking its state.
+func typedCopy(c *counters) {
+	d := c.depth // want `atomic.Int64 field depth: value copy bypasses the atomic API`
+	_ = d
+}
+
+// typedAssign overwrites the whole atomic, bypassing Store.
+func typedAssign(c *counters) {
+	c.depth = atomic.Int64{} // want `atomic.Int64 field depth: plain assignment bypasses the atomic API`
+}
+
+// typedCompare compares atomics structurally instead of via Load.
+func typedCompare(a, b *counters) bool {
+	return a.depth == b.depth // want `atomic.Int64 field depth: plain comparison bypasses the atomic API` `atomic.Int64 field depth: plain comparison bypasses the atomic API`
+}

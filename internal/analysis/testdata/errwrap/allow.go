@@ -1,0 +1,8 @@
+package errwrap
+
+// fastPathCheck compares identity on a hot path where the sentinel is
+// guaranteed unwrapped (produced by this package, never decorated);
+// the allow records that contract.
+func fastPathCheck(err error) bool {
+	return err == errStale //photon:allow errwrap -- errStale never crosses a wrapping boundary; identity is exact here and avoids the errors.Is walk on the hot path
+}

@@ -1,0 +1,41 @@
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errClosed joins the fixture's sentinel population.
+var errClosed = errors.New("closed")
+
+// properIs matches through the chain.
+func properIs(err error) bool {
+	return errors.Is(err, ErrFull) || errors.Is(err, errClosed)
+}
+
+// nilChecks are identity comparisons but not sentinel matches.
+func nilChecks(err error) bool {
+	return err == nil || err != nil
+}
+
+// wrapped preserves the cause with %w.
+func wrapped(err error) error {
+	return fmt.Errorf("op failed: %w", err)
+}
+
+// plainErrorf has no error argument to lose.
+func plainErrorf(n int) error {
+	return fmt.Errorf("bad frame length %d", n)
+}
+
+// stringArg stringifies a non-error value, which is fine.
+func stringArg(err error) string {
+	return fmt.Sprintf("state: %v", err.Error())
+}
+
+// localVar is not a package-level sentinel; identity comparison of a
+// freshly scoped error is out of the contract's scope.
+func localVar(err error) bool {
+	target := errors.New("transient")
+	return err == target
+}

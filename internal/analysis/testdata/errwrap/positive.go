@@ -1,0 +1,43 @@
+// Package errwrap exercises the errwrap analyzer: sentinel errors must
+// be matched with errors.Is and wrapped with %w, never compared by
+// identity or stringified into a new error.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFull and errStale are package-level sentinels (exported and not).
+var (
+	ErrFull  = errors.New("queue full")
+	errStale = errors.New("stale handle")
+)
+
+func produce() error { return fmt.Errorf("op: %w", ErrFull) }
+
+// identityEq breaks on wrapped sentinels.
+func identityEq(err error) bool {
+	return err == ErrFull // want `sentinel ErrFull compared with ==; use errors.Is so wrapped errors still match`
+}
+
+// identityNeq is the negated form.
+func identityNeq(err error) bool {
+	return err != errStale // want `sentinel errStale compared with !=; use errors.Is so wrapped errors still match`
+}
+
+// switchIdentity matches by case identity.
+func switchIdentity(err error) int {
+	switch err {
+	case ErrFull: // want `sentinel ErrFull matched by switch case identity; use errors.Is so wrapped errors still match`
+		return 1
+	case nil:
+		return 0
+	}
+	return -1
+}
+
+// stringified cuts the cause out of the chain.
+func stringified(err error) error {
+	return fmt.Errorf("retry failed: %v", err) // want `fmt.Errorf stringifies an error argument without %w; the cause is cut from the chain and errors.Is cannot match it`
+}

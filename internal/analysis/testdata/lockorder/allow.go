@@ -1,0 +1,40 @@
+package lockorder
+
+import "sync"
+
+// shardTable mirrors the engine's all-shard quiesce: N same-rank locks
+// taken in ascending index order, asserted deadlock-free by the allow.
+type shardTable struct {
+	shards []*shardSlot
+}
+
+type shardSlot struct {
+	//photon:lock slot 30
+	mu sync.Mutex
+}
+
+// quiesce locks every shard in ascending index order. The same-rank
+// nesting is intentional and carried by an explicit allow.
+func (t *shardTable) quiesce() {
+	for _, s := range t.shards {
+		s.mu.Lock() //photon:allow lockorder -- ascending index order over the shard table; a single global order, no cycles
+	}
+	for i := len(t.shards) - 1; i >= 0; i-- {
+		t.shards[i].mu.Unlock()
+	}
+}
+
+type notifySrc struct {
+	//photon:lock notify 40
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+// kick performs a send that the surrounding protocol guarantees cannot
+// block (capacity-1 channel, single producer); the allow records why.
+func (n *notifySrc) kick() {
+	n.mu.Lock()
+	//photon:allow lockorder -- capacity-1 latch with a single producer; the send can never park
+	n.ch <- struct{}{}
+	n.mu.Unlock()
+}

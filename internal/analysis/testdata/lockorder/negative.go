@@ -1,0 +1,90 @@
+package lockorder
+
+import "sync"
+
+type clean struct {
+	//photon:lock first 10
+	firstMu sync.Mutex
+	//photon:lock second 20
+	secondMu sync.Mutex
+	cond     *sync.Cond
+	ch       chan int
+}
+
+// ascending acquires in declared order: no finding.
+func (c *clean) ascending() {
+	c.firstMu.Lock()
+	c.secondMu.Lock()
+	c.secondMu.Unlock()
+	c.firstMu.Unlock()
+}
+
+// deferredUnlock keeps the held set correct through defer.
+func (c *clean) deferredUnlock() {
+	c.firstMu.Lock()
+	defer c.firstMu.Unlock()
+	c.secondMu.Lock()
+	defer c.secondMu.Unlock()
+}
+
+// sequential takes the locks one after another, never nested.
+func (c *clean) sequential() {
+	c.secondMu.Lock()
+	c.secondMu.Unlock()
+	c.firstMu.Lock()
+	c.firstMu.Unlock()
+}
+
+// condvar is the canonical condition-variable pattern: Wait releases
+// the (single) held mutex while parked, so it is not flagged.
+func (c *clean) condvar() {
+	c.firstMu.Lock()
+	c.cond.Wait()
+	c.firstMu.Unlock()
+}
+
+// tryGuard only enters the critical section when the try succeeds; the
+// held set is tracked through the if-guard idiom.
+func (c *clean) tryGuard() {
+	if c.firstMu.TryLock() {
+		c.secondMu.Lock()
+		c.secondMu.Unlock()
+		c.firstMu.Unlock()
+	}
+}
+
+// tryBail holds the lock after a failed-try early return.
+func (c *clean) tryBail() {
+	if !c.firstMu.TryLock() {
+		return
+	}
+	c.secondMu.Lock()
+	c.secondMu.Unlock()
+	c.firstMu.Unlock()
+}
+
+// selectDefault polls without parking; safe under a lock.
+func (c *clean) selectDefault() (v int, ok bool) {
+	c.firstMu.Lock()
+	defer c.firstMu.Unlock()
+	select {
+	case v = <-c.ch:
+		ok = true
+	default:
+	}
+	return v, ok
+}
+
+// localMutex is function-local and exempt from classification.
+func localMutex() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+// unlockedSend drops the lock before parking.
+func (c *clean) unlockedSend(v int) {
+	c.firstMu.Lock()
+	c.firstMu.Unlock()
+	c.ch <- v
+}

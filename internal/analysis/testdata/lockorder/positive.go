@@ -1,0 +1,132 @@
+// Package lockorder exercises the lockorder analyzer: rank-annotated
+// mutexes must be acquired in ascending rank order, never held across
+// blocking operations, and every shared mutex must carry a
+// //photon:lock classification.
+package lockorder
+
+import (
+	"sync"
+	"time"
+)
+
+type engine struct {
+	//photon:lock outer 10
+	outerMu sync.Mutex
+	//photon:lock inner 20
+	innerMu sync.Mutex
+	//photon:lock twin 20
+	twinMu sync.Mutex
+
+	naked sync.Mutex // want `sync.Mutex field naked is not classified; add //photon:lock <name> <rank> to declare its acquisition rank`
+
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// inverted acquires against the declared order: inner (20) is held
+// while outer (10) is taken.
+func (e *engine) inverted() {
+	e.innerMu.Lock()
+	e.outerMu.Lock() // want `acquires outer \(rank 10\) while holding inner \(rank 20\): inverts the declared lock order`
+	e.outerMu.Unlock()
+	e.innerMu.Unlock()
+}
+
+// sameRank nests two locks of equal rank, which needs an explicit
+// allow to assert a deadlock-free discipline (ascending index, etc.).
+func (e *engine) sameRank() {
+	e.innerMu.Lock()
+	e.twinMu.Lock() // want `acquires twin \(rank 20\) while already holding inner \(rank 20\): same-rank nesting needs an explicit //photon:allow`
+	e.twinMu.Unlock()
+	e.innerMu.Unlock()
+}
+
+// sendWhileHolding parks on a channel with a lock held.
+func (e *engine) sendWhileHolding(v int) {
+	e.outerMu.Lock()
+	e.ch <- v // want `blocks on a channel send while holding outer \(rank 10\)`
+	e.outerMu.Unlock()
+}
+
+// recvWhileHolding parks on a receive with a lock held.
+func (e *engine) recvWhileHolding() int {
+	e.outerMu.Lock()
+	v := <-e.ch // want `blocks on a channel receive while holding outer \(rank 10\)`
+	e.outerMu.Unlock()
+	return v
+}
+
+// selectWhileHolding parks on a select with no default.
+func (e *engine) selectWhileHolding() {
+	e.outerMu.Lock()
+	select { // want `blocks on a select with no default while holding outer \(rank 10\)`
+	case <-e.ch:
+	}
+	e.outerMu.Unlock()
+}
+
+// waitWhileHolding blocks on a WaitGroup with a lock held.
+func (e *engine) waitWhileHolding() {
+	e.outerMu.Lock()
+	e.wg.Wait() // want `calls sync.WaitGroup.Wait while holding outer \(rank 10\)`
+	e.outerMu.Unlock()
+}
+
+// sleepWhileHolding stalls every other acquirer.
+func (e *engine) sleepWhileHolding() {
+	e.innerMu.Lock()
+	time.Sleep(time.Millisecond) // want `calls time.Sleep while holding inner \(rank 20\)`
+	e.innerMu.Unlock()
+}
+
+// lockInner is a helper whose lock effect propagates to callers
+// through the call-graph summary.
+func (e *engine) lockInner() {
+	e.innerMu.Lock()
+	e.innerMu.Unlock()
+}
+
+// lockOuter acquires the outer lock.
+func (e *engine) lockOuter() {
+	e.outerMu.Lock()
+	e.outerMu.Unlock()
+}
+
+// transitiveInversion holds inner and calls a function that acquires
+// outer: the inversion crosses a function boundary.
+func (e *engine) transitiveInversion() {
+	e.innerMu.Lock()
+	e.lockOuter() // want `call to lockOuter may acquire outer \(rank 10\) while holding inner \(rank 20\): inverts the declared lock order`
+	e.innerMu.Unlock()
+}
+
+// blockingCallee parks on a channel; callers holding locks inherit the
+// hazard.
+func (e *engine) blockingCallee() {
+	<-e.ch
+}
+
+// transitiveBlock holds a lock across a call that blocks.
+func (e *engine) transitiveBlock() {
+	e.outerMu.Lock()
+	e.blockingCallee() // want `call to blockingCallee may block while holding outer \(rank 10\)`
+	e.outerMu.Unlock()
+}
+
+type twoConds struct {
+	//photon:lock condA 10
+	a sync.Mutex
+	//photon:lock condB 20
+	b    sync.Mutex
+	cond *sync.Cond
+}
+
+// waitWithTwoHeld calls Cond.Wait while a second lock is held: Wait
+// releases only its own mutex, so condA stays held across the park.
+func (c *twoConds) waitWithTwoHeld() {
+	c.a.Lock()
+	c.b.Lock()
+	c.cond.Wait() // want `calls sync.Cond.Wait while holding condB \(rank 20\)`
+	c.b.Unlock()
+	c.a.Unlock()
+}

@@ -1,0 +1,63 @@
+// Command racecheck is the analyzer/runtime agreement fixture: it
+// deliberately violates the contracts photonvet's lockorder and
+// atomicfield analyzers enforce, in a form the runtime race detector
+// also observes. The agreement test runs this program under
+// `go run -race` (expecting a DATA RACE report) and the analyzers over
+// this package (expecting the same hazards flagged statically) —
+// photonvet catches at review time what -race catches at run time,
+// plus the lock-order inversion -race cannot see.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+type racer struct {
+	//photon:lock front 10
+	frontMu sync.Mutex
+	//photon:lock back 20
+	backMu sync.Mutex
+
+	hits uint64 // written via sync/atomic by one goroutine, plainly by the other
+}
+
+// atomicSide counts through sync/atomic, lock-free.
+func (r *racer) atomicSide(rounds int) {
+	for i := 0; i < rounds; i++ {
+		atomic.AddUint64(&r.hits, 1)
+	}
+}
+
+// plainSide mutates hits without sync/atomic under an unrelated lock:
+// the data race -race reports and atomicfield flags statically.
+func (r *racer) plainSide(rounds int) {
+	for i := 0; i < rounds; i++ {
+		r.frontMu.Lock()
+		r.hits++
+		r.frontMu.Unlock()
+	}
+}
+
+// setup acquires back before front — the inversion lockorder flags.
+// It runs single-threaded before the racers start, so the dynamic run
+// cannot deadlock on it: this is the hazard class only the static
+// analyzer sees.
+func (r *racer) setup() {
+	r.backMu.Lock()
+	r.frontMu.Lock()
+	r.frontMu.Unlock()
+	r.backMu.Unlock()
+}
+
+func main() {
+	r := &racer{}
+	r.setup()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); r.atomicSide(10000) }()
+	go func() { defer wg.Done(); r.plainSide(10000) }()
+	wg.Wait()
+	fmt.Println(atomic.LoadUint64(&r.hits))
+}

@@ -1,0 +1,24 @@
+package wireproto
+
+// A one-way channel: akDebug frames are emitted for an external
+// consumer and deliberately have no arm in this package's decoder; the
+// allow records the contract.
+const (
+	akHello = 20
+	akBye   = 21
+	akDebug = 22 //photon:allow wireproto -- debug frames are consumed by the out-of-tree tap, never by this decoder
+)
+
+func encodeHello(b []byte) { b[0] = akHello }
+func encodeBye(b []byte)   { b[0] = akBye }
+func encodeDebug(b []byte) { b[0] = akDebug }
+
+func decodeAk(b []byte) int {
+	switch b[0] {
+	case akHello:
+		return 0
+	case akBye:
+		return 1
+	}
+	return -1
+}

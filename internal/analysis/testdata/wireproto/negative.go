@@ -1,0 +1,64 @@
+package wireproto
+
+// A clean protocol: every opcode is encoded and decoded, values are
+// unique, and the length check shares its constant with the encoder.
+const (
+	mkOpen  = 10
+	mkWrite = 11
+	mkClose = 12
+)
+
+// mkHdrLen is the fixed header the encoder emits and the decoder
+// requires: opcode byte plus an 8-byte sequence number.
+const mkHdrLen = 9
+
+func encodeOpen(b []byte) {
+	b[0] = mkOpen
+	_ = b[:mkHdrLen]
+}
+
+func encodeWrite(b []byte) {
+	b[0] = mkWrite
+	_ = b[:mkHdrLen]
+}
+
+func encodeClose(b []byte) {
+	b[0] = mkClose
+	_ = b[:mkHdrLen]
+}
+
+func decodeMk(b []byte) int {
+	if len(b) < mkHdrLen {
+		return -1
+	}
+	switch b[0] {
+	case mkOpen:
+		return 0
+	case mkWrite:
+		return 1
+	case mkClose:
+		return 2
+	}
+	return -1
+}
+
+// verdict is an in-memory enum: never byte-encoded, so the group is
+// not a wire protocol and a handled-by-fall-through member (vSkip) is
+// not a finding.
+const (
+	vKeep = iota
+	vDrop
+	vSkip
+)
+
+func classify(v int) int {
+	switch v {
+	case vKeep:
+		return 1
+	case vDrop:
+		return 2
+	}
+	return 0 // vSkip and anything else fall through
+}
+
+func produce() []int { return []int{vKeep, vDrop, vSkip} }

@@ -1,0 +1,42 @@
+// Package wireproto exercises the wireproto analyzer: every encoded
+// opcode needs a decoder arm, decoder arms need encoders, values must
+// be unique, and frame-length checks must share named constants with
+// the encoder.
+package wireproto
+
+// Frame opcodes, first byte on the wire.
+const (
+	opPing = 1
+	opPong = 2
+	opData = 3 // want `opcode opData is encoded but the decoder switch at wireproto/positive.go:\d+ has no arm for it`
+	opDead = 4 // want `opcode opDead has a decoder arm but is never encoded \(dead opcode\)`
+	opEcho = 5
+	opDupe = 5 // want `opcode opDupe duplicates the value 5 of opEcho; the decoder cannot distinguish them`
+)
+
+func encodePing(b []byte) { b[0] = opPing }
+func encodePong(b []byte) { b[0] = opPong }
+func encodeData(b []byte) { b[0] = opData }
+func encodeEcho(b []byte) { b[0] = opEcho }
+func encodeDupe(b []byte) { b[0] = opDupe }
+
+// decode is the primary decoder switch for the op group.
+func decode(b []byte) int {
+	if len(b) < 7 { // want `frame-length literal 7 is not backed by a named constant; encoder and decoder cannot be checked for agreement`
+		return -1
+	}
+	switch b[0] {
+	case opPing:
+		return 0
+	case opPong:
+		return 1
+	case opDead:
+		return 2
+	case opEcho:
+		return 3
+	}
+	return -1
+}
+
+// decodeDupe peels the duplicate tag by comparison (cmp-style decode).
+func decodeDupe(b []byte) bool { return b[0] == opDupe }

@@ -96,6 +96,7 @@ func BFSSerial(adj [][]int32, root int) []int32 {
 
 // bfsRankState is one rank's BFS state, mutated by the visit action.
 type bfsRankState struct {
+	//photon:lock bfsrank 10
 	mu      sync.Mutex
 	dist    []int32 // local vertices
 	next    []int32 // next frontier (global IDs)
@@ -320,6 +321,7 @@ const actSum = "bfs_sum"
 // once per level and cannot start the next level until the current sum
 // resolves, so arrivals pair up by count.
 type sumState struct {
+	//photon:lock bfssum 20
 	mu       sync.Mutex
 	arrivals int
 	cur      *sumGen

@@ -13,6 +13,7 @@ package apps
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	gort "runtime"
@@ -132,7 +133,7 @@ func RunGUPSPhoton(phs []*core.Photon, cfg GUPSConfig) (GUPSResult, error) {
 					if err == nil {
 						break
 					}
-					if err != core.ErrWouldBlock {
+					if !errors.Is(err, core.ErrWouldBlock) {
 						errs[r] = err
 						return
 					}

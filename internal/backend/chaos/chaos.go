@@ -76,6 +76,7 @@ type Backend struct {
 	inner core.Backend
 	plan  Plan
 
+	//photon:lock chaos 10
 	mu          sync.Mutex
 	rng         *rand.Rand
 	delayed     []delayedOp

@@ -75,6 +75,11 @@ const (
 	fAddBodyLen  = 1 + 8 + 8 + 4 + 8
 	cSwapBodyLen = 1 + 8 + 8 + 4 + 8 + 8
 	maxFixedLen  = lenPrefix + cSwapBodyLen // agent header scratch bound
+
+	// atomicResultLen is the 8-byte word every fetch-add/comp-swap
+	// result buffer must hold; the agent writes exactly this many
+	// bytes back into the initiator's pending buffer.
+	atomicResultLen = 8
 )
 
 // registration is one pinned buffer in the fake address space (same
@@ -91,6 +96,7 @@ type registration struct {
 type Cluster struct {
 	backends []*Backend
 
+	//photon:lock shmcluster 10
 	mu      sync.Mutex
 	cond    *sync.Cond
 	gen     int
@@ -201,8 +207,10 @@ type Backend struct {
 	// prodMu[t] serializes this rank's posters toward rank t: the
 	// directed ring is SPSC, so concurrent engine goroutines posting to
 	// the same target take the producer role one at a time.
+	//photon:lock shmprod 20
 	prodMu []sync.Mutex
 
+	//photon:lock shmmem 30
 	memMu    sync.RWMutex  // guards registered memory (the "DMA lock")
 	writeAct atomic.Uint64 // bumped after every applied remote write/atomic
 	regs     map[uint32]*registration
@@ -211,6 +219,7 @@ type Backend struct {
 
 	// pend parks read/atomic result destinations by token until the
 	// target's agent fills and completes them.
+	//photon:lock shmpend 40
 	pendMu sync.Mutex
 	pend   map[uint64][]byte
 
@@ -554,7 +563,7 @@ func (b *Backend) PostFetchAdd(rank int, result []byte, raddr uint64, rkey uint3
 	if err := b.checkRank(rank); err != nil {
 		return err
 	}
-	if len(result) < 8 {
+	if len(result) < atomicResultLen {
 		return fmt.Errorf("shm: fetch-add result buffer too small")
 	}
 	if rank == b.rank {
@@ -576,7 +585,7 @@ func (b *Backend) PostCompSwap(rank int, result []byte, raddr uint64, rkey uint3
 	if err := b.checkRank(rank); err != nil {
 		return err
 	}
-	if len(result) < 8 {
+	if len(result) < atomicResultLen {
 		return fmt.Errorf("shm: comp-swap result buffer too small")
 	}
 	if rank == b.rank {

@@ -37,6 +37,7 @@ type replyFrame struct {
 // cleared for GC and the array is reused from the start whenever the
 // queue drains, with periodic compaction under sustained backlog.
 type replyQueue struct {
+	//photon:lock tcpreply 60
 	mu   sync.Mutex
 	q    []replyFrame
 	head int
@@ -128,6 +129,7 @@ type winEntry struct {
 // both paths idempotent — a duplicated ack or a replayed nack after a
 // reconnect is a no-op.
 type sendWindow struct {
+	//photon:lock tcpwin 50
 	mu   sync.Mutex
 	ents []winEntry
 	head int
@@ -713,6 +715,18 @@ func (b *Backend) applyNack(peer int, seq uint64, scratch []uint64) []uint64 {
 	return scratch
 }
 
+// Fixed-part body lengths checked by handleFrame before field
+// extraction; a frame shorter than its opcode's fixed part is corrupt
+// and dropped. Encoders build bodies to the same layouts.
+const (
+	writeBodyMin      = 26 // op1 | token8 | sig1 | raddr8 | rkey4 | n4; payload follows
+	nackBodyMin       = 9  // op1 | seq8
+	readRespBodyMin   = 10 // op1 | token8 | failed1; payload follows
+	atomicRespBodyLen = 18 // op1 | token8 | failed1 | value8
+	fAddBodyMin       = 29 // op1 | token8 | raddr8 | rkey4 | operand8
+	cSwapBodyMin      = 37 // fAddBodyMin + swap8
+)
+
 // handleFrame dispatches one inbound frame body (requests are applied
 // against local memory; responses complete pending tokens). It returns
 // true when a signaled write from a remote peer was applied, i.e. the
@@ -724,7 +738,7 @@ func (b *Backend) handleFrame(peer int, f []byte) bool {
 	}
 	switch f[0] {
 	case opWrite:
-		if len(f) < 26 {
+		if len(f) < writeBodyMin {
 			return false
 		}
 		token := binary.LittleEndian.Uint64(f[1:])
@@ -797,12 +811,12 @@ func (b *Backend) handleFrame(peer int, f []byte) bool {
 	case opFAdd, opCSwap:
 		b.handleAtomic(peer, f)
 	case opNack:
-		if len(f) < 9 || peer == b.rank {
+		if len(f) < nackBodyMin || peer == b.rank {
 			return false
 		}
 		b.applyNack(peer, binary.LittleEndian.Uint64(f[1:]), nil)
 	case opReadResp:
-		if len(f) < 10 {
+		if len(f) < readRespBodyMin {
 			return false
 		}
 		token := binary.LittleEndian.Uint64(f[1:])
@@ -820,7 +834,7 @@ func (b *Backend) handleFrame(peer int, f []byte) bool {
 		}
 		b.pushComp(core.BackendCompletion{Token: token, OK: !failed, Err: err})
 	case opAtomicResp:
-		if len(f) < 18 {
+		if len(f) < atomicRespBodyLen {
 			return false
 		}
 		token := binary.LittleEndian.Uint64(f[1:])
@@ -872,7 +886,7 @@ func (b *Backend) takePend(peer int, token uint64) ([]byte, bool) {
 }
 
 func (b *Backend) handleAtomic(peer int, f []byte) {
-	if len(f) < 29 {
+	if len(f) < fAddBodyMin {
 		return
 	}
 	token := binary.LittleEndian.Uint64(f[1:])
@@ -881,7 +895,7 @@ func (b *Backend) handleAtomic(peer int, f []byte) {
 	operand := binary.LittleEndian.Uint64(f[21:])
 	var swap uint64
 	if f[0] == opCSwap {
-		if len(f) < 37 {
+		if len(f) < cSwapBodyMin {
 			return
 		}
 		swap = binary.LittleEndian.Uint64(f[29:])

@@ -31,6 +31,7 @@ import (
 type link struct {
 	peer int
 
+	//photon:lock tcplink 30
 	mu          sync.Mutex
 	cond        *sync.Cond // conn installed / link down / backend closed
 	conn        net.Conn
@@ -45,6 +46,7 @@ type link struct {
 	down       atomic.Bool   // terminal
 	recovering atomic.Bool   // redialing mirror for lock-free health reads
 
+	//photon:lock tcphs 10
 	hsMu      sync.Mutex    // serializes inbound handshakes for this link
 	installed chan struct{} // cap 1: kicked on installConn (supervisor wakeup)
 	reconn    chan struct{} // cap 1: kicked on install/down (writer wakeup)
@@ -140,6 +142,7 @@ func (b *Backend) handleInbound(conn net.Conn) {
 		old.Close()
 	}
 	if oldRd != nil {
+		//photon:allow lockorder -- handshake serialization: hsMu must stay held while the old reader drains; Close unblocks via b.closed
 		select {
 		case <-oldRd:
 		case <-b.closed:

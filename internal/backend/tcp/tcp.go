@@ -206,6 +206,7 @@ type Backend struct {
 	ln    net.Listener
 	links []*link // per-peer connection state (nil at self rank)
 
+	//photon:lock tcpout 20
 	outMu   sync.Mutex
 	outs    []chan outItem // per peer; self uses loopback dispatch
 	replyQs []*replyQueue  // per peer, lazily created
@@ -217,6 +218,7 @@ type Backend struct {
 	lastNack []atomic.Uint64 // highest nack seq queued toward each peer
 	cstats   []connStats     // data-path counters per connection
 
+	//photon:lock tcpmem 40
 	memMu    sync.RWMutex  // guards all registered memory (the "DMA lock")
 	writeAct atomic.Uint64 // bumped after every applied remote write/atomic
 	regs     map[uint32]*registration
@@ -231,6 +233,7 @@ type Backend struct {
 	// pending read/atomic result buffers keyed by token; sentResp
 	// tracks, per peer, which of them actually hit the wire (those are
 	// the non-idempotent ops a reconnect cannot replay).
+	//photon:lock tcppend 70
 	pendMu   sync.Mutex
 	pendBuf  map[uint64]pendDst
 	sentResp []map[uint64]struct{}
@@ -241,13 +244,15 @@ type Backend struct {
 	hbOnce    sync.Once
 
 	// exchange state.
+	//photon:lock tcpexg 80
 	exgMu     sync.Mutex
 	exgCond   *sync.Cond
 	exgResp   [][][]byte       // queue of completed exchanges (non-root waits here)
 	exgGather map[int][][]byte // root: per-rank queues of received blobs
 	exgSelf   [][]byte         // root: own blobs queued per generation
 
-	closed  chan struct{}
+	closed chan struct{}
+	//photon:lock tcpclose 90
 	closeMu sync.Mutex
 	done    bool
 }

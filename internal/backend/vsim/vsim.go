@@ -11,6 +11,7 @@
 package vsim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -28,6 +29,7 @@ type Cluster struct {
 	ownsFab  bool
 	backends []*Backend
 
+	//photon:lock vsimcluster 10
 	mu      sync.Mutex
 	cond    *sync.Cond
 	gen     int
@@ -169,9 +171,11 @@ type Backend struct {
 	cq      *verbs.CQ
 	qps     []*verbs.QP
 
+	//photon:lock vsimmr 20
 	mrMu sync.Mutex
 	mrs  map[uint64]*verbs.MR // keyed by base address
 
+	//photon:lock vsimpoll 30
 	pollMu      sync.Mutex
 	pollScratch []verbs.CQE // reused across Poll calls (no per-call alloc)
 
@@ -236,12 +240,12 @@ func (b *Backend) Deregister(rb mem.RemoteBuffer) error {
 
 // translate maps transport errors to the core sentinel space.
 func translate(err error) error {
-	switch err {
-	case nil:
+	switch {
+	case err == nil:
 		return nil
-	case nicsim.ErrSQFull:
+	case errors.Is(err, nicsim.ErrSQFull):
 		return core.ErrWouldBlock
-	case nicsim.ErrClosed:
+	case errors.Is(err, nicsim.ErrClosed):
 		return core.ErrClosed
 	default:
 		return err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	gort "runtime"
 	"sync"
@@ -559,7 +560,7 @@ func AtomicRate(phs []*core.Photon, descs [][]mem.RemoteBuffer, window, iters in
 			if err == nil {
 				break
 			}
-			if err != core.ErrWouldBlock {
+			if !errors.Is(err, core.ErrWouldBlock) {
 				return 0, err
 			}
 			ph.Progress()

@@ -50,7 +50,14 @@ const traceCtxSize = 4 + 8
 // Fixed entry sizes for the non-eager classes.
 const (
 	pwcEntrySize = 32 // 8 header + 1 type + 8 rid (+ pad)
-	sysEntrySize = 64 // 8 header + 37-byte RTS worst case (+ pad)
+	sysEntrySize = 64 // 8 header + rtsEntryLen worst case (+ pad)
+)
+
+// Sys-entry payload lengths shared by the rendezvous encoder and
+// parseSys's short-entry checks.
+const (
+	sysMinLen   = 1 + 8                 // [type][lrid8] — a FIN is exactly this
+	rtsEntryLen = 1 + 8 + 8 + 8 + 8 + 4 // [type][lrid8][rrid8][size8][addr8][rkey4]
 )
 
 // Config tunes the Photon engine. The zero value selects defaults.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"photon/internal/ledger"
@@ -341,7 +342,7 @@ func (p *Photon) sendRendezvous(ps *peerState, rank int, data []byte, localRID, 
 		p.traceEv(trace.KindProtocol, id, "rts.tx")
 	}
 
-	const rtsLen = 1 + 8 + 8 + 8 + 8 + 4
+	const rtsLen = rtsEntryLen
 	plen := rtsLen
 	if ts != 0 {
 		plen += traceCtxSize
@@ -475,7 +476,7 @@ func (p *Photon) postOrPark(ps *peerState, rank int, local []byte, raddr uint64,
 			}
 			return
 		}
-		if err != ErrWouldBlock {
+		if !errors.Is(err, ErrWouldBlock) {
 			w := wireOp{local: local, token: token, signaled: signaled, pooled: pooled}
 			p.failWire(&w, err)
 			return
@@ -488,7 +489,7 @@ func (p *Photon) postOrPark(ps *peerState, rank int, local []byte, raddr uint64,
 //
 //photon:hotpath
 func (p *Photon) parkWire(ps *peerState, w wireOp) {
-	ps.mu.Lock() //photon:allow hotpathalloc -- per-peer lock guarding the deferred FIFO; only taken once the transport pushed back
+	ps.mu.Lock()                               //photon:allow hotpathalloc -- per-peer lock guarding the deferred FIFO; only taken once the transport pushed back
 	ps.pendingWire = append(ps.pendingWire, w) //photon:allow hotpathalloc -- backpressure slow path; growth is amortized and the FIFO shrinks to zero in steady state
 	ps.mu.Unlock()
 	ps.deferred.Add(1)
@@ -536,7 +537,7 @@ func (p *Photon) postPair(ps *peerState, rank int, a, b wireOp) {
 		}
 	}
 	for i := n; i < 2; i++ {
-		if err != nil && err != ErrWouldBlock {
+		if err != nil && !errors.Is(err, ErrWouldBlock) {
 			// Hard rejection (peer down, closed): fail instead of
 			// parking a write that can never be retried successfully.
 			p.failWire(&ops[i], err)
@@ -553,7 +554,7 @@ func (p *Photon) PutBlocking(rank int, local []byte, dst mem.RemoteBuffer, off u
 	defer w.stop()
 	for {
 		err := p.PutWithCompletion(rank, local, dst, off, localRID, remoteRID)
-		if err != ErrWouldBlock {
+		if err == nil || !errors.Is(err, ErrWouldBlock) {
 			return err
 		}
 		if p.Progress() == 0 {
@@ -570,7 +571,7 @@ func (p *Photon) SendBlocking(rank int, data []byte, localRID, remoteRID uint64)
 	defer w.stop()
 	for {
 		err := p.Send(rank, data, localRID, remoteRID)
-		if err != ErrWouldBlock {
+		if err == nil || !errors.Is(err, ErrWouldBlock) {
 			return err
 		}
 		if p.Progress() == 0 {

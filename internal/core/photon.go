@@ -221,6 +221,7 @@ type peerState struct {
 	// Config.EngineShards), set once at Init.
 	shard *engineShard
 
+	//photon:lock peer 40
 	mu           sync.Mutex
 	lastMail     [numClasses]uint64 // mailbox value already credited
 	lastReturned [numClasses]int64  // consumed count already written back
@@ -238,8 +239,9 @@ type Photon struct {
 	rank int
 	size int
 
-	arena    []byte
-	arenaRB  mem.RemoteBuffer
+	arena   []byte
+	arenaRB mem.RemoteBuffer
+	//photon:lock arena 30
 	arenaLk  sync.Locker
 	activity func() uint64   // arena DMA write counter (nil if unsupported)
 	beWake   <-chan struct{} // backend activity channel (nil if unsupported)
@@ -259,6 +261,7 @@ type Photon struct {
 	// generation-tagged (see token.go).
 	tok tokenTable
 
+	//photon:lock rdzv 50
 	rdzvMu     sync.Mutex
 	rdzvSends  map[uint64]rdzvSend
 	nextRdzvID uint64
@@ -502,11 +505,15 @@ func (p *Photon) DeregisterBuffer(rb mem.RemoteBuffer) error {
 	return p.be.Deregister(rb)
 }
 
+// bufBlobLen is the wire size of one exchanged buffer descriptor:
+// addr8 | rkey4 | len8.
+const bufBlobLen = 8 + 4 + 8
+
 // ExchangeBuffers is a collective helper: every rank contributes one
 // buffer descriptor and receives all of them indexed by rank. Ranks
 // with nothing to share pass the zero RemoteBuffer.
 func (p *Photon) ExchangeBuffers(rb mem.RemoteBuffer) ([]mem.RemoteBuffer, error) {
-	blob := make([]byte, 20)
+	blob := make([]byte, bufBlobLen)
 	binary.LittleEndian.PutUint64(blob[0:], rb.Addr)
 	binary.LittleEndian.PutUint32(blob[8:], rb.RKey)
 	binary.LittleEndian.PutUint64(blob[12:], uint64(rb.Len))
@@ -516,7 +523,7 @@ func (p *Photon) ExchangeBuffers(rb mem.RemoteBuffer) ([]mem.RemoteBuffer, error
 	}
 	out := make([]mem.RemoteBuffer, len(all))
 	for i, b := range all {
-		if len(b) < 20 {
+		if len(b) < bufBlobLen {
 			return nil, fmt.Errorf("photon: short buffer blob from rank %d", i)
 		}
 		out[i] = mem.RemoteBuffer{
@@ -556,7 +563,7 @@ func (p *Photon) Close() error {
 	// (ascending index, the fault plane's lock order) the engine is
 	// quiescent and every remaining token is ours to sweep.
 	for _, s := range p.shards {
-		s.mu.Lock()
+		s.mu.Lock() //photon:allow lockorder -- all-shard quiesce: ascending index order, engines already stopped (runWG waited)
 	}
 	p.failAllInflight()
 	for i := len(p.shards) - 1; i >= 0; i-- {

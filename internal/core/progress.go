@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	gort "runtime"
 	"time"
@@ -87,7 +88,7 @@ func (p *Photon) progressShard(s *engineShard) int {
 	// idle early-out — a wedged op toward a dead peer produces no
 	// ledger activity and parks nothing.
 	if s.idx == 0 && p.faultPollNS != 0 {
-		n += p.pollFaults(s)
+		n += p.pollFaults(s) //photon:allow lockorder -- fault sweep runs on shard 0 and takes the other shards' mutexes in ascending index order
 	}
 	sweep := true
 	if p.activity != nil {
@@ -332,7 +333,7 @@ func (p *Photon) retryDeferred(s *engineShard, ps *peerState) int {
 			s.parked.Add(-int64(posted))
 			n += posted
 		}
-		if perr != nil && perr != ErrWouldBlock {
+		if perr != nil && !errors.Is(perr, ErrWouldBlock) {
 			// Hard rejection (peer down, transport closed): every
 			// remaining parked write toward this peer would fail the
 			// same way, so fail them now instead of wedging the FIFO.
@@ -534,7 +535,7 @@ func (p *Photon) pollPeer(s *engineShard, ps *peerState) int {
 			p.traceDelivery(ps.rank, ev, ev.rts.remoteRID, "ledger.rts")
 			ev.rts.traced = ev.hasCtx
 			if !p.startRdzvGet(ev.rts) {
-				ps.mu.Lock() //photon:allow hotpathalloc -- staging-exhaustion slow path; only reached when the slab is full
+				ps.mu.Lock()                                  //photon:allow hotpathalloc -- staging-exhaustion slow path; only reached when the slab is full
 				ps.pendingRTS = append(ps.pendingRTS, ev.rts) //photon:allow hotpathalloc -- backpressure FIFO growth; drains to zero in steady state
 				ps.mu.Unlock()
 				ps.deferred.Add(1)
@@ -558,12 +559,12 @@ func (p *Photon) pollPeer(s *engineShard, ps *peerState) int {
 
 // parseSys decodes a sys-ledger control entry into a polled event.
 func parseSys(e ledger.Entry) (polledEvent, bool) {
-	if len(e.Payload) < 9 {
+	if len(e.Payload) < sysMinLen {
 		return polledEvent{}, false
 	}
 	switch e.Payload[0] {
 	case tRTS, tRTST:
-		if len(e.Payload) < 37 {
+		if len(e.Payload) < rtsEntryLen {
 			return polledEvent{}, false
 		}
 		// A corrupt or hostile size word must not wrap negative when
@@ -583,8 +584,8 @@ func parseSys(e ledger.Entry) (polledEvent, bool) {
 				rkey:      binary.LittleEndian.Uint32(e.Payload[33:]),
 			},
 		}
-		if e.Payload[0] == tRTST && len(e.Payload) >= 37+traceCtxSize {
-			parseTraceCtx(&pe, e.Payload[37:])
+		if e.Payload[0] == tRTST && len(e.Payload) >= rtsEntryLen+traceCtxSize {
+			parseTraceCtx(&pe, e.Payload[rtsEntryLen:])
 		}
 		return pe, true
 	case tFIN:

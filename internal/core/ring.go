@@ -23,11 +23,13 @@ type compRing struct {
 	slots []Completion
 	mask  uint64
 
+	//photon:lock ringprod 75
 	prodMu sync.Mutex // guards tail advance + spill append
 	tail   atomic.Uint64
 	spill  []Completion
 	spillN atomic.Int64
 
+	//photon:lock ringcons 70
 	consMu sync.Mutex // guards head advance + spill migration
 	head   atomic.Uint64
 

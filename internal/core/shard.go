@@ -28,6 +28,7 @@ type engineShard struct {
 	idx   int
 	peers []*peerState // the peers this shard owns (rank % shards == idx)
 
+	//photon:lock shard 20
 	mu sync.Mutex // serializes this shard's engine (try-lock entry)
 
 	// Harvested completions for this shard's peers, split so producers
@@ -187,6 +188,7 @@ type notifier struct {
 	extern chan struct{} // BackendNotify consumers (capacity 1)
 	stop   chan struct{} // closed by Close; stops the relay fallback
 
+	//photon:lock notifier 90
 	mu    sync.Mutex
 	subs  []chan struct{}
 	free  []chan struct{}

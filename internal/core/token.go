@@ -41,6 +41,7 @@ type tokSlot struct {
 }
 
 type tokShard struct {
+	//photon:lock token 60
 	mu    sync.Mutex
 	slots []tokSlot
 	free  []uint32

@@ -64,6 +64,7 @@ func (w *WakeChan) SetSink(fn func()) {
 // embedded wake latch, so a single CompQueue gives a transport both its
 // Poll buffer and its NotifyBackend/WakeSinkBackend implementation.
 type CompQueue struct {
+	//photon:lock compq 80
 	mu    sync.Mutex
 	comps []BackendCompletion
 	wake  *WakeChan

@@ -67,6 +67,7 @@ type Fabric struct {
 	model Model
 	n     int
 
+	//photon:lock fabric 10
 	mu       sync.Mutex
 	handlers []Handler
 	links    map[linkKey]*link

@@ -59,6 +59,7 @@ type Record struct {
 // Recorder is the bounded black box. The zero value is unusable; use
 // NewRecorder.
 type Recorder struct {
+	//photon:lock flight 10
 	mu     sync.Mutex
 	recs   []Record
 	max    int

@@ -107,7 +107,9 @@ func EncodeHeader(dst []byte, seq uint32, payloadLen int) error {
 // Receiver is the polling half of a ledger, layered over a local
 // registered buffer that a single remote sender RDMA-writes.
 type Receiver struct {
-	mu        sync.Mutex
+	//photon:lock recv 20
+	mu sync.Mutex
+	//photon:lock dma 10
 	rlk       sync.Locker // guards reads of buf against remote DMA
 	buf       []byte
 	entrySize int
@@ -240,6 +242,7 @@ func (r *Receiver) Total() int64 {
 // Sender is the initiating half: it tracks the remote ledger's geometry
 // and its own credit balance, handing out slot reservations.
 type Sender struct {
+	//photon:lock send 30
 	mu        sync.Mutex
 	remote    mem.RemoteBuffer
 	entrySize int

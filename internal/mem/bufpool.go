@@ -20,6 +20,7 @@ type BufPool struct {
 	size int // capacity of every pooled buffer
 	max  int // free-list bound
 
+	//photon:lock bufpool 10
 	mu   sync.Mutex
 	free [][]byte
 

@@ -65,8 +65,9 @@ type Pool struct {
 	mr       *verbs.MR
 	arena    []byte
 	slotSize int
-	mu       sync.Mutex
-	free     []int
+	//photon:lock mempool 20
+	mu   sync.Mutex
+	free []int
 }
 
 // NewPool registers one arena of count*slotSize bytes on dev and carves
@@ -161,6 +162,7 @@ type Slab struct {
 	mr    *verbs.MR // nil when constructed over an externally registered arena
 	base  uint64
 	arena []byte
+	//photon:lock slab 30
 	mu    sync.Mutex
 	holes []hole // sorted by offset, non-adjacent
 	used  int
@@ -293,6 +295,7 @@ type BufferID uint32
 // Directory maps (rank, id) to remote buffer descriptors. Reads
 // dominate after init, so it uses an RWMutex.
 type Directory struct {
+	//photon:lock dir 40
 	mu sync.RWMutex
 	m  map[dirKey]RemoteBuffer
 }

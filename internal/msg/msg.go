@@ -73,6 +73,13 @@ const (
 	hdrMax = 1 + 8 + 8 + 8 + 4
 )
 
+// Frame fixed-part lengths shared by the encoders and decodeFrame.
+const (
+	eagerHdrLen = 1 + 8 + 4             // kind | tag8 | plen4; payload follows
+	rtsFrameLen = 1 + 8 + 8 + 8 + 4 + 8 // kind | tag8 | size8 | addr8 | rkey4 | seq8
+	finFrameLen = 1 + 8                 // kind | seq8
+)
+
 // Message is one matched, delivered message.
 type Message struct {
 	Src  int
@@ -116,6 +123,7 @@ type Endpoint struct {
 	rcq  *verbs.CQ
 	qps  []*verbs.QP
 
+	//photon:lock ep 10
 	mu        sync.Mutex
 	posted    []*recvReq
 	unexp     []*unexpected
@@ -351,11 +359,11 @@ func (ep *Endpoint) Send(rank int, tag uint64, data []byte) (*SendHandle, error)
 	ep.mu.Unlock()
 
 	if len(data) <= ep.cfg.EagerLimit {
-		frame := ep.framePool.Get(1 + 8 + 4 + len(data))
+		frame := ep.framePool.Get(eagerHdrLen + len(data))
 		frame[0] = kEager
 		binary.LittleEndian.PutUint64(frame[1:], tag)
 		binary.LittleEndian.PutUint32(frame[9:], uint32(len(data)))
-		copy(frame[13:], data)
+		copy(frame[eagerHdrLen:], data)
 		if err := ep.postSendRetry(rank, frame, tok); err != nil {
 			ep.dropWait(tok)
 			return nil, err
@@ -380,7 +388,7 @@ func (ep *Endpoint) Send(rank int, tag uint64, data []byte) (*SendHandle, error)
 	ep.rdzvSrc[seq] = &rdzvSrc{mr: mr, wait: wait, tok: tok, peer: rank}
 	ep.stats.rdzvTx++
 	ep.mu.Unlock()
-	frame := ep.framePool.Get(1 + 8 + 8 + 8 + 4 + 8)
+	frame := ep.framePool.Get(rtsFrameLen)
 	frame[0] = kRTS
 	binary.LittleEndian.PutUint64(frame[1:], tag)
 	binary.LittleEndian.PutUint64(frame[9:], uint64(len(data)))
@@ -412,7 +420,7 @@ func (ep *Endpoint) postSendRetry(rank int, frame []byte, tok uint64) error {
 		err := ep.qps[rank].PostSend(verbs.SendWR{
 			WRID: tok, Op: verbs.OpSend, Local: frame, Signaled: tok != 0,
 		})
-		if err != nicsim.ErrSQFull {
+		if err == nil || !errors.Is(err, nicsim.ErrSQFull) {
 			return err
 		}
 		ep.Progress()
@@ -596,7 +604,7 @@ func (ep *Endpoint) handleRecvCQE(e verbs.CQE) {
 		return
 	}
 	frame := bufs[slot][:e.ByteLen]
-	ep.dispatchFrameLocked(e.SrcNode, frame)
+	ep.dispatchFrameLocked(e.SrcNode, frame) //photon:allow lockorder -- every r.done is buffered (cap 1, one completion per request); the send cannot block
 	ep.mu.Unlock()
 	// Re-post the bounce buffer (consumed exactly once).
 	_ = ep.qps[peer].PostRecv(verbs.RecvWR{WRID: e.WRID, Buf: bufs[slot]})
@@ -631,22 +639,22 @@ func decodeFrame(buf []byte) (frame, bool) {
 	}
 	switch buf[0] {
 	case kEager:
-		if len(buf) < 13 {
+		if len(buf) < eagerHdrLen {
 			return frame{}, false
 		}
 		plen := int(binary.LittleEndian.Uint32(buf[9:]))
-		if plen > len(buf)-13 {
+		if plen > len(buf)-eagerHdrLen {
 			// Tolerate short frames from truncating transports: deliver
 			// what actually arrived (historical receiver behavior).
-			plen = len(buf) - 13
+			plen = len(buf) - eagerHdrLen
 		}
 		return frame{
 			kind:    kEager,
 			tag:     binary.LittleEndian.Uint64(buf[1:]),
-			payload: buf[13 : 13+plen],
+			payload: buf[eagerHdrLen : eagerHdrLen+plen],
 		}, true
 	case kRTS:
-		if len(buf) < 37 {
+		if len(buf) < rtsFrameLen {
 			return frame{}, false
 		}
 		size := binary.LittleEndian.Uint64(buf[9:])
@@ -663,7 +671,7 @@ func decodeFrame(buf []byte) (frame, bool) {
 			seq:  binary.LittleEndian.Uint64(buf[29:]),
 		}, true
 	case kFIN:
-		if len(buf) < 9 {
+		if len(buf) < finFrameLen {
 			return frame{}, false
 		}
 		return frame{kind: kFIN, seq: binary.LittleEndian.Uint64(buf[1:])}, true
@@ -742,7 +750,7 @@ func (ep *Endpoint) handleSendCQE(e verbs.CQE) {
 		ep.mu.Unlock()
 		if e.Status == verbs.StatusOK {
 			// FIN the sender, then deliver.
-			fin := ep.framePool.Get(9)
+			fin := ep.framePool.Get(finFrameLen)
 			fin[0] = kFIN
 			binary.LittleEndian.PutUint64(fin[1:], d.seq)
 			if ep.postSendRetry(d.src, fin, 0) == nil {

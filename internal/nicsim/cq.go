@@ -72,6 +72,7 @@ type CQE struct {
 // sized application never overflows (Photon sizes CQs to its ledger
 // and request-table bounds).
 type CQ struct {
+	//photon:lock cq 30
 	mu       sync.Mutex
 	cond     *sync.Cond
 	ring     []CQE

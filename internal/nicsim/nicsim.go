@@ -69,7 +69,8 @@ var (
 // RLocker while reading. This stands in for the cache-coherent ordered
 // visibility real DMA provides.
 type MR struct {
-	nic    *NIC
+	nic *NIC
+	//photon:lock mr 20
 	mu     sync.RWMutex
 	writes atomic.Uint64 // bumped after every remote write/atomic
 	buf    []byte
@@ -160,6 +161,7 @@ type NIC struct {
 	cfg    Config
 	closed atomic.Bool
 
+	//photon:lock nic 10
 	mu       sync.Mutex
 	mrsByKey map[uint32]*MR // rkey -> MR (rkey == lkey in this model)
 	nextKey  uint32
@@ -167,6 +169,7 @@ type NIC struct {
 	qps      map[uint32]*QP
 	nextQPN  uint32
 
+	//photon:lock nicatomic 15
 	atomicMu sync.Mutex // serializes remote atomics against this NIC's memory
 
 	// writeHook, when set, runs after every remote write or atomic is

@@ -82,6 +82,7 @@ type QP struct {
 	sq     chan *wqe
 	closed chan struct{}
 
+	//photon:lock qp 40
 	mu          sync.Mutex
 	state       qpState
 	remoteNode  int

@@ -31,6 +31,13 @@ const (
 	atomicCSwap = 2
 )
 
+// Fixed body lengths shared by the encoders and the decoders' short-
+// frame checks.
+const (
+	readBodyLen   = 8 + 4 + 4         // raddr | rkey | length
+	atomicBodyLen = 1 + 8 + 4 + 8 + 8 // kind | raddr | rkey | operand | compare
+)
+
 type header struct {
 	typ    frameType
 	srcQPN uint32
@@ -103,7 +110,7 @@ func decodeWrite(body []byte) (raddr uint64, rkey uint32, imm uint32, hasImm boo
 }
 
 func encodeRead(h header, raddr uint64, rkey uint32, length int) []byte {
-	b := make([]byte, hdrLen+16)
+	b := make([]byte, hdrLen+readBodyLen)
 	putHeader(b, h)
 	binary.LittleEndian.PutUint64(b[hdrLen:], raddr)
 	binary.LittleEndian.PutUint32(b[hdrLen+8:], rkey)
@@ -112,7 +119,7 @@ func encodeRead(h header, raddr uint64, rkey uint32, length int) []byte {
 }
 
 func decodeRead(body []byte) (raddr uint64, rkey uint32, length int, err error) {
-	if len(body) < 16 {
+	if len(body) < readBodyLen {
 		return 0, 0, 0, fmt.Errorf("nicsim: short read body")
 	}
 	raddr = binary.LittleEndian.Uint64(body)
@@ -122,7 +129,7 @@ func decodeRead(body []byte) (raddr uint64, rkey uint32, length int, err error) 
 }
 
 func encodeAtomic(h header, kind byte, raddr uint64, rkey uint32, operand, compare uint64) []byte {
-	b := make([]byte, hdrLen+29)
+	b := make([]byte, hdrLen+atomicBodyLen)
 	putHeader(b, h)
 	b[hdrLen] = kind
 	binary.LittleEndian.PutUint64(b[hdrLen+1:], raddr)
@@ -133,7 +140,7 @@ func encodeAtomic(h header, kind byte, raddr uint64, rkey uint32, operand, compa
 }
 
 func decodeAtomic(body []byte) (kind byte, raddr uint64, rkey uint32, operand, compare uint64, err error) {
-	if len(body) < 29 {
+	if len(body) < atomicBodyLen {
 		return 0, 0, 0, 0, 0, fmt.Errorf("nicsim: short atomic body")
 	}
 	kind = body[0]

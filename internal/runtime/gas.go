@@ -25,8 +25,9 @@ type GlobalArray struct {
 	l          *Locality
 	blockBytes int
 	local      []byte
-	localLk    sync.Locker
-	descs      []mem.RemoteBuffer
+	//photon:lock gaslocal 40
+	localLk sync.Locker
+	descs   []mem.RemoteBuffer
 }
 
 // NewGlobalArray collectively creates an array of size*blockBytes

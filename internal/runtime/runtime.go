@@ -158,10 +158,12 @@ type Locality struct {
 	rank int
 	size int
 
+	//photon:lock act 10
 	actMu   sync.RWMutex
 	actions map[ActionID]Handler
 	names   map[ActionID]string
 
+	//photon:lock fut 20
 	futMu   sync.Mutex
 	futures map[uint64]*Future
 	nextFut uint64
@@ -175,8 +177,9 @@ type Locality struct {
 
 	// barrier state
 	barrierGen atomic.Uint64
-	barMu      sync.Mutex
-	barGen     map[uint64]*barState
+	//photon:lock bar 30
+	barMu  sync.Mutex
+	barGen map[uint64]*barState
 
 	counters struct {
 		sent, executed, resolved atomic.Int64
@@ -319,12 +322,20 @@ func (l *Locality) registerFutureForRID(buf []byte) (uint64, *Future) {
 	return bitFuture | id, f
 }
 
+// Parcel wire fixed-part lengths shared by the encoders and the
+// decode-side short-frame checks.
+const (
+	parcelHdrLen   = 4 + 8 // action4 | cont8; payload follows
+	replyHdrLen    = 8 + 1 // cont8 | failed1; body follows
+	barrierBodyLen = 8     // generation8
+)
+
 // parcel wire format: [action4][cont8][payload...]
 func encodeParcel(action ActionID, cont uint64, payload []byte) []byte {
-	b := make([]byte, 12+len(payload))
+	b := make([]byte, parcelHdrLen+len(payload))
 	binary.LittleEndian.PutUint32(b[0:], uint32(action))
 	binary.LittleEndian.PutUint64(b[4:], cont)
-	copy(b[12:], payload)
+	copy(b[parcelHdrLen:], payload)
 	return b
 }
 
@@ -406,12 +417,12 @@ func (l *Locality) dispatch() {
 
 // execParcel decodes and schedules one parcel on the worker pool.
 func (l *Locality) execParcel(c core.Completion) {
-	if len(c.Data) < 12 {
+	if len(c.Data) < parcelHdrLen {
 		return
 	}
 	action := ActionID(binary.LittleEndian.Uint32(c.Data[0:]))
 	cont := binary.LittleEndian.Uint64(c.Data[4:])
-	payload := c.Data[12:]
+	payload := c.Data[parcelHdrLen:]
 	l.actMu.RLock()
 	h, ok := l.actions[action]
 	l.actMu.RUnlock()
@@ -445,30 +456,30 @@ func (l *Locality) execParcel(c core.Completion) {
 			l.replyErr(c.Rank, cont, err.Error())
 			return
 		}
-		body := make([]byte, 9+len(out))
+		body := make([]byte, replyHdrLen+len(out))
 		binary.LittleEndian.PutUint64(body[0:], cont)
 		body[8] = 0
-		copy(body[9:], out)
+		copy(body[replyHdrLen:], out)
 		_ = l.send(c.Rank, ActionIDFor(actReply), 0, body)
 	}()
 }
 
 func (l *Locality) replyErr(rank int, cont uint64, msg string) {
-	body := make([]byte, 9+len(msg))
+	body := make([]byte, replyHdrLen+len(msg))
 	binary.LittleEndian.PutUint64(body[0:], cont)
 	body[8] = 1
-	copy(body[9:], msg)
+	copy(body[replyHdrLen:], msg)
 	_ = l.send(rank, ActionIDFor(actReply), 0, body)
 }
 
 // handleReply resolves a continuation future.
 func (l *Locality) handleReply(ctx *Context) ([]byte, error) {
-	if len(ctx.Payload) < 9 {
+	if len(ctx.Payload) < replyHdrLen {
 		return nil, nil
 	}
 	id := binary.LittleEndian.Uint64(ctx.Payload[0:])
 	failed := ctx.Payload[8] == 1
-	body := append([]byte(nil), ctx.Payload[9:]...)
+	body := append([]byte(nil), ctx.Payload[replyHdrLen:]...)
 	if f, ok := l.takeFuture(id); ok {
 		if failed {
 			f.set(nil, 0, errors.New(string(body)))
@@ -485,7 +496,7 @@ func (l *Locality) handleReply(ctx *Context) ([]byte, error) {
 // completes).
 func (l *Locality) Barrier() error {
 	gen := l.barrierGen.Add(1)
-	body := make([]byte, 8)
+	body := make([]byte, barrierBodyLen)
 	binary.LittleEndian.PutUint64(body, gen)
 	f, err := l.Call(0, ActionIDFor(actBarrier), body)
 	if err != nil {
@@ -498,7 +509,7 @@ func (l *Locality) Barrier() error {
 // handleBarrier runs at rank 0: it blocks the worker until all ranks of
 // the generation have arrived, then releases them all at once.
 func (l *Locality) handleBarrier(ctx *Context) ([]byte, error) {
-	if len(ctx.Payload) < 8 {
+	if len(ctx.Payload) < barrierBodyLen {
 		return nil, errors.New("runtime: short barrier parcel")
 	}
 	gen := binary.LittleEndian.Uint64(ctx.Payload)

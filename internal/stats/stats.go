@@ -105,6 +105,7 @@ func (s *Sample) String() string {
 
 // SharedSample is a mutex-guarded Sample for concurrent producers.
 type SharedSample struct {
+	//photon:lock sample 10
 	mu sync.Mutex
 	s  Sample
 }

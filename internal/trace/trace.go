@@ -70,6 +70,7 @@ type Ring struct {
 }
 
 type slot struct {
+	//photon:lock traceslot 10
 	mu sync.Mutex
 	ev Event
 	ok bool
