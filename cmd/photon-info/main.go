@@ -9,10 +9,12 @@ import (
 	"fmt"
 	goruntime "runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"photon/internal/backend/tcp"
 	"photon/internal/bench"
+	"photon/internal/collectives"
 	"photon/internal/core"
 	"photon/internal/fabric"
 	"photon/internal/metrics"
@@ -75,7 +77,81 @@ func main() {
 		fmt.Println()
 		fmt.Println("sharded engine + shm transport (2-rank shm job, 2 shards):")
 		fmt.Print(indent(shmDataPath(), "  "))
+		fmt.Println()
+		fmt.Println("collectives engine (4-rank vsim job: barriers, allreduces, alltoall):")
+		fmt.Print(indent(collEngine(), "  "))
 	}
+}
+
+// collEngine boots a 4-rank vsim job, drives each collective a few
+// times, and reports what the schedule engine exports through
+// Photon.Metrics: per-kind coll_* call counters and algorithm-selection
+// gauges plus the whole-collective photon_coll_latency_ns histograms.
+func collEngine() string {
+	env, err := bench.NewPhotonOnly(4, fabric.Model{}, core.Config{Metrics: true})
+	if err != nil {
+		return fmt.Sprintln("error:", err)
+	}
+	defer env.Close()
+	comms := make([]*collectives.Comm, 4)
+	var cwg sync.WaitGroup
+	for r := range comms {
+		cwg.Add(1)
+		go func(r int) {
+			defer cwg.Done()
+			comms[r] = collectives.New(env.Phs[r], 5*time.Second)
+		}(r)
+	}
+	cwg.Wait()
+	errs := make([]error, 4)
+	var wg sync.WaitGroup
+	for r := range comms {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := comms[r]
+			vec := []float64{float64(r), 1, 2, 3}
+			for i := 0; i < 8; i++ {
+				if err := c.Barrier(); err != nil {
+					errs[r] = err
+					return
+				}
+				if err := c.AllreduceInPlace(vec, collectives.OpSum); err != nil {
+					errs[r] = err
+					return
+				}
+			}
+			blobs := make([][]byte, 4)
+			for i := range blobs {
+				blobs[i] = []byte{byte(r), byte(i)}
+			}
+			_, errs[r] = c.Alltoall(blobs)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Sprintln("error:", err)
+		}
+	}
+	snap := env.Phs[0].Metrics()
+	var b strings.Builder
+	for _, h := range snap.Hists {
+		if strings.HasPrefix(h.Name, "coll/") {
+			fmt.Fprintf(&b, "%-14s n=%-4d p50=%.1fus p99=%.1fus\n",
+				h.Name, h.Hist.N(),
+				float64(h.Hist.Quantile(0.5))/1e3, float64(h.Hist.Quantile(0.99))/1e3)
+		}
+	}
+	cs := stats.NewCounterSet()
+	for _, n := range snap.Gauges.Names() {
+		if strings.HasPrefix(n, "coll_") {
+			v, _ := snap.Gauges.Get(n)
+			cs.Set(n, v)
+		}
+	}
+	b.WriteString(cs.Render())
+	return b.String()
 }
 
 // clusterInfo boots a 4-rank simulated job, drives a put ring so every

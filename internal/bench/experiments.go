@@ -73,6 +73,7 @@ var registry = map[string]func(scale float64) (*Report, error){
 	"E13": runE13,
 	"E14": runE14,
 	"E15": runE15,
+	"E16": runE16,
 }
 
 // warmProcess runs a short untimed traffic burst on scratch

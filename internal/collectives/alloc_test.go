@@ -1,0 +1,98 @@
+package collectives_test
+
+import (
+	"sync"
+	"testing"
+
+	"photon/internal/backend/shm"
+	"photon/internal/collectives"
+	"photon/internal/core"
+)
+
+// TestCollectiveSteadyStateAllocGuard pins the zero-alloc steady state:
+// after warmup, a barrier plus a small in-place allreduce allocates
+// nothing on any rank. The job runs over the shared-memory backend,
+// whose data path is allocation-free, so any allocation measured here
+// is the collectives layer's own.
+//
+// testing.AllocsPerRun counts process-global allocations and runs with
+// GOMAXPROCS=1, so the peer ranks iterate in lockstep with the measured
+// rank (collectives synchronize them) and their allocations count too —
+// the guard covers the whole job, not just rank 0.
+func TestCollectiveSteadyStateAllocGuard(t *testing.T) {
+	const (
+		n      = 4
+		warm   = 50
+		runs   = 100
+		total  = warm + runs + 1 // AllocsPerRun calls f runs+1 times
+		vecLen = 8
+	)
+	cl, err := shm.NewCluster(n, shm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	comms := make([]*collectives.Comm, n)
+	var boot sync.WaitGroup
+	for r := 0; r < n; r++ {
+		boot.Add(1)
+		go func(r int) {
+			defer boot.Done()
+			ph, err := core.Init(cl.Backend(r), core.Config{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			comms[r] = collectives.New(ph, waitT)
+		}(r)
+	}
+	boot.Wait()
+	for r := 0; r < n; r++ {
+		if comms[r] == nil {
+			t.Fatal("boot failed")
+		}
+	}
+
+	iter := func(c *collectives.Comm, vec []float64) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		return c.AllreduceInPlace(vec, collectives.OpSum)
+	}
+
+	// Peer ranks run exactly `total` lockstep iterations; the
+	// collectives themselves pace them against the measured rank.
+	var wg sync.WaitGroup
+	for r := 1; r < n; r++ {
+		wg.Add(1)
+		go func(c *collectives.Comm) {
+			defer wg.Done()
+			vec := make([]float64, vecLen)
+			for i := 0; i < total; i++ {
+				if err := iter(c, vec); err != nil {
+					t.Errorf("rank %d iter %d: %v", c.Rank(), i, err)
+					return
+				}
+			}
+		}(comms[r])
+	}
+
+	vec := make([]float64, vecLen)
+	for i := range vec {
+		vec[i] = float64(i)
+	}
+	for i := 0; i < warm; i++ {
+		if err := iter(comms[0], vec); err != nil {
+			t.Fatalf("warmup iter %d: %v", i, err)
+		}
+	}
+	avg := testing.AllocsPerRun(runs, func() {
+		if err := iter(comms[0], vec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	wg.Wait()
+	if avg != 0 {
+		t.Errorf("steady-state barrier+allreduce allocates %.1f times per op, want 0", avg)
+	}
+}

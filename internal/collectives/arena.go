@@ -1,0 +1,63 @@
+package collectives
+
+import (
+	"sync"
+
+	"photon/internal/mem"
+)
+
+// collArena is the registered scratch region behind the small-vector
+// recursive-doubling allreduce: every rank pins one buffer of
+// rounds × 2 banks × slot bytes and exchanges descriptors, after which
+// each RD round is a single one-sided put into the partner's slot plus
+// a completion wait — no per-call allocation, registration, or staging.
+//
+// Slot addressing: offset(round, bank) = ((round*2)+bank) * slot, with
+// round ∈ [0, rounds) the RD round index (0 = fold-in, 1..logp = the
+// exchange rounds, rounds-1 = fold-out) and bank the low bit of the
+// dedicated RD call counter (Comm.rdGen).
+//
+// Two banks are enough because the RD schedule is internally fully
+// synchronizing and the bank advances only on RD calls: a partner can
+// only write my (round, bank) slot for RD call m+2 after completing RD
+// call m+1, which transitively requires my round-sends of call m+1,
+// which I post only after entering call m+1 — i.e. after I finished
+// reading every slot of same-bank call m. Interleaved non-synchronizing
+// collectives (bcast, gather) cannot break this because they do not
+// advance rdGen. See DESIGN.md "Collectives" for the full argument.
+type collArena struct {
+	buf []byte
+	// Registration read-locker (the backend MR lock): held while
+	// reading slots to synchronize against remote DMA into buf.
+	//photon:lock collarena 45
+	lk    sync.Locker
+	peers []mem.RemoteBuffer // exchanged descriptors, indexed by rank
+	slot  int                // slot size in bytes (cfg.SmallAllreduceMax)
+}
+
+func (a *collArena) off(round, bank int) uint64 {
+	return uint64(((round * 2) + bank) * a.slot)
+}
+
+// ensureArena lazily builds the arena on first use. ExchangeBuffers is
+// collective, but so is the caller: algorithm selection is a pure
+// function of (vector length, size, config), so every rank reaches its
+// first RD allreduce — and therefore this exchange — on the same call.
+func (c *Comm) ensureArena() (*collArena, error) {
+	if c.arena != nil {
+		return c.arena, nil
+	}
+	rounds := c.rdSched().rounds
+	a := &collArena{slot: c.cfg.SmallAllreduceMax}
+	a.buf = make([]byte, rounds*2*a.slot)
+	rb, lk, err := c.ph.RegisterBuffer(a.buf)
+	if err != nil {
+		return nil, err
+	}
+	a.lk = lk
+	if a.peers, err = c.ph.ExchangeBuffers(rb); err != nil {
+		return nil, err
+	}
+	c.arena = a
+	return a, nil
+}

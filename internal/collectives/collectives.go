@@ -1,17 +1,36 @@
 // Package collectives provides the group operations runtime systems
 // need at startup and synchronization points — barrier, broadcast,
 // reduce, allreduce, gather, allgather, and all-to-all — implemented
-// purely over Photon's one-sided message primitive, the way the
-// original middleware layers its collective support over PWC.
+// purely over Photon's one-sided primitives, the way the original
+// middleware layers its collective support over PWC.
 //
-// Algorithms are the standard logarithmic ones: dissemination barrier,
-// binomial-tree broadcast/reduce, ring allgather, pairwise all-to-all.
+// Collectives compile into reusable per-Comm schedules (see
+// schedule.go): each call posts a round's edges nonblocking and reaps
+// the round's completions together, so a round costs one network
+// latency regardless of fan-out. Algorithms are selected by vector
+// size and job size:
+//
+//	barrier     radix-k dissemination, ceil(log_k N) rounds
+//	bcast       k-nomial tree, segmented and pipelined above SegmentBytes
+//	reduce      k-nomial tree combine with pre-posted child receives
+//	allreduce   recursive doubling over a registered PWC arena (small),
+//	            ring reduce-scatter + allgather (large, bandwidth-
+//	            optimal), tree reduce + bcast (in between)
+//	gather      flat, all sends in flight at once
+//	allgather   ring, zero-copy forwarding
+//	alltoall    pairwise, all N-1 sends posted before any wait
+//
+// Steady state allocates nothing on the barrier and in-place small
+// allreduce paths: schedules, wait scratch, and the RD arena are
+// per-Comm state, and payloads move through posted receives or the
+// registered arena.
 //
 // Every rank of the job must call each collective, with the same
 // arguments where semantics require it, in the same order (MPI-style
-// collective semantics). Completion identifiers used internally live in
-// the reserved RID space (top bit set); user RIDs must keep the top bit
-// clear.
+// collective semantics). A Comm is not safe for concurrent use by
+// multiple goroutines. Completion identifiers used internally live in
+// the reserved RID space (top bit set); user RIDs must keep the top
+// bit clear.
 package collectives
 
 import (
@@ -23,6 +42,8 @@ import (
 	"time"
 
 	"photon/internal/core"
+	"photon/internal/mem"
+	"photon/internal/metrics"
 )
 
 // ErrSizeMismatch is returned when ranks disagree on vector lengths.
@@ -53,35 +74,136 @@ func (o Op) apply(a, b float64) float64 {
 	panic(fmt.Sprintf("collectives: unknown op %d", o))
 }
 
-// RID space layout: 1<<63 | gen<<20 | kind<<16 | round<<8 | src.
-const ridBase = uint64(1) << 63
+// Config tunes a communicator. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Timeout bounds each internal wait (<=0 waits forever); production
+	// runs use a generous bound so a wedged peer surfaces as an error
+	// instead of a hang.
+	Timeout time.Duration
 
+	// Radix is the tree/dissemination fan-out k (default 2). Higher
+	// radix trades more messages per round for fewer rounds — with
+	// nonblocking rounds the extra messages overlap, so radix 4 barriers
+	// halve the round count at the same per-round latency.
+	Radix int
+
+	// SmallAllreduceMax is the largest encoded vector (bytes) served by
+	// the recursive-doubling arena path, and the arena slot size.
+	// Default 4096.
+	SmallAllreduceMax int
+
+	// SegmentBytes is the bcast/ring pipeline segment size (default
+	// 32KiB). Payloads larger than one segment are split and streamed so
+	// transfer overlaps forwarding down the tree. Segments at or below
+	// the eager threshold ride the doorbell-batched eager path;
+	// larger segments go rendezvous.
+	SegmentBytes int
+
+	// ForceAllreduce pins the allreduce algorithm for benchmarking:
+	// "rd", "ring", "tree", or "" for size-based selection. Forced
+	// choices that the vector cannot satisfy (rd beyond the arena slot,
+	// ring with fewer elements than ranks) fall back to selection.
+	ForceAllreduce string
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Radix < 2 {
+		cfg.Radix = 2
+	}
+	if cfg.Radix > 16 {
+		cfg.Radix = 16
+	}
+	if cfg.SmallAllreduceMax <= 0 {
+		cfg.SmallAllreduceMax = 4096
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 32 << 10
+	}
+	return cfg
+}
+
+// numCollKinds sizes the per-kind counters (metrics.CollKind domain).
+const numCollKinds = int(metrics.CollAlltoall) + 1
+
+// Allreduce algorithm counters.
 const (
-	kindBarrier = iota + 1
-	kindBcast
-	kindReduce
-	kindGather
-	kindAllgather
-	kindAlltoall
+	algoRD = iota
+	algoRing
+	algoTree
+	numAlgos
 )
+
+var algoNames = [numAlgos]string{"rd", "ring", "tree"}
 
 // Comm is a collective communicator bound to one Photon instance. All
 // ranks construct their Comm over their own instance; the generation
 // counters advance in lockstep because collectives are called
 // collectively.
+//
+// A Comm is not safe for concurrent use: its wait pacer and scratch
+// buffers are per-instance state. Create one Comm per calling
+// goroutine (they share the Photon instance safely).
 type Comm struct {
 	ph      *core.Photon
 	rank    int
 	size    int
-	gen     atomic.Uint64
+	cfg     Config
 	timeout time.Duration
+
+	gen   atomic.Uint64 // shared collective generation (RID uniqueness)
+	rdGen atomic.Uint64 // RD-allreduce call counter (arena banking)
+
+	w *core.Waiter
+
+	// Compiled schedules (schedule.go), built on first use.
+	barSched *barrierSched
+	trees    map[int]*treeSched
+	rd       *rdSched
+	arena    *collArena
+
+	// Wait scratch, reused across calls.
+	rids  []uint64
+	lrids []uint64
+	comps []core.Completion
+	rid1  [1]uint64
+	comp1 [1]core.Completion
+
+	// Payload scratch, grown on demand and retained.
+	accF []float64
+	scrB []byte // send-side staging (encoded vectors, banked ring chunks)
+	rcvB []byte // receive-side staging (posted ring/tree buffers)
+	vec1 [1]float64
+
+	calls [numCollKinds]atomic.Int64
+	algos [numAlgos]atomic.Int64
 }
 
-// New creates a communicator. timeout bounds each internal wait (<=0
-// waits forever); production runs use a generous bound so a wedged peer
-// surfaces as an error instead of a hang.
+// New creates a communicator with default tuning. timeout bounds each
+// internal wait (<=0 waits forever).
 func New(ph *core.Photon, timeout time.Duration) *Comm {
-	return &Comm{ph: ph, rank: ph.Rank(), size: ph.Size(), timeout: timeout}
+	return NewWithConfig(ph, Config{Timeout: timeout})
+}
+
+// NewWithConfig creates a tuned communicator. Ranks must agree on the
+// algorithm-affecting fields (Radix, SmallAllreduceMax, SegmentBytes,
+// ForceAllreduce) — schedules are compiled locally and must match.
+// Panics if the job exceeds MaxRanks (the collective RID layout).
+func NewWithConfig(ph *core.Photon, cfg Config) *Comm {
+	if ph.Size() > MaxRanks {
+		panic(fmt.Sprintf("collectives: job size %d exceeds MaxRanks %d", ph.Size(), MaxRanks))
+	}
+	c := &Comm{
+		ph:      ph,
+		rank:    ph.Rank(),
+		size:    ph.Size(),
+		cfg:     cfg.withDefaults(),
+		timeout: cfg.Timeout,
+		w:       core.NewWaiter(ph),
+		trees:   make(map[int]*treeSched),
+	}
+	ph.AddGaugeSource(c.gauges)
+	return c
 }
 
 // Rank returns the caller's rank.
@@ -90,252 +212,355 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the job size.
 func (c *Comm) Size() int { return c.size }
 
-func rid(gen uint64, kind, round, src int) uint64 {
-	return ridBase | gen<<20 | uint64(kind)<<16 | uint64(round)<<8 | uint64(src)
-}
-
-// send transmits an internal collective message.
-func (c *Comm) send(dst int, data []byte, r uint64) error {
-	return c.ph.SendBlocking(dst, data, 0, r)
-}
-
-// recv waits for an internal collective message.
-func (c *Comm) recv(r uint64) ([]byte, error) {
-	comp, err := c.ph.WaitRemote(r, c.timeout)
-	if err != nil {
-		return nil, err
+// gauges contributes coll_* counters to Photon.Metrics snapshots.
+func (c *Comm) gauges(set func(name string, v int64)) {
+	for k := 0; k < numCollKinds; k++ {
+		if n := c.calls[k].Load(); n > 0 {
+			set("coll_"+metrics.CollKind(k).String()+"_calls", n)
+		}
 	}
-	if comp.Err != nil {
-		return nil, comp.Err
+	for a := 0; a < numAlgos; a++ {
+		if n := c.algos[a].Load(); n > 0 {
+			set("coll_allreduce_"+algoNames[a], n)
+		}
 	}
-	return comp.Data, nil
 }
 
-// Barrier blocks until every rank has entered it (dissemination
-// algorithm: ceil(log2(n)) rounds of pairwise notifications).
+// obsStart opens a latency observation when metrics are on.
+func (c *Comm) obsStart(k metrics.CollKind) time.Time {
+	c.calls[k].Add(1)
+	if c.ph.MetricsRegistry().Enabled() {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// obsEnd records the whole-collective latency opened by obsStart.
+func (c *Comm) obsEnd(k metrics.CollKind, t0 time.Time) {
+	if !t0.IsZero() {
+		c.ph.MetricsRegistry().RecordColl(k, int64(time.Since(t0)))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Nonblocking post + wait helpers
+// ---------------------------------------------------------------------
+
+// sendNB posts a message, driving progress through transient
+// backpressure (ErrWouldBlock) without blocking on the completion.
+func (c *Comm) sendNB(dst int, data []byte, localRID, remoteRID uint64) error {
+	for {
+		err := c.ph.Send(dst, data, localRID, remoteRID)
+		if err == nil || !errors.Is(err, core.ErrWouldBlock) {
+			return err
+		}
+		if c.ph.Progress() == 0 {
+			c.w.Idle()
+		} else {
+			c.w.Progressed()
+		}
+	}
+}
+
+// putNB posts a one-sided put the same way.
+func (c *Comm) putNB(dst int, data []byte, rb mem.RemoteBuffer, off uint64, localRID, remoteRID uint64) error {
+	for {
+		err := c.ph.PutWithCompletion(dst, data, rb, off, localRID, remoteRID)
+		if err == nil || !errors.Is(err, core.ErrWouldBlock) {
+			return err
+		}
+		if c.ph.Progress() == 0 {
+			c.w.Idle()
+		} else {
+			c.w.Progressed()
+		}
+	}
+}
+
+// wait1 reaps a single completion through the shared waiter scratch.
+func (c *Comm) wait1(r uint64, local bool) (core.Completion, error) {
+	c.rid1[0] = r
+	c.comp1[0] = core.Completion{}
+	var err error
+	if local {
+		err = c.ph.WaitLocalAll(c.w, c.rid1[:], c.comp1[:], c.timeout)
+	} else {
+		err = c.ph.WaitRemoteAll(c.w, c.rid1[:], c.comp1[:], c.timeout)
+	}
+	return c.comp1[0], err
+}
+
+// compsFor returns the completion scratch sized for n entries.
+func (c *Comm) compsFor(n int) []core.Completion {
+	if cap(c.comps) < n {
+		c.comps = make([]core.Completion, n)
+	}
+	s := c.comps[:n]
+	for i := range s {
+		s[i] = core.Completion{}
+	}
+	return s
+}
+
+// needFIN reports whether a send of n bytes goes rendezvous, in which
+// case the engine references the buffer until the FIN arrives and the
+// sender must carry a local RID and drain it before reusing or
+// returning the memory.
+func (c *Comm) needFIN(n int) bool { return n > c.ph.EagerThreshold() }
+
+// trackSend posts a send, attaching a local RID (collected for
+// drainLocal) only when the payload size requires FIN tracking.
+func (c *Comm) trackSend(dst int, data []byte, localRID, remoteRID uint64) error {
+	if !c.needFIN(len(data)) {
+		localRID = 0
+	} else {
+		c.lrids = append(c.lrids, localRID)
+	}
+	return c.sendNB(dst, data, localRID, remoteRID)
+}
+
+// drainLocal reaps every local RID collected by trackSend, releasing
+// the engine's hold on the corresponding buffers.
+func (c *Comm) drainLocal() error {
+	if len(c.lrids) == 0 {
+		return nil
+	}
+	out := c.compsFor(len(c.lrids))
+	err := c.ph.WaitLocalAll(c.w, c.lrids, out, c.timeout)
+	c.lrids = c.lrids[:0]
+	for i := range out {
+		out[i] = core.Completion{}
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------
+// Payload scratch
+// ---------------------------------------------------------------------
+
+func (c *Comm) sendScratch(n int) []byte {
+	if cap(c.scrB) < n {
+		c.scrB = make([]byte, n)
+	}
+	return c.scrB[:n]
+}
+
+func (c *Comm) recvScratch(n int) []byte {
+	if cap(c.rcvB) < n {
+		c.rcvB = make([]byte, n)
+	}
+	return c.rcvB[:n]
+}
+
+func (c *Comm) accFor(n int) []float64 {
+	if cap(c.accF) < n {
+		c.accF = make([]float64, n)
+	}
+	return c.accF[:n]
+}
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+// Barrier blocks until every rank has entered it: radix-k dissemination
+// with every round's notifications posted nonblocking and reaped in one
+// wait, so the critical path is ceil(log_k N) network latencies.
 func (c *Comm) Barrier() error {
 	gen := c.gen.Add(1)
+	t0 := c.obsStart(metrics.CollBarrier)
+	defer c.obsEnd(metrics.CollBarrier, t0)
 	if c.size == 1 {
 		return nil
 	}
-	for round, dist := 0, 1; dist < c.size; round, dist = round+1, dist*2 {
-		to := (c.rank + dist) % c.size
-		from := (c.rank - dist + c.size) % c.size
-		if err := c.send(to, nil, rid(gen, kindBarrier, round, c.rank)); err != nil {
-			return err
-		}
-		if _, err := c.recv(rid(gen, kindBarrier, round, from)); err != nil {
-			return err
-		}
-	}
-	// Push any batched credit returns out so a peer that is about to
-	// go quiet doesn't strand them.
-	c.ph.Flush()
-	return nil
+	return c.barrier(gen)
 }
 
-// Bcast distributes root's data to every rank (binomial tree) and
-// returns each rank's copy.
+// Bcast distributes root's data to every rank (k-nomial tree, segmented
+// above SegmentBytes) and returns each rank's copy. The root's return
+// value is data itself; non-roots receive into buffers the delivery
+// lands in directly — no rank copies the payload more than once.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	if root < 0 || root >= c.size {
 		return nil, core.ErrBadRank
 	}
 	gen := c.gen.Add(1)
+	t0 := c.obsStart(metrics.CollBcast)
+	defer c.obsEnd(metrics.CollBcast, t0)
 	if c.size == 1 {
 		return data, nil
 	}
-	// Work in root-relative rank space.
-	vrank := (c.rank - root + c.size) % c.size
-	buf := data
-	if vrank != 0 {
-		// Receive once from the parent.
-		got, err := c.recv(rid(gen, kindBcast, 0, 0))
-		if err != nil {
-			return nil, err
-		}
-		buf = got
+	return c.bcast(gen, root, data)
+}
+
+// BcastInto distributes the root's buf into every rank's buf, which
+// must have the same length on all ranks. Unlike Bcast there is no
+// length header round and no allocation: deliveries are posted straight
+// into buf. The root's buf is the payload; other ranks' contents are
+// overwritten.
+func (c *Comm) BcastInto(root int, buf []byte) error {
+	if root < 0 || root >= c.size {
+		return core.ErrBadRank
 	}
-	// Forward to children: vrank + 2^k for each k where 2^k > vrank's
-	// low set bits... standard binomial: children are vrank | 2^k for
-	// 2^k > vrank, while vrank | 2^k < size.
-	for dist := 1; dist < c.size; dist *= 2 {
-		if vrank < dist {
-			child := vrank + dist
-			if child < c.size {
-				dst := (child + root) % c.size
-				if err := c.send(dst, buf, rid(gen, kindBcast, 0, 0)); err != nil {
-					return nil, err
-				}
-			}
-		} else if vrank < dist*2 {
-			// This node receives at round log2(dist); handled above
-			// by the single receive (parent sends exactly once).
-			continue
-		}
+	gen := c.gen.Add(1)
+	t0 := c.obsStart(metrics.CollBcast)
+	defer c.obsEnd(metrics.CollBcast, t0)
+	if c.size == 1 {
+		return nil
 	}
-	out := make([]byte, len(buf))
-	copy(out, buf)
-	return out, nil
+	return c.bcastInto(gen, root, buf)
 }
 
 // Reduce combines each rank's vector elementwise with op; the result is
-// returned at root (nil elsewhere). Binomial-tree combine.
+// returned at root (nil elsewhere). K-nomial tree combine with child
+// contributions received into pre-posted buffers.
 func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
 	if root < 0 || root >= c.size {
 		return nil, core.ErrBadRank
 	}
 	gen := c.gen.Add(1)
-	acc := make([]float64, len(data))
+	t0 := c.obsStart(metrics.CollReduce)
+	defer c.obsEnd(metrics.CollReduce, t0)
+	acc := c.accFor(len(data))
 	copy(acc, data)
-	vrank := (c.rank - root + c.size) % c.size
-	for dist := 1; dist < c.size; dist *= 2 {
-		if vrank%(dist*2) == 0 {
-			peer := vrank + dist
-			if peer < c.size {
-				src := (peer + root) % c.size
-				got, err := c.recv(rid(gen, kindReduce, 0, src))
-				if err != nil {
-					return nil, err
-				}
-				vec, err := decodeF64(got)
-				if err != nil {
-					return nil, err
-				}
-				if len(vec) != len(acc) {
-					return nil, ErrSizeMismatch
-				}
-				for i := range acc {
-					acc[i] = op.apply(acc[i], vec[i])
-				}
-			}
-		} else if vrank%(dist*2) == dist {
-			parent := vrank - dist
-			dst := (parent + root) % c.size
-			if err := c.send(dst, encodeF64(acc), rid(gen, kindReduce, 0, c.rank)); err != nil {
-				return nil, err
-			}
-			break
+	if c.size > 1 {
+		if err := c.reduceVec(gen, kindReduce, root, acc, op); err != nil {
+			return nil, err
 		}
 	}
 	if c.rank == root {
-		return acc, nil
+		out := make([]float64, len(acc))
+		copy(out, acc)
+		return out, nil
 	}
 	return nil, nil
 }
 
 // Allreduce combines every rank's vector and distributes the result to
-// all ranks (reduce to 0 + broadcast).
+// all ranks, returning a fresh slice. The algorithm is chosen by
+// encoded size: recursive doubling over the registered arena below
+// SmallAllreduceMax, bandwidth-optimal ring reduce-scatter + allgather
+// when the vector has at least one element per rank, tree reduce +
+// broadcast in between. Use AllreduceInPlace to avoid the result
+// allocation.
 func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
-	red, err := c.Reduce(0, data, op)
-	if err != nil {
+	out := make([]float64, len(data))
+	copy(out, data)
+	if err := c.AllreduceInPlace(out, op); err != nil {
 		return nil, err
 	}
-	var blob []byte
-	if c.rank == 0 {
-		blob = encodeF64(red)
-	}
-	out, err := c.Bcast(0, blob)
-	if err != nil {
-		return nil, err
-	}
-	return decodeF64(out)
+	return out, nil
 }
 
-// AllreduceScalar is Allreduce for one value.
+// AllreduceInPlace is Allreduce overwriting vec with the result. On the
+// small-vector path this allocates nothing after warmup.
+func (c *Comm) AllreduceInPlace(vec []float64, op Op) error {
+	t0 := c.obsStart(metrics.CollAllreduce)
+	defer c.obsEnd(metrics.CollAllreduce, t0)
+	if c.size == 1 {
+		c.gen.Add(1)
+		return nil
+	}
+	switch c.pickAllreduce(len(vec)) {
+	case algoRD:
+		c.algos[algoRD].Add(1)
+		return c.allreduceRD(c.rdGen.Add(1), vec, op)
+	case algoRing:
+		c.algos[algoRing].Add(1)
+		return c.allreduceRing(c.gen.Add(1), vec, op)
+	default:
+		c.algos[algoTree].Add(1)
+		return c.allreduceTree(c.gen.Add(1), vec, op)
+	}
+}
+
+// pickAllreduce selects the allreduce algorithm. Pure in (vector
+// length, size, config), so every rank picks the same schedule.
+func (c *Comm) pickAllreduce(n int) int {
+	fitsRD := 8*n <= c.cfg.SmallAllreduceMax
+	fitsRing := n >= c.size
+	switch c.cfg.ForceAllreduce {
+	case "rd":
+		if fitsRD {
+			return algoRD
+		}
+	case "ring":
+		if fitsRing {
+			return algoRing
+		}
+	case "tree":
+		return algoTree
+	}
+	if fitsRD {
+		return algoRD
+	}
+	if fitsRing {
+		return algoRing
+	}
+	return algoTree
+}
+
+// AllreduceScalar is Allreduce for one value; it allocates nothing
+// after warmup.
 func (c *Comm) AllreduceScalar(x float64, op Op) (float64, error) {
-	v, err := c.Allreduce([]float64{x}, op)
-	if err != nil {
+	c.vec1[0] = x
+	if err := c.AllreduceInPlace(c.vec1[:], op); err != nil {
 		return 0, err
 	}
-	return v[0], nil
+	return c.vec1[0], nil
 }
 
 // Gather collects every rank's blob at root, indexed by rank (nil
-// elsewhere). Flat gather: fine at the rank counts the simulator runs.
+// elsewhere). Flat gather with the root reaping all N-1 transfers in
+// one wait.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	if root < 0 || root >= c.size {
 		return nil, core.ErrBadRank
 	}
 	gen := c.gen.Add(1)
-	if c.rank != root {
-		if err := c.send(root, data, rid(gen, kindGather, 0, c.rank)); err != nil {
-			return nil, err
-		}
-		return nil, nil
-	}
-	out := make([][]byte, c.size)
-	out[root] = append([]byte(nil), data...)
-	for src := 0; src < c.size; src++ {
-		if src == root {
-			continue
-		}
-		got, err := c.recv(rid(gen, kindGather, 0, src))
-		if err != nil {
-			return nil, err
-		}
-		out[src] = got
-	}
-	return out, nil
+	t0 := c.obsStart(metrics.CollGather)
+	defer c.obsEnd(metrics.CollGather, t0)
+	return c.gather(gen, root, data)
 }
 
-// Allgather collects every rank's blob at every rank (ring algorithm:
-// size-1 forwarding steps).
+// Allgather collects every rank's blob at every rank (ring algorithm
+// with zero-copy forwarding: each received blob is relayed as-is).
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 	gen := c.gen.Add(1)
-	out := make([][]byte, c.size)
-	out[c.rank] = append([]byte(nil), data...)
-	if c.size == 1 {
-		return out, nil
-	}
-	right := (c.rank + 1) % c.size
-	left := (c.rank - 1 + c.size) % c.size
-	carry := out[c.rank]
-	for step := 0; step < c.size-1; step++ {
-		if err := c.send(right, carry, rid(gen, kindAllgather, step, c.rank)); err != nil {
-			return nil, err
-		}
-		got, err := c.recv(rid(gen, kindAllgather, step, left))
-		if err != nil {
-			return nil, err
-		}
-		// The blob received at step s originated at rank-1-s.
-		origin := (c.rank - 1 - step + 2*c.size) % c.size
-		out[origin] = got
-		carry = got
-	}
-	return out, nil
+	t0 := c.obsStart(metrics.CollAllgather)
+	defer c.obsEnd(metrics.CollAllgather, t0)
+	return c.allgather(gen, data)
 }
 
 // Alltoall delivers blobs[i] from each rank to rank i, returning the
-// blobs addressed to the caller, indexed by source (pairwise exchange).
+// blobs addressed to the caller, indexed by source. All N-1 sends are
+// posted before any wait, so the exchange is limited by link bandwidth
+// and ledger credits, not round-trip latency.
 func (c *Comm) Alltoall(blobs [][]byte) ([][]byte, error) {
 	if len(blobs) != c.size {
 		return nil, fmt.Errorf("collectives: alltoall needs %d blobs, got %d", c.size, len(blobs))
 	}
 	gen := c.gen.Add(1)
-	out := make([][]byte, c.size)
-	out[c.rank] = append([]byte(nil), blobs[c.rank]...)
-	for step := 1; step < c.size; step++ {
-		dst := (c.rank + step) % c.size
-		src := (c.rank - step + c.size) % c.size
-		if err := c.send(dst, blobs[dst], rid(gen, kindAlltoall, step, c.rank)); err != nil {
-			return nil, err
-		}
-		got, err := c.recv(rid(gen, kindAlltoall, step, src))
-		if err != nil {
-			return nil, err
-		}
-		out[src] = got
-	}
-	return out, nil
+	t0 := c.obsStart(metrics.CollAlltoall)
+	defer c.obsEnd(metrics.CollAlltoall, t0)
+	return c.alltoall(gen, blobs)
 }
+
+// ---------------------------------------------------------------------
+// Float encoding
+// ---------------------------------------------------------------------
 
 func encodeF64(v []float64) []byte {
 	b := make([]byte, 8*len(v))
+	encodeF64Into(b, v)
+	return b
+}
+
+// encodeF64Into writes v into b, which must hold 8*len(v) bytes.
+func encodeF64Into(b []byte, v []float64) {
 	for i, x := range v {
 		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(x))
 	}
-	return b
 }
 
 func decodeF64(b []byte) ([]float64, error) {
@@ -343,8 +568,21 @@ func decodeF64(b []byte) ([]float64, error) {
 		return nil, fmt.Errorf("collectives: float vector blob of %d bytes", len(b))
 	}
 	v := make([]float64, len(b)/8)
+	decodeF64Into(v, b)
+	return v, nil
+}
+
+// decodeF64Into overwrites v from b; len(b) must be 8*len(v).
+func decodeF64Into(v []float64, b []byte) {
 	for i := range v {
 		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
 	}
-	return v, nil
+}
+
+// decodeCombineF64 folds the encoded vector in b into v elementwise.
+func decodeCombineF64(v []float64, b []byte, op Op) {
+	for i := range v {
+		x := math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+		v[i] = op.apply(v[i], x)
+	}
 }

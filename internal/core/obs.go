@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +32,13 @@ type obsState struct {
 	// loopback or ping-pong path; a shared counter would phase-lock
 	// the two draws and could starve one stream entirely.
 	delSeq atomic.Uint64
+
+	// gauge sources registered by layers above the engine (collectives):
+	// each is invoked at Metrics snapshot time with a setter into the
+	// snapshot's gauge set.
+	//photon:lock obsgauge 85
+	gaugeMu   sync.Mutex
+	gaugeSrcs []func(set func(name string, v int64))
 }
 
 // obsEpoch anchors observability timestamps: time.Since against a
@@ -265,5 +273,24 @@ func (p *Photon) Metrics() *metrics.Snapshot {
 	if sb, ok := p.be.(StatsBackend); ok {
 		sb.TransportStats(func(name string, v int64) { g.Set(name, v) })
 	}
+
+	// Layered gauge sources (collectives counters and the like).
+	p.obs.gaugeMu.Lock()
+	var srcs []func(set func(name string, v int64))
+	srcs = append(srcs, p.obs.gaugeSrcs...)
+	p.obs.gaugeMu.Unlock()
+	for _, fn := range srcs {
+		fn(func(name string, v int64) { g.Set(name, v) })
+	}
 	return snap
+}
+
+// AddGaugeSource registers fn to contribute gauges to every Metrics
+// snapshot. Layers above the engine (collectives) use it to surface
+// their counters through the same snapshot without the engine knowing
+// their names. fn must be safe for concurrent use.
+func (p *Photon) AddGaugeSource(fn func(set func(name string, v int64))) {
+	p.obs.gaugeMu.Lock()
+	p.obs.gaugeSrcs = append(p.obs.gaugeSrcs, fn)
+	p.obs.gaugeMu.Unlock()
 }

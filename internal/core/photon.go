@@ -127,6 +127,11 @@ type pendingOp struct {
 	size      int
 	rdzvID    uint64 // rendezvous transfer id (FIN key)
 
+	// postedBuf, for opRdzvGet, is a caller-posted receive buffer the
+	// RDMA read lands in directly (no staging block, no copy-out); nil
+	// selects the slab-staging path.
+	postedBuf []byte
+
 	// deadlineNS is the nowNanos instant after which the op is swept
 	// into an ErrTimeout error completion; 0 = no deadline (OpTimeout
 	// disabled).
@@ -261,6 +266,10 @@ type Photon struct {
 	// generation-tagged (see token.go).
 	tok tokenTable
 
+	// recvs is the one-shot posted-receive table (see recv.go): message
+	// deliveries whose RID has a posted buffer land there directly.
+	recvs recvTab
+
 	//photon:lock rdzv 50
 	rdzvMu     sync.Mutex
 	rdzvSends  map[uint64]rdzvSend
@@ -341,6 +350,7 @@ func Init(be Backend, cfg Config) (*Photon, error) {
 		nextRdzvID: 1,
 	}
 	p.bbe, _ = be.(BatchBackend)
+	p.recvs.init()
 	p.initObs(&cfg)
 	p.reqPool.New = func() any {
 		s := make([]WriteReq, 0, wireBatchMax)

@@ -198,10 +198,14 @@ func (p *Photon) handleBackend(s *engineShard, bc BackendCompletion) {
 		// Data staged: copy out, release the block, FIN the sender,
 		// surface the delivery. The copy is owned by the caller from
 		// here on (Completion.Data contract), so it must not come
-		// from the recycling pool.
-		data := p.pool.GetOwned(op.size)
-		copy(data, op.block.Buf[:op.size])
-		_ = p.slab.Release(op.block)
+		// from the recycling pool. With a posted receive the read
+		// already landed in the caller's buffer: no block, no copy.
+		data := op.postedBuf
+		if data == nil {
+			data = p.pool.GetOwned(op.size)
+			copy(data, op.block.Buf[:op.size])
+			_ = p.slab.Release(op.block)
+		}
 		p.traceEv(trace.KindProtocol, op.rdzvID, "rdzv.read.done")
 		p.sendFIN(op.rank, op.rdzvID)
 		p.stats.rdzvRecvs.Add(1)
@@ -474,8 +478,13 @@ func (p *Photon) pollPeer(s *engineShard, ps *peerState) int {
 				parseTraceCtx(&pe, e.Payload[packedHdrSize+dlen:])
 			}
 			// The payload copy becomes Completion.Data, owned by the
-			// caller forever — never pool scratch.
-			data := p.pool.GetOwned(dlen)
+			// caller forever — never pool scratch. A posted receive
+			// supplies the destination instead (one atomic load when
+			// none are posted; recvtab rank 35 nests above arena 30).
+			data, posted := p.recvs.take(pe.rid, dlen)
+			if !posted {
+				data = p.pool.GetOwned(dlen)
+			}
 			copy(data, e.Payload[packedHdrSize:packedHdrSize+dlen])
 			pe.data = data
 			//photon:allow hotpathalloc -- amortized scratch growth; reset to length 0 each sweep, capacity is reused
@@ -623,7 +632,21 @@ func (p *Photon) handleFIN(ps *peerState, id uint64) {
 
 // startRdzvGet allocates staging space and posts the rendezvous read.
 // Returns false when it must be retried later (no slab space / SQ full).
+// When the delivery RID has a posted receive, the read lands in the
+// posted buffer directly — no slab block, no copy-out at completion.
 func (p *Photon) startRdzvGet(r rtsOp) bool {
+	if buf, ok := p.recvs.take(r.remoteRID, r.size); ok {
+		tok := p.newToken(pendingOp{
+			kind: opRdzvGet, rank: r.rank, remoteRID: r.remoteRID,
+			postedBuf: buf, size: r.size, rdzvID: r.rdzvID, traced: r.traced,
+		})
+		if err := p.be.PostRead(r.rank, buf, r.addr, r.rkey, tok); err != nil {
+			p.takeToken(tok)
+			p.recvs.restore(r.remoteRID, buf)
+			return false
+		}
+		return true
+	}
 	block, err := p.slab.Alloc(r.size)
 	if err != nil {
 		return false

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"photon/internal/trace"
+)
+
+// recvTab is the one-shot posted-receive table: buffers registered by
+// RID that inbound message deliveries (packed and rendezvous) land in
+// directly, skipping the middleware's own allocation and staging copy.
+// It exists for schedule-driven layers (collectives) that know exactly
+// which RIDs will arrive and want arrivals delivered into caller-owned
+// memory once.
+type recvTab struct {
+	// count gates the poll-path lookup: when no receives are posted,
+	// consulting the table costs one atomic load and no lock.
+	count atomic.Int64
+
+	//photon:lock recvtab 35
+	mu   sync.Mutex
+	bufs map[uint64][]byte
+}
+
+func (t *recvTab) init() { t.bufs = make(map[uint64][]byte) }
+
+// post registers buf for rid. The rid must not already be posted.
+func (t *recvTab) post(rid uint64, buf []byte) error {
+	t.mu.Lock()
+	if _, dup := t.bufs[rid]; dup {
+		t.mu.Unlock()
+		return fmt.Errorf("photon: receive already posted for rid %#x", rid)
+	}
+	t.bufs[rid] = buf
+	t.mu.Unlock()
+	t.count.Add(1)
+	return nil
+}
+
+// take removes and returns the posted buffer for rid if one exists and
+// is large enough for need bytes. Undersized postings are left in
+// place (the arrival falls back to middleware-owned delivery and the
+// caller reclaims the posting with cancel). Called from the poll path,
+// but the count load gates the mutex: with nothing posted the cost is
+// one atomic load.
+func (t *recvTab) take(rid uint64, need int) ([]byte, bool) {
+	if t.count.Load() == 0 {
+		return nil, false
+	}
+	t.mu.Lock()
+	b, ok := t.bufs[rid]
+	if !ok || len(b) < need {
+		t.mu.Unlock()
+		return nil, false
+	}
+	delete(t.bufs, rid)
+	t.mu.Unlock()
+	t.count.Add(-1)
+	return b[:need], true
+}
+
+// restore re-registers a buffer taken by take when the posted delivery
+// could not be started (transport busy); the next attempt finds it
+// again.
+func (t *recvTab) restore(rid uint64, buf []byte) {
+	t.mu.Lock()
+	t.bufs[rid] = buf
+	t.mu.Unlock()
+	t.count.Add(1)
+}
+
+// cancel removes a posting that was never consumed.
+func (t *recvTab) cancel(rid uint64) bool {
+	if t.count.Load() == 0 {
+		return false
+	}
+	t.mu.Lock()
+	_, ok := t.bufs[rid]
+	if ok {
+		delete(t.bufs, rid)
+	}
+	t.mu.Unlock()
+	if ok {
+		t.count.Add(-1)
+	}
+	return ok
+}
+
+// PostRecv registers a one-shot posted receive: when a message delivery
+// (packed eager or rendezvous) arrives carrying rid, its payload is
+// placed directly into buf — no middleware allocation, no staging copy
+// — and the harvested remote completion's Data aliases buf.
+//
+// The posting is consumed by the first matching arrival whose payload
+// fits in buf (rendezvous reads land buf[:size]; packed deliveries
+// surface Data = buf[:payloadLen]). An arrival larger than buf ignores
+// the posting and is delivered middleware-owned as usual. A message
+// that arrives before PostRecv is likewise delivered middleware-owned:
+// callers that cannot order the post before the arrival check
+// CancelRecv after harvesting — if it returns true the posting went
+// unused and the completion's Data is a middleware-owned copy to fold
+// into buf.
+//
+// buf is owned by the engine until the posting is consumed or
+// canceled.
+func (p *Photon) PostRecv(rid uint64, buf []byte) error {
+	if rid == 0 {
+		return fmt.Errorf("photon: posted receive needs a non-zero rid")
+	}
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	return p.recvs.post(rid, buf)
+}
+
+// CancelRecv withdraws a posted receive, reporting whether the posting
+// was still unconsumed (true: the engine no longer references buf;
+// false: an arrival already consumed it).
+func (p *Photon) CancelRecv(rid uint64) bool {
+	return p.recvs.cancel(rid)
+}
+
+// Waiter paces blocking wait loops across calls: it keeps the notifier
+// subscription and park timer of the engine's internal idle waiter
+// alive between waits, so schedule-driven callers (collectives) running
+// thousands of rounds do not re-subscribe per round. The zero value is
+// not usable; obtain one from NewWaiter and Release it when done.
+//
+// A Waiter is not safe for concurrent use.
+type Waiter struct {
+	w    idleWaiter
+	pend []int // WaitAll index scratch, reused across calls
+}
+
+// NewWaiter creates a reusable wait pacer bound to this instance.
+func NewWaiter(p *Photon) *Waiter {
+	return &Waiter{w: idleWaiter{p: p}}
+}
+
+// Idle parks the caller until backend activity suggests progress is
+// possible (or a grace period passes). Call it after a Progress round
+// that handled nothing; re-poll after every return.
+func (w *Waiter) Idle() { w.w.wait() }
+
+// Progressed resets the idle pacing after a productive round.
+func (w *Waiter) Progressed() { w.w.progressed() }
+
+// Release retires the waiter's notifier subscription and timer. The
+// waiter may be reused afterwards (the next Idle resubscribes).
+func (w *Waiter) Release() { w.w.stop() }
+
+// WaitRemoteAll drives progress until every listed remote completion
+// has arrived, removing each from its stream; out[i] receives the
+// completion for rids[i]. A zero rid is skipped (its out slot is left
+// untouched) — schedules with no-op edges pass holes rather than
+// compacting. Unlike len(rids) separate WaitRemote calls, one call
+// reaps arrivals in whatever order the network delivers them, so a
+// round of r messages costs one network latency, not r.
+//
+// A non-positive timeout waits forever (bounded by 2×OpTimeout when op
+// deadlines are armed). On timeout the already-arrived completions are
+// in out and ErrTimeout is returned. When every completion arrived,
+// the first non-nil Completion.Err (in rids order) is returned, so
+// callers checking only the error still observe per-op failures.
+func (p *Photon) WaitRemoteAll(w *Waiter, rids []uint64, out []Completion, timeout time.Duration) error {
+	return p.waitAllMatched(w, rids, out, timeout, false)
+}
+
+// WaitLocalAll is WaitRemoteAll for local completions.
+func (p *Photon) WaitLocalAll(w *Waiter, rids []uint64, out []Completion, timeout time.Duration) error {
+	return p.waitAllMatched(w, rids, out, timeout, true)
+}
+
+func (p *Photon) waitAllMatched(w *Waiter, rids []uint64, out []Completion, timeout time.Duration, local bool) error {
+	if len(out) < len(rids) {
+		return fmt.Errorf("photon: wait-all out slice too short: %d for %d rids", len(out), len(rids))
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	} else if p.opTimeoutNS > 0 {
+		// Same bound as waitMatch: with op deadlines armed, every
+		// in-flight op surfaces an error completion within ~2×OpTimeout.
+		deadline = time.Now().Add(2 * time.Duration(p.opTimeoutNS))
+	}
+	pend := w.pend[:0]
+	for i, rid := range rids {
+		if rid != 0 {
+			pend = append(pend, i)
+		}
+	}
+	for len(pend) > 0 {
+		n := p.Progress()
+		took := false
+		for j := 0; j < len(pend); {
+			i := pend[j]
+			if c, ok := p.takeMatchAny(rids[i], local); ok {
+				if c.traced {
+					p.traceEv(trace.KindReap, c.RID, "reap.waitall")
+				}
+				out[i] = c
+				pend[j] = pend[len(pend)-1]
+				pend = pend[:len(pend)-1]
+				took = true
+				continue
+			}
+			j++
+		}
+		if len(pend) == 0 {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			w.pend = pend[:0]
+			return ErrTimeout
+		}
+		if p.closed.Load() {
+			w.pend = pend[:0]
+			return ErrClosed
+		}
+		if n == 0 && !took {
+			w.Idle()
+		} else {
+			w.Progressed()
+		}
+	}
+	w.pend = pend[:0]
+	for i, rid := range rids {
+		if rid != 0 && out[i].Err != nil {
+			return out[i].Err
+		}
+	}
+	return nil
+}

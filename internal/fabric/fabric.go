@@ -56,10 +56,16 @@ type Frame struct {
 // NIC copies out what it needs and returns.
 type Handler func(Frame)
 
-// LinkStats reports per-directed-link traffic counters.
+// LinkStats reports per-directed-link traffic counters. MaxQueued is
+// the high-water mark of queue occupancy observed at enqueue time: how
+// close the link came to its QueueDepth bound. A MaxQueued at or near
+// QueueDepth means senders on this link experienced blocking
+// backpressure; well below it, the queue bound was never the
+// constraint.
 type LinkStats struct {
-	Frames int64
-	Bytes  int64
+	Frames    int64
+	Bytes     int64
+	MaxQueued int64
 }
 
 // Fabric is a simulated interconnect among NumNodes nodes.
@@ -89,10 +95,23 @@ type queued struct {
 }
 
 type link struct {
-	ch       chan queued
-	nextFree time.Time
-	frames   atomic.Int64
-	bytes    atomic.Int64
+	ch        chan queued
+	nextFree  time.Time
+	frames    atomic.Int64
+	bytes     atomic.Int64
+	maxQueued atomic.Int64
+}
+
+// noteOccupancy folds the current queue length into the link's
+// high-water mark.
+func (l *link) noteOccupancy() {
+	occ := int64(len(l.ch))
+	for {
+		cur := l.maxQueued.Load()
+		if occ <= cur || l.maxQueued.CompareAndSwap(cur, occ) {
+			return
+		}
+	}
 }
 
 // ErrClosed is returned by Send after the fabric has been closed.
@@ -153,6 +172,20 @@ func (f *Fabric) SetFault(fn func(src, dst int) bool) {
 // Send enqueues a frame from src to dst. The fabric takes ownership of
 // data; callers must not modify it afterwards. Send blocks if the link
 // queue is full, modeling transmit backpressure.
+//
+// Deadlock freedom: delivery handlers re-enter Send (the simulated NIC
+// ACKs every request on the reverse link), so a blocked Send can stall
+// a delivery goroutine. A cycle therefore needs every directed link in
+// it full at once — for a node pair, QueueDepth frames outstanding in
+// BOTH directions with neither receiver draining. Photon's middleware
+// cannot reach that state: the ledger credit flow bounds a peer's
+// un-ACKed requests to a small multiple of LedgerSlots (hundreds of
+// frames at defaults, far below DefaultQueueDepth), and responders
+// consume requests unconditionally — delivery never waits on
+// middleware-level progress, only on reverse-link space for the ACK,
+// which the credit bound keeps available. Deployments that shrink
+// QueueDepth below the credit bound give up this argument; the
+// MaxQueued high-water in LinkStats exists to check the margin.
 func (f *Fabric) Send(src, dst int, data []byte) error {
 	if src < 0 || src >= f.n || dst < 0 || dst >= f.n {
 		return ErrBadNode
@@ -166,6 +199,7 @@ func (f *Fabric) Send(src, dst int, data []byte) error {
 	}
 	select {
 	case l.ch <- queued{fr: Frame{Src: src, Dst: dst, Data: data}, at: time.Now()}:
+		l.noteOccupancy()
 		return nil
 	case <-f.done:
 		return ErrClosed
@@ -250,10 +284,11 @@ func (f *Fabric) Stats(src, dst int) LinkStats {
 	if l == nil {
 		return LinkStats{}
 	}
-	return LinkStats{Frames: l.frames.Load(), Bytes: l.bytes.Load()}
+	return LinkStats{Frames: l.frames.Load(), Bytes: l.bytes.Load(), MaxQueued: l.maxQueued.Load()}
 }
 
-// TotalStats sums traffic over all links.
+// TotalStats sums traffic over all links; MaxQueued is the maximum
+// high-water across them (the most congested link).
 func (f *Fabric) TotalStats() LinkStats {
 	f.mu.Lock()
 	links := make([]*link, 0, len(f.links))
@@ -265,6 +300,9 @@ func (f *Fabric) TotalStats() LinkStats {
 	for _, l := range links {
 		t.Frames += l.frames.Load()
 		t.Bytes += l.bytes.Load()
+		if hw := l.maxQueued.Load(); hw > t.MaxQueued {
+			t.MaxQueued = hw
+		}
 	}
 	return t
 }

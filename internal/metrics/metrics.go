@@ -67,6 +67,31 @@ func (s Stage) String() string {
 	return fmt.Sprintf("stage(%d)", uint8(s))
 }
 
+// CollKind classifies a collective operation for latency accounting.
+type CollKind uint8
+
+// Collective kinds tracked by the collectives layer.
+const (
+	CollBarrier CollKind = iota
+	CollBcast
+	CollReduce
+	CollAllreduce
+	CollGather
+	CollAllgather
+	CollAlltoall
+	numColls
+)
+
+var collNames = [...]string{"barrier", "bcast", "reduce", "allreduce", "gather", "allgather", "alltoall"}
+
+// String returns the lowercase collective name.
+func (k CollKind) String() string {
+	if int(k) < len(collNames) {
+		return collNames[k]
+	}
+	return fmt.Sprintf("coll(%d)", uint8(k))
+}
+
 // Phase classifies time spent inside the progress engine.
 type Phase uint8
 
@@ -157,6 +182,7 @@ type Registry struct {
 	enabled atomic.Bool
 	ops     [numOps][numStages]LatHist
 	phases  [numPhases]LatHist
+	colls   [numColls]LatHist
 }
 
 // NewRegistry returns an enabled registry.
@@ -179,6 +205,14 @@ func (r *Registry) RecordOp(k OpKind, st Stage, ns int64) {
 		return
 	}
 	r.ops[k][st].Record(ns)
+}
+
+// RecordColl adds one whole-collective latency observation.
+func (r *Registry) RecordColl(k CollKind, ns int64) {
+	if !r.Enabled() || k >= numColls {
+		return
+	}
+	r.colls[k].Record(ns)
 }
 
 // RecordPhase adds one progress-phase duration observation.
@@ -239,6 +273,19 @@ func (r *Registry) Snapshot() *Snapshot {
 			Name:   fmt.Sprintf("progress/%s", p),
 			Metric: "photon_progress_phase_ns",
 			Labels: fmt.Sprintf("phase=%q", p.String()),
+			Hist:   h,
+		})
+	}
+	for k := CollKind(0); k < numColls; k++ {
+		var h stats.Histogram
+		r.colls[k].MergeInto(&h)
+		if h.N() == 0 {
+			continue
+		}
+		snap.Hists = append(snap.Hists, NamedHist{
+			Name:   fmt.Sprintf("coll/%s", k),
+			Metric: "photon_coll_latency_ns",
+			Labels: fmt.Sprintf("kind=%q", k.String()),
 			Hist:   h,
 		})
 	}

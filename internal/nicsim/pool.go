@@ -1,0 +1,95 @@
+package nicsim
+
+import "sync"
+
+// Wire-frame and WQE recycling. The simulated NIC used to allocate one
+// frame buffer per message on the send side and one wqe per work
+// request; at collective scale (hundreds of ranks, log-depth schedules)
+// that garbage dominated simulation time. Frames have a strict
+// lifecycle — encoded at post, owned by the fabric in flight, and fully
+// consumed (payloads copied into posted buffers, MRs, or result
+// destinations) by the time onFrame returns — so both sides of the
+// exchange can draw from pools.
+
+// frameClasses spans 32 B (class 0) to 1 MiB; larger frames (huge
+// rendezvous reads) fall back to the garbage collector.
+const (
+	frameMinShift  = 5
+	frameClasses   = 16
+	frameMaxRetain = 256 // per class; bounds idle pool memory
+)
+
+// framePool is one size class: a mutex-guarded LIFO freelist (sharded
+// pools are overkill here — the lock is held for an append/pop and the
+// NICs of a cluster already serialize on the fabric links).
+type framePool struct {
+	//photon:lock framepool 60
+	mu   sync.Mutex
+	free [][]byte
+}
+
+var framePools [frameClasses]framePool
+
+// frameClassFor returns the size class whose capacity holds n bytes,
+// or -1 when n exceeds the largest pooled class.
+func frameClassFor(n int) int {
+	c := 0
+	for n > 1<<(frameMinShift+c) {
+		c++
+		if c >= frameClasses {
+			return -1
+		}
+	}
+	return c
+}
+
+// frameGet returns a frame buffer of length n, recycled when a pooled
+// class fits.
+func frameGet(n int) []byte {
+	c := frameClassFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	p := &framePools[c]
+	p.mu.Lock()
+	if len(p.free) > 0 {
+		b := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		p.mu.Unlock()
+		return b[:n]
+	}
+	p.mu.Unlock()
+	return make([]byte, n, 1<<(frameMinShift+c))
+}
+
+// framePut recycles a frame obtained from frameGet. Safe on any buffer:
+// capacities that do not match a pooled class exactly are dropped.
+func framePut(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	c := frameClassFor(cap(b))
+	if c < 0 || cap(b) != 1<<(frameMinShift+c) {
+		return
+	}
+	p := &framePools[c]
+	p.mu.Lock()
+	if len(p.free) < frameMaxRetain {
+		p.free = append(p.free, b[:cap(b)])
+	}
+	p.mu.Unlock()
+}
+
+// wqePool recycles send work-queue entries: every wqe path terminates
+// in completeSend exactly once (transmit failure, flush, or response
+// match), which returns it here.
+var wqePool = sync.Pool{New: func() any { return new(wqe) }}
+
+func wqeGet() *wqe {
+	return wqePool.Get().(*wqe)
+}
+
+func wqePut(w *wqe) {
+	*w = wqe{}
+	wqePool.Put(w)
+}

@@ -183,7 +183,10 @@ func (qp *QP) PostSend(wr SendWR) error {
 	dstQPN := qp.remoteQPN
 	qp.mu.Unlock()
 
-	w := &wqe{wr: wr, psn: psn, byteLen: len(wr.Local)}
+	w := wqeGet()
+	w.wr = wr
+	w.psn = psn
+	w.byteLen = len(wr.Local)
 	h := header{srcQPN: qp.qpn, dstQPN: dstQPN, psn: psn}
 	switch wr.Op {
 	case OpSend:
@@ -213,6 +216,8 @@ func (qp *QP) PostSend(wr SendWR) error {
 		qp.nic.counters.sendsPosted.Add(1)
 		return nil
 	default:
+		framePut(w.frame)
+		wqePut(w)
 		return ErrSQFull
 	}
 }
@@ -337,9 +342,17 @@ func (qp *QP) dropPending(psn uint64) {
 }
 
 // completeSend finishes a WQE: errors always produce a CQE; success
-// produces one only when the request was signaled.
+// produces one only when the request was signaled. This is the single
+// terminal for every WQE path (response match, transmit failure, SQ
+// flush), so the WQE — and a frame never handed to the fabric — return
+// to their pools here.
 func (qp *QP) completeSend(w *wqe, st Status) {
+	if w.frame != nil {
+		framePut(w.frame)
+		w.frame = nil
+	}
 	if st == StatusOK && !w.wr.Signaled {
+		wqePut(w)
 		return
 	}
 	if st != StatusOK {
@@ -350,13 +363,15 @@ func (qp *QP) completeSend(w *wqe, st Status) {
 		qp.mu.Unlock()
 	}
 	qp.nic.counters.completions.Add(1)
-	qp.sendCQ.push(CQE{
+	cqe := CQE{
 		WRID:    w.wr.WRID,
 		Status:  st,
 		Op:      w.wr.Op,
 		ByteLen: w.byteLen,
 		QPN:     qp.qpn,
-	})
+	}
+	wqePut(w)
+	qp.sendCQ.push(cqe)
 }
 
 // close tears the QP down without completing pending requests.
@@ -385,7 +400,13 @@ func (qp *QP) Close() {
 
 // onFrame is the fabric delivery handler: it executes remote operations
 // against local memory and routes responses/ACKs back to initiators.
+//
+// Delivery is the end of a frame's life: every handler either copies
+// payload bytes out (posted receives, MR writes, read/atomic results,
+// the pendingRecv staging copy) or finishes with them before returning,
+// so the buffer goes back to the frame pool on exit.
 func (n *NIC) onFrame(fr fabric.Frame) {
+	defer framePut(fr.Data)
 	if n.closed.Load() {
 		return
 	}
@@ -558,12 +579,16 @@ func (qp *QP) handleRead(h header, body []byte, src int) {
 		return
 	}
 	qp.nic.counters.remoteReads.Add(1)
-	data := make([]byte, length)
-	mr.mu.RLock()
-	copy(data, mr.buf[raddr-mr.base:])
-	mr.mu.RUnlock()
+	// Encode the response directly into a pooled frame: the MR bytes
+	// are copied exactly once, under the read lock, into the buffer
+	// that goes on the wire.
 	rh.typ = fReadResp
-	qp.respond(src, encodeReadResp(rh, data))
+	resp := frameGet(hdrLen + length)
+	putHeader(resp, rh)
+	mr.mu.RLock()
+	copy(resp[hdrLen:], mr.buf[raddr-mr.base:])
+	mr.mu.RUnlock()
+	qp.respond(src, resp)
 }
 
 // handleAtomic executes a 64-bit remote atomic against local memory.

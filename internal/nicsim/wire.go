@@ -65,9 +65,15 @@ func parseHeader(b []byte) (header, []byte, error) {
 	return h, b[hdrLen:], nil
 }
 
+// The encoders draw frame buffers from the frame pool (pool.go), so
+// every body byte must be written explicitly — recycled buffers carry
+// stale contents. The receiving NIC returns frames to the pool when
+// delivery finishes (see onFrame).
+
 func encodeSend(h header, imm uint32, hasImm bool, payload []byte) []byte {
-	b := make([]byte, hdrLen+5+len(payload))
+	b := frameGet(hdrLen + 5 + len(payload))
 	putHeader(b, h)
+	b[hdrLen] = 0
 	if hasImm {
 		b[hdrLen] = flagHasImm
 	}
@@ -86,10 +92,11 @@ func decodeSend(body []byte) (imm uint32, hasImm bool, payload []byte, err error
 }
 
 func encodeWrite(h header, raddr uint64, rkey uint32, imm uint32, hasImm bool, payload []byte) []byte {
-	b := make([]byte, hdrLen+17+len(payload))
+	b := frameGet(hdrLen + 17 + len(payload))
 	putHeader(b, h)
 	binary.LittleEndian.PutUint64(b[hdrLen:], raddr)
 	binary.LittleEndian.PutUint32(b[hdrLen+8:], rkey)
+	b[hdrLen+12] = 0
 	if hasImm {
 		b[hdrLen+12] = flagHasImm
 	}
@@ -110,7 +117,7 @@ func decodeWrite(body []byte) (raddr uint64, rkey uint32, imm uint32, hasImm boo
 }
 
 func encodeRead(h header, raddr uint64, rkey uint32, length int) []byte {
-	b := make([]byte, hdrLen+readBodyLen)
+	b := frameGet(hdrLen + readBodyLen)
 	putHeader(b, h)
 	binary.LittleEndian.PutUint64(b[hdrLen:], raddr)
 	binary.LittleEndian.PutUint32(b[hdrLen+8:], rkey)
@@ -129,7 +136,7 @@ func decodeRead(body []byte) (raddr uint64, rkey uint32, length int, err error) 
 }
 
 func encodeAtomic(h header, kind byte, raddr uint64, rkey uint32, operand, compare uint64) []byte {
-	b := make([]byte, hdrLen+atomicBodyLen)
+	b := frameGet(hdrLen + atomicBodyLen)
 	putHeader(b, h)
 	b[hdrLen] = kind
 	binary.LittleEndian.PutUint64(b[hdrLen+1:], raddr)
@@ -152,7 +159,7 @@ func decodeAtomic(body []byte) (kind byte, raddr uint64, rkey uint32, operand, c
 }
 
 func encodeStatus(h header, st Status) []byte {
-	b := make([]byte, hdrLen+1)
+	b := frameGet(hdrLen + 1)
 	putHeader(b, h)
 	b[hdrLen] = byte(st)
 	return b
@@ -166,14 +173,14 @@ func decodeStatus(body []byte) (Status, error) {
 }
 
 func encodeReadResp(h header, payload []byte) []byte {
-	b := make([]byte, hdrLen+len(payload))
+	b := frameGet(hdrLen + len(payload))
 	putHeader(b, h)
 	copy(b[hdrLen:], payload)
 	return b
 }
 
 func encodeAtomicResp(h header, value uint64) []byte {
-	b := make([]byte, hdrLen+8)
+	b := frameGet(hdrLen + 8)
 	putHeader(b, h)
 	binary.LittleEndian.PutUint64(b[hdrLen:], value)
 	return b
