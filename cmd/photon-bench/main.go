@@ -38,6 +38,8 @@ var descriptions = map[string]string{
 	"E13": "fault injection & recovery: link severs, frame loss, heartbeat sweep",
 	"E14": "engine-shard scaling at a hot sink + shm backend latency/rate",
 	"E15": "cluster observability: tracing overhead, merged cross-peer traces, collector scrape cost",
+	"E16": "scalable N-peer collectives: latency/goodput vs blocking seed engine",
+	"E17": "failure-aware collectives: kill->abort latency, shrink vs restart goodput",
 }
 
 func main() {

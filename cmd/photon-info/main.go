@@ -12,12 +12,15 @@ import (
 	"sync"
 	"time"
 
+	"photon/internal/backend/chaos"
 	"photon/internal/backend/tcp"
+	"photon/internal/backend/vsim"
 	"photon/internal/bench"
 	"photon/internal/collectives"
 	"photon/internal/core"
 	"photon/internal/fabric"
 	"photon/internal/metrics"
+	"photon/internal/nicsim"
 	"photon/internal/stats"
 	"photon/internal/trace"
 )
@@ -80,6 +83,9 @@ func main() {
 		fmt.Println()
 		fmt.Println("collectives engine (4-rank vsim job: barriers, allreduces, alltoall):")
 		fmt.Print(indent(collEngine(), "  "))
+		fmt.Println()
+		fmt.Println("failure-aware collectives (4-rank chaos job: rank 3 killed mid-barrier, survivors shrink):")
+		fmt.Print(indent(collAbortDemo(), "  "))
 	}
 }
 
@@ -151,6 +157,127 @@ func collEngine() string {
 		}
 	}
 	b.WriteString(cs.Render())
+	return b.String()
+}
+
+// collAbortDemo boots a 4-rank chaos-wrapped vsim job with the failure
+// detector and flight recorder armed, kills rank 3 mid-barrier, and
+// reports what the failure plane exports: the coll_aborts /
+// coll_revokes_sent / coll_shrinks gauges, the coll/abort
+// detection->abort latency histogram, and the reason-tagged flight
+// capture — then shrinks the survivors and runs one allreduce on the
+// 3-rank successor.
+func collAbortDemo() string {
+	const n, victim = 4, 3
+	cl, err := vsim.NewCluster(n, fabric.Model{}, nicsim.Config{})
+	if err != nil {
+		return fmt.Sprintln("error:", err)
+	}
+	defer cl.Close()
+	group := chaos.NewGroup(time.Millisecond)
+	bes := make([]*chaos.Backend, n)
+	phs := make([]*core.Photon, n)
+	comms := make([]*collectives.Comm, n)
+	cfg := core.Config{
+		Metrics:           true,
+		FlightRecords:     16,
+		HeartbeatInterval: 2 * time.Millisecond,
+		SuspectAfter:      8 * time.Millisecond,
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		bes[r] = chaos.WrapGroup(cl.Backend(r), chaos.Plan{Seed: int64(r)}, group)
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if phs[r], errs[r] = core.Init(bes[r], cfg); errs[r] == nil {
+				comms[r] = collectives.NewWithConfig(phs[r], collectives.Config{Timeout: 10 * time.Second})
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Sprintln("error:", err)
+		}
+	}
+	defer func() {
+		for _, ph := range phs {
+			ph.Close()
+		}
+	}()
+
+	run := func(fn func(r int) error) []error {
+		out := make([]error, n)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) { defer wg.Done(); out[r] = fn(r) }(r)
+		}
+		wg.Wait()
+		return out
+	}
+	if es := run(func(r int) error { return comms[r].Barrier() }); es[0] != nil {
+		return fmt.Sprintln("error:", es[0])
+	}
+	bes[victim].CrashAfterOps(1)
+	aborts := run(func(r int) error { return comms[r].Barrier() })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "rank 0 abort: %v\n", aborts[0])
+	ncs := make([]*collectives.Comm, victim)
+	serrs := run(func(r int) error {
+		if r == victim {
+			return nil
+		}
+		nc, err := comms[r].Shrink()
+		ncs[r] = nc
+		return err
+	})
+	for r := 0; r < victim; r++ {
+		if serrs[r] != nil {
+			return fmt.Sprintln("shrink error:", serrs[r])
+		}
+	}
+	vres := run(func(r int) error {
+		if r == victim {
+			return nil
+		}
+		vec := []float64{float64(r + 1)}
+		return ncs[r].AllreduceInPlace(vec, collectives.OpSum)
+	})
+	for r := 0; r < victim; r++ {
+		if vres[r] != nil {
+			return fmt.Sprintln("shrunken allreduce error:", vres[r])
+		}
+	}
+	fmt.Fprintf(&b, "shrunken comm: size=%d epoch=%d, allreduce ok\n", ncs[0].Size(), ncs[0].Epoch())
+
+	snap := phs[0].Metrics()
+	for _, h := range snap.Hists {
+		if h.Name == "coll/abort" {
+			fmt.Fprintf(&b, "%-14s n=%-4d p50=%.1fus p99=%.1fus\n",
+				h.Name, h.Hist.N(),
+				float64(h.Hist.Quantile(0.5))/1e3, float64(h.Hist.Quantile(0.99))/1e3)
+		}
+	}
+	cs := stats.NewCounterSet()
+	for _, nm := range snap.Gauges.Names() {
+		if strings.HasPrefix(nm, "coll_aborts") || strings.HasPrefix(nm, "coll_revokes") || strings.HasPrefix(nm, "coll_shrinks") {
+			v, _ := snap.Gauges.Get(nm)
+			cs.Set(nm, v)
+		}
+	}
+	b.WriteString(cs.Render())
+	if fr := phs[0].FlightRecorder(); fr != nil {
+		for _, rec := range fr.Records() {
+			if rec.Reason != "" {
+				fmt.Fprintf(&b, "flight capture: peer=%d reason=%q\n", rec.Peer, rec.Reason)
+				break
+			}
+		}
+	}
 	return b.String()
 }
 

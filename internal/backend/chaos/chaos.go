@@ -34,6 +34,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"photon/internal/core"
@@ -75,6 +76,13 @@ type delayedOp struct {
 type Backend struct {
 	inner core.Backend
 	plan  Plan
+	group *Group // shared whole-job fault state; nil for Wrap
+
+	// Armed op-count triggers (see group.go). Atomics: engine shards
+	// post concurrently and the trigger must fire exactly once.
+	crashIn  atomic.Int64
+	partIn   atomic.Int64
+	partPeer atomic.Int64
 
 	//photon:lock chaos 10
 	mu          sync.Mutex
@@ -103,6 +111,16 @@ func Wrap(inner core.Backend, plan Plan) *Backend {
 		partitioned: make(map[int]bool),
 		crashed:     make(map[int]bool),
 	}
+}
+
+// WrapGroup builds a chaos backend over inner that shares g's global
+// fault state: Group.Kill (or this rank's CrashAfterOps trigger) is
+// observed consistently by every member's backend, giving the
+// whole-process-death semantics a single-sided CrashPeer cannot.
+func WrapGroup(inner core.Backend, plan Plan, g *Group) *Backend {
+	b := Wrap(inner, plan)
+	b.group = g
+	return b
 }
 
 // Partition silently blackholes (on=true) or heals (on=false) all
@@ -202,8 +220,16 @@ func (b *Backend) gate(rank int) (forward bool, err error) {
 	return true, nil
 }
 
-// PostWrite applies the plan to one write.
+// PostWrite applies the plan to one write. The group gate and the
+// armed op-count triggers run first, so the very post that crosses a
+// CrashAfterOps threshold is already posted by a dead rank.
 func (b *Backend) PostWrite(rank int, local []byte, raddr uint64, rkey uint32, token uint64, signaled bool) error {
+	b.tick()
+	if drop, err := b.groupGate(rank); err != nil {
+		return err
+	} else if drop {
+		return nil // claimed posted, never delivered
+	}
 	v, err := b.decide(rank)
 	if err != nil {
 		return err
@@ -232,8 +258,12 @@ func (b *Backend) PostWrite(rank int, local []byte, raddr uint64, rkey uint32, t
 	return b.inner.PostWrite(rank, local, raddr, rkey, token, signaled)
 }
 
-// PostRead forwards unless the rank is crashed or partitioned.
+// PostRead forwards unless the rank is crashed, partitioned, or dead
+// in the group.
 func (b *Backend) PostRead(rank int, local []byte, raddr uint64, rkey uint32, token uint64) error {
+	if drop, err := b.groupGate(rank); err != nil || drop {
+		return err
+	}
 	fwd, err := b.gate(rank)
 	if err != nil || !fwd {
 		return err
@@ -243,6 +273,9 @@ func (b *Backend) PostRead(rank int, local []byte, raddr uint64, rkey uint32, to
 
 // PostFetchAdd forwards unless the rank is crashed or partitioned.
 func (b *Backend) PostFetchAdd(rank int, result []byte, raddr uint64, rkey uint32, add uint64, token uint64) error {
+	if drop, err := b.groupGate(rank); err != nil || drop {
+		return err
+	}
 	fwd, err := b.gate(rank)
 	if err != nil || !fwd {
 		return err
@@ -252,6 +285,9 @@ func (b *Backend) PostFetchAdd(rank int, result []byte, raddr uint64, rkey uint3
 
 // PostCompSwap forwards unless the rank is crashed or partitioned.
 func (b *Backend) PostCompSwap(rank int, result []byte, raddr uint64, rkey uint32, compare, swap uint64, token uint64) error {
+	if drop, err := b.groupGate(rank); err != nil || drop {
+		return err
+	}
 	fwd, err := b.gate(rank)
 	if err != nil || !fwd {
 		return err
@@ -314,8 +350,19 @@ func (b *Backend) ConfigureLiveness(heartbeat, suspectAfter time.Duration) {
 	}
 }
 
-// PeerHealth overlays crash latches on the inner detector's view.
+// PeerHealth overlays group kills and crash latches on the inner
+// detector's view. A killed self sees every peer down immediately (the
+// corpse's own waits abort rather than spin); a killed peer is
+// reported down once the group's detection delay elapses.
 func (b *Backend) PeerHealth(rank int) core.PeerHealth {
+	if b.group != nil && rank != b.inner.Rank() {
+		if b.group.Killed(b.inner.Rank()) {
+			return core.PeerDown
+		}
+		if _, detected := b.group.status(rank); detected {
+			return core.PeerDown
+		}
+	}
 	b.mu.Lock()
 	crashed := b.crashed[rank]
 	b.mu.Unlock()

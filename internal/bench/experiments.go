@@ -74,6 +74,7 @@ var registry = map[string]func(scale float64) (*Report, error){
 	"E14": runE14,
 	"E15": runE15,
 	"E16": runE16,
+	"E17": runE17,
 }
 
 // warmProcess runs a short untimed traffic burst on scratch

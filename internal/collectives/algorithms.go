@@ -38,7 +38,7 @@ func (c *Comm) barrier(gen uint64) error {
 			c.rids = append(c.rids, rid(gen, kindBarrier, 0, r, from))
 		}
 		out := c.compsFor(len(c.rids))
-		if err := c.ph.WaitRemoteAll(c.w, c.rids, out, c.timeout); err != nil {
+		if err := c.waitAll(c.rids, out, false); err != nil {
 			return err
 		}
 	}
@@ -305,7 +305,12 @@ func (c *Comm) reduceVec(gen uint64, kind, root int, acc []float64, op Op) error
 			c.rids = append(c.rids, r)
 		}
 		out := c.compsFor(len(c.rids))
-		if err := c.ph.WaitRemoteAll(c.w, c.rids, out, c.timeout); err != nil {
+		if err := c.waitAll(c.rids, out, false); err != nil {
+			// Withdraw the unconsumed postings so the engine releases
+			// its hold on the scratch before the abort unwinds.
+			for _, r := range c.rids {
+				c.ph.CancelRecv(r)
+			}
 			return err
 		}
 		for i := range out {
@@ -418,6 +423,12 @@ func (c *Comm) bcast(gen uint64, root int, data []byte) ([]byte, error) {
 		r := rid(gen, kindBcast, s, 0, ts.parent)
 		comp, err := c.wait1(r, false)
 		if err != nil {
+			// Withdraw the remaining postings before the abort unwinds:
+			// out is about to go out of scope and the engine must not
+			// keep delivery rights into it.
+			for s2 := s; s2*seg < L; s2++ {
+				c.ph.CancelRecv(rid(gen, kindBcast, s2, 0, ts.parent))
+			}
 			return nil, err
 		}
 		if c.ph.CancelRecv(r) {
@@ -467,6 +478,11 @@ func (c *Comm) bcastInto(gen uint64, root int, buf []byte) error {
 		r := rid(gen, kindBcast, s, 0, ts.parent)
 		comp, err := c.wait1(r, false)
 		if err != nil {
+			// Withdraw the remaining postings into the caller's buf
+			// before the abort unwinds.
+			for s2 := s; s2 < S; s2++ {
+				c.ph.CancelRecv(rid(gen, kindBcast, s2, 0, ts.parent))
+			}
 			return err
 		}
 		if c.ph.CancelRecv(r) {
@@ -507,7 +523,7 @@ func (c *Comm) gather(gen uint64, root int, data []byte) ([][]byte, error) {
 		}
 	}
 	comps := c.compsFor(len(c.rids))
-	if err := c.ph.WaitRemoteAll(c.w, c.rids, comps, c.timeout); err != nil {
+	if err := c.waitAll(c.rids, comps, false); err != nil {
 		return nil, err
 	}
 	for i := range comps {
@@ -566,7 +582,7 @@ func (c *Comm) alltoall(gen uint64, blobs [][]byte) ([][]byte, error) {
 		c.rids = append(c.rids, rid(gen, kindAlltoall, 0, step, src))
 	}
 	comps := c.compsFor(len(c.rids))
-	if err := c.ph.WaitRemoteAll(c.w, c.rids, comps, c.timeout); err != nil {
+	if err := c.waitAll(c.rids, comps, false); err != nil {
 		return nil, err
 	}
 	for i := range comps {

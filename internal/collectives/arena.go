@@ -1,6 +1,8 @@
 package collectives
 
 import (
+	"encoding/binary"
+	"fmt"
 	"sync"
 
 	"photon/internal/mem"
@@ -39,10 +41,20 @@ func (a *collArena) off(round, bank int) uint64 {
 	return uint64(((round * 2) + bank) * a.slot)
 }
 
-// ensureArena lazily builds the arena on first use. ExchangeBuffers is
-// collective, but so is the caller: algorithm selection is a pure
-// function of (vector length, size, config), so every rank reaches its
-// first RD allreduce — and therefore this exchange — on the same call.
+// arenaBlobLen is the wire size of one arena descriptor:
+// addr (8) | rkey (4) | len (8), little-endian — the same layout
+// core.ExchangeBuffers uses.
+const arenaBlobLen = 20
+
+// ensureArena lazily builds the arena on first use. The descriptor
+// exchange is collective, but so is the caller: algorithm selection is
+// a pure function of (vector length, size, config), so every rank
+// reaches its first RD allreduce — and therefore this exchange — on
+// the same call. Descriptors ride the Comm's own allgather rather than
+// the backend's boot-time Exchange: the backend barrier blocks on
+// every engine rank (it would hang forever once a rank has died, and a
+// shrunken Comm's membership is a subset anyway), while the allgather
+// is failure-aware and scoped to the membership table.
 func (c *Comm) ensureArena() (*collArena, error) {
 	if c.arena != nil {
 		return c.arena, nil
@@ -55,8 +67,24 @@ func (c *Comm) ensureArena() (*collArena, error) {
 		return nil, err
 	}
 	a.lk = lk
-	if a.peers, err = c.ph.ExchangeBuffers(rb); err != nil {
+	blob := make([]byte, arenaBlobLen)
+	binary.LittleEndian.PutUint64(blob[0:], rb.Addr)
+	binary.LittleEndian.PutUint32(blob[8:], rb.RKey)
+	binary.LittleEndian.PutUint64(blob[12:], uint64(rb.Len))
+	all, err := c.allgather(c.cgen(c.gen.Add(1)), blob)
+	if err != nil {
 		return nil, err
+	}
+	a.peers = make([]mem.RemoteBuffer, c.size)
+	for i, b := range all {
+		if len(b) != arenaBlobLen {
+			return nil, fmt.Errorf("collectives: arena descriptor of %d bytes from rank %d", len(b), i)
+		}
+		a.peers[i] = mem.RemoteBuffer{
+			Addr: binary.LittleEndian.Uint64(b[0:]),
+			RKey: binary.LittleEndian.Uint32(b[8:]),
+			Len:  int(binary.LittleEndian.Uint64(b[12:])),
+		}
 	}
 	c.arena = a
 	return a, nil

@@ -31,6 +31,17 @@
 // multiple goroutines. Completion identifiers used internally live in
 // the reserved RID space (top bit set); user RIDs must keep the top
 // bit clear.
+//
+// # Failure awareness
+//
+// Collectives are failure-aware end to end (see failure.go): every
+// wait and post-retry loop observes the engine's peer-health latches,
+// a dead member turns the whole collective into a prompt
+// ErrCommRevoked on every surviving rank (ULFM-style revocation
+// notices flood the dissemination edges so ranks not adjacent to the
+// corpse abort in one network latency), and Comm.Shrink rebuilds a
+// working communicator over the survivors with a bumped epoch that
+// fences stale-generation traffic.
 package collectives
 
 import (
@@ -42,12 +53,22 @@ import (
 	"time"
 
 	"photon/internal/core"
+	"photon/internal/errs"
 	"photon/internal/mem"
 	"photon/internal/metrics"
 )
 
 // ErrSizeMismatch is returned when ranks disagree on vector lengths.
 var ErrSizeMismatch = errors.New("collectives: vector length mismatch across ranks")
+
+// ErrCommRevoked is the communicator-revocation sentinel: a member of
+// the Comm died (observed directly through the health plane or via a
+// peer's revocation notice) and this epoch of the communicator is
+// permanently unusable — every collective on it, current and future,
+// fails fast with an error matching this sentinel (and ErrPeerDown,
+// naming the failed rank when known). Recover with Comm.Shrink.
+// Aliases errs.ErrRevoked.
+var ErrCommRevoked = errs.ErrRevoked
 
 // Op is a reduction operator over float64.
 type Op int
@@ -77,9 +98,12 @@ func (o Op) apply(a, b float64) float64 {
 // Config tunes a communicator. The zero value of every field selects a
 // sensible default.
 type Config struct {
-	// Timeout bounds each internal wait (<=0 waits forever); production
-	// runs use a generous bound so a wedged peer surfaces as an error
-	// instead of a hang.
+	// Timeout bounds each whole collective call with one monotonic
+	// deadline armed at entry (<=0 waits forever): however many rounds
+	// and internal waits the schedule runs, the call returns ErrTimeout
+	// within Timeout of entering. Production runs use a generous bound
+	// so a wedged peer surfaces as an error instead of a hang even
+	// when the failure detector cannot see it.
 	Timeout time.Duration
 
 	// Radix is the tree/dissemination fan-out k (default 2). Higher
@@ -136,25 +160,71 @@ const (
 
 var algoNames = [numAlgos]string{"rd", "ring", "tree"}
 
+// commStats is the coll_* counter block. It is shared by a root Comm
+// and every communicator Shrink derives from it, so one gauge source
+// covers the whole lineage without duplicate registrations.
+type commStats struct {
+	calls [numCollKinds]atomic.Int64
+	algos [numAlgos]atomic.Int64
+
+	aborts      atomic.Int64 // collectives revoked on this lineage
+	revokesSent atomic.Int64 // revocation notices fanned out
+	shrinks     atomic.Int64 // successful Shrink agreements
+}
+
+// gauges contributes coll_* counters to Photon.Metrics snapshots.
+func (s *commStats) gauges(set func(name string, v int64)) {
+	for k := 0; k < numCollKinds; k++ {
+		if n := s.calls[k].Load(); n > 0 {
+			set("coll_"+metrics.CollKind(k).String()+"_calls", n)
+		}
+	}
+	for a := 0; a < numAlgos; a++ {
+		if n := s.algos[a].Load(); n > 0 {
+			set("coll_allreduce_"+algoNames[a], n)
+		}
+	}
+	set("coll_aborts", s.aborts.Load())
+	set("coll_revokes_sent", s.revokesSent.Load())
+	set("coll_shrinks", s.shrinks.Load())
+}
+
 // Comm is a collective communicator bound to one Photon instance. All
 // ranks construct their Comm over their own instance; the generation
 // counters advance in lockstep because collectives are called
-// collectively.
+// collectively. Ranks are comm ranks: positions in the membership
+// table, equal to engine ranks for a root Comm and remapped by Shrink.
 //
 // A Comm is not safe for concurrent use: its wait pacer and scratch
 // buffers are per-instance state. Create one Comm per calling
 // goroutine (they share the Photon instance safely).
 type Comm struct {
 	ph      *core.Photon
-	rank    int
+	rank    int // comm rank (index into group)
 	size    int
 	cfg     Config
 	timeout time.Duration
+
+	// Membership and epoch (see failure.go / shrink.go).
+	group   []int  // comm rank -> engine rank
+	epoch   uint64 // bumped by Shrink; fences stale RIDs via genBase
+	genBase uint64 // epoch bits pre-shifted into the RID gen field
 
 	gen   atomic.Uint64 // shared collective generation (RID uniqueness)
 	rdGen atomic.Uint64 // RD-allreduce call counter (arena banking)
 
 	w *core.Waiter
+
+	// Failure plane (failure.go): the whole-collective deadline, the
+	// revocation latch, and the precomputed revoke flood edges.
+	deadline   time.Time
+	revoked    atomic.Bool
+	deadRank   atomic.Int64 // first known-dead comm rank; -1 unknown
+	revokeOut  []int        // dissemination out-neighbors (comm ranks)
+	revokeIn   []int        // dissemination in-neighbors (comm ranks)
+	revokeRIDs []uint64     // epoch-scoped notice RIDs, one per in-neighbor
+	spec       core.WaitSpec
+	watch      []int // engine-rank watch scratch, derived per wait
 
 	// Compiled schedules (schedule.go), built on first use.
 	barSched *barrierSched
@@ -175,60 +245,89 @@ type Comm struct {
 	rcvB []byte // receive-side staging (posted ring/tree buffers)
 	vec1 [1]float64
 
-	calls [numCollKinds]atomic.Int64
-	algos [numAlgos]atomic.Int64
+	st *commStats
 }
 
 // New creates a communicator with default tuning. timeout bounds each
-// internal wait (<=0 waits forever).
+// whole collective call (<=0 waits forever).
 func New(ph *core.Photon, timeout time.Duration) *Comm {
 	return NewWithConfig(ph, Config{Timeout: timeout})
 }
 
-// NewWithConfig creates a tuned communicator. Ranks must agree on the
-// algorithm-affecting fields (Radix, SmallAllreduceMax, SegmentBytes,
-// ForceAllreduce) — schedules are compiled locally and must match.
-// Panics if the job exceeds MaxRanks (the collective RID layout).
+// NewWithConfig creates a tuned communicator over the whole job. Ranks
+// must agree on the algorithm-affecting fields (Radix,
+// SmallAllreduceMax, SegmentBytes, ForceAllreduce) — schedules are
+// compiled locally and must match. Panics if the job exceeds MaxRanks
+// (the collective RID layout).
 func NewWithConfig(ph *core.Photon, cfg Config) *Comm {
 	if ph.Size() > MaxRanks {
 		panic(fmt.Sprintf("collectives: job size %d exceeds MaxRanks %d", ph.Size(), MaxRanks))
 	}
-	c := &Comm{
-		ph:      ph,
-		rank:    ph.Rank(),
-		size:    ph.Size(),
-		cfg:     cfg.withDefaults(),
-		timeout: cfg.Timeout,
-		w:       core.NewWaiter(ph),
-		trees:   make(map[int]*treeSched),
+	group := make([]int, ph.Size())
+	for i := range group {
+		group[i] = i
 	}
-	ph.AddGaugeSource(c.gauges)
+	st := &commStats{}
+	c := newComm(ph, cfg, group, 0, st)
+	ph.AddGaugeSource(st.gauges)
 	return c
 }
 
-// Rank returns the caller's rank.
+// newComm builds a communicator over an explicit membership table.
+// group maps comm rank to engine rank and must contain ph.Rank().
+func newComm(ph *core.Photon, cfg Config, group []int, epoch uint64, st *commStats) *Comm {
+	rank := -1
+	for i, er := range group {
+		if er == ph.Rank() {
+			rank = i
+			break
+		}
+	}
+	if rank < 0 {
+		panic(fmt.Sprintf("collectives: engine rank %d not in membership table", ph.Rank()))
+	}
+	c := &Comm{
+		ph:      ph,
+		rank:    rank,
+		size:    len(group),
+		cfg:     cfg.withDefaults(),
+		timeout: cfg.Timeout,
+		group:   group,
+		epoch:   epoch,
+		genBase: (epoch % maxEpochs) << callGenBits,
+		w:       core.NewWaiter(ph),
+		trees:   make(map[int]*treeSched),
+		st:      st,
+	}
+	c.deadRank.Store(-1)
+	c.compileRevokeEdges()
+	return c
+}
+
+// cgen maps a per-Comm call counter into the RID generation field: the
+// high bits carry the epoch (fencing stale-generation traffic across
+// Shrink), the low callGenBits the call number. The low bit — which
+// drives arena banking — is preserved.
+func (c *Comm) cgen(g uint64) uint64 {
+	return c.genBase | (g & (1<<callGenBits - 1))
+}
+
+// Rank returns the caller's comm rank.
 func (c *Comm) Rank() int { return c.rank }
 
-// Size returns the job size.
+// Size returns the communicator size.
 func (c *Comm) Size() int { return c.size }
 
-// gauges contributes coll_* counters to Photon.Metrics snapshots.
-func (c *Comm) gauges(set func(name string, v int64)) {
-	for k := 0; k < numCollKinds; k++ {
-		if n := c.calls[k].Load(); n > 0 {
-			set("coll_"+metrics.CollKind(k).String()+"_calls", n)
-		}
-	}
-	for a := 0; a < numAlgos; a++ {
-		if n := c.algos[a].Load(); n > 0 {
-			set("coll_allreduce_"+algoNames[a], n)
-		}
-	}
-}
+// Epoch returns the membership epoch (0 for a root Comm, bumped by
+// every Shrink).
+func (c *Comm) Epoch() uint64 { return c.epoch }
+
+// EngineRank translates a comm rank to the underlying engine rank.
+func (c *Comm) EngineRank(r int) int { return c.group[r] }
 
 // obsStart opens a latency observation when metrics are on.
 func (c *Comm) obsStart(k metrics.CollKind) time.Time {
-	c.calls[k].Add(1)
+	c.st.calls[k].Add(1)
 	if c.ph.MetricsRegistry().Enabled() {
 		return time.Now()
 	}
@@ -247,11 +346,20 @@ func (c *Comm) obsEnd(k metrics.CollKind, t0 time.Time) {
 // ---------------------------------------------------------------------
 
 // sendNB posts a message, driving progress through transient
-// backpressure (ErrWouldBlock) without blocking on the completion.
+// backpressure (ErrWouldBlock). The retry loop is failure-aware: a
+// destination latched down, an arrived revocation notice, or the
+// whole-collective deadline ends the spin instead of livelocking
+// against a dead peer. dst is a comm rank.
 func (c *Comm) sendNB(dst int, data []byte, localRID, remoteRID uint64) error {
 	for {
-		err := c.ph.Send(dst, data, localRID, remoteRID)
-		if err == nil || !errors.Is(err, core.ErrWouldBlock) {
+		err := c.ph.Send(c.group[dst], data, localRID, remoteRID)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, core.ErrWouldBlock) {
+			return c.filterPost(err, dst)
+		}
+		if err := c.stall(dst); err != nil {
 			return err
 		}
 		if c.ph.Progress() == 0 {
@@ -265,8 +373,14 @@ func (c *Comm) sendNB(dst int, data []byte, localRID, remoteRID uint64) error {
 // putNB posts a one-sided put the same way.
 func (c *Comm) putNB(dst int, data []byte, rb mem.RemoteBuffer, off uint64, localRID, remoteRID uint64) error {
 	for {
-		err := c.ph.PutWithCompletion(dst, data, rb, off, localRID, remoteRID)
-		if err == nil || !errors.Is(err, core.ErrWouldBlock) {
+		err := c.ph.PutWithCompletion(c.group[dst], data, rb, off, localRID, remoteRID)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, core.ErrWouldBlock) {
+			return c.filterPost(err, dst)
+		}
+		if err := c.stall(dst); err != nil {
 			return err
 		}
 		if c.ph.Progress() == 0 {
@@ -277,16 +391,55 @@ func (c *Comm) putNB(dst int, data []byte, rb mem.RemoteBuffer, off uint64, loca
 	}
 }
 
+// waitAll is the failure-aware batched reap behind every collective
+// wait: the engine-rank watch set is derived from the awaited RIDs'
+// source fields, the comm's revocation-notice RIDs abort the wait from
+// out-of-band, and the whole-collective deadline bounds it. Abort
+// conditions are converted into the comm's revocation (filterWait).
+func (c *Comm) waitAll(rids []uint64, out []core.Completion, local bool) error {
+	return c.filterWait(c.waitAllRaw(rids, out, local))
+}
+
+// waitAllRaw is waitAll without the revocation conversion: Shrink's
+// agreement rounds use it to observe further failures (raw ErrPeerDown
+// with c.spec.DownRank set, or core.ErrWaitAborted with c.spec.Aborted
+// carrying the notice) without condemning its own retry loop.
+func (c *Comm) waitAllRaw(rids []uint64, out []core.Completion, local bool) error {
+	c.watch = c.watch[:0]
+	for _, r := range rids {
+		if r == 0 {
+			continue
+		}
+		src := int(r & (MaxRanks - 1))
+		if src == c.rank || src >= c.size {
+			continue
+		}
+		er := c.group[src]
+		dup := false
+		for _, w := range c.watch {
+			if w == er {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			c.watch = append(c.watch, er)
+		}
+	}
+	c.spec.Deadline = c.deadline
+	c.spec.Watch = c.watch
+	c.spec.AbortRIDs = c.revokeRIDs
+	if local {
+		return c.ph.WaitLocalAllSpec(c.w, rids, out, &c.spec)
+	}
+	return c.ph.WaitRemoteAllSpec(c.w, rids, out, &c.spec)
+}
+
 // wait1 reaps a single completion through the shared waiter scratch.
 func (c *Comm) wait1(r uint64, local bool) (core.Completion, error) {
 	c.rid1[0] = r
 	c.comp1[0] = core.Completion{}
-	var err error
-	if local {
-		err = c.ph.WaitLocalAll(c.w, c.rid1[:], c.comp1[:], c.timeout)
-	} else {
-		err = c.ph.WaitRemoteAll(c.w, c.rid1[:], c.comp1[:], c.timeout)
-	}
+	err := c.waitAll(c.rid1[:], c.comp1[:], local)
 	return c.comp1[0], err
 }
 
@@ -326,7 +479,7 @@ func (c *Comm) drainLocal() error {
 		return nil
 	}
 	out := c.compsFor(len(c.lrids))
-	err := c.ph.WaitLocalAll(c.w, c.lrids, out, c.timeout)
+	err := c.waitAll(c.lrids, out, true)
 	c.lrids = c.lrids[:0]
 	for i := range out {
 		out[i] = core.Completion{}
@@ -367,7 +520,10 @@ func (c *Comm) accFor(n int) []float64 {
 // with every round's notifications posted nonblocking and reaped in one
 // wait, so the critical path is ceil(log_k N) network latencies.
 func (c *Comm) Barrier() error {
-	gen := c.gen.Add(1)
+	if err := c.enter(); err != nil {
+		return err
+	}
+	gen := c.cgen(c.gen.Add(1))
 	t0 := c.obsStart(metrics.CollBarrier)
 	defer c.obsEnd(metrics.CollBarrier, t0)
 	if c.size == 1 {
@@ -384,7 +540,10 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	if root < 0 || root >= c.size {
 		return nil, core.ErrBadRank
 	}
-	gen := c.gen.Add(1)
+	if err := c.enter(); err != nil {
+		return nil, err
+	}
+	gen := c.cgen(c.gen.Add(1))
 	t0 := c.obsStart(metrics.CollBcast)
 	defer c.obsEnd(metrics.CollBcast, t0)
 	if c.size == 1 {
@@ -402,7 +561,10 @@ func (c *Comm) BcastInto(root int, buf []byte) error {
 	if root < 0 || root >= c.size {
 		return core.ErrBadRank
 	}
-	gen := c.gen.Add(1)
+	if err := c.enter(); err != nil {
+		return err
+	}
+	gen := c.cgen(c.gen.Add(1))
 	t0 := c.obsStart(metrics.CollBcast)
 	defer c.obsEnd(metrics.CollBcast, t0)
 	if c.size == 1 {
@@ -418,7 +580,10 @@ func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
 	if root < 0 || root >= c.size {
 		return nil, core.ErrBadRank
 	}
-	gen := c.gen.Add(1)
+	if err := c.enter(); err != nil {
+		return nil, err
+	}
+	gen := c.cgen(c.gen.Add(1))
 	t0 := c.obsStart(metrics.CollReduce)
 	defer c.obsEnd(metrics.CollReduce, t0)
 	acc := c.accFor(len(data))
@@ -455,6 +620,9 @@ func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
 // AllreduceInPlace is Allreduce overwriting vec with the result. On the
 // small-vector path this allocates nothing after warmup.
 func (c *Comm) AllreduceInPlace(vec []float64, op Op) error {
+	if err := c.enter(); err != nil {
+		return err
+	}
 	t0 := c.obsStart(metrics.CollAllreduce)
 	defer c.obsEnd(metrics.CollAllreduce, t0)
 	if c.size == 1 {
@@ -463,14 +631,14 @@ func (c *Comm) AllreduceInPlace(vec []float64, op Op) error {
 	}
 	switch c.pickAllreduce(len(vec)) {
 	case algoRD:
-		c.algos[algoRD].Add(1)
-		return c.allreduceRD(c.rdGen.Add(1), vec, op)
+		c.st.algos[algoRD].Add(1)
+		return c.allreduceRD(c.cgen(c.rdGen.Add(1)), vec, op)
 	case algoRing:
-		c.algos[algoRing].Add(1)
-		return c.allreduceRing(c.gen.Add(1), vec, op)
+		c.st.algos[algoRing].Add(1)
+		return c.allreduceRing(c.cgen(c.gen.Add(1)), vec, op)
 	default:
-		c.algos[algoTree].Add(1)
-		return c.allreduceTree(c.gen.Add(1), vec, op)
+		c.st.algos[algoTree].Add(1)
+		return c.allreduceTree(c.cgen(c.gen.Add(1)), vec, op)
 	}
 }
 
@@ -517,7 +685,10 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	if root < 0 || root >= c.size {
 		return nil, core.ErrBadRank
 	}
-	gen := c.gen.Add(1)
+	if err := c.enter(); err != nil {
+		return nil, err
+	}
+	gen := c.cgen(c.gen.Add(1))
 	t0 := c.obsStart(metrics.CollGather)
 	defer c.obsEnd(metrics.CollGather, t0)
 	return c.gather(gen, root, data)
@@ -526,7 +697,10 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 // Allgather collects every rank's blob at every rank (ring algorithm
 // with zero-copy forwarding: each received blob is relayed as-is).
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
-	gen := c.gen.Add(1)
+	if err := c.enter(); err != nil {
+		return nil, err
+	}
+	gen := c.cgen(c.gen.Add(1))
 	t0 := c.obsStart(metrics.CollAllgather)
 	defer c.obsEnd(metrics.CollAllgather, t0)
 	return c.allgather(gen, data)
@@ -540,7 +714,10 @@ func (c *Comm) Alltoall(blobs [][]byte) ([][]byte, error) {
 	if len(blobs) != c.size {
 		return nil, fmt.Errorf("collectives: alltoall needs %d blobs, got %d", c.size, len(blobs))
 	}
-	gen := c.gen.Add(1)
+	if err := c.enter(); err != nil {
+		return nil, err
+	}
+	gen := c.cgen(c.gen.Add(1))
 	t0 := c.obsStart(metrics.CollAlltoall)
 	defer c.obsEnd(metrics.CollAlltoall, t0)
 	return c.alltoall(gen, blobs)

@@ -1,0 +1,265 @@
+package collectives
+
+// Failure plane: the abort/revoke half of the failure-aware
+// collectives (Shrink, the recovery half, lives in shrink.go).
+//
+// Abort: every wait goes through waitAll, which watches the engine's
+// peer-health latches for the ranks it is awaiting and bounds itself
+// with the whole-collective deadline; every post-retry loop runs stall
+// between attempts. The first observation of a member's death — a
+// watched latch, an ErrPeerDown error completion, a fail-fast post, or
+// a peer's revocation notice — revokes the communicator.
+//
+// Revoke: the revoking rank fans a notice out over its dissemination
+// out-edges (the barrier schedule's notify set), exactly like a
+// barrier notification: a tiny eager send, one per surviving neighbor.
+// Every rank that receives a notice is itself revoked and forwards
+// once, so the flood covers the communicator in at most
+// ceil(log_k N) network latencies — ranks not adjacent to the corpse
+// abort in one network latency from their nearest revoked neighbor,
+// not after a timeout. Notices are epoch-scoped (RID gen = genBase,
+// kindRevoke), so a Shrink successor can never match a predecessor's
+// notice.
+//
+// Revocation is terminal for the epoch: once latched, every collective
+// on the Comm — including ones already in flight on other error paths
+// — returns an error matching ErrCommRevoked (and core.ErrPeerDown,
+// naming the failed rank when known). Recovery is Comm.Shrink.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"photon/internal/core"
+	"photon/internal/metrics"
+)
+
+// unknownRank is the revocation-notice payload value for "failed rank
+// not known" (the notice itself is the only evidence).
+const unknownRank = 1<<16 - 1
+
+// enter is the public-entry prologue: a revoked comm fails fast, and
+// the whole-collective deadline is armed once — however many rounds
+// and waits follow, they all share it.
+func (c *Comm) enter() error {
+	if c.revoked.Load() {
+		return c.revokedErr()
+	}
+	if c.timeout > 0 {
+		c.deadline = time.Now().Add(c.timeout)
+	} else {
+		c.deadline = time.Time{}
+	}
+	return nil
+}
+
+// Revoked reports whether the communicator has been revoked.
+func (c *Comm) Revoked() bool { return c.revoked.Load() }
+
+// compileRevokeEdges derives the revocation flood graph from the
+// barrier dissemination schedule: out-edges are the union of every
+// round's notify set, in-edges the union of the await sets. Each
+// in-edge has one epoch-scoped notice RID this comm's waits watch.
+func (c *Comm) compileRevokeEdges() {
+	c.barSched = compileBarrier(c.rank, c.size, c.cfg.Radix)
+	add := func(set []int, r int) []int {
+		for _, x := range set {
+			if x == r {
+				return set
+			}
+		}
+		return append(set, r)
+	}
+	for i := range c.barSched.rounds {
+		round := &c.barSched.rounds[i]
+		for _, to := range round.notify {
+			c.revokeOut = add(c.revokeOut, to)
+		}
+		for _, from := range round.await {
+			c.revokeIn = add(c.revokeIn, from)
+		}
+	}
+	for _, from := range c.revokeIn {
+		c.revokeRIDs = append(c.revokeRIDs, rid(c.genBase, kindRevoke, 0, 0, from))
+	}
+}
+
+// stall runs inside the post-retry loops: an arrived revocation
+// notice or a downed destination revokes the comm and ends the spin;
+// the whole-collective deadline bounds spins no failure explains.
+func (c *Comm) stall(dst int) error {
+	for _, ar := range c.revokeRIDs {
+		if comp, ok := c.ph.TakeRemote(ar); ok {
+			return c.revokeFromNotice(comp)
+		}
+	}
+	if c.ph.PeerHealthState(c.group[dst]) == core.PeerDown {
+		return c.revoke(dst)
+	}
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		return fmt.Errorf("collectives: collective deadline exceeded: %w", core.ErrTimeout)
+	}
+	return nil
+}
+
+// stallRaw is stall for Shrink's retry loops: same bounds, no
+// revocation side effects, raw sentinels out.
+func (c *Comm) stallRaw(dst int) error {
+	if c.ph.PeerHealthState(c.group[dst]) == core.PeerDown {
+		return fmt.Errorf("collectives: rank %d: %w", dst, core.ErrPeerDown)
+	}
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		return fmt.Errorf("collectives: shrink deadline exceeded: %w", core.ErrTimeout)
+	}
+	return nil
+}
+
+// sendNBRaw is sendNB for Shrink: backpressure retries bounded by
+// stallRaw, errors passed through raw.
+func (c *Comm) sendNBRaw(dst int, data []byte, localRID, remoteRID uint64) error {
+	for {
+		err := c.ph.Send(c.group[dst], data, localRID, remoteRID)
+		if err == nil || !errors.Is(err, core.ErrWouldBlock) {
+			return err
+		}
+		if err := c.stallRaw(dst); err != nil {
+			return err
+		}
+		if c.ph.Progress() == 0 {
+			c.w.Idle()
+		} else {
+			c.w.Progressed()
+		}
+	}
+}
+
+// filterPost converts a hard post error: a dead destination revokes
+// the comm, everything else passes through.
+func (c *Comm) filterPost(err error, dst int) error {
+	if errors.Is(err, core.ErrPeerDown) {
+		return c.revoke(dst)
+	}
+	return err
+}
+
+// filterWait converts a waitAllRaw error into the comm's failure
+// semantics: a watched-rank death or ErrPeerDown completion revokes,
+// an arrived notice revokes with the notice's failed rank, timeouts
+// and everything else pass through.
+func (c *Comm) filterWait(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, core.ErrWaitAborted):
+		return c.revokeFromNotice(c.spec.Aborted)
+	case errors.Is(err, core.ErrPeerDown):
+		return c.revoke(c.commRankOf(c.spec.DownRank))
+	}
+	return err
+}
+
+// commRankOf translates an engine rank back to a comm rank (-1 when
+// the engine rank is not a member). Cold path; linear scan.
+func (c *Comm) commRankOf(engineRank int) int {
+	for i, er := range c.group {
+		if er == engineRank {
+			return i
+		}
+	}
+	return -1
+}
+
+// revokeFromNotice revokes the comm off a received revocation notice,
+// adopting the failed rank its payload names (when known).
+func (c *Comm) revokeFromNotice(comp core.Completion) error {
+	dead := -1
+	if len(comp.Data) >= 2 {
+		if d := int(binary.LittleEndian.Uint16(comp.Data)); d < c.size {
+			dead = d
+		}
+	}
+	return c.revoke(dead)
+}
+
+// revoke latches the communicator revoked (terminal for the epoch),
+// records the first known-dead comm rank, fans the revocation notice
+// out once, and returns the revocation error every path surfaces.
+func (c *Comm) revoke(dead int) error {
+	if dead >= 0 && dead < c.size {
+		c.deadRank.CompareAndSwap(-1, int64(dead))
+	}
+	if c.revoked.CompareAndSwap(false, true) {
+		c.st.aborts.Add(1)
+		c.sendRevokes()
+		c.recordAbort()
+	}
+	return c.revokedErr()
+}
+
+// sendRevokes fans the revocation notice out over the surviving
+// dissemination out-edges: one 2-byte eager send per neighbor carrying
+// the failed comm rank (unknownRank when not known). Bounded
+// best-effort — a destination that is down or backpressured past the
+// retry budget is skipped; the flood is redundant (every revoked rank
+// forwards once) and the deadline still bounds ranks it misses.
+func (c *Comm) sendRevokes() {
+	var pay [2]byte
+	d := c.deadRank.Load()
+	if d < 0 {
+		d = unknownRank
+	}
+	binary.LittleEndian.PutUint16(pay[:], uint16(d))
+	r := rid(c.genBase, kindRevoke, 0, 0, c.rank)
+	for _, dst := range c.revokeOut {
+		if dst == int(d) || c.ph.PeerHealthState(c.group[dst]) == core.PeerDown {
+			continue
+		}
+		for tries := 0; tries < 64; tries++ {
+			err := c.ph.Send(c.group[dst], pay[:], 0, r)
+			if err == nil {
+				c.st.revokesSent.Add(1)
+				break
+			}
+			if !errors.Is(err, core.ErrWouldBlock) {
+				break
+			}
+			if c.ph.Progress() == 0 {
+				c.w.Idle()
+			} else {
+				c.w.Progressed()
+			}
+		}
+	}
+	c.ph.Flush()
+}
+
+// recordAbort feeds the observability plane at the revocation instant:
+// the detection→abort latency histogram (time from the engine's
+// peer-down latch to this abort) and a reason-tagged flight-recorder
+// capture of the failing round.
+func (c *Comm) recordAbort() {
+	d := c.deadRank.Load()
+	if d < 0 {
+		return
+	}
+	er := c.group[d]
+	if ns := c.ph.PeerLastTransitionNS(er); ns > 0 {
+		if lat := time.Now().UnixNano() - ns; lat >= 0 {
+			c.ph.MetricsRegistry().RecordColl(metrics.CollAbort, lat)
+		}
+	}
+	c.ph.CaptureEvent(er, "collective abort")
+}
+
+// revokedErr builds the error every operation on a revoked comm
+// returns: it matches both ErrCommRevoked and core.ErrPeerDown via
+// errors.Is and names the failed rank when known.
+func (c *Comm) revokedErr() error {
+	if d := c.deadRank.Load(); d >= 0 {
+		return fmt.Errorf("collectives: rank %d (engine rank %d) down: %w: %w",
+			d, c.group[d], ErrCommRevoked, core.ErrPeerDown)
+	}
+	return fmt.Errorf("collectives: %w", ErrCommRevoked)
+}

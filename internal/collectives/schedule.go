@@ -38,6 +38,17 @@ const (
 	maxSegs   = 1 << segBits
 )
 
+// The generation field is further split for epoch fencing: the high
+// epochBits carry the Comm's epoch (bumped by Shrink, so stale traffic
+// from a revoked predecessor can never match a successor's RIDs) and
+// the low callGenBits carry the per-Comm call counter. The bank bit
+// still tracks the low call bit (Comm.cgen preserves it).
+const (
+	epochBits   = 6
+	callGenBits = genBits - epochBits
+	maxEpochs   = 1 << epochBits
+)
+
 // MaxRanks is the largest job size the collective RID layout supports.
 const MaxRanks = 1 << srcBits
 
@@ -51,6 +62,8 @@ const (
 	kindAllgather
 	kindAlltoall
 	kindAllreduceRD // recursive-doubling arena path (own gen counter)
+	kindRevoke      // revocation notice (epoch-scoped: gen = genBase)
+	kindShrink      // survivor agreement: seg 0 = report, 1 = commit
 )
 
 // rid assembles a collective completion identifier.

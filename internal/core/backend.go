@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"photon/internal/errs"
 	"photon/internal/mem"
 )
 
@@ -25,8 +26,9 @@ var (
 	// peer has been declared dead: its transport connection could not
 	// be recovered within the reconnect budget, or the failure detector
 	// latched it down. Ops toward a down peer fail fast rather than
-	// waiting out OpTimeout.
-	ErrPeerDown = errors.New("photon: peer down")
+	// waiting out OpTimeout. Aliases errs.ErrPeerDown so layers below
+	// core (backends) and above (collectives) match the same sentinel.
+	ErrPeerDown = errs.ErrPeerDown
 )
 
 // PeerHealth is the liveness state of one peer as seen by the failure

@@ -26,6 +26,26 @@ import (
 // captureFlight snapshots the engine into the flight recorder at one
 // peer-health transition. No-op when the recorder is unarmed.
 func (p *Photon) captureFlight(ps *peerState, from, to PeerHealth) {
+	p.captureRecord(ps, from, to, "")
+}
+
+// CaptureEvent records a reason-tagged flight snapshot outside the
+// health state machine — the collectives layer arms it on a collective
+// abort so the black box holds the failing round even when the peer's
+// own down-transition capture raced past it. peer is the rank the event
+// is about; reads only lock-free sources, so it is safe from any
+// goroutine, with or without engine locks held. No-op when the recorder
+// is unarmed or peer is out of range.
+func (p *Photon) CaptureEvent(peer int, reason string) {
+	if p.flightRec == nil || peer < 0 || peer >= p.size {
+		return
+	}
+	ps := p.peers[peer]
+	st := PeerHealth(ps.health.Load())
+	p.captureRecord(ps, st, st, reason)
+}
+
+func (p *Photon) captureRecord(ps *peerState, from, to PeerHealth, reason string) {
 	fr := p.flightRec
 	if fr == nil {
 		return
@@ -36,6 +56,7 @@ func (p *Photon) captureFlight(ps *peerState, from, to PeerHealth) {
 		Peer:   ps.rank,
 		From:   from.String(),
 		To:     to.String(),
+		Reason: reason,
 		Gauges: map[string]int64{
 			"peer_suspect_transitions": p.suspectTransitions.Load(),
 			"peers_down":               p.peersDown.Load(),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -175,9 +176,6 @@ func (p *Photon) WaitLocalAll(w *Waiter, rids []uint64, out []Completion, timeou
 }
 
 func (p *Photon) waitAllMatched(w *Waiter, rids []uint64, out []Completion, timeout time.Duration, local bool) error {
-	if len(out) < len(rids) {
-		return fmt.Errorf("photon: wait-all out slice too short: %d for %d rids", len(out), len(rids))
-	}
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
@@ -185,6 +183,101 @@ func (p *Photon) waitAllMatched(w *Waiter, rids []uint64, out []Completion, time
 		// Same bound as waitMatch: with op deadlines armed, every
 		// in-flight op surfaces an error completion within ~2×OpTimeout.
 		deadline = time.Now().Add(2 * time.Duration(p.opTimeoutNS))
+	}
+	return p.waitAll(w, rids, out, deadline, nil, local)
+}
+
+// TakeRemote non-blockingly removes and returns the remote completion
+// for rid if it has already arrived. It does not drive Progress; pair
+// it with a caller-driven progress loop. The collectives layer uses it
+// to poll for revocation notices inside post-retry spins.
+func (p *Photon) TakeRemote(rid uint64) (Completion, bool) {
+	return p.takeMatchAny(rid, false)
+}
+
+// ErrWaitAborted is returned by the spec-carrying waits when one of the
+// spec's AbortRIDs arrived: the wait was cut short not because an
+// awaited completion failed but because an out-of-band abort message
+// (a collective revocation notice) landed. The consumed completion is
+// in WaitSpec.Aborted.
+var ErrWaitAborted = errors.New("photon: wait aborted")
+
+// WaitSpec parameterizes a failure-aware batched wait. Unlike the plain
+// WaitRemoteAll/WaitLocalAll — which only give up on a wall-clock bound
+// and surface per-op errors after every completion arrived — a wait
+// carrying a spec returns as soon as anything proves the batch cannot
+// or should not complete:
+//
+//   - a reaped completion carries a non-nil Err (returned immediately;
+//     remaining completions are abandoned);
+//   - a rank in Watch latches PeerDown (a wrapped ErrPeerDown naming
+//     the rank is returned, DownRank set);
+//   - a remote completion for one of AbortRIDs arrives (ErrWaitAborted
+//     is returned; Aborted/AbortIdx carry the consumed notice);
+//   - Deadline passes (ErrTimeout). A zero Deadline falls back to
+//     2×OpTimeout when op deadlines are armed, else waits forever.
+//
+// The spec is caller-owned and reusable; the output fields (DownRank,
+// AbortIdx, Aborted) are overwritten by each wait that returns an
+// abort-flavored error.
+type WaitSpec struct {
+	Deadline  time.Time
+	Watch     []int    // peer ranks whose PeerDown latch aborts the wait
+	AbortRIDs []uint64 // remote RIDs whose arrival aborts the wait
+
+	DownRank int        // set on ErrPeerDown: the rank that latched down
+	AbortIdx int        // set on ErrWaitAborted: index into AbortRIDs
+	Aborted  Completion // set on ErrWaitAborted: the consumed notice
+}
+
+// WaitRemoteAllSpec is WaitRemoteAll plus the spec's abort conditions.
+func (p *Photon) WaitRemoteAllSpec(w *Waiter, rids []uint64, out []Completion, spec *WaitSpec) error {
+	return p.waitAll(w, rids, out, specDeadline(p, spec), spec, false)
+}
+
+// WaitLocalAllSpec is WaitLocalAll plus the spec's abort conditions.
+// AbortRIDs are always matched against the remote stream (abort notices
+// arrive from peers) even though the awaited completions are local.
+func (p *Photon) WaitLocalAllSpec(w *Waiter, rids []uint64, out []Completion, spec *WaitSpec) error {
+	return p.waitAll(w, rids, out, specDeadline(p, spec), spec, true)
+}
+
+func specDeadline(p *Photon, spec *WaitSpec) time.Time {
+	if spec != nil && !spec.Deadline.IsZero() {
+		return spec.Deadline
+	}
+	if p.opTimeoutNS > 0 {
+		return time.Now().Add(2 * time.Duration(p.opTimeoutNS))
+	}
+	return time.Time{}
+}
+
+// checkSpec evaluates the spec's out-of-band abort conditions: an
+// arrived abort RID, then a watched rank latched down. Returns nil when
+// the wait should keep going.
+func (p *Photon) checkSpec(spec *WaitSpec) error {
+	for i, ar := range spec.AbortRIDs {
+		if ar == 0 {
+			continue
+		}
+		if c, ok := p.takeMatchAny(ar, false); ok {
+			spec.AbortIdx = i
+			spec.Aborted = c
+			return ErrWaitAborted
+		}
+	}
+	for _, r := range spec.Watch {
+		if p.PeerHealthState(r) == PeerDown {
+			spec.DownRank = r
+			return fmt.Errorf("photon: rank %d: %w", r, ErrPeerDown)
+		}
+	}
+	return nil
+}
+
+func (p *Photon) waitAll(w *Waiter, rids []uint64, out []Completion, deadline time.Time, spec *WaitSpec, local bool) error {
+	if len(out) < len(rids) {
+		return fmt.Errorf("photon: wait-all out slice too short: %d for %d rids", len(out), len(rids))
 	}
 	pend := w.pend[:0]
 	for i, rid := range rids {
@@ -205,12 +298,26 @@ func (p *Photon) waitAllMatched(w *Waiter, rids []uint64, out []Completion, time
 				pend[j] = pend[len(pend)-1]
 				pend = pend[:len(pend)-1]
 				took = true
+				if spec != nil && c.Err != nil {
+					// Fail fast: one failed op condemns the batch; the
+					// abandoned completions belong to a collective that
+					// is about to be revoked anyway.
+					w.pend = pend[:0]
+					spec.DownRank = c.Rank
+					return c.Err
+				}
 				continue
 			}
 			j++
 		}
 		if len(pend) == 0 {
 			break
+		}
+		if spec != nil {
+			if err := p.checkSpec(spec); err != nil {
+				w.pend = pend[:0]
+				return err
+			}
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			w.pend = pend[:0]
@@ -229,6 +336,9 @@ func (p *Photon) waitAllMatched(w *Waiter, rids []uint64, out []Completion, time
 	w.pend = pend[:0]
 	for i, rid := range rids {
 		if rid != 0 && out[i].Err != nil {
+			if spec != nil {
+				spec.DownRank = out[i].Rank
+			}
 			return out[i].Err
 		}
 	}

@@ -15,3 +15,16 @@ import "errors"
 // ErrTimeout is the root timeout sentinel. core.ErrTimeout aliases it;
 // verbs.ErrTimeout, msg.ErrTimeout, and runtime.ErrTimeout wrap it.
 var ErrTimeout = errors.New("photon: wait timed out")
+
+// ErrPeerDown is the root dead-peer sentinel: a peer's transport could
+// not be recovered within the reconnect budget, or the failure detector
+// latched it down (terminal). core.ErrPeerDown aliases it; error
+// completions and fail-fast posts toward a down peer wrap it.
+var ErrPeerDown = errors.New("photon: peer down")
+
+// ErrRevoked is the root communicator-revocation sentinel: a collective
+// observed a member's death (directly or via a revocation notice) and
+// the communicator's current epoch is permanently unusable.
+// collectives.ErrCommRevoked aliases it; concrete revocations wrap both
+// this and ErrPeerDown, naming the failed rank.
+var ErrRevoked = errors.New("photon: communicator revoked")

@@ -49,6 +49,7 @@ type Record struct {
 	Peer   int    `json:"peer"`    // peer that transitioned
 	From   string `json:"from"`
 	To     string `json:"to"`
+	Reason string `json:"reason,omitempty"` // non-health trigger (e.g. collective abort)
 
 	Events []trace.Event    `json:"-"` // last-W trace events (JSON via eventJSON)
 	Gauges map[string]int64 `json:"gauges,omitempty"`

@@ -79,10 +79,14 @@ const (
 	CollGather
 	CollAllgather
 	CollAlltoall
+	// CollAbort is not a collective call kind: its histogram records
+	// detection→abort latency (peer-down latch to the survivor's
+	// ErrCommRevoked return) when a collective is revoked.
+	CollAbort
 	numColls
 )
 
-var collNames = [...]string{"barrier", "bcast", "reduce", "allreduce", "gather", "allgather", "alltoall"}
+var collNames = [...]string{"barrier", "bcast", "reduce", "allreduce", "gather", "allgather", "alltoall", "abort"}
 
 // String returns the lowercase collective name.
 func (k CollKind) String() string {
